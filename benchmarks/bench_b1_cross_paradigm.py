@@ -1,0 +1,13 @@
+"""B1 — cross-paradigm benchmark over the scenario suite."""
+
+from repro.experiments import run_b1_cross_paradigm
+
+
+def test_b1_cross_paradigm(benchmark, show_table):
+    table = benchmark.pedantic(
+        run_b1_cross_paradigm, kwargs={"scenarios": ("toy2", "views3")},
+        rounds=1, iterations=1,
+    )
+    show_table(table)
+    toy = [r for r in table.rows if r["scenario"] == "toy2"]
+    assert all(r["recovery"] == 1.0 for r in toy)

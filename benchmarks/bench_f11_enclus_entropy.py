@@ -1,0 +1,15 @@
+"""F11 — ENCLUS entropy/interest of planted vs noise subspaces."""
+
+from repro.experiments import run_f11_enclus_entropy
+
+
+def test_f11_enclus_entropy(benchmark, show_table):
+    table = benchmark.pedantic(
+        run_f11_enclus_entropy, kwargs={"n_samples": 240},
+        rounds=2, iterations=1,
+    )
+    show_table(table)
+    planted = [r for r in table.rows if r["kind"] == "planted"]
+    noise = [r for r in table.rows if r["kind"] == "noise"]
+    assert min(p["interest"] for p in planted) > \
+        max(n["interest"] for n in noise)

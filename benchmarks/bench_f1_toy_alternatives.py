@@ -1,0 +1,13 @@
+"""F1 — the slide-26 toy: recovering the second 2-partition."""
+
+from repro.experiments import run_f1_toy_alternatives
+
+
+def test_f1_toy_alternatives(benchmark, show_table):
+    table = benchmark.pedantic(
+        run_f1_toy_alternatives, kwargs={"n_samples": 160},
+        rounds=3, iterations=1,
+    )
+    show_table(table)
+    rows = {r["method"]: r for r in table.rows}
+    assert rows["COALA (alt)"]["ari_vs_secondary_truth"] > 0.9

@@ -1,0 +1,13 @@
+"""F2 — COALA's w trade-off between quality and dissimilarity."""
+
+from repro.experiments import run_f2_coala_tradeoff
+
+
+def test_f2_coala_tradeoff(benchmark, show_table):
+    table = benchmark.pedantic(
+        run_f2_coala_tradeoff, kwargs={"n_samples": 160},
+        rounds=2, iterations=1,
+    )
+    show_table(table)
+    diss = table.column("dissimilarity_to_given")
+    assert diss[0] > diss[-1]

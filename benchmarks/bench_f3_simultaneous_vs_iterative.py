@@ -1,0 +1,14 @@
+"""F3 — naive chaining vs conditioning on all previous solutions."""
+
+from repro.experiments import run_f3_simultaneous_vs_iterative
+
+
+def test_f3_simultaneous_vs_iterative(benchmark, show_table):
+    table = benchmark.pedantic(
+        run_f3_simultaneous_vs_iterative, kwargs={"n_samples": 160},
+        rounds=2, iterations=1,
+    )
+    show_table(table)
+    rows = {r["strategy"]: r for r in table.rows}
+    assert rows["naive chain: C3 = alt(C2) only"][
+        "min_pairwise_dissimilarity"] < 0.1

@@ -1,0 +1,14 @@
+"""F4 — alternative clustering via learned space transformations."""
+
+from repro.experiments import run_f4_transformation
+
+
+def test_f4_transformation(benchmark, show_table):
+    table = benchmark.pedantic(
+        run_f4_transformation, kwargs={"n_samples": 160},
+        rounds=3, iterations=1,
+    )
+    show_table(table)
+    rows = {r["method"]: r for r in table.rows}
+    assert rows["Davidson&Qi 2008 (SVD stretcher inversion)"][
+        "ari_vs_secondary_truth"] > 0.9

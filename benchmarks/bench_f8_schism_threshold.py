@@ -1,0 +1,13 @@
+"""F8 — SCHISM's dimensionality-adaptive density threshold."""
+
+from repro.experiments import run_f8_schism_threshold
+
+
+def test_f8_schism_threshold(benchmark, show_table):
+    table = benchmark.pedantic(
+        run_f8_schism_threshold, kwargs={"n_samples": 300},
+        rounds=3, iterations=1,
+    )
+    show_table(table)
+    rows = {r["quantity"]: r["value"] for r in table.rows}
+    assert rows["schism found cluster in hidden subspace"] is True

@@ -1,0 +1,14 @@
+"""F9 — redundancy of raw subspace mining vs selection models."""
+
+from repro.experiments import run_f9_redundancy
+
+
+def test_f9_redundancy(benchmark, show_table):
+    table = benchmark.pedantic(
+        run_f9_redundancy, kwargs={"n_samples": 240},
+        rounds=1, iterations=1,
+    )
+    show_table(table)
+    rows = {r["method"]: r for r in table.rows}
+    assert rows["CLIQUE (ALL)"]["redundancy_ratio"] > \
+        rows["OSCLU (select)"]["redundancy_ratio"]

@@ -1,0 +1,36 @@
+"""Microbenchmarks of the clustering substrates (library-health view)."""
+
+import pytest
+
+from repro.cluster import (
+    Agglomerative,
+    DBSCAN,
+    GaussianMixtureEM,
+    KernelKMeans,
+    KMeans,
+    KMedoids,
+    SpectralClustering,
+)
+from repro.data import make_blobs
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_blobs(n_samples=300, centers=4, n_features=8,
+                      cluster_std=1.0, random_state=0)
+
+
+@pytest.mark.parametrize("name,factory", [
+    ("kmeans", lambda: KMeans(n_clusters=4, random_state=0)),
+    ("kmedoids", lambda: KMedoids(n_clusters=4, random_state=0)),
+    ("gmm", lambda: GaussianMixtureEM(n_components=4, random_state=0)),
+    ("dbscan", lambda: DBSCAN(eps=1.5, min_pts=5)),
+    ("agglomerative", lambda: Agglomerative(n_clusters=4)),
+    ("spectral", lambda: SpectralClustering(n_clusters=4, random_state=0)),
+    ("kernel_kmeans", lambda: KernelKMeans(n_clusters=4, random_state=0)),
+])
+def test_substrate_fit(benchmark, data, name, factory):
+    X, _ = data
+    labels = benchmark.pedantic(lambda: factory().fit(X).labels_,
+                                rounds=2, iterations=1)
+    assert labels.shape == (X.shape[0],)

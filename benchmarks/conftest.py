@@ -1,0 +1,22 @@
+"""Benchmark-suite helpers.
+
+Each ``bench_*`` file regenerates one tutorial table/figure: it prints
+the experiment's :class:`ResultTable` once (so running the suite
+reproduces EXPERIMENTS.md) and times the underlying computation with
+pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show_table(capsys):
+    """Print a ResultTable to the real terminal (past capture)."""
+
+    def _show(table):
+        with capsys.disabled():
+            print()
+            print(table.render())
+        return table
+
+    return _show

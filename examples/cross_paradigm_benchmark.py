@@ -1,0 +1,44 @@
+"""Cross-paradigm benchmark: which paradigm wins where?
+
+The tutorial closes by noting that no paradigm dominates — each has a
+regime (slides 45/61/91/111) — and that the field lacks a common
+benchmark (slide 123). This example runs one representative method per
+paradigm on the library's benchmark suite and prints the per-scenario
+`MultipleClusteringReport`, the Hungarian-matched evaluation of a set
+of solutions against ALL planted truths.
+
+Run:  python examples/cross_paradigm_benchmark.py
+"""
+
+from repro.data import benchmark_suite
+from repro.experiments import run_b1_cross_paradigm
+from repro.experiments.exp_crossparadigm import METHODS
+from repro.metrics import MultipleClusteringReport
+
+
+def main():
+    suite = benchmark_suite()
+    print("benchmark scenarios:")
+    for scenario in suite.values():
+        print(f"  {scenario.name:<10} n={scenario.X.shape[0]:<4} "
+              f"d={scenario.X.shape[1]:<3} truths={scenario.n_truths}  "
+              f"{scenario.description}")
+
+    # The one-table view (experiment B1).
+    print()
+    table = run_b1_cross_paradigm(scenarios=("toy2", "views3", "customers"))
+    print(table.render())
+
+    # Drill into one scenario with the full report.
+    scenario = suite["views3"]
+    print(f"\ndetailed report on '{scenario.name}' "
+          f"({scenario.description}):")
+    for method, solver in METHODS.items():
+        labelings = solver(scenario, random_state=0)
+        report = MultipleClusteringReport(labelings, scenario.truths)
+        print(f"\n--- {method} ---")
+        print(report.render(threshold=0.7))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Sensor surveillance: consensus over multiple given sources.
+
+Slide 6 motivates sensors described by several measurement modalities;
+slides 94-107 cover clustering when the views are *given*. This example
+exercises the two multi-source workhorses:
+
+* co-EM (Bickel & Scheffer 2004) — bootstrapped mixture hypotheses over
+  two conditionally independent views;
+* multi-view DBSCAN (Kailing et al. 2004a) — union cores for sparse
+  views (sensor dropouts), intersection cores for unreliable views
+  (miscalibrated sensors).
+
+Run:  python examples/sensor_multiview.py
+"""
+
+import numpy as np
+
+from repro.cluster import GaussianMixtureEM
+from repro.data import make_two_view_sources
+from repro.metrics import adjusted_rand_index as ari
+from repro.multiview import CoEM, MultiViewDBSCAN
+
+
+def describe(name, labels, truth):
+    coverage = float(np.mean(labels != -1))
+    clusters = len(set(labels.tolist()) - {-1})
+    score = ari(labels, truth) if coverage > 0 else float("nan")
+    print(f"  {name:<22} ARI {score:+.3f}  coverage {coverage:.2f}  "
+          f"clusters {clusters}")
+
+
+def main():
+    # --- co-EM on clean conditionally independent views ------------------
+    (temp_view, humid_view), truth = make_two_view_sources(
+        n_samples=240, n_clusters=3, cluster_std=0.8,
+        min_center_distance=3.5, random_state=0)
+    print("scenario 1: two clean sensor modalities (temperature / humidity)")
+    for name, view in (("EM on temperature", temp_view),
+                       ("EM on humidity", humid_view)):
+        em = GaussianMixtureEM(n_components=3, covariance_type="spherical",
+                               random_state=0).fit(view)
+        describe(name, em.labels_, truth)
+    coem = CoEM(n_clusters=3, random_state=0).fit((temp_view, humid_view))
+    describe("co-EM (both views)", coem.labels_, truth)
+    print(f"  view agreement after co-EM: {coem.agreement_:.2f}")
+
+    # --- sparse views: sensors drop out per modality ---------------------
+    (s1, s2), truth_sparse = make_two_view_sources(
+        n_samples=240, n_clusters=3, sparse_noise_fraction=0.3,
+        center_spread=6.0, min_center_distance=4.0, random_state=1)
+    print("\nscenario 2: sparse views (30% dropouts per modality, disjoint)")
+    for method in ("union", "intersection"):
+        mv = MultiViewDBSCAN(eps=0.8, min_pts=6, method=method).fit((s1, s2))
+        describe(f"MV-DBSCAN {method}", mv.labels_, truth_sparse)
+    print("  -> union keeps full coverage because every sensor is reliable "
+          "in at least one modality (slide 106)")
+
+    # --- unreliable view: one modality miscalibrated ----------------------
+    (u1, u2), truth_unrel = make_two_view_sources(
+        n_samples=240, n_clusters=3, unreliable_view=1,
+        unreliable_fraction=0.4, center_spread=6.0,
+        min_center_distance=4.0, random_state=2)
+    print("\nscenario 3: unreliable second modality (40% readings swapped)")
+    for method in ("union", "intersection"):
+        mv = MultiViewDBSCAN(eps=0.8, min_pts=6, method=method).fit((u1, u2))
+        labels = mv.labels_
+        covered = labels != -1
+        pure = ari(labels[covered], truth_unrel[covered]) if covered.any() else 0.0
+        describe(f"MV-DBSCAN {method}", labels, truth_unrel)
+        print(f"    ARI restricted to covered objects: {pure:+.3f}")
+    print("  -> intersection trades coverage for purity when a view lies "
+          "(slide 107)")
+
+
+if __name__ == "__main__":
+    main()

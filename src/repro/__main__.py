@@ -1,0 +1,72 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro list                 # list experiments
+    python -m repro taxonomy             # print the slide-116 table (T1)
+    python -m repro run F9               # run one experiment
+    python -m repro run all              # run every experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="multiclust experiment harness "
+                    "(tables/figures of the SDM'11 / ICDE'12 tutorial)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("taxonomy", help="print the algorithm taxonomy table")
+    sub.add_parser("report", help="regenerate the EXPERIMENTS.md content")
+    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. F9, T1, all")
+    return parser
+
+
+def main(argv=None):
+    from .experiments import ALL_EXPERIMENTS
+    from .core.taxonomy import render_table
+
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for key, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:>4}  {doc}")
+        return 0
+    if args.command == "taxonomy":
+        print(render_table())
+        return 0
+    if args.command == "report":
+        from .experiments.report import generate_report
+
+        print(generate_report())
+        return 0
+    # run
+    key = args.experiment.upper()
+    if key == "ALL":
+        keys = list(ALL_EXPERIMENTS)
+    elif key in ALL_EXPERIMENTS:
+        keys = [key]
+    else:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'",
+              file=sys.stderr)
+        return 2
+    for k in keys:
+        start = time.perf_counter()
+        table = ALL_EXPERIMENTS[k]()
+        elapsed = time.perf_counter() - start
+        print(table.render())
+        print(f"[{k} completed in {elapsed:.2f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Traditional single-solution clusterers — the substrates every
+multiple-clustering paradigm builds on (slide 3)."""
+
+from .constrained import ConstrainedKMeans, constraints_from_clustering
+from .dbscan import DBSCAN, dbscan_from_neighborhoods, epsilon_neighborhoods
+from .fcm import FuzzyCMeans, fcm_memberships
+from .gmm import GaussianMixtureEM, e_step, gaussian_log_density, m_step
+from .hierarchical import Agglomerative, LinkageMatrix, average_link_distance
+from .kernel_kmeans import KernelKMeans
+from .kmeans import KMeans, kmeans_plus_plus
+from .kmedoids import KMedoids
+from .spectral import SpectralClustering, normalized_laplacian, spectral_embedding
+
+__all__ = [
+    "ConstrainedKMeans",
+    "constraints_from_clustering",
+    "DBSCAN",
+    "dbscan_from_neighborhoods",
+    "epsilon_neighborhoods",
+    "FuzzyCMeans",
+    "fcm_memberships",
+    "GaussianMixtureEM",
+    "e_step",
+    "gaussian_log_density",
+    "m_step",
+    "Agglomerative",
+    "LinkageMatrix",
+    "average_link_distance",
+    "KernelKMeans",
+    "KMeans",
+    "kmeans_plus_plus",
+    "KMedoids",
+    "SpectralClustering",
+    "normalized_laplacian",
+    "spectral_embedding",
+]

@@ -1,0 +1,208 @@
+"""Constrained k-means (COP-kMeans style, Wagstaff et al. 2001).
+
+Instance-level constraints are the lingua franca of the alternative-
+clustering paradigm: COALA derives cannot-links from the given
+clustering (slide 31), and Davidson & Qi feed must-/cannot-links to a
+metric learner (slide 50). This substrate enforces them directly inside
+Lloyd's loop: an object may only join the nearest centre that violates
+none of its constraints given the assignments made so far; when every
+centre is blocked, the constraint set is declared infeasible for this
+pass and the assignment falls back to the nearest centre (soft mode) or
+raises (strict mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kmeans import kmeans_plus_plus
+from ..core.base import BaseClusterer
+from ..exceptions import ValidationError
+from ..utils.linalg import cdist_sq
+from ..utils.validation import (
+    check_array,
+    check_labels,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["ConstrainedKMeans", "constraints_from_clustering"]
+
+
+def constraints_from_clustering(labels, *, kind="cannot", max_pairs=None,
+                                random_state=None):
+    """Instance-level constraints implied by a clustering (slide 50).
+
+    ``kind="cannot"``: pairs co-clustered in ``labels`` become
+    cannot-link constraints (the COALA/alternative-clustering reading:
+    do NOT group them the same way again). ``kind="must"``: the same
+    pairs become must-link constraints (reproduce the clustering).
+
+    ``max_pairs`` subsamples the quadratic pair set.
+    """
+    labels = check_labels(labels)
+    if kind not in ("cannot", "must"):
+        raise ValidationError(f"unknown kind {kind!r}")
+    rng = check_random_state(random_state)
+    pairs = []
+    for cid in np.unique(labels):
+        if cid == -1:
+            continue
+        members = np.flatnonzero(labels == cid)
+        for i in range(members.size):
+            for j in range(i + 1, members.size):
+                pairs.append((int(members[i]), int(members[j])))
+    if max_pairs is not None and len(pairs) > max_pairs:
+        idx = rng.choice(len(pairs), size=int(max_pairs), replace=False)
+        pairs = [pairs[i] for i in idx]
+    return pairs
+
+
+class ConstrainedKMeans(BaseClusterer):
+    """k-means honouring must-link / cannot-link constraints.
+
+    Parameters
+    ----------
+    n_clusters : int
+    must_link, cannot_link : sequences of (i, j) index pairs
+    strict : bool
+        When true, an unsatisfiable assignment raises; when false (the
+        default) the object falls back to its nearest centre and the
+        violation is counted in ``n_violations_``.
+    max_iter, n_init, random_state : Lloyd controls.
+
+    Attributes
+    ----------
+    labels_ : ndarray
+    cluster_centers_ : ndarray (k, d)
+    n_violations_ : int — constraints left violated (soft mode only).
+    """
+
+    def __init__(self, n_clusters=2, must_link=(), cannot_link=(),
+                 strict=False, max_iter=100, n_init=5, random_state=None):
+        self.n_clusters = n_clusters
+        self.must_link = must_link
+        self.cannot_link = cannot_link
+        self.strict = strict
+        self.max_iter = max_iter
+        self.n_init = n_init
+        self.random_state = random_state
+        self.labels_ = None
+        self.cluster_centers_ = None
+        self.n_violations_ = None
+
+    @staticmethod
+    def _validate_pairs(pairs, n, name):
+        out = []
+        for pair in pairs:
+            try:
+                i, j = int(pair[0]), int(pair[1])
+            except (TypeError, ValueError, IndexError) as exc:
+                raise ValidationError(f"{name} must be (i, j) pairs") from exc
+            if not (0 <= i < n and 0 <= j < n) or i == j:
+                raise ValidationError(f"invalid {name} pair {pair!r}")
+            out.append((i, j))
+        return out
+
+    def _union_find_groups(self, n, must):
+        parent = list(range(n))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i, j in must:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[rj] = ri
+        groups = {}
+        for i in range(n):
+            groups.setdefault(find(i), []).append(i)
+        return list(groups.values())
+
+    def fit(self, X):
+        X = check_array(X, min_samples=2)
+        n = X.shape[0]
+        k = check_n_clusters(self.n_clusters, n)
+        must = self._validate_pairs(self.must_link, n, "must_link")
+        cannot = self._validate_pairs(self.cannot_link, n, "cannot_link")
+        rng = check_random_state(self.random_state)
+        # Must-link transitive closure: blocks move together.
+        blocks = self._union_find_groups(n, must)
+        block_of = np.empty(n, dtype=np.int64)
+        for b, members in enumerate(blocks):
+            block_of[members] = b
+        # Cannot-link lifted to blocks; contradictory constraints are
+        # detected here (same block cannot-linked to itself).
+        block_cannot = {}
+        for i, j in cannot:
+            bi, bj = int(block_of[i]), int(block_of[j])
+            if bi == bj:
+                raise ValidationError(
+                    f"contradictory constraints: objects {i} and {j} are "
+                    "must-linked (directly or transitively) and cannot-linked"
+                )
+            block_cannot.setdefault(bi, set()).add(bj)
+            block_cannot.setdefault(bj, set()).add(bi)
+        block_sizes = np.array([len(b) for b in blocks], dtype=np.float64)
+        block_means = np.stack([X[b].mean(axis=0) for b in blocks])
+
+        best = None
+        for _ in range(max(1, int(self.n_init))):
+            centers = kmeans_plus_plus(X, k, rng)
+            assign = np.full(len(blocks), -1, dtype=np.int64)
+            violations = 0
+            for _it in range(int(self.max_iter)):
+                # Assign blocks greedily, largest first (hardest to place).
+                order = np.argsort(-block_sizes)
+                new_assign = np.full(len(blocks), -1, dtype=np.int64)
+                violations = 0
+                d2 = cdist_sq(block_means, centers)
+                for b in order:
+                    ranked = np.argsort(d2[b])
+                    placed = False
+                    for c in ranked:
+                        conflict = any(
+                            new_assign[other] == c
+                            for other in block_cannot.get(int(b), ())
+                        )
+                        if not conflict:
+                            new_assign[b] = c
+                            placed = True
+                            break
+                    if not placed:
+                        if self.strict:
+                            raise ValidationError(
+                                "constraints unsatisfiable with "
+                                f"k={k} clusters"
+                            )
+                        new_assign[b] = int(ranked[0])
+                        violations += 1
+                # Centre update from block assignments.
+                for c in range(k):
+                    sel = new_assign == c
+                    if sel.any():
+                        w = block_sizes[sel]
+                        centers[c] = (
+                            (block_means[sel] * w[:, None]).sum(axis=0)
+                            / w.sum()
+                        )
+                if np.array_equal(new_assign, assign):
+                    assign = new_assign
+                    break
+                assign = new_assign
+            labels = np.empty(n, dtype=np.int64)
+            for b, members in enumerate(blocks):
+                labels[members] = assign[b]
+            inertia = float(
+                cdist_sq(X, centers)[np.arange(n), labels].sum()
+            )
+            if best is None or (violations, inertia) < (best[0], best[1]):
+                best = (violations, inertia, labels, centers.copy())
+        violations, _, labels, centers = best
+        self.labels_ = labels
+        self.cluster_centers_ = centers
+        self.n_violations_ = int(violations)
+        return self

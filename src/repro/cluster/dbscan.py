@@ -1,0 +1,104 @@
+"""DBSCAN (Ester et al. 1996).
+
+Density-based substrate for SUBCLU (slide 74) and the multi-view DBSCAN
+of Kailing et al. 2004a (slides 105-107). Exposes the neighbourhood /
+core-object machinery so those algorithms can reuse it with custom
+neighbourhood predicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import BaseClusterer
+from ..utils.linalg import cdist_sq
+from ..utils.validation import check_array, check_in_range
+
+__all__ = ["DBSCAN", "dbscan_from_neighborhoods", "epsilon_neighborhoods"]
+
+
+def epsilon_neighborhoods(X, eps, *, dims=None):
+    """List of index arrays: the closed eps-ball around each point.
+
+    ``dims`` restricts the distance to a subspace (used by SUBCLU and the
+    multi-view variants); ``None`` means all dimensions.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if dims is not None:
+        X = X[:, list(dims)]
+    d2 = cdist_sq(X, X)
+    eps2 = eps * eps
+    return [np.flatnonzero(row <= eps2) for row in d2]
+
+
+def dbscan_from_neighborhoods(neighborhoods, min_pts):
+    """Run the DBSCAN expansion given precomputed neighbourhoods.
+
+    Parameters
+    ----------
+    neighborhoods : sequence of int arrays
+        ``neighborhoods[i]`` are the neighbours of object ``i`` (the
+        object itself included, by convention).
+    min_pts : int
+        Core-object threshold: ``|N(o)| >= min_pts``.
+
+    Returns
+    -------
+    labels : ndarray of int
+        Cluster ids from 0; ``-1`` is noise.
+    core_mask : ndarray of bool
+    """
+    n = len(neighborhoods)
+    core_mask = np.array([len(nb) >= min_pts for nb in neighborhoods])
+    labels = np.full(n, -1, dtype=np.int64)
+    cluster_id = 0
+    for seed in range(n):
+        if labels[seed] != -1 or not core_mask[seed]:
+            continue
+        # Breadth-first expansion from this core object.
+        labels[seed] = cluster_id
+        frontier = list(neighborhoods[seed])
+        while frontier:
+            p = frontier.pop()
+            if labels[p] == -1:
+                labels[p] = cluster_id
+                if core_mask[p]:
+                    frontier.extend(
+                        q for q in neighborhoods[p] if labels[q] == -1
+                    )
+        cluster_id += 1
+    return labels, core_mask
+
+
+class DBSCAN(BaseClusterer):
+    """Classic DBSCAN.
+
+    Parameters
+    ----------
+    eps : float
+        Neighbourhood radius.
+    min_pts : int
+        Minimum neighbourhood size (self included) for a core object.
+
+    Attributes
+    ----------
+    labels_ : ndarray of shape (n_samples,)
+        Cluster labels; ``-1`` marks noise.
+    core_sample_indices_ : ndarray
+        Indices of core objects.
+    """
+
+    def __init__(self, eps=0.5, min_pts=5):
+        self.eps = eps
+        self.min_pts = min_pts
+        self.labels_ = None
+        self.core_sample_indices_ = None
+
+    def fit(self, X):
+        X = check_array(X)
+        check_in_range(self.eps, "eps", low=0.0, inclusive_low=False)
+        neighborhoods = epsilon_neighborhoods(X, self.eps)
+        labels, core = dbscan_from_neighborhoods(neighborhoods, self.min_pts)
+        self.labels_ = labels
+        self.core_sample_indices_ = np.flatnonzero(core)
+        return self

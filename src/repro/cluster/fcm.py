@@ -1,0 +1,106 @@
+"""Fuzzy c-means.
+
+Soft-membership substrate for the parallel-universes learner
+(Wiswedel, Höppner & Berthold 2010, slide 100). Standard alternating
+updates of memberships ``u_ic`` (with fuzzifier ``m``) and centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import BaseClusterer
+from ..utils.linalg import cdist_sq
+from ..utils.validation import (
+    check_array,
+    check_in_range,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["FuzzyCMeans", "fcm_memberships"]
+
+
+def fcm_memberships(X, centers, m=2.0):
+    """Fuzzy memberships of each row of ``X`` to each center.
+
+    ``u_ic = 1 / sum_j (d_ic / d_ij)^(2/(m-1))``; points coinciding with
+    a center get crisp membership there.
+    """
+    d2 = cdist_sq(X, centers)
+    exact = d2 <= 1e-18
+    power = 1.0 / (m - 1.0)
+    # Scale-invariant form: divide by the row minimum first so the
+    # inverse powers stay in (0, 1] and never overflow.
+    row_min = np.maximum(d2.min(axis=1, keepdims=True), 1e-300)
+    inv = (row_min / np.maximum(d2, 1e-300)) ** power
+    u = inv / inv.sum(axis=1, keepdims=True)
+    rows_exact = exact.any(axis=1)
+    if rows_exact.any():
+        u[rows_exact] = 0.0
+        u[rows_exact] = exact[rows_exact] / exact[rows_exact].sum(
+            axis=1, keepdims=True)
+    return u
+
+
+class FuzzyCMeans(BaseClusterer):
+    """Fuzzy c-means clustering.
+
+    Parameters
+    ----------
+    n_clusters : int
+    m : float > 1 — fuzzifier (2.0 is the classic choice).
+    max_iter, tol, n_init, random_state : optimisation controls.
+
+    Attributes
+    ----------
+    labels_ : ndarray — hardened (argmax-membership) labels.
+    memberships_ : ndarray (n, k) — soft memberships, rows sum to 1.
+    cluster_centers_ : ndarray (k, d)
+    objective_ : float — final weighted SSE.
+    """
+
+    def __init__(self, n_clusters=2, m=2.0, max_iter=150, tol=1e-6,
+                 n_init=3, random_state=None):
+        self.n_clusters = n_clusters
+        self.m = m
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self.random_state = random_state
+        self.labels_ = None
+        self.memberships_ = None
+        self.cluster_centers_ = None
+        self.objective_ = None
+
+    def fit(self, X):
+        from .kmeans import kmeans_plus_plus
+
+        X = check_array(X, min_samples=2)
+        n = X.shape[0]
+        k = check_n_clusters(self.n_clusters, n)
+        check_in_range(self.m, "m", low=1.0, inclusive_low=False)
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(max(1, int(self.n_init))):
+            centers = kmeans_plus_plus(X, k, rng)
+            prev = np.inf
+            u = None
+            for _it in range(int(self.max_iter)):
+                u = fcm_memberships(X, centers, m=self.m)
+                um = u ** self.m
+                centers = (um.T @ X) / np.maximum(
+                    um.sum(axis=0)[:, None], 1e-12)
+                obj = float(np.sum(um * cdist_sq(X, centers)))
+                if prev - obj <= self.tol * max(prev, 1e-12):
+                    prev = obj
+                    break
+                prev = obj
+            if best is None or prev < best[0]:
+                best = (prev, u, centers)
+        obj, u, centers = best
+        self.objective_ = float(obj)
+        self.memberships_ = u
+        self.cluster_centers_ = centers
+        self.labels_ = np.argmax(u, axis=1).astype(np.int64)
+        return self

@@ -1,0 +1,203 @@
+"""EM for Gaussian mixture models.
+
+The generative substrate behind CAMI (Dang & Bailey 2010a), co-EM
+(Bickel & Scheffer 2004) and the random-projection consensus of Fern &
+Brodley 2003. The E- and M-steps are exposed as standalone functions so
+those algorithms can interleave them with their own penalties/views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import BaseClusterer
+from ..exceptions import ValidationError
+from ..utils.linalg import cdist_sq, logsumexp
+from ..utils.validation import (
+    check_array,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = [
+    "GaussianMixtureEM",
+    "gaussian_log_density",
+    "e_step",
+    "m_step",
+    "init_params_kmeanspp",
+]
+
+_MIN_VAR = 1e-6
+
+
+def gaussian_log_density(X, mean, cov, covariance_type):
+    """Log density of each row of ``X`` under one Gaussian component."""
+    d = X.shape[1]
+    diff = X - mean[None, :]
+    if covariance_type == "spherical":
+        var = max(float(cov), _MIN_VAR)
+        maha = np.sum(diff * diff, axis=1) / var
+        logdet = d * np.log(var)
+    elif covariance_type == "diag":
+        var = np.maximum(np.asarray(cov, dtype=np.float64), _MIN_VAR)
+        maha = np.sum(diff * diff / var[None, :], axis=1)
+        logdet = float(np.sum(np.log(var)))
+    elif covariance_type == "full":
+        cov = np.asarray(cov, dtype=np.float64)
+        cov = cov + _MIN_VAR * np.eye(d)
+        chol = np.linalg.cholesky(cov)
+        sol = np.linalg.solve(chol, diff.T)
+        maha = np.sum(sol * sol, axis=0)
+        logdet = 2.0 * float(np.sum(np.log(np.diag(chol))))
+    else:
+        raise ValidationError(f"unknown covariance_type {covariance_type!r}")
+    return -0.5 * (maha + logdet + d * np.log(2.0 * np.pi))
+
+
+def e_step(X, weights, means, covs, covariance_type):
+    """Responsibilities and total log-likelihood.
+
+    Returns ``(resp, log_likelihood)`` where ``resp`` is (n, k).
+    """
+    k = means.shape[0]
+    log_prob = np.empty((X.shape[0], k))
+    for j in range(k):
+        log_prob[:, j] = gaussian_log_density(X, means[j], covs[j], covariance_type)
+    log_weighted = log_prob + np.log(np.maximum(weights, 1e-300))[None, :]
+    log_norm = logsumexp(log_weighted, axis=1)
+    resp = np.exp(log_weighted - log_norm[:, None])
+    return resp, float(np.sum(log_norm))
+
+
+def m_step(X, resp, covariance_type, *, mean_override=None):
+    """Maximum-likelihood parameters from responsibilities.
+
+    ``mean_override`` lets penalised variants (CAMI) substitute their own
+    mean update while keeping the weight/covariance updates.
+    """
+    n, d = X.shape
+    nk = resp.sum(axis=0) + 1e-12
+    weights = nk / n
+    means = (resp.T @ X) / nk[:, None]
+    if mean_override is not None:
+        means = np.asarray(mean_override, dtype=np.float64)
+    k = means.shape[0]
+    if covariance_type == "spherical":
+        covs = np.empty(k)
+        for j in range(k):
+            diff2 = cdist_sq(X, means[j:j + 1]).ravel()
+            covs[j] = max(float((resp[:, j] @ diff2) / (nk[j] * d)), _MIN_VAR)
+    elif covariance_type == "diag":
+        covs = np.empty((k, d))
+        for j in range(k):
+            diff = X - means[j]
+            covs[j] = np.maximum((resp[:, j] @ (diff * diff)) / nk[j], _MIN_VAR)
+    elif covariance_type == "full":
+        covs = np.empty((k, d, d))
+        for j in range(k):
+            diff = X - means[j]
+            covs[j] = (resp[:, j][:, None] * diff).T @ diff / nk[j]
+            covs[j] += _MIN_VAR * np.eye(d)
+    else:
+        raise ValidationError(f"unknown covariance_type {covariance_type!r}")
+    return weights, means, covs
+
+
+def init_params_kmeanspp(X, n_components, rng, covariance_type):
+    """Initialise EM from a k-means++ seeding."""
+    from .kmeans import kmeans_plus_plus
+
+    means = kmeans_plus_plus(X, n_components, rng)
+    labels = np.argmin(cdist_sq(X, means), axis=1)
+    resp = np.zeros((X.shape[0], n_components))
+    resp[np.arange(X.shape[0]), labels] = 1.0
+    # Blend in a little uniform mass so empty components do not collapse.
+    resp = 0.9 * resp + 0.1 / n_components
+    return m_step(X, resp, covariance_type)
+
+
+class GaussianMixtureEM(BaseClusterer):
+    """Gaussian mixture fitted by EM.
+
+    Parameters
+    ----------
+    n_components : int
+    covariance_type : {"full", "diag", "spherical"}
+    max_iter : int
+    tol : float
+        Convergence threshold on mean log-likelihood improvement.
+    n_init : int
+        Restarts; the best log-likelihood wins.
+    random_state : int, Generator or None
+
+    Attributes
+    ----------
+    labels_ : ndarray — MAP component per point.
+    weights_, means_, covariances_ : mixture parameters.
+    responsibilities_ : ndarray (n, k)
+    log_likelihood_ : float
+    n_iter_ : int
+    """
+
+    def __init__(self, n_components=2, covariance_type="full", max_iter=200,
+                 tol=1e-6, n_init=3, random_state=None):
+        self.n_components = n_components
+        self.covariance_type = covariance_type
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self.random_state = random_state
+        self.labels_ = None
+        self.weights_ = None
+        self.means_ = None
+        self.covariances_ = None
+        self.responsibilities_ = None
+        self.log_likelihood_ = None
+        self.n_iter_ = None
+
+    def fit(self, X):
+        X = check_array(X, min_samples=2)
+        k = check_n_clusters(self.n_components, X.shape[0], name="n_components")
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(max(1, int(self.n_init))):
+            weights, means, covs = init_params_kmeanspp(
+                X, k, rng, self.covariance_type
+            )
+            prev_ll = -np.inf
+            n_iter = 0
+            resp = None
+            for n_iter in range(1, self.max_iter + 1):
+                resp, ll = e_step(X, weights, means, covs, self.covariance_type)
+                weights, means, covs = m_step(X, resp, self.covariance_type)
+                if abs(ll - prev_ll) <= self.tol * max(abs(prev_ll), 1.0):
+                    prev_ll = ll
+                    break
+                prev_ll = ll
+            if best is None or prev_ll > best[0]:
+                best = (prev_ll, weights, means, covs, resp, n_iter)
+        ll, weights, means, covs, resp, n_iter = best
+        self.log_likelihood_ = float(ll)
+        self.weights_, self.means_, self.covariances_ = weights, means, covs
+        self.responsibilities_ = resp
+        self.labels_ = np.argmax(resp, axis=1).astype(np.int64)
+        self.n_iter_ = n_iter
+        return self
+
+    def predict(self, X):
+        """MAP component for new points under the fitted mixture."""
+        if self.means_ is None:
+            raise ValidationError("GaussianMixtureEM is not fitted")
+        X = check_array(X)
+        resp, _ = e_step(X, self.weights_, self.means_, self.covariances_,
+                         self.covariance_type)
+        return np.argmax(resp, axis=1).astype(np.int64)
+
+    def score_samples(self, X):
+        """Per-sample log-likelihood under the fitted mixture."""
+        if self.means_ is None:
+            raise ValidationError("GaussianMixtureEM is not fitted")
+        X = check_array(X)
+        _, ll = e_step(X, self.weights_, self.means_, self.covariances_,
+                       self.covariance_type)
+        return ll / X.shape[0]

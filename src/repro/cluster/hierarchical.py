@@ -1,0 +1,154 @@
+"""Agglomerative hierarchical clustering (single / complete / average link).
+
+Average-link agglomeration is the engine of COALA (Bae & Bailey 2006,
+slides 31-33), so the merge machinery is exposed in a reusable form:
+:func:`average_link_distance` and the incremental :class:`LinkageMatrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import BaseClusterer
+from ..exceptions import ValidationError
+from ..utils.linalg import pairwise_distances
+from ..utils.validation import check_array, check_n_clusters
+
+__all__ = ["Agglomerative", "LinkageMatrix", "average_link_distance"]
+
+_LINKAGES = ("single", "complete", "average")
+
+
+def average_link_distance(d, members_a, members_b):
+    """Average pairwise distance between two groups given a distance matrix."""
+    block = d[np.ix_(members_a, members_b)]
+    return float(block.mean())
+
+
+class LinkageMatrix:
+    """Incrementally maintained between-group distances under a linkage.
+
+    Uses the Lance-Williams update so merging is O(n) per step. Groups are
+    addressed by integer ids; merged ids are retired.
+    """
+
+    def __init__(self, d, linkage="average"):
+        if linkage not in _LINKAGES:
+            raise ValidationError(f"unknown linkage {linkage!r}")
+        self.linkage = linkage
+        self._d = np.asarray(d, dtype=np.float64).copy()
+        n = self._d.shape[0]
+        if self._d.shape != (n, n):
+            raise ValidationError("distance matrix must be square")
+        np.fill_diagonal(self._d, np.inf)
+        self.active = set(range(n))
+        self.sizes = {i: 1 for i in range(n)}
+        self.members = {i: [i] for i in range(n)}
+
+    def distance(self, a, b):
+        """Current linkage distance between groups ``a`` and ``b``."""
+        return float(self._d[a, b])
+
+    def closest_pair(self, *, allowed=None, blocked=None):
+        """The pair of active groups with minimal linkage distance.
+
+        Candidate pairs can be restricted either by a predicate
+        ``allowed(a, b) -> bool`` or — much faster — by a boolean matrix
+        ``blocked`` where ``blocked[a, b]`` forbids the pair (COALA's
+        constraint filter maintains one incrementally).
+
+        Returns ``(a, b, distance)`` or ``None`` when no pair qualifies.
+        """
+        if allowed is None:
+            # Vectorised: inactive rows/cols are already +inf.
+            d = self._d
+            if blocked is not None:
+                d = np.where(blocked, np.inf, d)
+            flat = int(np.argmin(d))
+            a, b = divmod(flat, d.shape[1])
+            if not np.isfinite(d[a, b]):
+                return None
+            if a > b:
+                a, b = b, a
+            return (a, b, float(d[a, b]))
+        best = None
+        act = sorted(self.active)
+        for i, a in enumerate(act):
+            row = self._d[a]
+            for b in act[i + 1:]:
+                if not allowed(a, b):
+                    continue
+                dist = row[b]
+                if best is None or dist < best[2]:
+                    best = (a, b, float(dist))
+        return best
+
+    def merge(self, a, b):
+        """Merge group ``b`` into group ``a``; returns the surviving id."""
+        if a not in self.active or b not in self.active:
+            raise ValidationError("both groups must be active")
+        na, nb = self.sizes[a], self.sizes[b]
+        for c in self.active:
+            if c in (a, b):
+                continue
+            dac, dbc = self._d[a, c], self._d[b, c]
+            if self.linkage == "single":
+                new = min(dac, dbc)
+            elif self.linkage == "complete":
+                new = max(dac, dbc)
+            else:  # average
+                new = (na * dac + nb * dbc) / (na + nb)
+            self._d[a, c] = self._d[c, a] = new
+        self._d[b, :] = np.inf
+        self._d[:, b] = np.inf
+        self.active.remove(b)
+        self.sizes[a] = na + nb
+        self.members[a] = self.members[a] + self.members.pop(b)
+        del self.sizes[b]
+        return a
+
+    def current_labels(self, n_objects):
+        """Label vector mapping each object to its group's rank."""
+        labels = np.empty(n_objects, dtype=np.int64)
+        for rank, g in enumerate(sorted(self.active)):
+            labels[self.members[g]] = rank
+        return labels
+
+
+class Agglomerative(BaseClusterer):
+    """Agglomerative clustering cut at ``n_clusters``.
+
+    Parameters
+    ----------
+    n_clusters : int
+    linkage : {"single", "complete", "average"}
+
+    Attributes
+    ----------
+    labels_ : ndarray of shape (n_samples,)
+    merge_history_ : list of (a, b, distance)
+        The merges performed, in order.
+    """
+
+    def __init__(self, n_clusters=2, linkage="average"):
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self.labels_ = None
+        self.merge_history_ = None
+
+    def fit(self, X):
+        X = check_array(X)
+        n = X.shape[0]
+        k = check_n_clusters(self.n_clusters, n)
+        lm = LinkageMatrix(pairwise_distances(X), linkage=self.linkage)
+        history = []
+        while len(lm.active) > k:
+            pair = lm.closest_pair()
+            if pair is None:
+                break
+            a, b, dist = pair
+            lm.merge(a, b)
+            history.append((a, b, dist))
+        self.labels_ = lm.current_labels(n)
+        self.merge_history_ = history
+        return self

@@ -1,0 +1,151 @@
+"""Lloyd's k-means with k-means++ initialisation and restarts.
+
+The tutorial's running example of traditional single-solution clustering
+(slide 3). Also the substrate inside PROCLUS, Decorrelated k-means'
+ancestry, the orthogonal-projection pipeline, and several benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import BaseClusterer
+from ..exceptions import ValidationError
+from ..utils.linalg import cdist_sq
+from ..utils.validation import (
+    check_array,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["KMeans", "kmeans_plus_plus"]
+
+
+def kmeans_plus_plus(X, n_clusters, rng):
+    """k-means++ seeding: return ``n_clusters`` initial centroids."""
+    n = X.shape[0]
+    centers = np.empty((n_clusters, X.shape[1]))
+    first = rng.integers(n)
+    centers[0] = X[first]
+    closest = cdist_sq(X, centers[:1]).ravel()
+    for c in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centers.
+            idx = rng.integers(n)
+        else:
+            probs = closest / total
+            idx = rng.choice(n, p=probs)
+        centers[c] = X[idx]
+        closest = np.minimum(closest, cdist_sq(X, centers[c:c + 1]).ravel())
+    return centers
+
+
+class KMeans(BaseClusterer):
+    """Standard k-means.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Number of clusters ``k``.
+    n_init : int
+        Independent restarts; the lowest-inertia run wins.
+    max_iter : int
+        Lloyd iterations per restart.
+    tol : float
+        Relative inertia-improvement threshold for convergence.
+    init : {"k-means++", "random"} or ndarray
+        Seeding strategy, or explicit initial centers of shape (k, d).
+    random_state : int, Generator or None
+        Seed for reproducibility.
+
+    Attributes
+    ----------
+    labels_ : ndarray of shape (n_samples,)
+    cluster_centers_ : ndarray of shape (n_clusters, n_features)
+    inertia_ : float
+        Final sum of squared distances to the assigned centers.
+    n_iter_ : int
+        Iterations of the winning restart.
+    """
+
+    def __init__(self, n_clusters=8, n_init=10, max_iter=300, tol=1e-6,
+                 init="k-means++", random_state=None):
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.init = init
+        self.random_state = random_state
+        self.labels_ = None
+        self.cluster_centers_ = None
+        self.inertia_ = None
+        self.n_iter_ = None
+
+    def _initial_centers(self, X, rng):
+        if isinstance(self.init, np.ndarray):
+            centers = np.asarray(self.init, dtype=np.float64)
+            if centers.shape != (self.n_clusters, X.shape[1]):
+                raise ValidationError(
+                    f"explicit init must have shape "
+                    f"({self.n_clusters}, {X.shape[1]}), got {centers.shape}"
+                )
+            return centers.copy()
+        if self.init == "k-means++":
+            return kmeans_plus_plus(X, self.n_clusters, rng)
+        if self.init == "random":
+            idx = rng.choice(X.shape[0], size=self.n_clusters, replace=False)
+            return X[idx].copy()
+        raise ValidationError(f"unknown init {self.init!r}")
+
+    @staticmethod
+    def _lloyd(X, centers, max_iter, tol):
+        prev_inertia = np.inf
+        labels = None
+        n_iter = 0
+        for n_iter in range(1, max_iter + 1):
+            d2 = cdist_sq(X, centers)
+            labels = np.argmin(d2, axis=1)
+            inertia = float(d2[np.arange(X.shape[0]), labels].sum())
+            for c in range(centers.shape[0]):
+                members = labels == c
+                if members.any():
+                    centers[c] = X[members].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    far = int(np.argmax(d2[np.arange(X.shape[0]), labels]))
+                    centers[c] = X[far]
+            if prev_inertia - inertia <= tol * max(prev_inertia, 1e-12):
+                prev_inertia = inertia
+                break
+            prev_inertia = inertia
+        # Final assignment against the updated centers.
+        d2 = cdist_sq(X, centers)
+        labels = np.argmin(d2, axis=1)
+        inertia = float(d2[np.arange(X.shape[0]), labels].sum())
+        return labels, centers, inertia, n_iter
+
+    def fit(self, X):
+        X = check_array(X)
+        k = check_n_clusters(self.n_clusters, X.shape[0])
+        rng = check_random_state(self.random_state)
+        explicit_init = isinstance(self.init, np.ndarray)
+        n_init = 1 if explicit_init else max(1, int(self.n_init))
+        best = None
+        for _ in range(n_init):
+            centers = self._initial_centers(X, rng)
+            labels, centers, inertia, n_iter = self._lloyd(
+                X, centers, self.max_iter, self.tol
+            )
+            if best is None or inertia < best[2]:
+                best = (labels, centers, inertia, n_iter)
+        self.labels_, self.cluster_centers_, self.inertia_, self.n_iter_ = best
+        self.labels_ = self.labels_.astype(np.int64)
+        return self
+
+    def predict(self, X):
+        """Assign new points to the nearest fitted center."""
+        if self.cluster_centers_ is None:
+            raise ValidationError("KMeans is not fitted")
+        X = check_array(X)
+        return np.argmin(cdist_sq(X, self.cluster_centers_), axis=1).astype(np.int64)

@@ -1,0 +1,69 @@
+"""PAM-style k-medoids.
+
+Medoid-based substrate used by PROCLUS (Aggarwal et al. 1999), which
+draws and swaps medoids rather than means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import BaseClusterer
+from ..utils.linalg import pairwise_distances
+from ..utils.validation import check_array, check_n_clusters, check_random_state
+
+__all__ = ["KMedoids"]
+
+
+class KMedoids(BaseClusterer):
+    """Partitioning around medoids (alternating assignment / medoid update).
+
+    Parameters
+    ----------
+    n_clusters : int
+    max_iter : int
+    random_state : int, Generator or None
+
+    Attributes
+    ----------
+    labels_ : ndarray of shape (n_samples,)
+    medoid_indices_ : ndarray of shape (n_clusters,)
+    inertia_ : float
+        Sum of distances of points to their medoid.
+    """
+
+    def __init__(self, n_clusters=8, max_iter=100, random_state=None):
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.random_state = random_state
+        self.labels_ = None
+        self.medoid_indices_ = None
+        self.inertia_ = None
+
+    def fit(self, X):
+        X = check_array(X)
+        n = X.shape[0]
+        k = check_n_clusters(self.n_clusters, n)
+        rng = check_random_state(self.random_state)
+        d = pairwise_distances(X)
+        medoids = rng.choice(n, size=k, replace=False)
+        labels = np.argmin(d[:, medoids], axis=1)
+        for _ in range(self.max_iter):
+            changed = False
+            for c in range(k):
+                members = np.flatnonzero(labels == c)
+                if members.size == 0:
+                    continue
+                sub = d[np.ix_(members, members)]
+                best_local = members[int(np.argmin(sub.sum(axis=1)))]
+                if best_local != medoids[c]:
+                    medoids[c] = best_local
+                    changed = True
+            new_labels = np.argmin(d[:, medoids], axis=1)
+            if not changed and np.array_equal(new_labels, labels):
+                break
+            labels = new_labels
+        self.medoid_indices_ = medoids
+        self.labels_ = labels.astype(np.int64)
+        self.inertia_ = float(d[np.arange(n), medoids[labels]].sum())
+        return self

@@ -1,0 +1,85 @@
+"""Normalised spectral clustering (Ng, Jordan & Weiss 2001).
+
+Substrate of mSC (Niu & Dy 2010, slide 90). The embedding step is
+exposed separately (:func:`spectral_embedding`) because mSC iterates it
+under an HSIC penalty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import BaseClusterer
+from ..exceptions import ValidationError
+from ..utils.linalg import rbf_kernel
+from ..utils.validation import check_array, check_n_clusters, check_random_state
+
+__all__ = ["SpectralClustering", "spectral_embedding", "normalized_laplacian"]
+
+
+def normalized_laplacian(W):
+    """Symmetric normalised Laplacian ``I - D^{-1/2} W D^{-1/2}``."""
+    W = np.asarray(W, dtype=np.float64)
+    n = W.shape[0]
+    if W.shape != (n, n):
+        raise ValidationError("affinity matrix must be square")
+    deg = W.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+    return np.eye(n) - (inv_sqrt[:, None] * W) * inv_sqrt[None, :]
+
+
+def spectral_embedding(W, n_components):
+    """Row-normalised eigenvector embedding of the normalised Laplacian.
+
+    Returns an (n, n_components) matrix whose rows are the NJW embedding.
+    """
+    L = normalized_laplacian(W)
+    vals, vecs = np.linalg.eigh(L)
+    order = np.argsort(vals)
+    U = vecs[:, order[:n_components]]
+    norms = np.linalg.norm(U, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return U / norms
+
+
+class SpectralClustering(BaseClusterer):
+    """NJW spectral clustering with an RBF affinity.
+
+    Parameters
+    ----------
+    n_clusters : int
+    gamma : float or None
+        RBF affinity bandwidth; median heuristic when ``None``.
+    random_state : int, Generator or None
+        Seeds the k-means step on the embedding.
+
+    Attributes
+    ----------
+    labels_ : ndarray of shape (n_samples,)
+    embedding_ : ndarray of shape (n_samples, n_clusters)
+    affinity_matrix_ : ndarray
+    """
+
+    def __init__(self, n_clusters=2, gamma=None, random_state=None):
+        self.n_clusters = n_clusters
+        self.gamma = gamma
+        self.random_state = random_state
+        self.labels_ = None
+        self.embedding_ = None
+        self.affinity_matrix_ = None
+
+    def fit(self, X):
+        from .kmeans import KMeans
+
+        X = check_array(X, min_samples=2)
+        k = check_n_clusters(self.n_clusters, X.shape[0])
+        rng = check_random_state(self.random_state)
+        W = rbf_kernel(X, gamma=self.gamma)
+        np.fill_diagonal(W, 0.0)
+        emb = spectral_embedding(W, k)
+        km = KMeans(n_clusters=k, n_init=10,
+                    random_state=rng.integers(2**31 - 1))
+        self.labels_ = km.fit(emb).labels_
+        self.embedding_ = emb
+        self.affinity_matrix_ = W
+        return self

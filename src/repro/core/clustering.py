@@ -1,0 +1,117 @@
+"""Flat clustering containers.
+
+The tutorial (slide 23) distinguishes a **cluster** (a set of similar
+objects) from a **clustering** (a set of clusters). :class:`Clustering`
+wraps an integer label vector — the representation every full-space
+algorithm in this library produces — and offers set-level views of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..utils.validation import check_labels
+
+__all__ = ["Clustering", "cross_tabulate"]
+
+
+class Clustering:
+    """An immutable flat partition of ``n`` objects, with optional noise.
+
+    Parameters
+    ----------
+    labels : array-like of int, shape (n_samples,)
+        Cluster label per object; ``-1`` marks noise.
+    name : str, optional
+        Human-readable tag (used by the experiment harness).
+
+    Notes
+    -----
+    Cluster ids are exposed in sorted order; noise is never a cluster.
+    """
+
+    def __init__(self, labels, name=None):
+        self._labels = check_labels(labels)
+        self._labels.flags.writeable = False
+        self.name = name
+
+    @property
+    def labels(self):
+        """The label vector (read-only array)."""
+        return self._labels
+
+    @property
+    def n_objects(self):
+        """Number of objects, including noise."""
+        return int(self._labels.shape[0])
+
+    @property
+    def cluster_ids(self):
+        """Sorted array of cluster ids (noise excluded)."""
+        ids = np.unique(self._labels)
+        return ids[ids != -1]
+
+    @property
+    def n_clusters(self):
+        """Number of clusters (noise excluded)."""
+        return int(self.cluster_ids.size)
+
+    @property
+    def noise_indices(self):
+        """Indices of noise objects."""
+        return np.flatnonzero(self._labels == -1)
+
+    def members(self, cluster_id):
+        """Indices of the objects in ``cluster_id``."""
+        idx = np.flatnonzero(self._labels == cluster_id)
+        if idx.size == 0:
+            raise ValidationError(f"cluster {cluster_id} does not exist")
+        return idx
+
+    def clusters(self):
+        """List of member-index arrays, one per cluster (sorted by id)."""
+        return [self.members(cid) for cid in self.cluster_ids]
+
+    def sizes(self):
+        """Cluster sizes aligned with :attr:`cluster_ids`."""
+        return np.array([np.sum(self._labels == cid) for cid in self.cluster_ids])
+
+    def restrict(self, indices):
+        """Clustering induced on a subset of objects (labels re-used as-is)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Clustering(self._labels[indices], name=self.name)
+
+    def relabeled(self):
+        """Copy with cluster ids remapped to ``0..k-1`` (noise preserved)."""
+        out = np.full(self.n_objects, -1, dtype=np.int64)
+        for new_id, cid in enumerate(self.cluster_ids):
+            out[self._labels == cid] = new_id
+        return Clustering(out, name=self.name)
+
+    def __len__(self):
+        return self.n_clusters
+
+    def __eq__(self, other):
+        if not isinstance(other, Clustering):
+            return NotImplemented
+        return np.array_equal(self._labels, other._labels)
+
+    def __hash__(self):
+        return hash(self._labels.tobytes())
+
+    def __repr__(self):
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"Clustering({self.n_clusters} clusters, {self.n_objects} objects,"
+            f" {self.noise_indices.size} noise{tag})"
+        )
+
+
+def cross_tabulate(a, b):
+    """Contingency table between two :class:`Clustering` (or label vectors)."""
+    from ..metrics.contingency import contingency_matrix
+
+    la = a.labels if isinstance(a, Clustering) else a
+    lb = b.labels if isinstance(b, Clustering) else b
+    return contingency_matrix(la, lb)

@@ -1,0 +1,95 @@
+"""The abstract problem of slide 27, made executable.
+
+    Detect clusterings Clust_1 ... Clust_m such that
+        Q(Clust_i)             is high for all i, and
+        Diss(Clust_i, Clust_j) is high for all i != j.
+
+:class:`MultipleClusteringObjective` bundles a concrete ``Q`` and ``Diss``
+and scores a set of clusterings; it is used by the benchmark harness to
+compare iterative vs. simultaneous methods on equal footing (experiment
+F3) and by greedy searchers (meta clustering selection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .clustering import Clustering
+from ..exceptions import ValidationError
+from ..metrics.clusterings import ari_dissimilarity
+from ..metrics.internal import compactness, silhouette_score
+
+__all__ = [
+    "quality_compactness",
+    "quality_silhouette",
+    "MultipleClusteringObjective",
+]
+
+
+def quality_compactness(X, labels):
+    """Negative SSE quality (k-means' objective; slide 28)."""
+    return compactness(X, labels)
+
+
+def quality_silhouette(X, labels):
+    """Silhouette quality in ``[-1, 1]``."""
+    return silhouette_score(X, labels)
+
+
+def _as_labels(clustering):
+    if isinstance(clustering, Clustering):
+        return np.asarray(clustering.labels)
+    return np.asarray(clustering)
+
+
+class MultipleClusteringObjective:
+    """Combined objective ``sum_i Q(C_i) + lam * sum_{i<j} Diss(C_i, C_j)``.
+
+    Parameters
+    ----------
+    quality : callable ``(X, labels) -> float``
+        Higher is better. Defaults to silhouette (scale-free, so it can be
+        combined with dissimilarity without tuning).
+    dissimilarity : callable ``(labels_a, labels_b) -> float``
+        Higher means more different. Defaults to ``1 - ARI``.
+    lam : float
+        Trade-off weight on the dissimilarity term.
+    """
+
+    def __init__(self, quality=quality_silhouette,
+                 dissimilarity=ari_dissimilarity, lam=1.0):
+        self.quality = quality
+        self.dissimilarity = dissimilarity
+        self.lam = float(lam)
+
+    def quality_sum(self, X, clusterings):
+        labelings = [_as_labels(c) for c in clusterings]
+        if not labelings:
+            raise ValidationError("need at least one clustering")
+        return float(sum(self.quality(X, lab) for lab in labelings))
+
+    def dissimilarity_sum(self, clusterings):
+        labelings = [_as_labels(c) for c in clusterings]
+        m = len(labelings)
+        total = 0.0
+        for i in range(m):
+            for j in range(i + 1, m):
+                total += self.dissimilarity(labelings[i], labelings[j])
+        return float(total)
+
+    def score(self, X, clusterings):
+        """The combined objective value (higher is better)."""
+        return self.quality_sum(X, clusterings) + self.lam * self.dissimilarity_sum(
+            clusterings
+        )
+
+    def breakdown(self, X, clusterings):
+        """Dict with per-term values, for reporting."""
+        q = self.quality_sum(X, clusterings)
+        d = self.dissimilarity_sum(clusterings)
+        return {
+            "quality_sum": q,
+            "dissimilarity_sum": d,
+            "score": q + self.lam * d,
+            "n_clusterings": len(list(clusterings)),
+        }

@@ -1,0 +1,104 @@
+"""Generic iterative multiple-clustering driver (slides 48/56).
+
+The transformation paradigm iterates::
+
+    DB_1 --cluster--> Clust_1 --learn transform--> DB_2 --cluster--> Clust_2 ...
+
+Any clusterer can be plugged in because dissimilarity is ensured by the
+space transformation, not by the cluster definition. This module provides
+that loop once, so Davidson & Qi / Qi & Davidson / Cui et al. (and any
+user-supplied transformer) share it.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .base import MultiClusteringEstimator
+from ..exceptions import ValidationError
+from ..metrics.partition import adjusted_rand_index
+from ..utils.validation import check_array
+
+__all__ = ["IterativeAlternativePipeline"]
+
+
+class IterativeAlternativePipeline(MultiClusteringEstimator):
+    """Chain a clusterer with a clustering-driven space transformer.
+
+    Parameters
+    ----------
+    clusterer : BaseClusterer
+        Cloned (via ``get_params``) for each round.
+    transformer : object
+        Must implement ``fit(X, labels) -> self`` and ``transform(X)``;
+        it is (re-)fitted on each round's data and labels and produces the
+        next round's data. Transformers may expose ``should_stop_``
+        (bool) after ``fit`` to end the chain early (e.g. Cui et al. stop
+        when the residual space is exhausted).
+    n_solutions : int
+        Maximum number of clusterings to produce (>= 1).
+    min_dissimilarity : float
+        If the new clustering's ``1 - ARI`` against *every* previous one
+        falls below this, the chain stops (guards against the
+        "very similar clusterings in subsequent iterations" failure mode
+        of slide 62). Set to 0 to disable.
+
+    Attributes
+    ----------
+    labelings_ : list of ndarray
+        One label vector per produced clustering.
+    transforms_ : list
+        The fitted transformer of each round (``None`` for the first).
+    stopped_reason_ : str
+        Why the chain ended: "n_solutions", "transformer", "redundant".
+    """
+
+    def __init__(self, clusterer, transformer, n_solutions=2,
+                 min_dissimilarity=0.05):
+        if n_solutions < 1:
+            raise ValidationError("n_solutions must be >= 1")
+        self.clusterer = clusterer
+        self.transformer = transformer
+        self.n_solutions = int(n_solutions)
+        self.min_dissimilarity = float(min_dissimilarity)
+        self.labelings_ = None
+        self.transforms_ = None
+        self.stopped_reason_ = None
+
+    def _clone_clusterer(self):
+        return type(self.clusterer)(**self.clusterer.get_params())
+
+    def _clone_transformer(self):
+        return copy.deepcopy(self.transformer)
+
+    def fit(self, X):
+        X = check_array(X, min_samples=2)
+        data = X
+        labelings = []
+        transforms = []
+        reason = "n_solutions"
+        for _ in range(self.n_solutions):
+            labels = self._clone_clusterer().fit(data).labels_
+            labels = np.asarray(labels)
+            if labelings and self.min_dissimilarity > 0:
+                sims = [adjusted_rand_index(labels, prev) for prev in labelings]
+                if max(sims) > 1.0 - self.min_dissimilarity:
+                    reason = "redundant"
+                    break
+            labelings.append(labels)
+            if len(labelings) == self.n_solutions:
+                break
+            transformer = self._clone_transformer()
+            transformer.fit(data, labels)
+            if getattr(transformer, "should_stop_", False):
+                transforms.append(transformer)
+                reason = "transformer"
+                break
+            transforms.append(transformer)
+            data = transformer.transform(data)
+        self.labelings_ = labelings
+        self.transforms_ = [None] + transforms
+        self.stopped_reason_ = reason
+        return self

@@ -1,0 +1,176 @@
+"""Subspace clustering containers.
+
+Slide 65 of the tutorial defines the abstract subspace-clustering model:
+a cluster is a pair ``C = (O, S)`` with objects ``O ⊆ DB`` and relevant
+dimensions ``S ⊆ DIM``, and a result is a selection
+``M = {(O_1, S_1), ..., (O_n, S_n)} ⊆ ALL``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["SubspaceCluster", "SubspaceClustering"]
+
+
+class SubspaceCluster:
+    """An immutable subspace cluster ``(O, S)``.
+
+    Parameters
+    ----------
+    objects : iterable of int
+        Object indices ``O``.
+    dims : iterable of int
+        Relevant dimension indices ``S``.
+    quality : float, optional
+        Algorithm-specific interestingness/quality score.
+    """
+
+    __slots__ = ("objects", "dims", "quality")
+
+    def __init__(self, objects, dims, quality=None):
+        objects = frozenset(int(o) for o in objects)
+        dims = frozenset(int(d) for d in dims)
+        if not objects:
+            raise ValidationError("a subspace cluster needs at least one object")
+        if not dims:
+            raise ValidationError("a subspace cluster needs at least one dimension")
+        if min(objects) < 0 or min(dims) < 0:
+            raise ValidationError("object/dimension indices must be non-negative")
+        object.__setattr__(self, "objects", objects)
+        object.__setattr__(self, "dims", dims)
+        object.__setattr__(self, "quality", None if quality is None else float(quality))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SubspaceCluster is immutable")
+
+    @property
+    def n_objects(self):
+        """|O|."""
+        return len(self.objects)
+
+    @property
+    def dimensionality(self):
+        """|S|."""
+        return len(self.dims)
+
+    @property
+    def size(self):
+        """Micro-cell count |O| * |S| (used by RNIA/CE)."""
+        return len(self.objects) * len(self.dims)
+
+    def object_array(self):
+        """Sorted object indices as an int array."""
+        return np.fromiter(sorted(self.objects), dtype=np.int64)
+
+    def dim_tuple(self):
+        """Sorted dimension indices as a tuple."""
+        return tuple(sorted(self.dims))
+
+    def overlap_objects(self, other):
+        """|O ∩ O'| with another cluster."""
+        return len(self.objects & other.objects)
+
+    def shares_subspace(self, other, beta):
+        """Whether ``other``'s subspace is covered by this cluster's subspace.
+
+        Implements ``coveredSubspaces_β`` from OSCLU (slide 82):
+        ``T`` is covered by ``S`` iff ``|T ∩ S| >= β · |T|``.
+        """
+        T, S = other.dims, self.dims
+        return len(T & S) >= beta * len(T)
+
+    def __eq__(self, other):
+        if not isinstance(other, SubspaceCluster):
+            return NotImplemented
+        return self.objects == other.objects and self.dims == other.dims
+
+    def __hash__(self):
+        return hash((self.objects, self.dims))
+
+    def __repr__(self):
+        q = "" if self.quality is None else f", quality={self.quality:.3g}"
+        return (
+            f"SubspaceCluster(|O|={self.n_objects}, S={self.dim_tuple()}{q})"
+        )
+
+
+class SubspaceClustering:
+    """An ordered collection ``M`` of :class:`SubspaceCluster`.
+
+    Duplicates (same objects *and* dims) are removed, preserving first
+    occurrence.
+    """
+
+    def __init__(self, clusters=(), name=None):
+        seen = set()
+        uniq = []
+        for c in clusters:
+            if not isinstance(c, SubspaceCluster):
+                c = SubspaceCluster(*c)
+            if c not in seen:
+                seen.add(c)
+                uniq.append(c)
+        self._clusters = tuple(uniq)
+        self.name = name
+
+    @property
+    def clusters(self):
+        return self._clusters
+
+    def __len__(self):
+        return len(self._clusters)
+
+    def __iter__(self):
+        return iter(self._clusters)
+
+    def __getitem__(self, i):
+        return self._clusters[i]
+
+    def subspaces(self):
+        """The distinct subspaces appearing in the result (sorted tuples)."""
+        return sorted({c.dim_tuple() for c in self._clusters})
+
+    def covered_objects(self):
+        """Union of all object sets."""
+        out = set()
+        for c in self._clusters:
+            out |= c.objects
+        return out
+
+    def group_by_subspace(self):
+        """Dict subspace-tuple -> list of clusters in that exact subspace."""
+        groups = {}
+        for c in self._clusters:
+            groups.setdefault(c.dim_tuple(), []).append(c)
+        return groups
+
+    def to_labelings(self, n_objects):
+        """One label vector per distinct subspace (clusters in a subspace
+        become labels; uncovered objects are noise).
+
+        Overlapping clusters within one subspace are resolved by first-come
+        priority — use only for reporting, not as a lossless conversion.
+        """
+        out = {}
+        for subspace, clusters in self.group_by_subspace().items():
+            labels = np.full(n_objects, -1, dtype=np.int64)
+            for cid, c in enumerate(clusters):
+                idx = c.object_array()
+                unassigned = labels[idx] == -1
+                labels[idx[unassigned]] = cid
+            out[subspace] = labels
+        return out
+
+    def total_micro_cells(self):
+        """Sum of |O|*|S| over the result — the redundancy currency."""
+        return sum(c.size for c in self._clusters)
+
+    def __repr__(self):
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"SubspaceClustering({len(self._clusters)} clusters in "
+            f"{len(self.subspaces())} subspaces{tag})"
+        )

@@ -1,0 +1,45 @@
+"""Datasets: synthetic generators with planted multiple ground truths,
+deterministic UCI-like stand-ins, and view-construction utilities."""
+
+from .benchmark import BenchmarkScenario, benchmark_suite
+from .loaders import (
+    load_customer_segments,
+    load_document_topics,
+    load_gene_expression_like,
+    load_iris_like,
+    load_wine_like,
+)
+from .synthetic import (
+    make_blobs,
+    make_four_squares,
+    make_multiple_truths,
+    make_subspace_data,
+    make_two_view_sources,
+    make_uniform,
+)
+from .views import (
+    extract_views,
+    random_feature_partition,
+    random_projection,
+    split_features,
+)
+
+__all__ = [
+    "BenchmarkScenario",
+    "benchmark_suite",
+    "load_customer_segments",
+    "load_document_topics",
+    "load_gene_expression_like",
+    "load_iris_like",
+    "load_wine_like",
+    "make_blobs",
+    "make_four_squares",
+    "make_multiple_truths",
+    "make_subspace_data",
+    "make_two_view_sources",
+    "make_uniform",
+    "extract_views",
+    "random_feature_partition",
+    "random_projection",
+    "split_features",
+]

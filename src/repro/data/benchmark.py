@@ -1,0 +1,101 @@
+"""The multiclust benchmark suite.
+
+Slide 123 lists "common benchmark data and evaluation framework" as an
+open challenge of the field. This module provides one: a fixed set of
+named scenarios, each a data matrix plus the *complete* list of planted
+ground-truth clusterings, consumed uniformly by
+:class:`repro.metrics.MultipleClusteringReport` and the cross-paradigm
+experiment (B1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .loaders import load_customer_segments, load_document_topics
+from .synthetic import make_four_squares, make_multiple_truths
+from ..exceptions import ValidationError
+
+__all__ = ["BenchmarkScenario", "benchmark_suite"]
+
+
+class BenchmarkScenario:
+    """One benchmark case: data + all planted truths + metadata.
+
+    Attributes
+    ----------
+    name : str
+    X : ndarray (n, d)
+    truths : list of ndarray — every planted clustering.
+    n_clusters : int — cluster count shared by the truths.
+    description : str
+    """
+
+    def __init__(self, name, X, truths, n_clusters, description):
+        self.name = name
+        self.X = np.asarray(X, dtype=np.float64)
+        self.truths = [np.asarray(t) for t in truths]
+        if not self.truths:
+            raise ValidationError("a scenario needs at least one truth")
+        for t in self.truths:
+            if t.shape != (self.X.shape[0],):
+                raise ValidationError("truth/data size mismatch")
+        self.n_clusters = int(n_clusters)
+        self.description = description
+
+    @property
+    def n_truths(self):
+        return len(self.truths)
+
+    def __repr__(self):
+        return (f"BenchmarkScenario({self.name!r}, n={self.X.shape[0]}, "
+                f"d={self.X.shape[1]}, truths={self.n_truths})")
+
+
+def benchmark_suite(random_state=0):
+    """The standard scenario collection (fixed seeds, deterministic).
+
+    Returns an ordered dict-like mapping name -> BenchmarkScenario:
+
+    * ``toy2``       — the slide-26 four-square toy, 2 truths, 2-d;
+    * ``views2``     — two 3-cluster views in disjoint feature groups;
+    * ``views3``     — three dominance-ordered 2-cluster views + noise;
+    * ``documents``  — known + novel topic labelings on count data;
+    * ``customers``  — professional + leisure segmentations.
+    """
+    out = {}
+    X, lh, lv = make_four_squares(n_samples=200, separation=4.0,
+                                  cluster_std=0.5,
+                                  random_state=random_state)
+    out["toy2"] = BenchmarkScenario(
+        "toy2", X, [lh, lv], 2,
+        "four blobs on a square: two equally good 2-partitions",
+    )
+    X, truths, _ = make_multiple_truths(
+        n_samples=240, n_views=2, clusters_per_view=3, features_per_view=3,
+        cluster_std=0.5, center_spread=4.0, random_state=random_state + 1)
+    out["views2"] = BenchmarkScenario(
+        "views2", X, truths, 3,
+        "two independent 3-cluster views in disjoint feature groups",
+    )
+    X, truths, _ = make_multiple_truths(
+        n_samples=240, n_views=3, clusters_per_view=2, features_per_view=3,
+        cluster_std=0.4, center_spread=(8.0, 5.5, 3.0), noise_features=2,
+        random_state=random_state + 2)
+    out["views3"] = BenchmarkScenario(
+        "views3", X, truths, 2,
+        "three dominance-ordered 2-cluster views plus noise columns",
+    )
+    X, known, novel = load_document_topics(
+        n_documents=180, vocab_size=24, random_state=random_state + 3)
+    out["documents"] = BenchmarkScenario(
+        "documents", X, [known, novel], 3,
+        "count data: known topics + an independent novel topic structure",
+    )
+    X, prof, leis, _ = load_customer_segments(
+        n_customers=240, random_state=random_state + 4)
+    out["customers"] = BenchmarkScenario(
+        "customers", X, [prof, leis], 3,
+        "customer table: professional and leisure segmentations",
+    )
+    return out

@@ -1,0 +1,125 @@
+"""Deterministic stand-ins for the real datasets of the cited papers.
+
+**Substitution note (see DESIGN.md §1).** The surveyed papers evaluate on
+UCI data (iris, wine, pendigits, vowel) and domain corpora (gene
+expression, text). This offline environment has no network access, so
+each loader synthesises a dataset with the same *shape of structure* the
+papers rely on — fixed seed, documented geometry — which is sufficient
+(and, for multiple-clustering claims, stronger) because the alternative
+ground truths are planted explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import make_multiple_truths
+from ..utils.validation import check_random_state
+
+__all__ = [
+    "load_iris_like",
+    "load_wine_like",
+    "load_gene_expression_like",
+    "load_customer_segments",
+    "load_document_topics",
+]
+
+
+def load_iris_like(random_state=0):
+    """150 x 4 data with 3 classes, two of which overlap (iris geometry).
+
+    Returns ``(X, labels)``.
+    """
+    rng = check_random_state(random_state)
+    centers = np.array([
+        [5.0, 3.4, 1.5, 0.3],   # well separated (setosa role)
+        [5.9, 2.8, 4.3, 1.3],   # overlapping pair (versicolor role)
+        [6.6, 3.0, 5.5, 2.0],   # overlapping pair (virginica role)
+    ])
+    stds = np.array([0.35, 0.45, 0.45])
+    X = np.empty((150, 4))
+    labels = np.repeat(np.arange(3), 50)
+    for j in range(3):
+        X[labels == j] = centers[j] + stds[j] * rng.standard_normal((50, 4))
+    perm = rng.permutation(150)
+    return X[perm], labels[perm].astype(np.int64)
+
+
+def load_wine_like(random_state=1):
+    """178 x 13 data with 3 classes of unequal size (wine geometry)."""
+    rng = check_random_state(random_state)
+    sizes = (59, 71, 48)
+    centers = rng.uniform(-3.0, 3.0, size=(3, 13))
+    X_parts, labels_parts = [], []
+    for j, size in enumerate(sizes):
+        X_parts.append(centers[j] + 0.8 * rng.standard_normal((size, 13)))
+        labels_parts.append(np.full(size, j, dtype=np.int64))
+    X = np.vstack(X_parts)
+    labels = np.concatenate(labels_parts)
+    perm = rng.permutation(X.shape[0])
+    return X[perm], labels[perm]
+
+
+def load_gene_expression_like(n_genes=240, n_conditions=12, random_state=2):
+    """Gene-expression-style matrix where genes have *two* functional roles.
+
+    Conditions split into two regimes (e.g. stress vs. development); each
+    gene belongs to one pathway-cluster per regime, independently — the
+    "one gene, several functions" motivation of slide 5.
+
+    Returns ``(X, truth_regime1, truth_regime2)``.
+    """
+    half = n_conditions // 2
+    X, truths, _ = make_multiple_truths(
+        n_samples=n_genes, n_views=2, clusters_per_view=3,
+        features_per_view=half, cluster_std=0.4,
+        center_spread=(5.0, 3.5),   # stress regime dominates development
+        random_state=random_state,
+    )
+    return X, truths[0], truths[1]
+
+
+def load_customer_segments(n_customers=300, random_state=3):
+    """Customer profiles with a professional view and a leisure view.
+
+    Columns 0-2 (working hours, income, education score) cluster by
+    profession; columns 3-5 (sport, music, cinema scores) cluster by
+    leisure type — the slides 10/16 example.
+
+    Returns ``(X, truth_professional, truth_leisure, view_features)``.
+    """
+    X, truths, views = make_multiple_truths(
+        n_samples=n_customers, n_views=2, clusters_per_view=3,
+        features_per_view=3, cluster_std=0.5, center_spread=4.0,
+        random_state=random_state,
+    )
+    return X, truths[0], truths[1], views
+
+
+def load_document_topics(n_documents=240, vocab_size=30, random_state=4):
+    """Bag-of-words-ish documents with a *known* topic split and a hidden
+    alternative split (the slide-7 text scenario).
+
+    The known grouping follows word block A (e.g. DB/DM/ML vocabulary);
+    the novel grouping follows word block B (e.g. application domains).
+
+    Returns ``(X, known_topics, novel_topics)``.
+    """
+    rng = check_random_state(random_state)
+    half = vocab_size // 2
+    known = rng.integers(3, size=n_documents)
+    novel = rng.integers(3, size=n_documents)
+
+    def topic_rates(n_words):
+        # Each word belongs to one topic: high rate under it, low else.
+        owner = rng.integers(3, size=n_words)
+        rates = np.full((3, n_words), 0.3)
+        rates[owner, np.arange(n_words)] = 6.0
+        return rates
+
+    rates_known = topic_rates(half)
+    rates_novel = topic_rates(vocab_size - half)
+    X = np.empty((n_documents, vocab_size))
+    X[:, :half] = rng.poisson(rates_known[known]).astype(np.float64)
+    X[:, half:] = rng.poisson(rates_novel[novel]).astype(np.float64)
+    return X, known.astype(np.int64), novel.astype(np.int64)

@@ -1,0 +1,299 @@
+"""Synthetic workload generators with *known multiple ground truths*.
+
+Every experiment in EXPERIMENTS.md runs on data produced here. Unlike
+UCI benchmarks, these generators plant the alternative structure by
+construction, so "did the method find the other view?" is decidable.
+
+Key generators
+--------------
+* :func:`make_blobs` — isotropic Gaussian clusters (generic substrate);
+* :func:`make_four_squares` — the slide-26 toy: four blobs on the corners
+  of a square, so both the horizontal and the vertical 2-partition are
+  meaningful;
+* :func:`make_multiple_truths` — concatenates feature groups, each group
+  clustered by its own independent labeling (slides 10/16: views hidden
+  in one wide table);
+* :func:`make_subspace_data` — clusters planted in chosen subspaces, all
+  other coordinates uniform noise (slides 64-67);
+* :func:`make_uniform` — the null model (used by ENCLUS/SCHISM and the
+  distance-concentration experiment);
+* :func:`make_two_view_sources` — two conditionally independent
+  representations of the same objects (slides 94-101, co-EM's
+  assumption), with optional sparsity or unreliable-view corruption for
+  the multi-view DBSCAN experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.subspace import SubspaceCluster
+from ..exceptions import ValidationError
+from ..utils.validation import check_random_state
+
+__all__ = [
+    "make_blobs",
+    "make_four_squares",
+    "make_multiple_truths",
+    "make_subspace_data",
+    "make_uniform",
+    "make_two_view_sources",
+]
+
+
+def make_blobs(n_samples=200, centers=3, n_features=2, cluster_std=1.0,
+               center_box=(-10.0, 10.0), random_state=None):
+    """Isotropic Gaussian blobs.
+
+    Parameters
+    ----------
+    centers : int or array of shape (k, n_features)
+        Number of random centers, or explicit center coordinates.
+
+    Returns
+    -------
+    X : ndarray (n_samples, n_features)
+    labels : ndarray (n_samples,)
+    """
+    rng = check_random_state(random_state)
+    if np.isscalar(centers):
+        k = int(centers)
+        centers = rng.uniform(center_box[0], center_box[1], size=(k, n_features))
+    else:
+        centers = np.asarray(centers, dtype=np.float64)
+        k, n_features = centers.shape
+    if k < 1:
+        raise ValidationError("need at least one center")
+    counts = np.full(k, n_samples // k)
+    counts[: n_samples % k] += 1
+    X = np.empty((n_samples, n_features))
+    labels = np.empty(n_samples, dtype=np.int64)
+    pos = 0
+    stds = np.broadcast_to(np.asarray(cluster_std, dtype=np.float64), (k,))
+    for j in range(k):
+        X[pos:pos + counts[j]] = centers[j] + stds[j] * rng.standard_normal(
+            (counts[j], n_features)
+        )
+        labels[pos:pos + counts[j]] = j
+        pos += counts[j]
+    perm = rng.permutation(n_samples)
+    return X[perm], labels[perm]
+
+
+def make_four_squares(n_samples=200, separation=4.0, cluster_std=0.5,
+                      random_state=None):
+    """The slide-26 toy: 4 blobs on square corners, two valid 2-partitions.
+
+    ``separation`` may be a scalar (symmetric square — both 2-partitions
+    equally good) or a pair ``(sep_x, sep_y)``; with ``sep_x > sep_y``
+    the left/right split is the *better* clustering and the top/bottom
+    split the genuine-but-weaker alternative, which makes trade-off
+    sweeps (COALA's ``w``) visible.
+
+    Returns
+    -------
+    X : ndarray (n_samples, 2)
+    labels_h : ndarray — horizontal truth (left vs right, splits on x)
+    labels_v : ndarray — vertical truth (bottom vs top, splits on y)
+    """
+    sep = np.broadcast_to(np.asarray(separation, dtype=np.float64), (2,))
+    half_x, half_y = sep[0] / 2.0, sep[1] / 2.0
+    corners = np.array([
+        [-half_x, -half_y],   # bottom-left
+        [half_x, -half_y],    # bottom-right
+        [-half_x, half_y],    # top-left
+        [half_x, half_y],     # top-right
+    ])
+    X, corner = make_blobs(
+        n_samples=n_samples, centers=corners, cluster_std=cluster_std,
+        random_state=random_state,
+    )
+    labels_h = np.where(np.isin(corner, (1, 3)), 1, 0)  # right half = 1
+    labels_v = np.where(np.isin(corner, (2, 3)), 1, 0)  # top half = 1
+    return X, labels_h.astype(np.int64), labels_v.astype(np.int64)
+
+
+def make_multiple_truths(n_samples=300, n_views=2, clusters_per_view=3,
+                         features_per_view=2, cluster_std=0.6,
+                         center_spread=5.0, noise_features=0,
+                         random_state=None):
+    """One wide table hiding ``n_views`` independent clusterings.
+
+    Each view owns ``features_per_view`` columns whose values are drawn
+    around per-view cluster centers; view labelings are sampled
+    independently, so the views are statistically orthogonal. Optional
+    trailing ``noise_features`` columns are uniform noise.
+
+    ``center_spread`` may be a sequence (one spread per view): decreasing
+    spreads make earlier views *dominant*, the regime in which iterative
+    orthogonal projections peel views off one at a time (slide 57).
+
+    Returns
+    -------
+    X : ndarray (n_samples, n_views*features_per_view + noise_features)
+    truths : list of ndarray — one label vector per view
+    view_features : list of tuple — the column indices owned by each view
+    """
+    rng = check_random_state(random_state)
+    if n_views < 1:
+        raise ValidationError("n_views must be >= 1")
+    spreads = np.broadcast_to(
+        np.asarray(center_spread, dtype=np.float64), (n_views,)
+    )
+    blocks = []
+    truths = []
+    view_features = []
+    col = 0
+    for v in range(n_views):
+        labels = rng.integers(clusters_per_view, size=n_samples)
+        centers = rng.uniform(-spreads[v], spreads[v],
+                              size=(clusters_per_view, features_per_view))
+        block = centers[labels] + cluster_std * rng.standard_normal(
+            (n_samples, features_per_view)
+        )
+        blocks.append(block)
+        truths.append(labels.astype(np.int64))
+        view_features.append(tuple(range(col, col + features_per_view)))
+        col += features_per_view
+    if noise_features:
+        blocks.append(rng.uniform(-float(spreads.max()), float(spreads.max()),
+                                  size=(n_samples, noise_features)))
+    X = np.hstack(blocks)
+    return X, truths, view_features
+
+
+def make_subspace_data(n_samples=300, n_features=8, clusters=None,
+                       cluster_std=0.4, noise_low=0.0, noise_high=10.0,
+                       random_state=None):
+    """Clusters planted in subspaces; all unclaimed cells uniform noise.
+
+    Parameters
+    ----------
+    clusters : list of (n_objects, dims) or None
+        Each entry plants one cluster of ``n_objects`` fresh objects whose
+        coordinates in ``dims`` concentrate around a random center; its
+        remaining coordinates are noise. ``None`` plants three clusters in
+        default subspaces. Object index ranges of distinct clusters are
+        disjoint unless ``n_objects`` overflows ``n_samples`` (then object
+        blocks wrap and overlap, giving multi-role objects).
+
+    Returns
+    -------
+    X : ndarray (n_samples, n_features)
+    hidden : list of SubspaceCluster — the planted ground truth
+    """
+    rng = check_random_state(random_state)
+    if clusters is None:
+        clusters = [
+            (n_samples // 3, (0, 1)),
+            (n_samples // 3, (2, 3)),
+            (n_samples // 3, (4, 5)) if n_features >= 6 else (n_samples // 3, (0, 2)),
+        ]
+    X = rng.uniform(noise_low, noise_high, size=(n_samples, n_features))
+    hidden = []
+    start = 0
+    for n_objects, dims in clusters:
+        dims = tuple(int(d) for d in dims)
+        if any(d < 0 or d >= n_features for d in dims):
+            raise ValidationError(f"cluster dims {dims} out of range")
+        if n_objects < 1 or n_objects > n_samples:
+            raise ValidationError("cluster size out of range")
+        idx = (start + np.arange(n_objects)) % n_samples
+        start = (start + n_objects) % n_samples
+        margin = 3.0 * cluster_std
+        center = rng.uniform(noise_low + margin, noise_high - margin,
+                             size=len(dims))
+        for j, d in enumerate(dims):
+            X[idx, d] = center[j] + cluster_std * rng.standard_normal(n_objects)
+        hidden.append(SubspaceCluster(idx.tolist(), dims))
+    return X, hidden
+
+
+def make_uniform(n_samples=200, n_features=2, low=0.0, high=1.0,
+                 random_state=None):
+    """I.i.d. uniform data — the structureless null model."""
+    rng = check_random_state(random_state)
+    return rng.uniform(low, high, size=(n_samples, n_features))
+
+
+def make_two_view_sources(n_samples=300, n_clusters=3, n_features=(2, 2),
+                          cluster_std=0.6, center_spread=5.0,
+                          min_center_distance=None,
+                          sparse_noise_fraction=0.0,
+                          unreliable_view=None, unreliable_fraction=0.3,
+                          random_state=None):
+    """Two representations of the same objects, conditionally independent
+    given a shared labeling (the co-training assumption, slide 101).
+
+    Parameters
+    ----------
+    n_features : tuple (d1, d2)
+        Dimensionality of each view.
+    min_center_distance : float or None
+        When set, per-view cluster centers are rejection-sampled until
+        all pairwise distances exceed this value (guarantees each view
+        is individually separable).
+    sparse_noise_fraction : float in [0, 1)
+        Per-view fraction of objects whose coordinates in *that view
+        only* are replaced by off-range scatter (a low-density box far
+        outside the cluster region, modelling "no meaningful measurement
+        in this source"). Noise sets are disjoint across views, so every
+        object keeps one reliable view — the sparse setting where the
+        union method of multi-view DBSCAN shines (slide 106).
+    unreliable_view : int or None
+        If 0 or 1, that view has ``unreliable_fraction`` of its points
+        swapped to the *wrong* cluster's center — models unreliable
+        descriptions where the intersection method shines.
+
+    Returns
+    -------
+    (X1, X2) : two ndarrays with n_samples rows each
+    labels : ndarray — the shared consensus ground truth
+    """
+    rng = check_random_state(random_state)
+    labels = rng.integers(n_clusters, size=n_samples).astype(np.int64)
+    views = []
+    # Disjoint noise blocks: every object stays reliable in >= 1 view.
+    noise_blocks = [np.array([], dtype=np.int64)] * len(n_features)
+    if sparse_noise_fraction > 0:
+        perm = rng.permutation(n_samples)
+        per_view = int(round(sparse_noise_fraction * n_samples))
+        per_view = min(per_view, n_samples // len(n_features))
+        noise_blocks = [
+            perm[v * per_view:(v + 1) * per_view]
+            for v in range(len(n_features))
+        ]
+    for v, d in enumerate(n_features):
+        centers = rng.uniform(-center_spread, center_spread, size=(n_clusters, d))
+        if min_center_distance is not None:
+            for _try in range(200):
+                diff = centers[:, None, :] - centers[None, :, :]
+                dist = np.sqrt((diff ** 2).sum(axis=-1))
+                np.fill_diagonal(dist, np.inf)
+                if dist.min() >= min_center_distance:
+                    break
+                centers = rng.uniform(-center_spread, center_spread,
+                                      size=(n_clusters, d))
+            else:
+                raise ValidationError(
+                    "could not place centers min_center_distance apart; "
+                    "increase center_spread or lower the distance"
+                )
+        Xv = centers[labels] + cluster_std * rng.standard_normal((n_samples, d))
+        if unreliable_view == v and unreliable_fraction > 0:
+            n_bad = int(round(unreliable_fraction * n_samples))
+            bad = rng.choice(n_samples, size=n_bad, replace=False)
+            wrong = (labels[bad] + 1 + rng.integers(n_clusters - 1, size=n_bad)) % n_clusters
+            Xv[bad] = centers[wrong] + cluster_std * rng.standard_normal((n_bad, d))
+        noisy = noise_blocks[v]
+        if noisy.size:
+            # Off-range isolated positions: each unmeasured object gets
+            # its own slot on a widely spaced diagonal ladder (spacing
+            # = center_spread per step), so missing measurements neither
+            # cluster with anything nor bridge true clusters.
+            base = 4.0 * center_spread
+            steps = base + center_spread * np.arange(1, noisy.size + 1)
+            jitter = 0.05 * center_spread * rng.standard_normal((noisy.size, d))
+            Xv[noisy] = steps[:, None] + jitter
+        views.append(Xv)
+    return (views[0], views[1]), labels

@@ -1,0 +1,83 @@
+"""View-construction utilities: feature splits and random projections.
+
+Used by the consensus-on-projections paradigm (slides 108-110) and the
+multi-source experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..utils.validation import check_array, check_random_state
+
+__all__ = [
+    "split_features",
+    "random_feature_partition",
+    "random_projection",
+    "extract_views",
+]
+
+
+def split_features(X, groups):
+    """Slice ``X`` column-wise into the given index groups.
+
+    Parameters
+    ----------
+    groups : sequence of sequences of int
+
+    Returns
+    -------
+    list of ndarray
+    """
+    X = check_array(X)
+    views = []
+    for g in groups:
+        g = list(g)
+        if not g:
+            raise ValidationError("feature groups must be non-empty")
+        views.append(X[:, g])
+    return views
+
+
+def random_feature_partition(n_features, n_views, random_state=None):
+    """Randomly partition ``range(n_features)`` into ``n_views`` groups."""
+    if n_views < 1 or n_views > n_features:
+        raise ValidationError("need 1 <= n_views <= n_features")
+    rng = check_random_state(random_state)
+    perm = rng.permutation(n_features)
+    return [sorted(part.tolist()) for part in np.array_split(perm, n_views)]
+
+
+def random_projection(X, n_components, random_state=None):
+    """Gaussian random projection to ``n_components`` dimensions.
+
+    The view-extraction device of Fern & Brodley (2003): entries are
+    i.i.d. N(0, 1/n_components).
+    """
+    X = check_array(X)
+    d = X.shape[1]
+    if n_components < 1:
+        raise ValidationError("n_components must be >= 1")
+    rng = check_random_state(random_state)
+    R = rng.standard_normal((d, n_components)) / np.sqrt(n_components)
+    return X @ R
+
+
+def extract_views(X, n_views, *, method="feature_split", n_components=None,
+                  random_state=None):
+    """Produce ``n_views`` data views from one matrix.
+
+    ``method`` is ``"feature_split"`` (disjoint random column groups) or
+    ``"random_projection"`` (independent Gaussian projections of
+    ``n_components`` dims each, default ``ceil(d/2)``).
+    """
+    X = check_array(X)
+    rng = check_random_state(random_state)
+    if method == "feature_split":
+        groups = random_feature_partition(X.shape[1], n_views, random_state=rng)
+        return split_features(X, groups)
+    if method == "random_projection":
+        k = n_components or max(1, X.shape[1] // 2)
+        return [random_projection(X, k, random_state=rng) for _ in range(n_views)]
+    raise ValidationError(f"unknown method {method!r}")

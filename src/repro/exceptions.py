@@ -1,0 +1,22 @@
+"""Exception types used across the :mod:`repro` library.
+
+The hierarchy is intentionally shallow: callers that want to catch any
+library error can catch :class:`MultiClustError`; everything else derives
+from it.
+"""
+
+
+class MultiClustError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class NotFittedError(MultiClustError):
+    """Raised when results are requested from an estimator before ``fit``."""
+
+
+class ValidationError(MultiClustError, ValueError):
+    """Raised when user-supplied data or parameters are invalid."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Issued when an iterative optimiser stops before converging."""

@@ -1,0 +1,95 @@
+"""Benchmark harness regenerating the tutorial's tables and figures.
+
+Importing this package imports every algorithm module, so the taxonomy
+registry behind experiment T1 is complete.
+"""
+
+from .. import multiview, originalspace, subspace, transform  # noqa: F401
+from .exp_ablations import (
+    run_a1_osclu_beta,
+    run_a2_deckmeans_restarts,
+    run_a3_grid_resolution,
+    run_a4_miner_scaling,
+    run_a5_adaptive_grid,
+)
+from .exp_core import run_f6_distance_concentration, run_t1_taxonomy
+from .exp_crossparadigm import run_b1_cross_paradigm
+from .exp_multiview import (
+    run_f12_coem,
+    run_f13_mvdbscan,
+    run_f14_consensus,
+    run_f16_msc,
+)
+from .exp_original import (
+    run_f1_toy_alternatives,
+    run_f2_coala_tradeoff,
+    run_f3_simultaneous_vs_iterative,
+    run_f15_meta_clustering,
+)
+from .exp_subspace import (
+    run_f7_clique_pruning,
+    run_f8_schism_threshold,
+    run_f9_redundancy,
+    run_f10_osclu_asclu,
+    run_f11_enclus_entropy,
+)
+from .exp_transform import run_f4_transformation, run_f5_orthogonal_iterations
+from .harness import ResultTable, timed
+from .report import CLAIMS, generate_report
+
+ALL_EXPERIMENTS = {
+    "T1": run_t1_taxonomy,
+    "F1": run_f1_toy_alternatives,
+    "F2": run_f2_coala_tradeoff,
+    "F3": run_f3_simultaneous_vs_iterative,
+    "F4": run_f4_transformation,
+    "F5": run_f5_orthogonal_iterations,
+    "F6": run_f6_distance_concentration,
+    "F7": run_f7_clique_pruning,
+    "F8": run_f8_schism_threshold,
+    "F9": run_f9_redundancy,
+    "F10": run_f10_osclu_asclu,
+    "F11": run_f11_enclus_entropy,
+    "F12": run_f12_coem,
+    "F13": run_f13_mvdbscan,
+    "F14": run_f14_consensus,
+    "F15": run_f15_meta_clustering,
+    "F16": run_f16_msc,
+    "A1": run_a1_osclu_beta,
+    "A2": run_a2_deckmeans_restarts,
+    "A3": run_a3_grid_resolution,
+    "A4": run_a4_miner_scaling,
+    "A5": run_a5_adaptive_grid,
+    "B1": run_b1_cross_paradigm,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "CLAIMS",
+    "generate_report",
+    "ResultTable",
+    "timed",
+    "run_t1_taxonomy",
+    "run_f1_toy_alternatives",
+    "run_f2_coala_tradeoff",
+    "run_f3_simultaneous_vs_iterative",
+    "run_f4_transformation",
+    "run_f5_orthogonal_iterations",
+    "run_f6_distance_concentration",
+    "run_f7_clique_pruning",
+    "run_f8_schism_threshold",
+    "run_f9_redundancy",
+    "run_f10_osclu_asclu",
+    "run_f11_enclus_entropy",
+    "run_f12_coem",
+    "run_f13_mvdbscan",
+    "run_f14_consensus",
+    "run_f15_meta_clustering",
+    "run_f16_msc",
+    "run_a1_osclu_beta",
+    "run_a2_deckmeans_restarts",
+    "run_a3_grid_resolution",
+    "run_a4_miner_scaling",
+    "run_a5_adaptive_grid",
+    "run_b1_cross_paradigm",
+]

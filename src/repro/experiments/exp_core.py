@@ -1,0 +1,62 @@
+"""Experiments T1 (taxonomy table) and F6 (distance concentration)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .harness import ResultTable
+from ..core.taxonomy import all_entries, render_table
+from ..data.synthetic import make_uniform
+from ..utils.linalg import distance_contrast
+
+__all__ = ["run_t1_taxonomy", "run_f6_distance_concentration"]
+
+
+def run_t1_taxonomy():
+    """T1 — regenerate the slide-116 comparison table from the registry.
+
+    Importing :mod:`repro.experiments` pulls in every algorithm module,
+    so the registry is complete by the time this runs.
+    """
+    table = ResultTable(
+        "T1: taxonomy of multiple-clustering approaches (slide 116)",
+        ["algorithm", "reference", "space", "processing", "given_knowledge",
+         "n_clusterings", "view_detection", "flexibility"],
+    )
+    for e in all_entries():
+        table.add(
+            algorithm=e.key,
+            reference=e.reference,
+            space=e.search_space,
+            processing=e.processing,
+            given_knowledge="given clustering" if e.given_knowledge else "no",
+            n_clusterings=e.n_clusterings,
+            view_detection=e.view_detection or "-",
+            flexibility="exchang. def." if e.flexible_definition else "specialized",
+        )
+    return table
+
+
+def run_f6_distance_concentration(dims=(2, 5, 10, 20, 50, 100, 200),
+                                  n_samples=150, random_state=0):
+    """F6 — the Beyer et al. curse-of-dimensionality effect (slide 12).
+
+    Relative contrast ``(dmax - dmin)/dmin`` on i.i.d. uniform data must
+    fall monotonically (in expectation) towards 0 as ``d`` grows.
+    """
+    table = ResultTable(
+        "F6: distance concentration on uniform data (slide 12)",
+        ["n_features", "relative_contrast"],
+    )
+    rng = np.random.default_rng(random_state)
+    for d in dims:
+        X = make_uniform(n_samples=n_samples, n_features=int(d),
+                         random_state=rng)
+        table.add(n_features=int(d),
+                  relative_contrast=float(distance_contrast(X)))
+    return table
+
+
+def taxonomy_text():
+    """The raw slide-116 style table text (convenience for README)."""
+    return render_table()

@@ -1,0 +1,233 @@
+"""Experiments F7-F11 — paradigm 3 (subspace projections)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .harness import ResultTable, timed
+from ..core.subspace import SubspaceClustering
+from ..data.synthetic import make_subspace_data
+from ..metrics.subspace import (
+    clustering_error,
+    pair_f1_subspace,
+    redundancy_ratio,
+    rnia,
+)
+from ..subspace import (
+    ASCLU,
+    CLIQUE,
+    EnclusSubspaceSearch,
+    OSCLU,
+    RESCU,
+    SCHISM,
+    StatPC,
+    SUBCLU,
+    schism_threshold,
+)
+
+__all__ = [
+    "run_f7_clique_pruning",
+    "run_f8_schism_threshold",
+    "run_f9_redundancy",
+    "run_f10_osclu_asclu",
+    "run_f11_enclus_entropy",
+]
+
+
+def _planted(n_samples=240, n_features=8, random_state=3):
+    clusters = [
+        (n_samples // 3, (0, 1)),
+        (n_samples // 3, (2, 3)),
+        (n_samples // 3, (4, 5)),
+    ]
+    return make_subspace_data(
+        n_samples=n_samples, n_features=n_features, clusters=clusters,
+        cluster_std=0.4, random_state=random_state,
+    )
+
+
+def run_f7_clique_pruning(feature_counts=(6, 8, 10, 12), n_samples=240,
+                          random_state=3):
+    """F7 — slides 70-71: monotonicity pruning visits a tiny fraction of
+    the exponential lattice while producing the identical cluster set.
+    """
+    table = ResultTable(
+        "F7: CLIQUE lattice pruning vs exhaustive search (slides 70-71)",
+        ["n_features", "subspaces_total", "visited_pruned",
+         "visited_exhaustive", "clusters_pruned", "clusters_exhaustive",
+         "identical_results"],
+    )
+    for d in feature_counts:
+        X, _ = make_subspace_data(
+            n_samples=n_samples, n_features=int(d),
+            clusters=[(n_samples // 3, (0, 1)), (n_samples // 3, (2, 3))],
+            cluster_std=0.4, random_state=random_state,
+        )
+        pruned = CLIQUE(n_intervals=6, density_threshold=0.08,
+                        prune=True).fit(X)
+        exhaustive = CLIQUE(n_intervals=6, density_threshold=0.08,
+                            prune=False).fit(X)
+        same = set(pruned.clusters_) == set(exhaustive.clusters_)
+        table.add(
+            n_features=int(d),
+            subspaces_total=2 ** int(d) - 1,
+            visited_pruned=pruned.subspaces_visited_,
+            visited_exhaustive=exhaustive.subspaces_visited_,
+            clusters_pruned=len(pruned.clusters_),
+            clusters_exhaustive=len(exhaustive.clusters_),
+            identical_results=bool(same),
+        )
+    return table
+
+
+def run_f8_schism_threshold(n_samples=300, random_state=7):
+    """F8 — slides 72-73: the fixed CLIQUE threshold that suppresses
+    noise in 1-d misses a planted 4-dimensional cluster; SCHISM's
+    decreasing tau(s) keeps it.
+    """
+    n_features = 8
+    X, hidden = make_subspace_data(
+        n_samples=n_samples, n_features=n_features,
+        clusters=[(n_samples // 4, (0, 1, 2, 3))],
+        cluster_std=0.4, random_state=random_state,
+    )
+    xi = 6
+    table = ResultTable(
+        "F8: fixed vs dimensionality-adaptive density threshold (s72-73)",
+        ["quantity", "value"],
+    )
+    for s in (1, 2, 3, 4):
+        table.add(quantity=f"schism tau(s={s})",
+                  value=schism_threshold(s, n_samples, xi, tau=0.01))
+    # Fixed threshold chosen to suppress uniform 1-d cells (> 1/xi).
+    fixed = 1.3 / xi
+    table.add(quantity="clique fixed tau", value=fixed)
+    clique = CLIQUE(n_intervals=xi, density_threshold=fixed).fit(X)
+    schism = SCHISM(n_intervals=xi, tau=0.01).fit(X)
+    def max_dim_found(clusters):
+        return max((c.dimensionality for c in clusters), default=0)
+    table.add(quantity="clique max cluster dimensionality",
+              value=max_dim_found(clique.clusters_))
+    table.add(quantity="schism max cluster dimensionality",
+              value=max_dim_found(schism.clusters_))
+    table.add(quantity="clique F1 vs hidden 4-d cluster",
+              value=pair_f1_subspace(clique.clusters_, hidden))
+    table.add(quantity="schism F1 vs hidden 4-d cluster",
+              value=pair_f1_subspace(schism.clusters_, hidden))
+    # The key recovery question: does any found cluster live in the full
+    # hidden subspace?
+    hidden_subspace = tuple(sorted(hidden[0].dims))
+    table.add(quantity="clique found cluster in hidden subspace",
+              value=hidden_subspace in clique.clusters_.subspaces())
+    table.add(quantity="schism found cluster in hidden subspace",
+              value=hidden_subspace in schism.clusters_.subspaces())
+    return table
+
+
+def run_f9_redundancy(n_samples=240, random_state=3):
+    """F9 — slides 76-79 (and Müller et al. 2009b): raw subspace mining
+    floods the result with redundant projections (high redundancy ratio,
+    low CE); the selection models shrink the result towards the planted
+    count and raise CE.
+    """
+    X, hidden = _planted(n_samples=n_samples, random_state=random_state)
+    table = ResultTable(
+        "F9: redundancy of ALL vs selected subspace clusterings (s76-79)",
+        ["method", "n_clusters", "redundancy_ratio", "rnia", "ce",
+         "object_f1", "seconds"],
+    )
+
+    def report(name, clusters, secs):
+        table.add(method=name, n_clusters=len(clusters),
+                  redundancy_ratio=redundancy_ratio(clusters, hidden),
+                  rnia=rnia(clusters, hidden),
+                  ce=clustering_error(clusters, hidden),
+                  object_f1=pair_f1_subspace(clusters, hidden),
+                  seconds=secs)
+
+    clique, secs = timed(lambda: CLIQUE(
+        n_intervals=8, density_threshold=0.05, max_dim=4).fit(X))
+    report("CLIQUE (ALL)", clique.clusters_, secs)
+    schism, secs = timed(lambda: SCHISM(
+        n_intervals=8, tau=0.01, max_dim=4).fit(X))
+    report("SCHISM (ALL)", schism.clusters_, secs)
+    subclu, secs = timed(lambda: SUBCLU(
+        eps=1.2, min_pts=8, max_dim=3).fit(X))
+    report("SUBCLU (ALL)", subclu.clusters_, secs)
+    from ..subspace import DUSC, FIRES, MAFIA, P3C
+
+    mafia, secs = timed(lambda: MAFIA(alpha=2.5, max_dim=3).fit(X))
+    report("MAFIA (ALL)", mafia.clusters_, secs)
+    dusc, secs = timed(lambda: DUSC(eps=0.8, factor=2.0, max_dim=2).fit(X))
+    report("DUSC (ALL)", dusc.clusters_, secs)
+    fires, secs = timed(lambda: FIRES(
+        eps=0.8, min_pts=8, merge_threshold=0.4).fit(X))
+    report("FIRES (approx)", fires.clusters_, secs)
+    p3c, secs = timed(lambda: P3C(n_bins=10, alpha=1e-3, max_dim=3).fit(X))
+    report("P3C (cores)", p3c.clusters_, secs)
+    statpc, secs = timed(lambda: StatPC().fit(X, candidates=schism.clusters_))
+    report("StatPC (select)", statpc.clusters_, secs)
+    rescu, secs = timed(lambda: RESCU(min_new_fraction=0.5).fit(schism.clusters_))
+    report("RESCU (select)", rescu.clusters_, secs)
+    osclu, secs = timed(lambda: OSCLU(alpha=0.5, beta=0.5).fit(schism.clusters_))
+    report("OSCLU (select)", osclu.clusters_, secs)
+    return table
+
+
+def run_f10_osclu_asclu(n_samples=240, random_state=3):
+    """F10 — slides 80-87: OSCLU keeps one cluster per orthogonal
+    concept; ASCLU, given one concept as Known, returns only the others.
+    """
+    X, hidden = _planted(n_samples=n_samples, random_state=random_state)
+    schism = SCHISM(n_intervals=8, tau=0.01, max_dim=4).fit(X)
+    osclu = OSCLU(alpha=0.5, beta=0.5).fit(schism.clusters_)
+    known = SubspaceClustering([hidden[0]])
+    asclu = ASCLU(alpha=0.5, beta=0.5).fit(schism.clusters_, known)
+    planted_subspaces = sorted(tuple(sorted(h.dims)) for h in hidden)
+    table = ResultTable(
+        "F10: orthogonal concepts and alternatives in subspaces (s80-87)",
+        ["quantity", "value"],
+    )
+    table.add(quantity="planted concepts", value=str(planted_subspaces))
+    table.add(quantity="OSCLU selected subspaces",
+              value=str(osclu.clusters_.subspaces()))
+    table.add(quantity="OSCLU clusters", value=len(osclu.clusters_))
+    table.add(quantity="ASCLU known concept", value=str(known.subspaces()))
+    table.add(quantity="ASCLU selected subspaces",
+              value=str(asclu.clusters_.subspaces()))
+    known_subspace = known.subspaces()[0]
+    reused = known_subspace in asclu.clusters_.subspaces()
+    table.add(quantity="ASCLU reuses known concept", value=bool(reused))
+    return table
+
+
+def run_f11_enclus_entropy(n_samples=240, random_state=3):
+    """F11 — slides 88-89: clustered subspaces score low entropy / high
+    interest; pure-noise subspaces score high entropy / near-zero
+    interest.
+    """
+    X, hidden = _planted(n_samples=n_samples, random_state=random_state)
+    search = EnclusSubspaceSearch(n_intervals=6, omega=10.0, epsilon=0.0,
+                                  max_dim=2).fit(X)
+    table = ResultTable(
+        "F11: ENCLUS subspace entropy and interest (slides 88-89)",
+        ["subspace", "kind", "entropy", "interest"],
+    )
+    planted = [tuple(sorted(h.dims)) for h in hidden]
+    noise = [(6, 7)]
+    mixed = [(0, 2), (1, 4)]
+    for subspace, kind in (
+        [(s, "planted") for s in planted]
+        + [(s, "noise") for s in noise]
+        + [(s, "mixed") for s in mixed]
+    ):
+        table.add(
+            subspace=str(subspace), kind=kind,
+            entropy=float(search.entropies_[subspace]),
+            interest=float(search.interests_.get(subspace, 0.0)),
+        )
+    ranked = search.subspaces_[:3]
+    table.add(subspace=str(sorted(ranked)), kind="top-3 by interest",
+              entropy=0.0,
+              interest=float(np.mean([search.interests_[s] for s in ranked])))
+    return table

@@ -1,0 +1,76 @@
+"""Experiment harness: result tables and rendering.
+
+Every experiment in EXPERIMENTS.md is a ``run_*`` function returning a
+:class:`ResultTable`; the benchmark scripts print the table so the
+tutorial's figures/tables can be regenerated with one command.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..exceptions import ValidationError
+
+__all__ = ["ResultTable", "timed"]
+
+
+class ResultTable:
+    """An ordered list of result rows (dicts) with text rendering.
+
+    Parameters
+    ----------
+    title : str — experiment id + description.
+    columns : sequence of str — column order; rows may omit trailing
+        columns (rendered blank).
+    """
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+
+    def add(self, **row):
+        """Append a row; unknown keys raise to catch typos early."""
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise ValidationError(f"unknown columns {sorted(unknown)}")
+        self.rows.append(row)
+        return self
+
+    def column(self, name):
+        """All values of one column (missing entries omitted)."""
+        if name not in self.columns:
+            raise ValidationError(f"no column {name!r}")
+        return [r[name] for r in self.rows if name in r]
+
+    @staticmethod
+    def _fmt(value):
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    def render(self):
+        """Fixed-width text table."""
+        cells = [
+            [self._fmt(r.get(c, "")) for c in self.columns] for r in self.rows
+        ]
+        widths = [
+            max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        def line(vals):
+            return " | ".join(v.ljust(w) for v, w in zip(vals, widths))
+        out = [f"== {self.title} ==", line(self.columns),
+               "-+-".join("-" * w for w in widths)]
+        out.extend(line(row) for row in cells)
+        return "\n".join(out)
+
+    def __repr__(self):
+        return f"ResultTable({self.title!r}, {len(self.rows)} rows)"
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

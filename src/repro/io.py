@@ -1,0 +1,130 @@
+"""Serialisation: results to/from JSON-compatible dicts and files.
+
+Round-trips the library's three result currencies — label partitions
+(:class:`~repro.core.Clustering`), subspace results
+(:class:`~repro.core.SubspaceClustering`), and experiment
+:class:`~repro.experiments.ResultTable` objects — so pipelines can
+persist intermediate solutions (e.g. mine once, run several selection
+models later).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .core.clustering import Clustering
+from .core.subspace import SubspaceCluster, SubspaceClustering
+from .exceptions import ValidationError
+
+__all__ = [
+    "clustering_to_dict",
+    "clustering_from_dict",
+    "subspace_clustering_to_dict",
+    "subspace_clustering_from_dict",
+    "result_table_to_dict",
+    "save_json",
+    "load_json",
+]
+
+_KIND_CLUSTERING = "repro.Clustering"
+_KIND_SUBSPACE = "repro.SubspaceClustering"
+_KIND_TABLE = "repro.ResultTable"
+
+
+def clustering_to_dict(clustering):
+    """Serialise a :class:`Clustering` (or raw label vector)."""
+    if not isinstance(clustering, Clustering):
+        clustering = Clustering(clustering)
+    return {
+        "kind": _KIND_CLUSTERING,
+        "name": clustering.name,
+        "labels": [int(v) for v in clustering.labels],
+    }
+
+
+def clustering_from_dict(payload):
+    """Inverse of :func:`clustering_to_dict`."""
+    if payload.get("kind") != _KIND_CLUSTERING:
+        raise ValidationError("payload is not a serialised Clustering")
+    return Clustering(np.asarray(payload["labels"], dtype=np.int64),
+                      name=payload.get("name"))
+
+
+def subspace_clustering_to_dict(result):
+    """Serialise a :class:`SubspaceClustering`."""
+    if not isinstance(result, SubspaceClustering):
+        result = SubspaceClustering(result)
+    return {
+        "kind": _KIND_SUBSPACE,
+        "name": result.name,
+        "clusters": [
+            {
+                "objects": sorted(int(o) for o in c.objects),
+                "dims": sorted(int(d) for d in c.dims),
+                "quality": c.quality,
+            }
+            for c in result
+        ],
+    }
+
+
+def subspace_clustering_from_dict(payload):
+    """Inverse of :func:`subspace_clustering_to_dict`."""
+    if payload.get("kind") != _KIND_SUBSPACE:
+        raise ValidationError("payload is not a serialised SubspaceClustering")
+    clusters = [
+        SubspaceCluster(c["objects"], c["dims"], quality=c.get("quality"))
+        for c in payload["clusters"]
+    ]
+    return SubspaceClustering(clusters, name=payload.get("name"))
+
+
+def result_table_to_dict(table):
+    """Serialise a :class:`~repro.experiments.ResultTable` (one-way:
+    tables are reports, not inputs)."""
+    return {
+        "kind": _KIND_TABLE,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [dict(r) for r in table.rows],
+    }
+
+
+def _to_payload(obj):
+    if isinstance(obj, Clustering):
+        return clustering_to_dict(obj)
+    if isinstance(obj, SubspaceClustering):
+        return subspace_clustering_to_dict(obj)
+    # duck-typed ResultTable
+    if hasattr(obj, "title") and hasattr(obj, "columns") and hasattr(obj, "rows"):
+        return result_table_to_dict(obj)
+    if isinstance(obj, np.ndarray):
+        return clustering_to_dict(obj)
+    raise ValidationError(
+        f"don't know how to serialise {type(obj).__name__}; expected "
+        "Clustering, SubspaceClustering, label array, or ResultTable"
+    )
+
+
+def save_json(obj, path):
+    """Write a supported object to ``path`` as JSON; returns the path."""
+    payload = _to_payload(obj)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path
+
+
+def load_json(path):
+    """Load a previously saved object (tables come back as plain dicts)."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    kind = payload.get("kind")
+    if kind == _KIND_CLUSTERING:
+        return clustering_from_dict(payload)
+    if kind == _KIND_SUBSPACE:
+        return subspace_clustering_from_dict(payload)
+    if kind == _KIND_TABLE:
+        return payload
+    raise ValidationError(f"unknown payload kind {kind!r}")

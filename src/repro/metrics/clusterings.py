@@ -1,0 +1,144 @@
+"""Dissimilarity measures *between clusterings* (not between objects).
+
+Slide 13 of the tutorial stresses that multiple-clustering methods need a
+notion of (dis-)similarity between whole clusterings. This module collects
+the measures the surveyed methods use:
+
+* ``1 - ARI`` and ``1 - Rand`` — meta clustering (Caruana et al. 2006);
+* variation of information — an information-theoretic metric;
+* ADCO density-profile dissimilarity (Bae, Bailey & Dong 2010) — compares
+  attribute-wise histogram profiles of the clusters, so two clusterings
+  that group the *same* regions of space count as similar even when label
+  vectors differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .information import variation_of_information
+from .partition import adjusted_rand_index, rand_index
+from ..utils.validation import check_array, check_labels
+from ..exceptions import ValidationError
+
+__all__ = [
+    "ari_dissimilarity",
+    "rand_dissimilarity",
+    "vi_dissimilarity",
+    "density_profile",
+    "adco_similarity",
+    "adco_dissimilarity",
+    "mean_pairwise_dissimilarity",
+]
+
+
+def ari_dissimilarity(labels_a, labels_b):
+    """``1 - ARI``, clipped to ``[0, 2]`` (ARI can be negative)."""
+    return 1.0 - adjusted_rand_index(labels_a, labels_b)
+
+
+def rand_dissimilarity(labels_a, labels_b):
+    """``1 - Rand index`` in ``[0, 1]``."""
+    return 1.0 - rand_index(labels_a, labels_b)
+
+
+def vi_dissimilarity(labels_a, labels_b):
+    """Variation of information (a true metric on partitions)."""
+    return variation_of_information(labels_a, labels_b)
+
+
+def density_profile(X, labels, *, n_bins=5, bin_edges=None):
+    """Per-cluster attribute histograms — the ADCO "density profile".
+
+    Each attribute's range is split into ``n_bins`` equal-width bins
+    (shared across clusterings via ``bin_edges`` for comparability) and
+    each cluster is described by its object counts per (attribute, bin).
+
+    Returns
+    -------
+    profile : numpy.ndarray of shape (n_clusters, n_features * n_bins)
+    bin_edges : numpy.ndarray of shape (n_features, n_bins + 1)
+    """
+    X = check_array(X)
+    labels = check_labels(labels, n_samples=X.shape[0])
+    n, d = X.shape
+    if bin_edges is None:
+        bin_edges = np.stack([
+            np.linspace(X[:, j].min(), X[:, j].max() + 1e-12, n_bins + 1)
+            for j in range(d)
+        ])
+    else:
+        bin_edges = np.asarray(bin_edges, dtype=np.float64)
+        if bin_edges.shape[0] != d:
+            raise ValidationError("bin_edges must have one row per feature")
+        n_bins = bin_edges.shape[1] - 1
+    ids = np.unique(labels)
+    ids = ids[ids != -1]
+    profile = np.zeros((ids.size, d * n_bins))
+    for ci, cid in enumerate(ids):
+        pts = X[labels == cid]
+        for j in range(d):
+            counts, _ = np.histogram(pts[:, j], bins=bin_edges[j])
+            profile[ci, j * n_bins:(j + 1) * n_bins] = counts
+    return profile, bin_edges
+
+
+def adco_similarity(X, labels_a, labels_b, *, n_bins=5):
+    """ADCO similarity between two clusterings of the same data.
+
+    Clusters of ``a`` are greedily matched to clusters of ``b`` by maximal
+    density-profile dot product; the similarity is the normalised sum of
+    matched dot products. 1 means the clusterings occupy the same dense
+    regions; values near 0 mean disjoint density profiles.
+    """
+    prof_a, edges = density_profile(X, labels_a, n_bins=n_bins)
+    prof_b, _ = density_profile(X, labels_b, n_bins=n_bins, bin_edges=edges)
+    if prof_a.size == 0 or prof_b.size == 0:
+        raise ValidationError("both clusterings must contain clusters")
+    dots = prof_a @ prof_b.T
+    sim = _greedy_match_sum(dots)
+    # Normalise by the larger self-similarity so identical clusterings -> 1.
+    self_a = _greedy_match_sum(prof_a @ prof_a.T)
+    self_b = _greedy_match_sum(prof_b @ prof_b.T)
+    denom = max(self_a, self_b)
+    if denom == 0:
+        return 0.0
+    return float(min(1.0, sim / denom))
+
+
+def _greedy_match_sum(score):
+    """Greedy one-to-one matching maximising the summed score."""
+    score = score.astype(np.float64).copy()
+    total = 0.0
+    rounds = min(score.shape)
+    for _ in range(rounds):
+        i, j = np.unravel_index(np.argmax(score), score.shape)
+        if score[i, j] <= -np.inf:
+            break
+        total += score[i, j]
+        score[i, :] = -np.inf
+        score[:, j] = -np.inf
+    return total
+
+
+def adco_dissimilarity(X, labels_a, labels_b, *, n_bins=5):
+    """``1 - ADCO similarity``."""
+    return 1.0 - adco_similarity(X, labels_a, labels_b, n_bins=n_bins)
+
+
+def mean_pairwise_dissimilarity(labelings, diss=ari_dissimilarity):
+    """Mean pairwise dissimilarity of a set of clusterings.
+
+    Realises the tutorial's goal "Diss(Clust_i, Clust_j) high for all
+    i != j" (slide 27) as a single scalar for benchmarking.
+    """
+    labelings = list(labelings)
+    m = len(labelings)
+    if m < 2:
+        return 0.0
+    vals = [
+        diss(labelings[i], labelings[j])
+        for i in range(m)
+        for j in range(i + 1, m)
+    ]
+    return float(np.mean(vals))

@@ -1,0 +1,91 @@
+"""Contingency tables and pair-confusion counts between two labelings.
+
+These are the primitives behind every partition-agreement measure in
+:mod:`repro.metrics.partition` and the information-theoretic measures in
+:mod:`repro.metrics.information`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_labels
+from ..exceptions import ValidationError
+
+__all__ = ["contingency_matrix", "pair_confusion", "relabel_consecutive"]
+
+
+def relabel_consecutive(labels):
+    """Map arbitrary integer labels to ``0..k-1`` preserving noise ``-1``.
+
+    Returns ``(new_labels, classes)`` where ``classes[i]`` is the original
+    label of the class now numbered ``i``.
+    """
+    labels = check_labels(labels)
+    noise = labels == -1
+    classes, inv = np.unique(labels[~noise], return_inverse=True)
+    out = np.full(labels.shape, -1, dtype=np.int64)
+    out[~noise] = inv
+    return out, classes
+
+
+def contingency_matrix(labels_a, labels_b, *, include_noise=False):
+    """Contingency table ``N[i, j] = |cluster_i(a) ∩ cluster_j(b)|``.
+
+    Parameters
+    ----------
+    labels_a, labels_b : array-like of int
+        Two labelings of the same objects. ``-1`` marks noise.
+    include_noise : bool
+        When true, noise is treated as an ordinary class (appended last);
+        otherwise objects that are noise in *either* labeling are dropped.
+
+    Returns
+    -------
+    numpy.ndarray of shape (k_a, k_b)
+    """
+    a = check_labels(labels_a)
+    b = check_labels(labels_b, n_samples=a.shape[0])
+    if include_noise:
+        # Shift noise to a dedicated trailing class per side.
+        a = np.where(a == -1, a.max() + 1 if a.max() >= 0 else 0, a)
+        b = np.where(b == -1, b.max() + 1 if b.max() >= 0 else 0, b)
+    else:
+        keep = (a != -1) & (b != -1)
+        a, b = a[keep], b[keep]
+        if a.size == 0:
+            raise ValidationError(
+                "no objects remain after dropping noise; "
+                "use include_noise=True for all-noise labelings"
+            )
+    _, a = np.unique(a, return_inverse=True)
+    _, b = np.unique(b, return_inverse=True)
+    ka = int(a.max()) + 1
+    kb = int(b.max()) + 1
+    mat = np.zeros((ka, kb), dtype=np.int64)
+    np.add.at(mat, (a, b), 1)
+    return mat
+
+
+def pair_confusion(labels_a, labels_b):
+    """Pair-counting confusion ``(n11, n10, n01, n00)``.
+
+    * ``n11`` — pairs together in both labelings,
+    * ``n10`` — together in ``a`` only,
+    * ``n01`` — together in ``b`` only,
+    * ``n00`` — separated in both.
+
+    Noise objects are dropped (consistent with
+    :func:`contingency_matrix`).
+    """
+    mat = contingency_matrix(labels_a, labels_b)
+    n = mat.sum()
+    sum_sq = float((mat.astype(np.float64) ** 2).sum())
+    row_sq = float((mat.sum(axis=1).astype(np.float64) ** 2).sum())
+    col_sq = float((mat.sum(axis=0).astype(np.float64) ** 2).sum())
+    n11 = 0.5 * (sum_sq - n)
+    n10 = 0.5 * (row_sq - sum_sq)
+    n01 = 0.5 * (col_sq - sum_sq)
+    total_pairs = 0.5 * n * (n - 1)
+    n00 = total_pairs - n11 - n10 - n01
+    return n11, n10, n01, n00

@@ -1,0 +1,136 @@
+"""Internal (ground-truth-free) quality measures for a single clustering.
+
+These instantiate the tutorial's abstract quality function
+``Q : Clusterings → R`` (slide 27) — e.g. k-means' compactness/total
+distance (slide 28).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.linalg import cdist_sq, pairwise_distances
+from ..utils.validation import check_array, check_labels
+from ..exceptions import ValidationError
+
+__all__ = [
+    "sse",
+    "compactness",
+    "silhouette_score",
+    "davies_bouldin",
+    "dunn_index",
+]
+
+
+def _cluster_ids(labels):
+    ids = np.unique(labels)
+    return ids[ids != -1]
+
+
+def sse(X, labels):
+    """Sum of squared distances of each point to its cluster mean.
+
+    Noise points are ignored. Lower is better.
+    """
+    X = check_array(X)
+    labels = check_labels(labels, n_samples=X.shape[0])
+    total = 0.0
+    for cid in _cluster_ids(labels):
+        pts = X[labels == cid]
+        mu = pts.mean(axis=0)
+        total += float(np.sum((pts - mu) ** 2))
+    return total
+
+
+def compactness(X, labels):
+    """Negative SSE — a "higher is better" quality ``Q`` for benchmarking."""
+    return -sse(X, labels)
+
+
+def silhouette_score(X, labels):
+    """Mean silhouette coefficient over non-noise points, in ``[-1, 1]``.
+
+    Requires at least 2 clusters; singleton clusters contribute 0 for their
+    member (standard convention).
+    """
+    X = check_array(X)
+    labels = check_labels(labels, n_samples=X.shape[0])
+    ids = _cluster_ids(labels)
+    if ids.size < 2:
+        raise ValidationError("silhouette requires at least 2 clusters")
+    mask = labels != -1
+    Xc = X[mask]
+    lc = labels[mask]
+    d = np.sqrt(cdist_sq(Xc, Xc))
+    n = Xc.shape[0]
+    sil = np.zeros(n)
+    # Mean distance from each point to each cluster.
+    means = np.zeros((n, ids.size))
+    sizes = np.zeros(ids.size)
+    for j, cid in enumerate(ids):
+        members = lc == cid
+        sizes[j] = members.sum()
+        means[:, j] = d[:, members].sum(axis=1)
+    for i in range(n):
+        own = int(np.where(ids == lc[i])[0][0])
+        if sizes[own] <= 1:
+            sil[i] = 0.0
+            continue
+        a = means[i, own] / (sizes[own] - 1)
+        b = np.inf
+        for j in range(ids.size):
+            if j == own:
+                continue
+            b = min(b, means[i, j] / sizes[j])
+        denom = max(a, b)
+        sil[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(np.mean(sil))
+
+
+def davies_bouldin(X, labels):
+    """Davies-Bouldin index (lower is better)."""
+    X = check_array(X)
+    labels = check_labels(labels, n_samples=X.shape[0])
+    ids = _cluster_ids(labels)
+    if ids.size < 2:
+        raise ValidationError("davies_bouldin requires at least 2 clusters")
+    centroids = np.stack([X[labels == cid].mean(axis=0) for cid in ids])
+    scatters = np.array([
+        float(np.mean(np.linalg.norm(X[labels == cid] - centroids[j], axis=1)))
+        for j, cid in enumerate(ids)
+    ])
+    sep = np.sqrt(cdist_sq(centroids, centroids))
+    k = ids.size
+    worst = np.zeros(k)
+    for i in range(k):
+        ratios = [
+            (scatters[i] + scatters[j]) / sep[i, j]
+            for j in range(k)
+            if j != i and sep[i, j] > 0
+        ]
+        worst[i] = max(ratios) if ratios else 0.0
+    return float(np.mean(worst))
+
+
+def dunn_index(X, labels):
+    """Dunn index: min inter-cluster distance / max cluster diameter."""
+    X = check_array(X)
+    labels = check_labels(labels, n_samples=X.shape[0])
+    ids = _cluster_ids(labels)
+    if ids.size < 2:
+        raise ValidationError("dunn_index requires at least 2 clusters")
+    mask = labels != -1
+    d = pairwise_distances(X[mask])
+    lc = labels[mask]
+    max_diam = 0.0
+    min_sep = np.inf
+    for i, ci in enumerate(ids):
+        mi = lc == ci
+        if mi.sum() > 1:
+            max_diam = max(max_diam, float(d[np.ix_(mi, mi)].max()))
+        for cj in ids[i + 1:]:
+            mj = lc == cj
+            min_sep = min(min_sep, float(d[np.ix_(mi, mj)].min()))
+    if max_diam == 0.0:
+        return np.inf
+    return float(min_sep / max_diam)

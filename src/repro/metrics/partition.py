@@ -1,0 +1,83 @@
+"""Pair-counting agreement measures between two flat partitions.
+
+These realise the tutorial's ``Diss : Clusterings × Clusterings → R``
+(slide 27) in its most common instantiations — e.g. meta clustering
+(Caruana et al. 2006) groups clusterings by the Rand index.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .contingency import pair_confusion
+
+__all__ = [
+    "rand_index",
+    "adjusted_rand_index",
+    "jaccard_index",
+    "fowlkes_mallows",
+    "pair_precision_recall_f1",
+]
+
+
+def rand_index(labels_a, labels_b):
+    """Rand index in ``[0, 1]``: fraction of object pairs treated alike."""
+    n11, n10, n01, n00 = pair_confusion(labels_a, labels_b)
+    total = n11 + n10 + n01 + n00
+    if total == 0:
+        return 1.0
+    return (n11 + n00) / total
+
+
+def adjusted_rand_index(labels_a, labels_b):
+    """Hubert-Arabie adjusted Rand index (chance-corrected, max 1).
+
+    Returns 1 for identical partitions, ~0 for independent ones, and can be
+    negative for systematic disagreement.
+    """
+    n11, n10, n01, n00 = pair_confusion(labels_a, labels_b)
+    total = n11 + n10 + n01 + n00
+    if total == 0:
+        return 1.0
+    sum_a = n11 + n10
+    sum_b = n11 + n01
+    expected = sum_a * sum_b / total
+    max_index = 0.5 * (sum_a + sum_b)
+    if math.isclose(max_index, expected):
+        return 1.0
+    return (n11 - expected) / (max_index - expected)
+
+
+def jaccard_index(labels_a, labels_b):
+    """Jaccard coefficient over co-clustered pairs."""
+    n11, n10, n01, _ = pair_confusion(labels_a, labels_b)
+    denom = n11 + n10 + n01
+    if denom == 0:
+        return 1.0
+    return n11 / denom
+
+
+def fowlkes_mallows(labels_a, labels_b):
+    """Fowlkes-Mallows score: geometric mean of pair precision and recall."""
+    n11, n10, n01, _ = pair_confusion(labels_a, labels_b)
+    pa = n11 + n10
+    pb = n11 + n01
+    if pa == 0 or pb == 0:
+        return 1.0 if pa == pb else 0.0
+    return n11 / math.sqrt(pa * pb)
+
+
+def pair_precision_recall_f1(labels_pred, labels_true):
+    """Pairwise precision/recall/F1 of a predicted partition vs a reference.
+
+    Returns
+    -------
+    (precision, recall, f1) : tuple of float
+    """
+    n11, n10, n01, _ = pair_confusion(labels_pred, labels_true)
+    precision = n11 / (n11 + n10) if (n11 + n10) > 0 else 1.0
+    recall = n11 / (n11 + n01) if (n11 + n01) > 0 else 1.0
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1

@@ -1,0 +1,36 @@
+"""Paradigm 4 — clustering with multiple given views/sources and
+consensus techniques (tutorial section 5), plus mSC which bridges the
+subspace and multi-view worlds."""
+
+from .coem import CoEM
+from .ensemble import (
+    ClusterEnsemble,
+    align_labels,
+    average_nmi,
+    coassociation_matrix,
+    cspa_consensus,
+    majority_vote_consensus,
+)
+from .msc import MultipleSpectralViews
+from .mvdbscan import MultiViewDBSCAN
+from .parallel_universes import ParallelUniverses
+from .shared_kmeans import MultiViewKMeans
+from .spectral_mv import MultiViewSpectral
+from .randproj import RandomProjectionEnsemble, soft_comembership
+
+__all__ = [
+    "CoEM",
+    "ClusterEnsemble",
+    "align_labels",
+    "average_nmi",
+    "coassociation_matrix",
+    "cspa_consensus",
+    "majority_vote_consensus",
+    "MultipleSpectralViews",
+    "MultiViewDBSCAN",
+    "MultiViewKMeans",
+    "ParallelUniverses",
+    "MultiViewSpectral",
+    "RandomProjectionEnsemble",
+    "soft_comembership",
+]

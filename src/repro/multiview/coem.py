@@ -1,0 +1,149 @@
+"""co-EM multi-view clustering (Bickel & Scheffer 2004) — slides 101-104.
+
+Two conditionally independent views of the same objects bootstrap each
+other: the M-step of view ``v`` maximises the likelihood of view ``v``'s
+data under the posterior responsibilities computed in the *other* view,
+then the E-step refreshes view ``v``'s posteriors (slide 102). The
+final clustering combines both views' posteriors.
+
+The iteration need not converge (slide 104), so a hard iteration cap and
+an agreement-based termination criterion are built in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.gmm import e_step, init_params_kmeanspp, m_step
+from ..core.base import ParamsMixin
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.validation import (
+    check_array,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["CoEM"]
+
+
+register(TaxonomyEntry(
+    key="co-em",
+    reference="Bickel & Scheffer, 2004",
+    search_space=SearchSpace.MULTI_SOURCE,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings="1",
+    view_detection="given views",
+    flexible_definition=False,
+    estimator="repro.multiview.coem.CoEM",
+    notes="interleaved EM across two given views; consensus result",
+))
+
+
+class CoEM(ParamsMixin):
+    """Two-view co-EM with Gaussian mixture hypotheses.
+
+    Parameters
+    ----------
+    n_clusters : int
+    covariance_type : {"spherical", "diag", "full"}
+    max_iter : int
+        Hard cap (co-EM may oscillate — slide 104).
+    agreement_tol : float
+        Terminate when the views' MAP labelings agree on more than
+        ``1 - agreement_tol`` of the objects and the combined
+        log-likelihood stops improving.
+    n_init, random_state : restarts / seeding.
+
+    Attributes
+    ----------
+    labels_ : ndarray — consensus MAP labels from the averaged posteriors.
+    view_labels_ : [ndarray, ndarray] — per-view MAP labels.
+    responsibilities_ : ndarray (n, k) — averaged posteriors.
+    log_likelihoods_ : [float, float] — per-view final log-likelihoods.
+    agreement_ : float — fraction of objects on which the views agree.
+    n_iter_ : int
+    """
+
+    def __init__(self, n_clusters=2, covariance_type="spherical",
+                 max_iter=50, agreement_tol=0.01, n_init=3,
+                 random_state=None):
+        self.n_clusters = n_clusters
+        self.covariance_type = covariance_type
+        self.max_iter = max_iter
+        self.agreement_tol = agreement_tol
+        self.n_init = n_init
+        self.random_state = random_state
+        self.labels_ = None
+        self.view_labels_ = None
+        self.responsibilities_ = None
+        self.log_likelihoods_ = None
+        self.agreement_ = None
+        self.n_iter_ = None
+
+    def _validate_views(self, views):
+        if len(views) != 2:
+            raise ValidationError("CoEM expects exactly two views")
+        X1 = check_array(views[0], name="views[0]")
+        X2 = check_array(views[1], name="views[1]")
+        if X1.shape[0] != X2.shape[0]:
+            raise ValidationError("views must describe the same objects")
+        return X1, X2
+
+    def _run(self, X1, X2, k, rng):
+        cov = self.covariance_type
+        views = [X1, X2]
+        params = [list(init_params_kmeanspp(v, k, rng, cov)) for v in views]
+        # Initial posteriors from view 0.
+        resp, _ = e_step(X1, *params[0], cov)
+        resps = [resp, resp.copy()]
+        lls = [-np.inf, -np.inf]
+        prev_total = -np.inf
+        n_iter = 0
+        for n_iter in range(1, int(self.max_iter) + 1):
+            for v in (0, 1):
+                other = 1 - v
+                # M-step on view v's data with the OTHER view's posteriors.
+                params[v] = list(m_step(views[v], resps[other], cov))
+                # E-step refreshes view v's posteriors.
+                resps[v], lls[v] = e_step(views[v], *params[v], cov)
+            maps = [np.argmax(r, axis=1) for r in resps]
+            agreement = float(np.mean(maps[0] == maps[1]))
+            total = lls[0] + lls[1]
+            if (agreement >= 1.0 - self.agreement_tol
+                    and total <= prev_total + 1e-8):
+                break
+            prev_total = total
+        combined = 0.5 * (resps[0] + resps[1])
+        return {
+            "total": lls[0] + lls[1],
+            "labels": np.argmax(combined, axis=1).astype(np.int64),
+            "view_labels": [m.astype(np.int64) for m in maps],
+            "resp": combined,
+            "lls": [float(v) for v in lls],
+            "agreement": agreement,
+            "n_iter": n_iter,
+        }
+
+    def fit(self, views):
+        """Fit on a pair ``(X1, X2)`` of view matrices."""
+        X1, X2 = self._validate_views(views)
+        k = check_n_clusters(self.n_clusters, X1.shape[0])
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(max(1, int(self.n_init))):
+            result = self._run(X1, X2, k, rng)
+            if best is None or result["total"] > best["total"]:
+                best = result
+        self.labels_ = best["labels"]
+        self.view_labels_ = best["view_labels"]
+        self.responsibilities_ = best["resp"]
+        self.log_likelihoods_ = best["lls"]
+        self.agreement_ = best["agreement"]
+        self.n_iter_ = best["n_iter"]
+        return self
+
+    def fit_predict(self, views):
+        """Fit and return the consensus labels."""
+        return self.fit(views).labels_

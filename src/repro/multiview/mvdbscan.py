@@ -1,0 +1,120 @@
+"""Multi-view DBSCAN (Kailing et al. 2004a) — slides 105-107.
+
+Multi-represented density clustering: each view contributes a local
+eps-neighbourhood; the core-object property combines them:
+
+* **union** core object:        ``| U_i N_eps_i(o) | >= k``
+  (sparse views: similar in *at least one* view suffices);
+* **intersection** core object: ``| ∩_i N_eps_i(o) | >= k``
+  (unreliable views: must be similar in *all* views — purer clusters).
+
+Reachability follows the same combination (slides 106-107), and the
+usual DBSCAN expansion yields the single consensus clustering.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+import numpy as np
+
+from ..cluster.dbscan import epsilon_neighborhoods
+from ..core.base import ParamsMixin
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.validation import check_array
+
+__all__ = ["MultiViewDBSCAN"]
+
+
+register(TaxonomyEntry(
+    key="mv-dbscan",
+    reference="Kailing et al., 2004a",
+    search_space=SearchSpace.MULTI_SOURCE,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings="1",
+    view_detection="given views",
+    flexible_definition=False,
+    estimator="repro.multiview.mvdbscan.MultiViewDBSCAN",
+    notes="union method for sparse views, intersection for unreliable",
+))
+
+
+class MultiViewDBSCAN(ParamsMixin):
+    """DBSCAN over multiple representations with combined neighbourhoods.
+
+    Parameters
+    ----------
+    eps : float or sequence of float
+        Radius per view (scalar broadcast to all views).
+    min_pts : int
+        ``k`` — combined-neighbourhood size for the core property.
+    method : {"union", "intersection"}
+
+    Attributes
+    ----------
+    labels_ : ndarray — consensus clustering (``-1`` noise).
+    core_mask_ : ndarray of bool
+    per_view_neighborhood_sizes_ : ndarray (n, n_views)
+    """
+
+    def __init__(self, eps=0.5, min_pts=5, method="union"):
+        self.eps = eps
+        self.min_pts = min_pts
+        self.method = method
+        self.labels_ = None
+        self.core_mask_ = None
+        self.per_view_neighborhood_sizes_ = None
+
+    def fit(self, views):
+        views = [check_array(v, name=f"views[{i}]") for i, v in enumerate(views)]
+        if len(views) < 2:
+            raise ValidationError("MultiViewDBSCAN expects >= 2 views")
+        n = views[0].shape[0]
+        if any(v.shape[0] != n for v in views):
+            raise ValidationError("all views must describe the same objects")
+        if self.method not in ("union", "intersection"):
+            raise ValidationError(f"unknown method {self.method!r}")
+        eps = self.eps
+        if np.isscalar(eps):
+            eps = [float(eps)] * len(views)
+        if len(eps) != len(views):
+            raise ValidationError("eps must be scalar or one per view")
+        per_view = [
+            [set(nb.tolist()) for nb in epsilon_neighborhoods(v, e)]
+            for v, e in zip(views, eps)
+        ]
+        self.per_view_neighborhood_sizes_ = np.array(
+            [[len(per_view[v][i]) for v in range(len(views))] for i in range(n)]
+        )
+        combine = set.union if self.method == "union" else set.intersection
+        combined = [
+            np.asarray(sorted(reduce(combine, (pv[i] for pv in per_view))),
+                       dtype=np.int64)
+            for i in range(n)
+        ]
+        core_mask = np.array([len(nb) >= self.min_pts for nb in combined])
+        labels = np.full(n, -1, dtype=np.int64)
+        cluster_id = 0
+        for seed in range(n):
+            if labels[seed] != -1 or not core_mask[seed]:
+                continue
+            labels[seed] = cluster_id
+            frontier = list(combined[seed])
+            while frontier:
+                p = frontier.pop()
+                if labels[p] == -1:
+                    labels[p] = cluster_id
+                    if core_mask[p]:
+                        frontier.extend(
+                            int(q) for q in combined[p] if labels[q] == -1
+                        )
+            cluster_id += 1
+        self.labels_ = labels
+        self.core_mask_ = core_mask
+        return self
+
+    def fit_predict(self, views):
+        """Fit and return the consensus labels."""
+        return self.fit(views).labels_

@@ -1,0 +1,158 @@
+"""Learning in parallel universes (Wiswedel, Höppner & Berthold 2010) —
+slide 100.
+
+Objects live in several "universes" (views), and each *cluster* belongs
+to the universe that describes it best: fuzzy c-means memberships are
+learned jointly with per-cluster universe weights, so a cluster
+sharpens in its home universe and ignores the others. The alternating
+scheme:
+
+1. given universe weights, compute memberships against the weighted
+   per-universe distances;
+2. given memberships, update per-universe centroids;
+3. update each cluster's universe weights from its membership-weighted
+   error per universe (softmin).
+
+Output: hardened labels, the fuzzy memberships, and each cluster's
+universe distribution — clusters whose weight concentrates on one
+universe are that universe's clusters (the paper's goal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.kmeans import kmeans_plus_plus
+from ..core.base import ParamsMixin
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.linalg import cdist_sq
+from ..utils.validation import (
+    check_array,
+    check_in_range,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["ParallelUniverses"]
+
+
+register(TaxonomyEntry(
+    key="parallel-universes",
+    reference="Wiswedel et al., 2010",
+    search_space=SearchSpace.MULTI_SOURCE,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings="1",
+    view_detection="given views",
+    flexible_definition=False,
+    estimator="repro.multiview.parallel_universes.ParallelUniverses",
+    notes="fuzzy clusters each live in their best universe",
+))
+
+
+class ParallelUniverses(ParamsMixin):
+    """Joint fuzzy clustering over several universes.
+
+    Parameters
+    ----------
+    n_clusters : int — total clusters across all universes.
+    m : float > 1 — fuzzifier.
+    sharpness : float > 0 — softmin temperature of the universe-weight
+        update (higher = harder assignment of clusters to universes).
+    max_iter, n_init, random_state : optimisation controls.
+
+    Attributes
+    ----------
+    labels_ : ndarray — hardened cluster per object.
+    memberships_ : ndarray (n, k)
+    universe_weights_ : ndarray (k, n_universes) — rows sum to 1; a row
+        concentrated on one universe means that cluster lives there.
+    universe_of_cluster_ : ndarray (k,) — argmax universe per cluster.
+    """
+
+    def __init__(self, n_clusters=4, m=2.0, sharpness=10.0, max_iter=60,
+                 n_init=3, random_state=None):
+        self.n_clusters = n_clusters
+        self.m = m
+        self.sharpness = sharpness
+        self.max_iter = max_iter
+        self.n_init = n_init
+        self.random_state = random_state
+        self.labels_ = None
+        self.memberships_ = None
+        self.universe_weights_ = None
+        self.universe_of_cluster_ = None
+
+    def _run(self, views, k, rng):
+        n = views[0].shape[0]
+        V = len(views)
+        # Normalise each universe's scale so distances are comparable.
+        scales = [max(float(np.var(v) * v.shape[1]), 1e-12) for v in views]
+        centers = [kmeans_plus_plus(v, k, rng) for v in views]
+        # Symmetry breaking: a flat weight initialisation is a fixed
+        # point (joint-space clusters score equally in all universes),
+        # so clusters start softly assigned round-robin to universes.
+        weights = np.full((k, V), 0.2 / max(V - 1, 1))
+        for j in range(k):
+            weights[j, j % V] = 0.8
+        weights /= weights.sum(axis=1, keepdims=True)
+        u = None
+        for _it in range(int(self.max_iter)):
+            # 1. memberships against universe-weighted distances
+            d2 = np.zeros((n, k))
+            for vi, v in enumerate(views):
+                d2 += weights[:, vi][None, :] * cdist_sq(v, centers[vi]) / \
+                    scales[vi]
+            # fcm membership formula on the combined distance,
+            # scale-invariant to avoid overflow
+            power = 1.0 / (self.m - 1.0)
+            row_min = np.maximum(d2.min(axis=1, keepdims=True), 1e-300)
+            inv = (row_min / np.maximum(d2, 1e-300)) ** power
+            u = inv / inv.sum(axis=1, keepdims=True)
+            um = u ** self.m
+            # 2. per-universe centroids
+            denom = np.maximum(um.sum(axis=0), 1e-12)
+            for vi, v in enumerate(views):
+                centers[vi] = (um.T @ v) / denom[:, None]
+            # 3. universe weights per cluster: softmin of the
+            # membership-weighted error in each universe
+            err = np.empty((k, V))
+            for vi, v in enumerate(views):
+                err[:, vi] = (um * cdist_sq(v, centers[vi])).sum(axis=0) / \
+                    (denom * scales[vi])
+            logits = -self.sharpness * (err - err.min(axis=1, keepdims=True))
+            weights = np.exp(logits)
+            weights /= weights.sum(axis=1, keepdims=True)
+        obj = float(np.sum((u ** self.m) * d2))
+        return obj, u, weights
+
+    def fit(self, views):
+        views = [check_array(v, name=f"views[{i}]")
+                 for i, v in enumerate(views)]
+        if len(views) < 2:
+            raise ValidationError("ParallelUniverses expects >= 2 views")
+        n = views[0].shape[0]
+        if any(v.shape[0] != n for v in views):
+            raise ValidationError("all views must describe the same objects")
+        k = check_n_clusters(self.n_clusters, n)
+        check_in_range(self.m, "m", low=1.0, inclusive_low=False)
+        check_in_range(self.sharpness, "sharpness", low=0.0,
+                       inclusive_low=False)
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(max(1, int(self.n_init))):
+            result = self._run(views, k, rng)
+            if best is None or result[0] < best[0]:
+                best = result
+        _, u, weights = best
+        self.memberships_ = u
+        self.universe_weights_ = weights
+        self.universe_of_cluster_ = np.argmax(weights, axis=1).astype(
+            np.int64)
+        self.labels_ = np.argmax(u, axis=1).astype(np.int64)
+        return self
+
+    def fit_predict(self, views):
+        """Fit and return the hardened labels."""
+        return self.fit(views).labels_

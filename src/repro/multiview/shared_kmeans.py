@@ -1,0 +1,128 @@
+"""Shared-partition multi-view clustering (Long, Yu & Zhang 2008) —
+slide 100.
+
+Long et al.'s general model seeks one partition consistent with every
+view by minimising the summed per-view reconstruction error. The
+k-means instantiation: a shared label vector, per-view centroids, and
+an assignment step that minimises the (weighted) sum of per-view
+squared distances — multi-view Lloyd with a common partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.kmeans import kmeans_plus_plus
+from ..core.base import ParamsMixin
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.linalg import cdist_sq
+from ..utils.validation import (
+    check_array,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["MultiViewKMeans"]
+
+
+register(TaxonomyEntry(
+    key="long-shared",
+    reference="Long et al., 2008",
+    search_space=SearchSpace.MULTI_SOURCE,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings="1",
+    view_detection="given views",
+    flexible_definition=True,
+    estimator="repro.multiview.shared_kmeans.MultiViewKMeans",
+    notes="one shared partition minimising summed per-view error",
+))
+
+
+class MultiViewKMeans(ParamsMixin):
+    """k-means with one partition shared across all given views.
+
+    Parameters
+    ----------
+    n_clusters : int
+    weights : sequence of float or None
+        Per-view weights in the summed objective (normalised); ``None``
+        weights each view by the inverse of its total variance so views
+        with different scales contribute comparably.
+    max_iter, n_init, random_state : Lloyd controls.
+
+    Attributes
+    ----------
+    labels_ : ndarray — the shared consensus partition.
+    view_centers_ : list of ndarray (k, d_v) — per-view centroids.
+    objective_ : float — final weighted summed inertia.
+    """
+
+    def __init__(self, n_clusters=2, weights=None, max_iter=100, n_init=5,
+                 random_state=None):
+        self.n_clusters = n_clusters
+        self.weights = weights
+        self.max_iter = max_iter
+        self.n_init = n_init
+        self.random_state = random_state
+        self.labels_ = None
+        self.view_centers_ = None
+        self.objective_ = None
+
+    def fit(self, views):
+        views = [check_array(v, name=f"views[{i}]")
+                 for i, v in enumerate(views)]
+        if len(views) < 2:
+            raise ValidationError("MultiViewKMeans expects >= 2 views")
+        n = views[0].shape[0]
+        if any(v.shape[0] != n for v in views):
+            raise ValidationError("all views must describe the same objects")
+        k = check_n_clusters(self.n_clusters, n)
+        if self.weights is None:
+            weights = np.array([
+                1.0 / max(float(np.var(v) * v.shape[1]), 1e-12)
+                for v in views
+            ])
+        else:
+            weights = np.asarray(self.weights, dtype=np.float64)
+            if weights.shape != (len(views),):
+                raise ValidationError("weights must have one entry per view")
+            if (weights < 0).any() or weights.sum() <= 0:
+                raise ValidationError("weights must be non-negative, not all 0")
+        weights = weights / weights.sum()
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(max(1, int(self.n_init))):
+            # Seed the shared partition from the first view.
+            centers = [kmeans_plus_plus(views[0], k, rng)]
+            labels = np.argmin(cdist_sq(views[0], centers[0]), axis=1)
+            centers = None
+            for _it in range(int(self.max_iter)):
+                centers = []
+                for v in views:
+                    c = np.empty((k, v.shape[1]))
+                    for j in range(k):
+                        members = labels == j
+                        c[j] = v[members].mean(axis=0) if members.any() \
+                            else v[rng.integers(n)]
+                    centers.append(c)
+                scores = np.zeros((n, k))
+                for w, v, c in zip(weights, views, centers):
+                    scores += w * cdist_sq(v, c)
+                new_labels = np.argmin(scores, axis=1)
+                if np.array_equal(new_labels, labels):
+                    break
+                labels = new_labels
+            obj = float(scores[np.arange(n), labels].sum())
+            if best is None or obj < best[0]:
+                best = (obj, labels.copy(), centers)
+        obj, labels, centers = best
+        self.labels_ = labels.astype(np.int64)
+        self.view_centers_ = centers
+        self.objective_ = float(obj)
+        return self
+
+    def fit_predict(self, views):
+        """Fit and return the shared partition."""
+        return self.fit(views).labels_

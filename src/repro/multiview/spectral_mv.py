@@ -1,0 +1,112 @@
+"""Multi-view spectral clustering (de Sa 2005; Zhou & Burges 2007) —
+slide 100.
+
+Consensus spectral clustering over *given* views: each view contributes
+a random-walk transition structure, and the mixture
+
+    W_mix = sum_v  weight_v * normalize(W_v)
+
+defines a mixed random walk over all views (Zhou & Burges' convex
+combination of Markov chains; de Sa's two-view variant corresponds to
+equal weights). NJW spectral clustering of the mixed affinity yields
+one consensus partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.kmeans import KMeans
+from ..cluster.spectral import spectral_embedding
+from ..core.base import ParamsMixin
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.linalg import rbf_kernel
+from ..utils.validation import check_array, check_n_clusters, check_random_state
+
+__all__ = ["MultiViewSpectral"]
+
+
+register(TaxonomyEntry(
+    key="mv-spectral",
+    reference="de Sa, 2005 / Zhou & Burges, 2007",
+    search_space=SearchSpace.MULTI_SOURCE,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings="1",
+    view_detection="given views",
+    flexible_definition=True,
+    estimator="repro.multiview.spectral_mv.MultiViewSpectral",
+    notes="mixed random walk over the given views' affinities",
+))
+
+
+class MultiViewSpectral(ParamsMixin):
+    """Consensus spectral clustering over given views.
+
+    Parameters
+    ----------
+    n_clusters : int
+    weights : sequence of float or None
+        Convex-combination weights per view (normalised internally);
+        ``None`` = equal weights.
+    gamma : float or None — RBF bandwidth per view (median heuristic).
+    random_state : seeds the k-means step.
+
+    Attributes
+    ----------
+    labels_ : ndarray — the consensus clustering.
+    mixed_affinity_ : ndarray (n, n)
+    embedding_ : ndarray (n, k)
+    """
+
+    def __init__(self, n_clusters=2, weights=None, gamma=None,
+                 random_state=None):
+        self.n_clusters = n_clusters
+        self.weights = weights
+        self.gamma = gamma
+        self.random_state = random_state
+        self.labels_ = None
+        self.mixed_affinity_ = None
+        self.embedding_ = None
+
+    def fit(self, views):
+        views = [check_array(v, name=f"views[{i}]")
+                 for i, v in enumerate(views)]
+        if len(views) < 2:
+            raise ValidationError("MultiViewSpectral expects >= 2 views")
+        n = views[0].shape[0]
+        if any(v.shape[0] != n for v in views):
+            raise ValidationError("all views must describe the same objects")
+        k = check_n_clusters(self.n_clusters, n)
+        if self.weights is None:
+            weights = np.full(len(views), 1.0 / len(views))
+        else:
+            weights = np.asarray(self.weights, dtype=np.float64)
+            if weights.shape != (len(views),):
+                raise ValidationError("weights must have one entry per view")
+            if (weights < 0).any() or weights.sum() <= 0:
+                raise ValidationError("weights must be non-negative, not all 0")
+            weights = weights / weights.sum()
+        rng = check_random_state(self.random_state)
+        mixed = np.zeros((n, n))
+        for w, V in zip(weights, views):
+            A = rbf_kernel(V, gamma=self.gamma)
+            np.fill_diagonal(A, 0.0)
+            # Row-normalise so each view contributes a transition kernel.
+            row = A.sum(axis=1, keepdims=True)
+            row[row == 0] = 1.0
+            mixed += w * (A / row)
+        # Symmetrise the mixed walk for the NJW embedding.
+        mixed = 0.5 * (mixed + mixed.T)
+        emb = spectral_embedding(mixed, k)
+        km = KMeans(n_clusters=k, n_init=10,
+                    random_state=rng.integers(2**31 - 1))
+        self.labels_ = km.fit(emb).labels_
+        self.mixed_affinity_ = mixed
+        self.embedding_ = emb
+        return self
+
+    def fit_predict(self, views):
+        """Fit and return the consensus labels."""
+        return self.fit(views).labels_

@@ -1,0 +1,25 @@
+"""Paradigm 1 — multiple clustering solutions in the original data space
+(tutorial section 2)."""
+
+from .adco_alt import ADCOAlternative
+from .cami import CAMI
+from .cib import ConditionalInformationBottleneck
+from .disparate import DisparateClustering, contingency_uniformity
+from .coala import COALA
+from .condens import ConditionalEnsembles
+from .deckmeans import DecorrelatedKMeans
+from .meta import MetaClustering
+from .mincentropy import MinCEntropy
+
+__all__ = [
+    "ADCOAlternative",
+    "CAMI",
+    "DisparateClustering",
+    "contingency_uniformity",
+    "ConditionalInformationBottleneck",
+    "COALA",
+    "ConditionalEnsembles",
+    "DecorrelatedKMeans",
+    "MetaClustering",
+    "MinCEntropy",
+]

@@ -1,0 +1,122 @@
+"""COALA (Bae & Bailey 2006) — slides 31-33.
+
+Given a clustering, every within-cluster pair becomes a cannot-link
+constraint. Average-link agglomeration then proceeds with two candidate
+merges at each step:
+
+* the **quality merge** — globally closest pair of groups, constraints
+  ignored (distance ``dqual``);
+* the **dissimilarity merge** — closest pair among pairs whose union
+  violates no constraint (distance ``ddiss``).
+
+The quality merge is taken when ``dqual < w * ddiss``, otherwise the
+dissimilarity merge; small ``w`` prefers dissimilar alternatives, large
+``w`` prefers quality (slide 33).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.hierarchical import LinkageMatrix
+from ..core.base import AlternativeClusterer
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.linalg import pairwise_distances
+from ..utils.validation import check_array, check_in_range, check_n_clusters
+
+__all__ = ["COALA"]
+
+
+register(TaxonomyEntry(
+    key="coala",
+    reference="Bae & Bailey, 2006",
+    search_space=SearchSpace.ORIGINAL,
+    processing=Processing.ITERATIVE,
+    given_knowledge=True,
+    n_clusterings="2",
+    view_detection="",
+    flexible_definition=False,
+    estimator="repro.originalspace.coala.COALA",
+    notes="cannot-link constraints from the given clustering",
+))
+
+
+class COALA(AlternativeClusterer):
+    """Constrained agglomerative alternative clustering.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Number of clusters in the alternative solution.
+    w : float in (0, inf)
+        Quality-vs-dissimilarity trade-off: the quality merge is chosen
+        when ``dqual < w * ddiss``. ``w -> 0`` forces dissimilarity
+        merges whenever one exists; ``w -> inf`` reduces to plain
+        average-link clustering.
+
+    Attributes
+    ----------
+    labels_ : ndarray — the alternative clustering.
+    n_quality_merges_, n_dissimilarity_merges_ : int
+        How often each merge type fired (reported in experiment F2).
+    """
+
+    def __init__(self, n_clusters=2, w=1.0):
+        self.n_clusters = n_clusters
+        self.w = w
+        self.labels_ = None
+        self.n_quality_merges_ = None
+        self.n_dissimilarity_merges_ = None
+
+    def fit(self, X, given):
+        X = check_array(X, min_samples=2)
+        n = X.shape[0]
+        k = check_n_clusters(self.n_clusters, n)
+        check_in_range(self.w, "w", low=0.0, inclusive_low=False)
+        given_list = self._given_labels(given)
+        if len(given_list) != 1:
+            raise ValidationError("COALA accepts exactly one given clustering")
+        given_labels = given_list[0]
+        if given_labels.shape[0] != n:
+            raise ValidationError("given clustering length mismatch")
+
+        lm = LinkageMatrix(pairwise_distances(X), linkage="average")
+        # Cannot-link: objects sharing a (non-noise) given cluster. A pair
+        # of groups is "Dissimilar" (merge allowed) iff the sets of given
+        # labels they touch are disjoint — maintained incrementally as a
+        # boolean conflict matrix so each step's pair search stays
+        # vectorised.
+        same_given = (given_labels[:, None] == given_labels[None, :])
+        noise = given_labels == -1
+        same_given[noise, :] = False
+        same_given[:, noise] = False
+        np.fill_diagonal(same_given, False)
+        conflict = same_given.copy()
+
+        q_merges = d_merges = 0
+        while len(lm.active) > k:
+            quality = lm.closest_pair()
+            if quality is None:
+                break
+            dissim = lm.closest_pair(blocked=conflict)
+            if dissim is None:
+                a, b, _ = quality
+                q_merges += 1
+            else:
+                dq, dd = quality[2], dissim[2]
+                if dq < self.w * dd:
+                    a, b, _ = quality
+                    q_merges += 1
+                else:
+                    a, b, _ = dissim
+                    d_merges += 1
+            survivor = lm.merge(a, b)
+            other = b if survivor == a else a
+            merged = conflict[survivor] | conflict[other]
+            conflict[survivor, :] = merged
+            conflict[:, survivor] = merged
+        self.labels_ = lm.current_labels(n)
+        self.n_quality_merges_ = q_merges
+        self.n_dissimilarity_merges_ = d_merges
+        return self

@@ -1,0 +1,181 @@
+"""Decorrelated k-means (Jain, Meka & Dhillon 2008) — slides 40-41.
+
+Simultaneously learns ``T`` clusterings. Each clustering ``t`` is defined
+by representative vectors; objects are assigned to the nearest
+representative. The objective couples compactness with pairwise
+decorrelation of representatives against the *means* of the other
+clusterings::
+
+    G = sum_t sum_i sum_{x in C_i^t} |x - r_i^t|^2
+        + lam * sum_{t != t'} sum_{i,j} ( (mu_j^{t'})^T r_i^t )^2
+
+Minimising over ``r_i^t`` with assignments fixed gives the regularised
+normal equations::
+
+    ( |C_i^t| I + lam * sum_{t' != t} M^{t'} ) r_i^t = |C_i^t| mu_i^t
+
+with ``M^{t'} = sum_j mu_j^{t'} (mu_j^{t'})^T`` — representatives are
+pulled towards their cluster mean but pushed to be orthogonal to the
+other clusterings' mean directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.kmeans import kmeans_plus_plus
+from ..core.base import MultiClusteringEstimator
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.linalg import cdist_sq
+from ..utils.validation import (
+    check_array,
+    check_in_range,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["DecorrelatedKMeans"]
+
+
+register(TaxonomyEntry(
+    key="dec-kmeans",
+    reference="Jain et al., 2008",
+    search_space=SearchSpace.ORIGINAL,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings=">=2",
+    view_detection="",
+    flexible_definition=False,
+    estimator="repro.originalspace.deckmeans.DecorrelatedKMeans",
+    notes="representatives decorrelated across clusterings",
+))
+
+
+class DecorrelatedKMeans(MultiClusteringEstimator):
+    """Simultaneous discovery of ``T`` decorrelated k-means clusterings.
+
+    Parameters
+    ----------
+    n_clusters : int or sequence of int
+        Cluster count per clustering (a scalar is broadcast).
+    n_clusterings : int
+        ``T >= 2`` solutions to extract simultaneously.
+    lam : float
+        Decorrelation weight ``lambda``; 0 decouples the clusterings.
+    max_iter : int
+    tol : float
+        Relative objective-improvement stopping threshold.
+    n_init : int
+        Random restarts; the run with the lowest combined objective wins.
+        Restarts matter here: a perfectly symmetric initialisation (both
+        clusterings seeded on the same split) is a fixed point of the
+        alternating updates, so escaping to the decorrelated optimum
+        relies on initialisation diversity.
+    random_state : int, Generator or None
+
+    Attributes
+    ----------
+    labelings_ : list of ndarray — one labeling per clustering.
+    representatives_ : list of ndarray (k_t, d) — the vectors r^t.
+    means_ : list of ndarray (k_t, d) — cluster means mu^t.
+    objective_ : float — final value of G.
+    n_iter_ : int
+    """
+
+    def __init__(self, n_clusters=2, n_clusterings=2, lam=1.0, max_iter=100,
+                 tol=1e-6, n_init=8, random_state=None):
+        self.n_clusters = n_clusters
+        self.n_clusterings = n_clusterings
+        self.lam = lam
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self.random_state = random_state
+        self.labelings_ = None
+        self.representatives_ = None
+        self.means_ = None
+        self.objective_ = None
+        self.n_iter_ = None
+
+    def _ks(self, n):
+        if np.isscalar(self.n_clusters):
+            ks = [int(self.n_clusters)] * int(self.n_clusterings)
+        else:
+            ks = [int(k) for k in self.n_clusters]
+            if len(ks) != int(self.n_clusterings):
+                raise ValidationError(
+                    "len(n_clusters) must equal n_clusterings"
+                )
+        return [check_n_clusters(k, n) for k in ks]
+
+    def _objective(self, X, reps, labelings, means):
+        total = 0.0
+        for t, (r, lab) in enumerate(zip(reps, labelings)):
+            diff = X - r[lab]
+            total += float(np.sum(diff * diff))
+        lam = float(self.lam)
+        for t in range(len(reps)):
+            for t2 in range(len(reps)):
+                if t == t2:
+                    continue
+                total += lam * float(np.sum((means[t2] @ reps[t].T) ** 2))
+        return total
+
+    def _run(self, X, ks, rng):
+        n, d = X.shape
+        T = int(self.n_clusterings)
+        reps = [kmeans_plus_plus(X, k, rng) for k in ks]
+        labelings = [np.argmin(cdist_sq(X, r), axis=1) for r in reps]
+        means = [r.copy() for r in reps]
+        prev = np.inf
+        n_iter = 0
+        for n_iter in range(1, int(self.max_iter) + 1):
+            # Assignment step: nearest representative.
+            labelings = [np.argmin(cdist_sq(X, r), axis=1) for r in reps]
+            # Means of the induced clusters.
+            for t in range(T):
+                for i in range(ks[t]):
+                    members = labelings[t] == i
+                    if members.any():
+                        means[t][i] = X[members].mean(axis=0)
+            # Representative update from the regularised normal equations.
+            for t in range(T):
+                M = np.zeros((d, d))
+                for t2 in range(T):
+                    if t2 != t:
+                        M += means[t2].T @ means[t2]
+                for i in range(ks[t]):
+                    size = int(np.sum(labelings[t] == i))
+                    if size == 0:
+                        continue
+                    A = size * np.eye(d) + float(self.lam) * M
+                    reps[t][i] = np.linalg.solve(A, size * means[t][i])
+            obj = self._objective(X, reps, labelings, means)
+            if prev - obj <= self.tol * max(abs(prev), 1.0):
+                prev = obj
+                break
+            prev = obj
+        return prev, labelings, reps, means, n_iter
+
+    def fit(self, X):
+        X = check_array(X, min_samples=2)
+        n, _ = X.shape
+        T = int(self.n_clusterings)
+        if T < 2:
+            raise ValidationError("n_clusterings must be >= 2")
+        check_in_range(self.lam, "lam", low=0.0)
+        ks = self._ks(n)
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(max(1, int(self.n_init))):
+            result = self._run(X, ks, rng)
+            if best is None or result[0] < best[0]:
+                best = result
+        obj, labelings, reps, means, n_iter = best
+        self.labelings_ = [lab.astype(np.int64) for lab in labelings]
+        self.representatives_ = reps
+        self.means_ = means
+        self.objective_ = float(obj)
+        self.n_iter_ = n_iter
+        return self

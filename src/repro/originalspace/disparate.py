@@ -1,0 +1,176 @@
+"""Disparate (and dependent) prototype clustering via contingency
+tables (Hossain et al. 2010) — slide 44.
+
+Two prototype-based clusterings of the same objects are optimised
+jointly. Dissimilarity is modelled through their contingency table:
+maximal disparity = a *uniform* table (knowing an object's cluster in
+one clustering says nothing about the other); the dependent variant
+instead drives the table towards a diagonal. Quality is ensured by
+representing clusters with prototypes (nearest-prototype assignment,
+mean updates), exactly the paper's device for keeping "arbitrary
+clusterings" out.
+
+Optimisation alternates k-means-style rounds for each clustering with a
+contingency-pressure term added to the assignment distances:
+
+* disparate mode: assigning object i (currently in cluster ``d`` of the
+  other clustering) to cluster ``c`` is surcharged by how *overfull*
+  cell (c, d) already is relative to the uniform target;
+* dependent mode: surcharged by how far the assignment strays from the
+  greedily matched diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.kmeans import kmeans_plus_plus
+from ..core.base import MultiClusteringEstimator
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.linalg import cdist_sq
+from ..utils.validation import (
+    check_array,
+    check_in_range,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["DisparateClustering", "contingency_uniformity"]
+
+
+register(TaxonomyEntry(
+    key="hossain-disparate",
+    reference="Hossain et al., 2010",
+    search_space=SearchSpace.ORIGINAL,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings="2",
+    view_detection="",
+    flexible_definition=False,
+    estimator="repro.originalspace.disparate.DisparateClustering",
+    notes="contingency-table uniformity objective; dependent mode too",
+))
+
+
+def contingency_uniformity(labels_a, labels_b):
+    """Uniformity of the contingency table in ``[0, 1]`` (1 = uniform).
+
+    Measured as ``1 - 0.5 * L1(P, U)`` between the joint distribution of
+    the two labelings and the product-of-sizes uniform target.
+    """
+    from ..metrics.contingency import contingency_matrix
+
+    mat = contingency_matrix(labels_a, labels_b).astype(np.float64)
+    total = mat.sum()
+    if total == 0:
+        return 1.0
+    joint = mat / total
+    target = np.outer(joint.sum(axis=1), joint.sum(axis=0))
+    return 1.0 - 0.5 * float(np.abs(joint - target).sum())
+
+
+class DisparateClustering(MultiClusteringEstimator):
+    """Two simultaneous prototype clusterings with a contingency objective.
+
+    Parameters
+    ----------
+    n_clusters : int — clusters per clustering.
+    mode : {"disparate", "dependent"}
+        Uniform-table (alternative clusterings) or diagonal-table
+        (consensus-like) pressure.
+    pressure : float >= 0
+        Strength of the contingency surcharge relative to the mean
+        squared point-prototype distance.
+    max_iter, n_init, random_state : optimisation controls.
+
+    Attributes
+    ----------
+    labelings_ : [labels_1, labels_2]
+    prototypes_ : [ndarray, ndarray]
+    uniformity_ : float — contingency uniformity of the result.
+    objective_ : float — compactness + pressure-weighted table score.
+    """
+
+    def __init__(self, n_clusters=2, mode="disparate", pressure=1.0,
+                 max_iter=50, n_init=5, random_state=None):
+        self.n_clusters = n_clusters
+        self.mode = mode
+        self.pressure = pressure
+        self.max_iter = max_iter
+        self.n_init = n_init
+        self.random_state = random_state
+        self.labelings_ = None
+        self.prototypes_ = None
+        self.uniformity_ = None
+        self.objective_ = None
+
+    def _table_score(self, a, b):
+        u = contingency_uniformity(a, b)
+        return u if self.mode == "disparate" else 1.0 - u
+
+    def _run(self, X, k, rng):
+        n = X.shape[0]
+        protos = [kmeans_plus_plus(X, k, rng) for _ in range(2)]
+        labels = [np.argmin(cdist_sq(X, p), axis=1) for p in protos]
+        scale = float(np.mean(cdist_sq(X, X[rng.choice(n, size=min(n, 20))])))
+        scale = max(scale, 1e-12)
+        for _ in range(int(self.max_iter)):
+            changed = False
+            for t in range(2):
+                other = labels[1 - t]
+                counts = np.zeros((k, k))
+                np.add.at(counts, (labels[t], other), 1)
+                if self.mode == "disparate":
+                    target = n / (k * k)
+                    over = (counts - target) / max(target, 1.0)
+                else:
+                    # dependent: encourage the greedy diagonal matching
+                    over = np.ones((k, k))
+                    order = np.argsort(-counts, axis=None)
+                    used_r, used_c = set(), set()
+                    for flat in order:
+                        r, c = divmod(int(flat), k)
+                        if r in used_r or c in used_c:
+                            continue
+                        over[r, c] = 0.0
+                        used_r.add(r)
+                        used_c.add(c)
+                d2 = cdist_sq(X, protos[t])
+                surcharge = self.pressure * scale * over[:, other].T
+                new = np.argmin(d2 + surcharge, axis=1)
+                if not np.array_equal(new, labels[t]):
+                    changed = True
+                labels[t] = new
+                for c in range(k):
+                    members = labels[t] == c
+                    if members.any():
+                        protos[t][c] = X[members].mean(axis=0)
+            if not changed:
+                break
+        compact = sum(
+            float(cdist_sq(X, protos[t])[np.arange(n), labels[t]].mean())
+            for t in range(2)
+        )
+        score = self._table_score(labels[0], labels[1])
+        objective = -compact / scale + self.pressure * score
+        return objective, labels, protos
+
+    def fit(self, X):
+        X = check_array(X, min_samples=2)
+        k = check_n_clusters(self.n_clusters, X.shape[0])
+        if self.mode not in ("disparate", "dependent"):
+            raise ValidationError(f"unknown mode {self.mode!r}")
+        check_in_range(self.pressure, "pressure", low=0.0)
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(max(1, int(self.n_init))):
+            result = self._run(X, k, rng)
+            if best is None or result[0] > best[0]:
+                best = result
+        objective, labels, protos = best
+        self.labelings_ = [lab.astype(np.int64) for lab in labels]
+        self.prototypes_ = protos
+        self.uniformity_ = contingency_uniformity(*self.labelings_)
+        self.objective_ = float(objective)
+        return self

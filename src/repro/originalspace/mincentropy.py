@@ -1,0 +1,225 @@
+"""minCEntropy-style alternative clustering (Vinh & Epps 2010) — slide 34.
+
+Vinh & Epps minimise the conditional entropy of the data given the
+clustering, which for a Gaussian kernel estimate is equivalent to
+maximising the average within-cluster kernel similarity::
+
+    Q(C) = sum_c (1/|c|) * sum_{i,j in c} K(x_i, x_j)
+
+The "plus" variants accept one or *several* given clusterings and
+subtract a mutual-information penalty, giving the combined objective::
+
+    O(C) = Q(C)/n - beta * sum_g I(C; C_g)
+
+Optimisation is the paper's incremental single-object reassignment local
+search with restarts; cluster kernel sums and contingency tables are
+maintained incrementally so one sweep costs O(n * (n + k * k_g)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import AlternativeClusterer
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.linalg import rbf_kernel
+from ..utils.validation import (
+    check_array,
+    check_in_range,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["MinCEntropy"]
+
+
+register(TaxonomyEntry(
+    key="mincentropy",
+    reference="Vinh & Epps, 2010",
+    search_space=SearchSpace.ORIGINAL,
+    processing=Processing.ITERATIVE,
+    given_knowledge=True,
+    n_clusterings="2",
+    view_detection="",
+    flexible_definition=False,
+    estimator="repro.originalspace.mincentropy.MinCEntropy",
+    notes="kernel conditional-entropy objective; accepts a set of givens",
+))
+
+
+def _mi_from_counts(counts):
+    """Mutual information (nats) from a contingency count matrix."""
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    pij = counts / total
+    pi = pij.sum(axis=1, keepdims=True)
+    pj = pij.sum(axis=0, keepdims=True)
+    nz = pij > 0
+    return float(np.sum(pij[nz] * np.log(pij[nz] / (pi @ pj)[nz])))
+
+
+class _State:
+    """Incremental bookkeeping for the local search."""
+
+    def __init__(self, K, labels, k, given_codes, given_sizes):
+        self.K = K
+        self.n = K.shape[0]
+        self.k = k
+        self.labels = labels
+        # R[i, c] = sum_{j in c} K[i, j]
+        self.R = np.stack(
+            [K[:, labels == c].sum(axis=1) for c in range(k)], axis=1
+        )
+        self.W = np.array([
+            float(K[np.ix_(labels == c, labels == c)].sum()) for c in range(k)
+        ])
+        self.sizes = np.array([int(np.sum(labels == c)) for c in range(k)])
+        self.given_codes = given_codes          # list of int arrays (0..kg-1)
+        self.counts = [
+            self._contingency(labels, g, k, kg)
+            for g, kg in zip(given_codes, given_sizes)
+        ]
+
+    @staticmethod
+    def _contingency(labels, g, k, kg):
+        counts = np.zeros((k, kg))
+        np.add.at(counts, (labels, g), 1)
+        return counts
+
+    def quality(self):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(self.sizes > 0, self.W / np.maximum(self.sizes, 1), 0.0)
+        return float(ratio.sum())
+
+    def penalty(self):
+        return float(sum(_mi_from_counts(c) for c in self.counts))
+
+    def move_delta_quality(self, i, a, b):
+        """Change in Q(C) if object ``i`` moves from cluster a to b."""
+        kii = self.K[i, i]
+        wa, sa = self.W[a], self.sizes[a]
+        wb, sb = self.W[b], self.sizes[b]
+        wa2 = wa - 2.0 * self.R[i, a] + kii
+        wb2 = wb + 2.0 * self.R[i, b] + kii
+        old = (wa / sa if sa else 0.0) + (wb / sb if sb else 0.0)
+        new = (wa2 / (sa - 1) if sa > 1 else 0.0) + wb2 / (sb + 1)
+        return new - old
+
+    def move_delta_penalty(self, i, a, b):
+        """Change in the MI penalty if object ``i`` moves a -> b."""
+        delta = 0.0
+        for g_idx, counts in enumerate(self.counts):
+            g = self.given_codes[g_idx][i]
+            before = _mi_from_counts(counts)
+            counts[a, g] -= 1
+            counts[b, g] += 1
+            after = _mi_from_counts(counts)
+            counts[a, g] += 1
+            counts[b, g] -= 1
+            delta += after - before
+        return delta
+
+    def apply_move(self, i, a, b):
+        kii = self.K[i, i]
+        self.W[a] += -2.0 * self.R[i, a] + kii
+        self.W[b] += 2.0 * self.R[i, b] + kii
+        self.sizes[a] -= 1
+        self.sizes[b] += 1
+        self.R[:, a] -= self.K[:, i]
+        self.R[:, b] += self.K[:, i]
+        for g_idx, counts in enumerate(self.counts):
+            g = self.given_codes[g_idx][i]
+            counts[a, g] -= 1
+            counts[b, g] += 1
+        self.labels[i] = b
+
+
+class MinCEntropy(AlternativeClusterer):
+    """Kernel conditional-entropy alternative clustering.
+
+    Parameters
+    ----------
+    n_clusters : int
+    beta : float
+        Weight of the mutual-information penalty against the given
+        clustering(s). ``beta = 0`` is plain kernel clustering.
+    gamma : float or None
+        RBF kernel bandwidth (median heuristic when ``None``).
+    max_sweeps, n_init, random_state : optimisation controls.
+
+    Attributes
+    ----------
+    labels_ : ndarray
+    objective_ : float — final ``O(C)`` (higher is better).
+    quality_ : float — normalised kernel quality ``Q(C)/n``.
+    penalty_ : float — summed MI against the given clusterings.
+    """
+
+    def __init__(self, n_clusters=2, beta=2.0, gamma=None, max_sweeps=30,
+                 n_init=3, random_state=None):
+        self.n_clusters = n_clusters
+        self.beta = beta
+        self.gamma = gamma
+        self.max_sweeps = max_sweeps
+        self.n_init = n_init
+        self.random_state = random_state
+        self.labels_ = None
+        self.objective_ = None
+        self.quality_ = None
+        self.penalty_ = None
+
+    def fit(self, X, given):
+        X = check_array(X, min_samples=2)
+        n = X.shape[0]
+        k = check_n_clusters(self.n_clusters, n)
+        check_in_range(self.beta, "beta", low=0.0)
+        givens = self._given_labels(given)
+        given_codes = []
+        given_sizes = []
+        for g in givens:
+            if g.shape[0] != n:
+                raise ValidationError("given clustering length mismatch")
+            _, codes = np.unique(g, return_inverse=True)
+            given_codes.append(codes.astype(np.int64))
+            given_sizes.append(int(codes.max()) + 1)
+        rng = check_random_state(self.random_state)
+        K = rbf_kernel(X, gamma=self.gamma)
+        beta = float(self.beta)
+
+        best = None
+        for _ in range(max(1, int(self.n_init))):
+            labels = rng.integers(k, size=n).astype(np.int64)
+            state = _State(K, labels, k, given_codes, given_sizes)
+            for _sweep in range(int(self.max_sweeps)):
+                improved = False
+                for i in rng.permutation(n):
+                    a = state.labels[i]
+                    if state.sizes[a] <= 1:
+                        continue  # keep clusters non-empty
+                    best_b, best_gain = a, 0.0
+                    for b in range(k):
+                        if b == a:
+                            continue
+                        gain = (
+                            state.move_delta_quality(i, a, b) / n
+                            - beta * state.move_delta_penalty(i, a, b)
+                        )
+                        if gain > best_gain + 1e-12:
+                            best_gain, best_b = gain, b
+                    if best_b != a:
+                        state.apply_move(i, a, best_b)
+                        improved = True
+                if not improved:
+                    break
+            obj = state.quality() / n - beta * state.penalty()
+            if best is None or obj > best[0]:
+                best = (obj, state.labels.copy(), state.quality() / n,
+                        state.penalty())
+        obj, labels, quality, penalty = best
+        self.labels_ = labels.astype(np.int64)
+        self.objective_ = float(obj)
+        self.quality_ = float(quality)
+        self.penalty_ = float(penalty)
+        return self

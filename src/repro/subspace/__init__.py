@@ -1,0 +1,78 @@
+"""Paradigm 3 — multiple clusterings by different subspace projections
+(tutorial section 4).
+
+Base miners produce the full candidate set ``ALL`` (CLIQUE, SCHISM,
+SUBCLU); PROCLUS is the single-partition projected-clustering contrast;
+ENCLUS searches for interesting subspaces; the selection models (StatPC,
+RESCU, OSCLU, ASCLU) pick a meaningful ``M ⊆ ALL``.
+"""
+
+from .asclu import ASCLU, already_clustered, is_valid_alternative_cluster
+from .clique import CLIQUE
+from .doc import DOC, doc_quality
+from .dusc import DUSC, expected_neighbors_uniform
+from .fires import FIRES
+from .enclus import EnclusSubspaceSearch, subspace_entropy, subspace_interest
+from .grid import GridDiscretization, connected_components_of_cells
+from .lattice import (
+    all_subspaces,
+    apriori_candidates,
+    is_downward_closed,
+    subsets_one_smaller,
+)
+from .mafia import MAFIA, adaptive_windows
+from .orclus import ORCLUS
+from .p3c import P3C, significant_intervals
+from .osclu import (
+    OSCLU,
+    concept_group,
+    covers_subspace,
+    global_interestingness,
+    is_orthogonal_clustering,
+)
+from .predecon import PreDeCon
+from .proclus import PROCLUS
+from .rescu import RESCU, interestingness_size_dim
+from .schism import SCHISM, schism_threshold
+from .statpc import StatPC, cluster_significance
+from .subclu import SUBCLU
+
+__all__ = [
+    "ASCLU",
+    "DOC",
+    "doc_quality",
+    "DUSC",
+    "expected_neighbors_uniform",
+    "FIRES",
+    "MAFIA",
+    "adaptive_windows",
+    "ORCLUS",
+    "P3C",
+    "significant_intervals",
+    "already_clustered",
+    "is_valid_alternative_cluster",
+    "CLIQUE",
+    "EnclusSubspaceSearch",
+    "subspace_entropy",
+    "subspace_interest",
+    "GridDiscretization",
+    "connected_components_of_cells",
+    "all_subspaces",
+    "apriori_candidates",
+    "is_downward_closed",
+    "subsets_one_smaller",
+    "OSCLU",
+    "concept_group",
+    "covers_subspace",
+    "global_interestingness",
+    "is_orthogonal_clustering",
+    "PreDeCon",
+    "PROCLUS",
+    "RESCU",
+    "interestingness_size_dim",
+    "SCHISM",
+    "schism_threshold",
+    "StatPC",
+    "cluster_significance",
+    "SUBCLU",
+]

@@ -1,0 +1,120 @@
+"""ASCLU (Günnemann et al. 2010) — slides 86-87.
+
+Alternative *subspace* clustering: extend OSCLU with given knowledge.
+A result ``Res`` must satisfy all OSCLU properties **and** be a valid
+alternative to the given clustering ``Known``: for every ``C = (O, S)``
+in ``Res``::
+
+    |O \\ AlreadyClustered(Known, C)| / |O| >= alpha
+
+where ``AlreadyClustered(Known, C)`` unions the objects of those Known
+clusters lying in ``C``'s concept group (slide 87) — i.e. a new cluster
+may reuse objects of the given knowledge only when it groups them under
+a genuinely different concept (subspace).
+"""
+
+from __future__ import annotations
+
+from .osclu import OSCLU, covers_subspace
+from ..core.base import ParamsMixin
+from ..core.subspace import SubspaceClustering
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.validation import check_in_range
+
+__all__ = ["ASCLU", "already_clustered", "is_valid_alternative_cluster"]
+
+
+register(TaxonomyEntry(
+    key="asclu",
+    reference="Günnemann et al., 2010",
+    search_space=SearchSpace.SUBSPACES,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=True,
+    n_clusterings=">=2",
+    view_detection="dissimilarity",
+    flexible_definition=False,
+    estimator="repro.subspace.asclu.ASCLU",
+    notes="OSCLU properties + valid alternative w.r.t. Known",
+))
+
+
+def already_clustered(known, cluster, beta):
+    """Union of objects of Known clusters in ``cluster``'s concept group."""
+    out = set()
+    for k in known:
+        if covers_subspace(cluster.dims, k.dims, beta) or \
+                covers_subspace(k.dims, cluster.dims, beta):
+            out |= k.objects
+    return out
+
+
+def is_valid_alternative_cluster(cluster, known, alpha, beta):
+    """Slide-87 condition for one cluster."""
+    already = already_clustered(known, cluster, beta)
+    return len(cluster.objects - already) / len(cluster.objects) >= alpha
+
+
+class ASCLU(ParamsMixin):
+    """Alternative subspace clustering given Known knowledge.
+
+    Parameters
+    ----------
+    alpha, beta : as in OSCLU (alpha doubles as the alternative-validity
+        threshold, following the paper).
+    local_interestingness, max_clusters : forwarded to OSCLU.
+
+    Attributes
+    ----------
+    clusters_ : SubspaceClustering — valid alternative clustering Res.
+    rejected_known_overlap_ : int — candidates dropped for covering the
+        given knowledge under a similar concept.
+    """
+
+    def __init__(self, alpha=0.5, beta=0.5, local_interestingness=None,
+                 max_clusters=None):
+        self.alpha = alpha
+        self.beta = beta
+        self.local_interestingness = local_interestingness
+        self.max_clusters = max_clusters
+        self.clusters_ = None
+        self.rejected_known_overlap_ = None
+
+    def fit(self, candidates, known):
+        check_in_range(self.alpha, "alpha", low=0.0, high=1.0,
+                       inclusive_low=False)
+        check_in_range(self.beta, "beta", low=0.0, high=1.0,
+                       inclusive_low=False)
+        if not isinstance(candidates, SubspaceClustering):
+            candidates = SubspaceClustering(candidates)
+        if not isinstance(known, SubspaceClustering):
+            known = SubspaceClustering(known)
+        if len(candidates) == 0:
+            raise ValidationError("no candidate clusters to select from")
+        valid = []
+        rejected = 0
+        for c in candidates:
+            if c in set(known):
+                rejected += 1
+                continue
+            if is_valid_alternative_cluster(c, known, self.alpha, self.beta):
+                valid.append(c)
+            else:
+                rejected += 1
+        osclu = OSCLU(
+            alpha=self.alpha, beta=self.beta,
+            local_interestingness=self.local_interestingness,
+            max_clusters=self.max_clusters,
+        )
+        if valid:
+            osclu.fit(SubspaceClustering(valid))
+            result = osclu.clusters_
+        else:
+            result = SubspaceClustering([])
+        self.clusters_ = SubspaceClustering(list(result), name="ASCLU")
+        self.rejected_known_overlap_ = rejected
+        return self
+
+    def fit_predict(self, candidates, known):
+        """Select and return the alternative :class:`SubspaceClustering`."""
+        return self.fit(candidates, known).clusters_

@@ -1,0 +1,142 @@
+"""CLIQUE (Agrawal et al. 1998) — slides 69-71.
+
+Bottom-up grid-based subspace clustering: find dense units in every
+1-dimensional subspace, then climb the lattice with apriori candidate
+generation (a subspace can hold dense units only if all its
+lower-dimensional projections do), and report each connected component
+of dense units as a subspace cluster ``(O, S)``.
+
+Every object can appear in many clusters across many subspaces — CLIQUE
+is the tutorial's archetype of "all multiple clusterings, no
+dissimilarity model" (``M = ALL``), with the redundancy explosion this
+implies (experiment F9).
+"""
+
+from __future__ import annotations
+
+from .grid import GridDiscretization, connected_components_of_cells
+from .lattice import all_subspaces, apriori_candidates
+from ..core.base import ParamsMixin
+from ..core.subspace import SubspaceCluster, SubspaceClustering
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..utils.validation import check_array, check_in_range
+
+__all__ = ["CLIQUE"]
+
+
+register(TaxonomyEntry(
+    key="clique",
+    reference="Agrawal et al., 1998",
+    search_space=SearchSpace.SUBSPACES,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings=">=2",
+    view_detection="no dissimilarity",
+    flexible_definition=False,
+    estimator="repro.subspace.clique.CLIQUE",
+    notes="outputs ALL dense subspace clusters",
+))
+
+
+class CLIQUE(ParamsMixin):
+    """Grid-based bottom-up subspace clustering.
+
+    Parameters
+    ----------
+    n_intervals : int
+        ``xi`` — grid resolution per dimension.
+    density_threshold : float in (0, 1)
+        ``tau`` — a unit is dense when it holds more than
+        ``tau * n_samples`` objects (fixed fraction; compare SCHISM's
+        dimensionality-adaptive threshold).
+    max_dim : int or None
+        Cap on cluster dimensionality (None = no cap).
+    min_cluster_size : int
+        Discard components with fewer objects.
+    prune : bool
+        Monotonicity pruning on the subspace lattice. ``False`` visits
+        every subspace up to ``max_dim`` (the exponential baseline of
+        experiment F7) — results are identical, work is not.
+    threshold_fn : callable ``(dimensionality) -> float`` or None
+        Optional per-dimensionality density threshold *fraction*
+        overriding ``density_threshold`` (SCHISM plugs in here).
+
+    Attributes
+    ----------
+    clusters_ : SubspaceClustering — all found subspace clusters.
+    subspaces_visited_ : int — lattice nodes actually counted.
+    dense_subspaces_ : list of tuple — subspaces holding dense units.
+    grid_ : GridDiscretization
+    """
+
+    def __init__(self, n_intervals=10, density_threshold=0.05, max_dim=None,
+                 min_cluster_size=2, prune=True, threshold_fn=None):
+        self.n_intervals = n_intervals
+        self.density_threshold = density_threshold
+        self.max_dim = max_dim
+        self.min_cluster_size = min_cluster_size
+        self.prune = prune
+        self.threshold_fn = threshold_fn
+        self.clusters_ = None
+        self.subspaces_visited_ = None
+        self.dense_subspaces_ = None
+        self.grid_ = None
+
+    def _threshold_count(self, dimensionality, n):
+        if self.threshold_fn is not None:
+            frac = float(self.threshold_fn(dimensionality))
+        else:
+            frac = float(self.density_threshold)
+        return frac * n
+
+    def fit(self, X):
+        X = check_array(X)
+        if self.threshold_fn is None:
+            check_in_range(self.density_threshold, "density_threshold",
+                           low=0.0, high=1.0, inclusive_low=False)
+        n, d = X.shape
+        max_dim = d if self.max_dim is None else min(int(self.max_dim), d)
+        grid = GridDiscretization(self.n_intervals).fit(X)
+        clusters = []
+        dense_subspaces = []
+        visited = 0
+
+        def process(subspace):
+            nonlocal visited
+            visited += 1
+            thresh = self._threshold_count(len(subspace), n)
+            units = grid.dense_units(subspace, thresh)
+            if not units:
+                return False
+            dense_subspaces.append(subspace)
+            for _cells, objs in connected_components_of_cells(units):
+                if objs.size >= self.min_cluster_size:
+                    clusters.append(SubspaceCluster(
+                        objs.tolist(), subspace,
+                        quality=objs.size / n,
+                    ))
+            return True
+
+        if self.prune:
+            frontier = []
+            for j in range(d):
+                if process((j,)):
+                    frontier.append((j,))
+            size = 1
+            while frontier and size < max_dim:
+                candidates = apriori_candidates(frontier)
+                frontier = [cand for cand in candidates if process(cand)]
+                size += 1
+        else:
+            for subspace in all_subspaces(d, max_dim):
+                process(subspace)
+
+        self.clusters_ = SubspaceClustering(clusters, name="CLIQUE")
+        self.subspaces_visited_ = visited
+        self.dense_subspaces_ = dense_subspaces
+        self.grid_ = grid
+        return self
+
+    def fit_predict(self, X):
+        """Fit and return the :class:`SubspaceClustering` result."""
+        return self.fit(X).clusters_

@@ -1,0 +1,153 @@
+"""DOC / MineClus-style Monte-Carlo projected clustering (Procopiuc et
+al. 2002; Yiu & Mamoulis 2003) — slides 66/72.
+
+DOC finds one projected cluster at a time: repeatedly sample a seed
+point ``p`` and a small discriminating set ``S``; the candidate
+subspace contains every dimension on which all of ``S`` stays within
+``w`` of ``p``; the candidate cluster is every point within ``w`` of
+``p`` on those dimensions. Candidates are scored with the paper's
+quality
+
+    mu(a, b) = a * (1 / beta) ** b
+
+(``a`` objects, ``b`` dimensions, ``beta`` in (0, 0.5] trades size for
+dimensionality) and the best candidate wins. The full partitioning
+("greedy DOC") extracts ``n_clusters`` clusters by repeating on the
+residual points; flexible cell positioning is what distinguishes it
+from grid methods (slide 72).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ParamsMixin
+from ..core.subspace import SubspaceCluster, SubspaceClustering
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.validation import (
+    check_array,
+    check_in_range,
+    check_random_state,
+)
+
+__all__ = ["DOC", "doc_quality"]
+
+
+register(TaxonomyEntry(
+    key="doc",
+    reference="Procopiuc et al., 2002",
+    search_space=SearchSpace.SUBSPACES,
+    processing=Processing.ITERATIVE,
+    given_knowledge=False,
+    n_clusterings="1",
+    view_detection="no dissimilarity",
+    flexible_definition=False,
+    estimator="repro.subspace.doc.DOC",
+    notes="Monte-Carlo projected clustering, flexible cell positioning",
+))
+
+
+def doc_quality(n_objects, n_dims, beta=0.25):
+    """DOC's quality function ``mu(a, b) = a * (1/beta)^b``."""
+    if beta <= 0 or beta > 0.5:
+        raise ValidationError("beta must lie in (0, 0.5]")
+    return float(n_objects) * (1.0 / beta) ** n_dims
+
+
+class DOC(ParamsMixin):
+    """Greedy Monte-Carlo projected clustering.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Clusters to extract greedily (points of found clusters are
+        removed before the next round).
+    w : float
+        Half-width of the projected cluster box per dimension.
+    beta : float in (0, 0.5]
+        Quality trade-off between size and dimensionality.
+    n_trials : int
+        Monte-Carlo samples per extracted cluster.
+    discriminating_size : int
+        Size of the sampled discriminating set ``S``.
+    min_cluster_size : int
+        Candidates below this size are discarded.
+    random_state : int, Generator or None
+
+    Attributes
+    ----------
+    labels_ : ndarray — partition with ``-1`` for unclaimed points.
+    clusters_ : SubspaceClustering — the (objects, dims) results.
+    qualities_ : list of float — mu value per extracted cluster.
+    """
+
+    def __init__(self, n_clusters=3, w=1.0, beta=0.25, n_trials=200,
+                 discriminating_size=5, min_cluster_size=4,
+                 random_state=None):
+        self.n_clusters = n_clusters
+        self.w = w
+        self.beta = beta
+        self.n_trials = n_trials
+        self.discriminating_size = discriminating_size
+        self.min_cluster_size = min_cluster_size
+        self.random_state = random_state
+        self.labels_ = None
+        self.clusters_ = None
+        self.qualities_ = None
+
+    def _best_cluster(self, X, available, rng):
+        """One DOC round on the available points; returns (objs, dims, mu)."""
+        n_avail = available.size
+        best = None
+        s = min(self.discriminating_size, max(1, n_avail - 1))
+        for _ in range(int(self.n_trials)):
+            p_idx = available[rng.integers(n_avail)]
+            others = available[available != p_idx]
+            if others.size == 0:
+                break
+            S = rng.choice(others, size=min(s, others.size), replace=False)
+            diff = np.abs(X[S] - X[p_idx][None, :])
+            dims = np.flatnonzero((diff <= self.w).all(axis=0))
+            if dims.size == 0:
+                continue
+            box = np.abs(X[available][:, dims] - X[p_idx][dims][None, :])
+            members = available[(box <= self.w).all(axis=1)]
+            if members.size < self.min_cluster_size:
+                continue
+            mu = doc_quality(members.size, dims.size, beta=self.beta)
+            if best is None or mu > best[2]:
+                best = (members, tuple(int(d) for d in dims), mu)
+        return best
+
+    def fit(self, X):
+        X = check_array(X, min_samples=2)
+        check_in_range(self.w, "w", low=0.0, inclusive_low=False)
+        check_in_range(self.beta, "beta", low=0.0, high=0.5,
+                       inclusive_low=False)
+        rng = check_random_state(self.random_state)
+        n = X.shape[0]
+        labels = np.full(n, -1, dtype=np.int64)
+        available = np.arange(n)
+        clusters = []
+        qualities = []
+        for cid in range(int(self.n_clusters)):
+            if available.size < self.min_cluster_size:
+                break
+            best = self._best_cluster(X, available, rng)
+            if best is None:
+                break
+            members, dims, mu = best
+            labels[members] = cid
+            clusters.append(SubspaceCluster(members.tolist(), dims,
+                                            quality=mu))
+            qualities.append(mu)
+            available = np.flatnonzero(labels == -1)
+        self.labels_ = labels
+        self.clusters_ = SubspaceClustering(clusters, name="DOC")
+        self.qualities_ = qualities
+        return self
+
+    def fit_predict(self, X):
+        """Fit and return the partition labels."""
+        return self.fit(X).labels_

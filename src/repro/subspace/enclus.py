@@ -1,0 +1,144 @@
+"""ENCLUS (Cheng, Fu & Zhang 1999) — slides 88-89.
+
+Subspace *search* decoupled from clustering: score whole subspaces by
+the entropy of their grid-cell density distribution.
+
+* low entropy  -> mass concentrated in few cells -> good clustering
+  (criterion ``H(S) < omega``);
+* high interest ``interest(S) = sum_j H({j}) - H(S)`` -> the dimensions
+  are correlated, not just individually skewed (``interest >= epsilon``).
+
+Low entropy is anti-monotone under adding dimensions
+(``H(S ∪ {d}) >= H(S)``), so the lattice climb prunes apriori-style.
+The selected subspaces are then handed to any full-space clusterer —
+:meth:`EnclusSubspaceSearch.cluster_subspaces` does this with k-means.
+"""
+
+from __future__ import annotations
+
+from .grid import GridDiscretization
+from .lattice import apriori_candidates
+from ..core.base import ParamsMixin
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..metrics.information import entropy_of_distribution
+from ..utils.validation import check_array, check_in_range
+
+__all__ = ["EnclusSubspaceSearch", "subspace_entropy", "subspace_interest"]
+
+
+register(TaxonomyEntry(
+    key="enclus",
+    reference="Cheng et al., 1999",
+    search_space=SearchSpace.SUBSPACES,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings=">=2",
+    view_detection="no dissimilarity",
+    flexible_definition=True,
+    estimator="repro.subspace.enclus.EnclusSubspaceSearch",
+    notes="entropy-based subspace selection, clusterer-agnostic",
+))
+
+
+def subspace_entropy(grid, dims):
+    """Entropy (nats) of the cell-density distribution in a subspace."""
+    density = grid.cell_density(dims)
+    return entropy_of_distribution(density)
+
+
+def subspace_interest(grid, dims, single_entropies=None):
+    """``interest(S) = sum_j H({j}) - H(S)`` (total correlation)."""
+    dims = tuple(dims)
+    if single_entropies is None:
+        single_entropies = {
+            (j,): subspace_entropy(grid, (j,)) for j in dims
+        }
+    total = sum(single_entropies[(j,)] for j in dims)
+    return total - subspace_entropy(grid, dims)
+
+
+class EnclusSubspaceSearch(ParamsMixin):
+    """Entropy-based search for interesting subspaces.
+
+    Parameters
+    ----------
+    n_intervals : int — grid resolution.
+    omega : float — entropy ceiling ``H(S) < omega`` (nats).
+    epsilon : float — interest floor for reported subspaces.
+    max_dim : int or None
+
+    Attributes
+    ----------
+    subspaces_ : list of tuple — selected subspaces, best interest first.
+    entropies_ : dict subspace -> H(S) for every visited subspace.
+    interests_ : dict subspace -> interest(S) for selected subspaces.
+    """
+
+    def __init__(self, n_intervals=8, omega=2.5, epsilon=0.05, max_dim=None):
+        self.n_intervals = n_intervals
+        self.omega = omega
+        self.epsilon = epsilon
+        self.max_dim = max_dim
+        self.subspaces_ = None
+        self.entropies_ = None
+        self.interests_ = None
+        self.grid_ = None
+
+    def fit(self, X):
+        X = check_array(X)
+        check_in_range(self.omega, "omega", low=0.0, inclusive_low=False)
+        check_in_range(self.epsilon, "epsilon", low=0.0)
+        n, d = X.shape
+        max_dim = d if self.max_dim is None else min(int(self.max_dim), d)
+        grid = GridDiscretization(self.n_intervals).fit(X)
+        entropies = {}
+        singles = {}
+        for j in range(d):
+            h = subspace_entropy(grid, (j,))
+            entropies[(j,)] = h
+            singles[(j,)] = h
+        frontier = [s for s in sorted(singles) if entropies[s] < self.omega]
+        selected = []
+        size = 1
+        while frontier and size < max_dim:
+            candidates = apriori_candidates(frontier)
+            next_frontier = []
+            for cand in candidates:
+                h = subspace_entropy(grid, cand)
+                entropies[cand] = h
+                if h < self.omega:
+                    next_frontier.append(cand)
+            frontier = next_frontier
+            size += 1
+        interests = {}
+        for subspace, h in entropies.items():
+            if len(subspace) < 2 or h >= self.omega:
+                continue
+            total = sum(singles[(j,)] for j in subspace)
+            interest = total - h
+            if interest >= self.epsilon:
+                interests[subspace] = interest
+        self.subspaces_ = sorted(interests, key=interests.get, reverse=True)
+        self.entropies_ = entropies
+        self.interests_ = interests
+        self.grid_ = grid
+        return self
+
+    def cluster_subspaces(self, X, n_clusters=2, top=None, random_state=None):
+        """Cluster the data in each selected subspace with k-means.
+
+        Returns a list of ``(subspace, labels)`` pairs — one clustering
+        per view, the "subspace search" route to multiple clusterings
+        (slide 88).
+        """
+        from ..cluster.kmeans import KMeans
+
+        if self.subspaces_ is None:
+            raise RuntimeError("call fit first")
+        X = check_array(X)
+        chosen = self.subspaces_ if top is None else self.subspaces_[:top]
+        out = []
+        for subspace in chosen:
+            km = KMeans(n_clusters=n_clusters, random_state=random_state)
+            out.append((subspace, km.fit(X[:, list(subspace)]).labels_))
+        return out

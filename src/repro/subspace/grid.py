@@ -1,0 +1,143 @@
+"""Grid discretisation and dense-unit machinery (CLIQUE's data model).
+
+CLIQUE (slide 69) divides the data space into a fixed grid of ``xi``
+equal-length intervals per dimension; a *unit* is a cell in the grid of
+some subspace, and a unit is *dense* when it holds more objects than a
+threshold. Clusters are maximal sets of connected dense units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..utils.validation import check_array
+
+__all__ = ["GridDiscretization", "connected_components_of_cells"]
+
+
+class GridDiscretization:
+    """Equal-width grid over the data's bounding box.
+
+    Parameters
+    ----------
+    n_intervals : int
+        ``xi`` — intervals per dimension.
+
+    Attributes
+    ----------
+    edges_ : ndarray (n_features, n_intervals + 1)
+    cell_index_ : ndarray (n_samples, n_features) of int
+        Per-object interval index along every dimension.
+    """
+
+    def __init__(self, n_intervals=10):
+        if int(n_intervals) < 1:
+            raise ValidationError("n_intervals must be >= 1")
+        self.n_intervals = int(n_intervals)
+        self.edges_ = None
+        self.cell_index_ = None
+        self.n_samples_ = None
+        self.n_features_ = None
+
+    def fit(self, X):
+        X = check_array(X)
+        n, d = X.shape
+        xi = self.n_intervals
+        mins = X.min(axis=0)
+        maxs = X.max(axis=0)
+        spans = np.where(maxs > mins, maxs - mins, 1.0)
+        # Right-open intervals; clamp the max into the last cell.
+        idx = np.floor((X - mins) / spans[None, :] * xi).astype(np.int64)
+        np.clip(idx, 0, xi - 1, out=idx)
+        self.edges_ = np.stack([
+            np.linspace(mins[j], mins[j] + spans[j], xi + 1) for j in range(d)
+        ])
+        self.cell_index_ = idx
+        self.n_samples_ = n
+        self.n_features_ = d
+        return self
+
+    def _require_fitted(self):
+        if self.cell_index_ is None:
+            raise ValidationError("GridDiscretization is not fitted")
+
+    def cells_in_subspace(self, dims):
+        """Map cell-coordinate tuple -> array of object indices, for the
+        grid restricted to ``dims``."""
+        self._require_fitted()
+        dims = tuple(int(d) for d in dims)
+        sub = self.cell_index_[:, dims]
+        if self.n_samples_ < 1024:
+            # Plain grouping loop wins on small data (less call overhead).
+            cells = {}
+            for i in range(self.n_samples_):
+                key = tuple(sub[i])
+                cells.setdefault(key, []).append(i)
+            return {k: np.asarray(v, dtype=np.int64)
+                    for k, v in cells.items()}
+        # Vectorised grouping for large data: encode each row as a single
+        # integer key (mixed radix over the grid resolution), sort, then
+        # split runs.
+        radix = np.asarray(
+            [self.n_intervals ** p for p in range(len(dims))],
+            dtype=np.int64,
+        )
+        codes = sub @ radix
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        groups = np.split(order, boundaries)
+        starts = np.concatenate(([0], boundaries))
+        return {
+            tuple(sub[order[s]]): np.sort(g)
+            for s, g in zip(starts, groups)
+        }
+
+    def dense_units(self, dims, threshold):
+        """Cells in subspace ``dims`` with more than ``threshold`` objects.
+
+        ``threshold`` is an absolute object count; returns the same
+        mapping as :meth:`cells_in_subspace`, filtered.
+        """
+        cells = self.cells_in_subspace(dims)
+        return {k: v for k, v in cells.items() if v.size > threshold}
+
+    def cell_density(self, dims):
+        """Fraction of objects per cell (ENCLUS's density vector)."""
+        cells = self.cells_in_subspace(dims)
+        return np.array([v.size / self.n_samples_ for v in cells.values()])
+
+
+def connected_components_of_cells(cells):
+    """Group dense cells into clusters of grid-adjacent cells.
+
+    Two cells are adjacent when they differ by exactly 1 in one
+    coordinate and are equal elsewhere (CLIQUE's connectivity).
+
+    Parameters
+    ----------
+    cells : dict mapping coordinate-tuple -> object index array
+
+    Returns
+    -------
+    list of (list of coordinate tuples, ndarray of object indices)
+    """
+    remaining = set(cells.keys())
+    components = []
+    while remaining:
+        seed = remaining.pop()
+        comp = [seed]
+        frontier = [seed]
+        while frontier:
+            cell = frontier.pop()
+            for j in range(len(cell)):
+                for delta in (-1, 1):
+                    nb = cell[:j] + (cell[j] + delta,) + cell[j + 1:]
+                    if nb in remaining:
+                        remaining.remove(nb)
+                        comp.append(nb)
+                        frontier.append(nb)
+        objs = np.concatenate([cells[c] for c in comp])
+        components.append((comp, np.unique(objs)))
+    return components

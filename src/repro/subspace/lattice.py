@@ -1,0 +1,78 @@
+"""Subspace-lattice utilities: apriori candidate generation and pruning.
+
+Slide 71: higher-dimensional projections of a non-dense region can be
+pruned without loss because density is anti-monotone in the dimension
+set — the same principle as frequent itemsets (Agrawal & Srikant 1994).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "all_subspaces",
+    "apriori_candidates",
+    "subsets_one_smaller",
+    "is_downward_closed",
+]
+
+
+def all_subspaces(n_dims, max_dim=None):
+    """Every non-empty subspace up to ``max_dim`` (sorted tuples).
+
+    The exhaustive ``2^|DIM|`` enumeration of slide 68 — used as the
+    no-pruning baseline in experiment F7.
+    """
+    if n_dims < 1:
+        raise ValidationError("n_dims must be >= 1")
+    max_dim = n_dims if max_dim is None else min(int(max_dim), n_dims)
+    out = []
+    for size in range(1, max_dim + 1):
+        out.extend(combinations(range(n_dims), size))
+    return out
+
+
+def subsets_one_smaller(subspace):
+    """All (|S|-1)-subsets of a subspace tuple."""
+    S = tuple(subspace)
+    if len(S) <= 1:
+        return []
+    return [S[:i] + S[i + 1:] for i in range(len(S))]
+
+
+def apriori_candidates(frequent):
+    """Join ``k``-subspaces into ``(k+1)``-candidates, apriori-pruned.
+
+    Two sorted ``k``-tuples sharing their first ``k-1`` entries join into
+    a ``(k+1)``-tuple; a candidate survives only if *all* its ``k``-sized
+    subsets are in ``frequent`` (the monotonicity prune of slide 71).
+    """
+    frequent = sorted({tuple(sorted(s)) for s in frequent})
+    if not frequent:
+        return []
+    sizes = {len(s) for s in frequent}
+    if len(sizes) != 1:
+        raise ValidationError("all frequent subspaces must have equal size")
+    freq_set = set(frequent)
+    candidates = []
+    for i, a in enumerate(frequent):
+        for b in frequent[i + 1:]:
+            if a[:-1] != b[:-1]:
+                continue
+            cand = a + (b[-1],)
+            if all(sub in freq_set for sub in subsets_one_smaller(cand)):
+                candidates.append(cand)
+    return candidates
+
+
+def is_downward_closed(subspaces):
+    """Whether a family of subspaces contains all subsets of its members
+    (sanity check used by property tests)."""
+    family = {tuple(sorted(s)) for s in subspaces}
+    for s in family:
+        for sub in subsets_one_smaller(s):
+            if sub and sub not in family:
+                return False
+    return True

@@ -1,0 +1,179 @@
+"""MAFIA-style adaptive grids (Nagesh, Goil & Choudhary 2001) — s72.
+
+CLIQUE's fixed equal-width grid fragments clusters that straddle cell
+borders. MAFIA builds an *adaptive* grid per dimension: a fine
+histogram is computed first, adjacent fine bins with similar density
+are merged into variable-width windows, and a window is dense when its
+observed mass exceeds ``alpha`` times its expected mass under
+uniformity (so wide windows need proportionally more points). Mining
+then proceeds bottom-up over dense windows exactly like CLIQUE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .grid import connected_components_of_cells
+from .lattice import apriori_candidates
+from ..core.base import ParamsMixin
+from ..core.subspace import SubspaceCluster, SubspaceClustering
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..utils.validation import check_array, check_in_range
+
+__all__ = ["MAFIA", "adaptive_windows"]
+
+
+register(TaxonomyEntry(
+    key="mafia",
+    reference="Nagesh et al., 2001",
+    search_space=SearchSpace.SUBSPACES,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings=">=2",
+    view_detection="no dissimilarity",
+    flexible_definition=False,
+    estimator="repro.subspace.mafia.MAFIA",
+    notes="adaptive variable-width grid windows",
+))
+
+
+def adaptive_windows(values, *, n_fine_bins=30, merge_tolerance=0.4):
+    """Merge adjacent fine histogram bins into variable-width windows.
+
+    Two neighbouring bins merge when their densities (count per unit
+    width) differ by at most ``merge_tolerance`` relative to the larger.
+
+    Returns
+    -------
+    edges : ndarray — window boundaries (length n_windows + 1).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo
+    # Treat numerically degenerate ranges (span below float resolution
+    # of the bin arithmetic) as constant columns.
+    if span <= max(abs(lo), abs(hi), 1.0) * n_fine_bins * np.finfo(float).eps:
+        return np.array([lo, lo + 1.0])
+    counts, fine_edges = np.histogram(values, bins=n_fine_bins,
+                                      range=(lo, hi))
+    densities = counts / (fine_edges[1:] - fine_edges[:-1])
+    edges = [fine_edges[0]]
+    run_density = densities[0]
+    run_bins = 1
+    for i in range(1, n_fine_bins):
+        top = max(run_density, densities[i])
+        if top == 0 or abs(densities[i] - run_density) <= merge_tolerance * top:
+            # extend the window; track its running mean density
+            run_density = (run_density * run_bins + densities[i]) / (run_bins + 1)
+            run_bins += 1
+        else:
+            edges.append(fine_edges[i])
+            run_density = densities[i]
+            run_bins = 1
+    edges.append(fine_edges[-1])
+    return np.asarray(edges)
+
+
+class MAFIA(ParamsMixin):
+    """Bottom-up subspace clustering on adaptive windows.
+
+    Parameters
+    ----------
+    alpha : float > 1
+        Density factor: a window is dense when it holds more than
+        ``alpha * expected`` objects, where ``expected`` is the uniform
+        share of its width product.
+    n_fine_bins : int
+        Resolution of the initial per-dimension histogram.
+    merge_tolerance : float
+        Relative density tolerance for merging adjacent bins.
+    max_dim, min_cluster_size : as in CLIQUE.
+
+    Attributes
+    ----------
+    clusters_ : SubspaceClustering
+    window_edges_ : list of ndarray — adaptive boundaries per dimension.
+    subspaces_visited_ : int
+    """
+
+    def __init__(self, alpha=2.0, n_fine_bins=30, merge_tolerance=0.4,
+                 max_dim=None, min_cluster_size=2):
+        self.alpha = alpha
+        self.n_fine_bins = n_fine_bins
+        self.merge_tolerance = merge_tolerance
+        self.max_dim = max_dim
+        self.min_cluster_size = min_cluster_size
+        self.clusters_ = None
+        self.window_edges_ = None
+        self.subspaces_visited_ = None
+
+    def fit(self, X):
+        X = check_array(X)
+        check_in_range(self.alpha, "alpha", low=1.0, inclusive_low=False)
+        n, d = X.shape
+        max_dim = d if self.max_dim is None else min(int(self.max_dim), d)
+        edges = [
+            adaptive_windows(X[:, j], n_fine_bins=self.n_fine_bins,
+                             merge_tolerance=self.merge_tolerance)
+            for j in range(d)
+        ]
+        # Window index and relative width per object/dimension.
+        win_idx = np.empty((n, d), dtype=np.int64)
+        rel_width = []
+        for j in range(d):
+            e = edges[j]
+            idx = np.searchsorted(e, X[:, j], side="right") - 1
+            np.clip(idx, 0, e.size - 2, out=idx)
+            win_idx[:, j] = idx
+            rel_width.append((e[1:] - e[:-1]) / (e[-1] - e[0]))
+
+        visited = 0
+        clusters = []
+
+        def dense_cells(subspace):
+            nonlocal visited
+            visited += 1
+            cells = {}
+            sub = win_idx[:, list(subspace)]
+            for i in range(n):
+                cells.setdefault(tuple(sub[i]), []).append(i)
+            out = {}
+            for cell, objs in cells.items():
+                expected = n
+                for j, w in zip(subspace, cell):
+                    expected *= rel_width[j][w]
+                if len(objs) > self.alpha * expected and \
+                        len(objs) >= self.min_cluster_size:
+                    out[cell] = np.asarray(objs, dtype=np.int64)
+            return out
+
+        frontier = []
+        for j in range(d):
+            cells = dense_cells((j,))
+            if cells:
+                frontier.append((j,))
+                for comp, objs in connected_components_of_cells(cells):
+                    clusters.append(SubspaceCluster(objs.tolist(), (j,),
+                                                    quality=objs.size / n))
+        size = 1
+        while frontier and size < max_dim:
+            next_frontier = []
+            for cand in apriori_candidates(frontier):
+                cells = dense_cells(cand)
+                if not cells:
+                    continue
+                next_frontier.append(cand)
+                for comp, objs in connected_components_of_cells(cells):
+                    if objs.size >= self.min_cluster_size:
+                        clusters.append(SubspaceCluster(
+                            objs.tolist(), cand, quality=objs.size / n))
+            frontier = next_frontier
+            size += 1
+        self.clusters_ = SubspaceClustering(clusters, name="MAFIA")
+        self.window_edges_ = edges
+        self.subspaces_visited_ = visited
+        return self
+
+    def fit_predict(self, X):
+        """Fit and return the :class:`SubspaceClustering` result."""
+        return self.fit(X).clusters_

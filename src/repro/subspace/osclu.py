@@ -1,0 +1,168 @@
+"""OSCLU (Günnemann et al. 2009) — slides 80-85.
+
+Orthogonal-concept selection over subspace clusters. The notions,
+exactly as defined on the slides:
+
+* ``coveredSubspaces_beta(S) = { T ⊆ DIM : |T ∩ S| >= beta * |T| }`` —
+  subspace ``T`` represents a *similar concept* to ``S`` when a
+  ``beta``-fraction of its dimensions is shared (slide 82);
+* the **concept group** of a cluster ``C`` within a clustering ``M`` is
+  the set of clusters of ``M`` whose subspaces cover ``C``'s subspace;
+* global interestingness ``I_global(C, M)`` = fraction of ``C``'s
+  objects not contained in its concept group's clusters (slide 83);
+* ``M`` is an *orthogonal clustering* iff every ``C in M`` satisfies
+  ``I_global(C, M \\ {C}) >= alpha``;
+* the optimum maximises ``sum_C I_local(C)`` over orthogonal clusterings
+  — NP-hard by reduction from SetPacking (slide 85), hence the greedy
+  approximation implemented here.
+"""
+
+from __future__ import annotations
+
+from ..core.base import ParamsMixin
+from ..core.subspace import SubspaceClustering
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.validation import check_in_range
+
+__all__ = [
+    "OSCLU",
+    "covers_subspace",
+    "concept_group",
+    "global_interestingness",
+    "is_orthogonal_clustering",
+]
+
+
+register(TaxonomyEntry(
+    key="osclu",
+    reference="Günnemann et al., 2009",
+    search_space=SearchSpace.SUBSPACES,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings=">=2",
+    view_detection="dissimilarity",
+    flexible_definition=False,
+    estimator="repro.subspace.osclu.OSCLU",
+    notes="orthogonal concepts via covered-subspace groups; NP-hard optimum",
+))
+
+
+def covers_subspace(S, T, beta):
+    """Whether subspace ``T`` is covered by subspace ``S`` at level beta.
+
+    ``T in coveredSubspaces_beta(S)  <=>  |T ∩ S| >= beta * |T|``.
+    """
+    S, T = frozenset(S), frozenset(T)
+    if not T:
+        raise ValidationError("T must be non-empty")
+    return len(T & S) >= beta * len(T)
+
+
+def concept_group(cluster, clustering, beta):
+    """Clusters of ``clustering`` whose subspace relates to ``cluster``'s.
+
+    Symmetric containment is used: ``K`` is in the group when either
+    subspace covers the other at level ``beta`` — two clusters represent
+    a similar concept when they share a high fraction of the smaller
+    subspace's dimensions.
+    """
+    S = cluster.dims
+    group = []
+    for other in clustering:
+        if other == cluster:
+            continue
+        if covers_subspace(S, other.dims, beta) or covers_subspace(other.dims, S, beta):
+            group.append(other)
+    return group
+
+
+def global_interestingness(cluster, clustering, beta):
+    """``I_global(C, M)``: fraction of new objects in ``C`` within its
+    concept group (slide 83)."""
+    group = concept_group(cluster, clustering, beta)
+    already = set()
+    for other in group:
+        already |= other.objects
+    return len(cluster.objects - already) / len(cluster.objects)
+
+
+def is_orthogonal_clustering(clustering, alpha, beta):
+    """Slide-83 validity: every cluster is >= alpha new in its group."""
+    clusters = list(clustering)
+    for c in clusters:
+        rest = SubspaceClustering([o for o in clusters if o != c])
+        if global_interestingness(c, rest, beta) < alpha:
+            return False
+    return True
+
+
+class OSCLU(ParamsMixin):
+    """Greedy approximation of the optimal orthogonal clustering.
+
+    Parameters
+    ----------
+    alpha : float in (0, 1]
+        Novelty requirement within a concept group.
+    beta : float in (0, 1]
+        Subspace-overlap level defining "similar concepts";
+        ``beta -> 0`` forbids any shared dimension between concepts,
+        ``beta = 1`` only groups exact projections (slide 82 extremes).
+    local_interestingness : callable ``(SubspaceCluster) -> float`` or None
+        ``I_local``; default ``|O| * |S|`` (application-dependent per
+        slide 84).
+    max_clusters : int or None
+
+    Attributes
+    ----------
+    clusters_ : SubspaceClustering — the orthogonal clustering.
+    objective_ : float — ``sum I_local`` over the selection.
+    """
+
+    def __init__(self, alpha=0.5, beta=0.5, local_interestingness=None,
+                 max_clusters=None):
+        self.alpha = alpha
+        self.beta = beta
+        self.local_interestingness = local_interestingness
+        self.max_clusters = max_clusters
+        self.clusters_ = None
+        self.objective_ = None
+
+    def _ilocal(self, c):
+        if self.local_interestingness is not None:
+            return float(self.local_interestingness(c))
+        return float(c.n_objects * c.dimensionality)
+
+    def fit(self, candidates):
+        check_in_range(self.alpha, "alpha", low=0.0, high=1.0,
+                       inclusive_low=False)
+        check_in_range(self.beta, "beta", low=0.0, high=1.0,
+                       inclusive_low=False)
+        if not isinstance(candidates, SubspaceClustering):
+            candidates = SubspaceClustering(candidates)
+        if len(candidates) == 0:
+            raise ValidationError("no candidate clusters to select from")
+        ranked = sorted(candidates, key=self._ilocal, reverse=True)
+        selected = []
+        for c in ranked:
+            if self.max_clusters is not None and len(selected) >= self.max_clusters:
+                break
+            trial = selected + [c]
+            # Admitting c must keep every member orthogonal (slide 83's
+            # condition applies to the whole clustering, so adding a big
+            # cluster may invalidate an earlier small one).
+            ok = True
+            for member in trial:
+                rest = SubspaceClustering([o for o in trial if o != member])
+                if global_interestingness(member, rest, self.beta) < self.alpha:
+                    ok = False
+                    break
+            if ok:
+                selected = trial
+        self.clusters_ = SubspaceClustering(selected, name="OSCLU")
+        self.objective_ = float(sum(self._ilocal(c) for c in selected))
+        return self
+
+    def fit_predict(self, candidates):
+        """Select and return the orthogonal :class:`SubspaceClustering`."""
+        return self.fit(candidates).clusters_

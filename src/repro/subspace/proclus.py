@@ -1,0 +1,191 @@
+"""PROCLUS (Aggarwal et al. 1999) — slide 66.
+
+*Projected* clustering: a k-medoids-style partitioning where every
+cluster additionally selects its own dimensions. The tutorial presents
+it as the contrast case — each object lands in exactly **one** cluster,
+i.e. a single clustering solution, unlike subspace clustering's
+overlapping ``M = ALL``.
+
+Phases (following the paper):
+
+1. greedy "piercing" selection of well-separated medoid candidates;
+2. iterative: per-medoid locality analysis, per-cluster dimension
+   selection by most-negative z-scores of average dimension-wise
+   distances (``k * avg_dims`` dimensions in total, >= 2 each),
+   assignment by segmental Manhattan distance, replacement of the worst
+   medoid;
+3. refinement: dimensions recomputed from the final assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import BaseClusterer
+from ..core.subspace import SubspaceCluster, SubspaceClustering
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.linalg import cdist_sq
+from ..utils.validation import (
+    check_array,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = ["PROCLUS"]
+
+
+register(TaxonomyEntry(
+    key="proclus",
+    reference="Aggarwal et al., 1999",
+    search_space=SearchSpace.SUBSPACES,
+    processing=Processing.ITERATIVE,
+    given_knowledge=False,
+    n_clusterings="1",
+    view_detection="no dissimilarity",
+    flexible_definition=False,
+    estimator="repro.subspace.proclus.PROCLUS",
+    notes="projected clustering: ONE partition, per-cluster dims",
+))
+
+
+class PROCLUS(BaseClusterer):
+    """Projected clustering with per-cluster dimension selection.
+
+    Parameters
+    ----------
+    n_clusters : int — ``k``.
+    avg_dims : float — average projected dimensionality ``l`` (the
+        algorithm selects ``k * l`` (cluster, dim) pairs, >= 2 per
+        cluster).
+    max_iter : int — medoid-replacement rounds.
+    candidate_factor : float — size of the piercing candidate set as a
+        multiple of ``k``.
+    random_state : int, Generator or None
+
+    Attributes
+    ----------
+    labels_ : ndarray — the single partition (``-1`` possible after
+        outlier refinement is disabled by default, so none here).
+    medoid_indices_ : ndarray (k,)
+    dims_ : list of tuple — selected dimensions per cluster.
+    clusters_ : SubspaceClustering — the projected clusters as
+        (objects, dims) pairs for subspace-metric evaluation.
+    """
+
+    def __init__(self, n_clusters=3, avg_dims=2.0, max_iter=20,
+                 candidate_factor=4.0, random_state=None):
+        self.n_clusters = n_clusters
+        self.avg_dims = avg_dims
+        self.max_iter = max_iter
+        self.candidate_factor = candidate_factor
+        self.random_state = random_state
+        self.labels_ = None
+        self.medoid_indices_ = None
+        self.dims_ = None
+        self.clusters_ = None
+
+    def _greedy_pierce(self, X, n_pick, rng):
+        """Greedy farthest-point candidate medoids."""
+        n = X.shape[0]
+        first = int(rng.integers(n))
+        chosen = [first]
+        dist = np.sqrt(cdist_sq(X, X[[first]])).ravel()
+        for _ in range(n_pick - 1):
+            nxt = int(np.argmax(dist))
+            chosen.append(nxt)
+            dist = np.minimum(dist, np.sqrt(cdist_sq(X, X[[nxt]])).ravel())
+        return np.asarray(chosen)
+
+    def _find_dimensions(self, X, medoids):
+        """Per-medoid dimension selection via z-scored locality deviations."""
+        k = medoids.size
+        d = X.shape[1]
+        med_pts = X[medoids]
+        med_d = np.sqrt(cdist_sq(med_pts, med_pts))
+        np.fill_diagonal(med_d, np.inf)
+        deltas = med_d.min(axis=1)
+        Z = np.empty((k, d))
+        for i in range(k):
+            dist_to_med = np.sqrt(cdist_sq(X, med_pts[[i]])).ravel()
+            local = np.flatnonzero(dist_to_med <= deltas[i])
+            if local.size < 2:
+                order = np.argsort(dist_to_med)
+                local = order[: max(2, X.shape[0] // (10 * k))]
+            diffs = np.abs(X[local] - med_pts[i][None, :]).mean(axis=0)
+            mu = diffs.mean()
+            sigma = diffs.std()
+            Z[i] = (diffs - mu) / (sigma if sigma > 0 else 1.0)
+        total_dims = max(2 * k, int(round(self.avg_dims * k)))
+        dims = [[] for _ in range(k)]
+        # Two mandatory dims per cluster: the two most negative z-scores.
+        order_per = np.argsort(Z, axis=1)
+        for i in range(k):
+            dims[i].extend(int(j) for j in order_per[i, :2])
+        remaining = total_dims - 2 * k
+        if remaining > 0:
+            flat = [
+                (Z[i, j], i, j)
+                for i in range(k) for j in range(d)
+                if j not in dims[i]
+            ]
+            flat.sort()
+            for _, i, j in flat[:remaining]:
+                dims[i].append(int(j))
+        return [tuple(sorted(dset)) for dset in dims]
+
+    @staticmethod
+    def _segmental_assign(X, medoids, dims):
+        """Assign objects by average Manhattan distance over cluster dims."""
+        n = X.shape[0]
+        k = medoids.size
+        scores = np.empty((n, k))
+        for i in range(k):
+            dlist = list(dims[i])
+            diff = np.abs(X[:, dlist] - X[medoids[i], dlist][None, :])
+            scores[:, i] = diff.mean(axis=1)
+        return np.argmin(scores, axis=1), scores
+
+    def fit(self, X):
+        X = check_array(X, min_samples=2)
+        n, d = X.shape
+        k = check_n_clusters(self.n_clusters, n)
+        if self.avg_dims < 2 or self.avg_dims > d:
+            raise ValidationError("avg_dims must lie in [2, n_features]")
+        rng = check_random_state(self.random_state)
+        n_candidates = min(n, max(k, int(round(self.candidate_factor * k))))
+        candidates = self._greedy_pierce(X, n_candidates, rng)
+        current = rng.choice(candidates, size=k, replace=False)
+        best = None
+        for _ in range(int(self.max_iter)):
+            dims = self._find_dimensions(X, current)
+            labels, scores = self._segmental_assign(X, current, dims)
+            cost = float(scores[np.arange(n), labels].mean())
+            if best is None or cost < best[0]:
+                best = (cost, current.copy(), dims, labels.copy())
+            # Replace the medoid of the smallest cluster with a random
+            # unused candidate (the paper's bad-medoid swap).
+            sizes = np.bincount(labels, minlength=k)
+            worst = int(np.argmin(sizes))
+            unused = np.setdiff1d(candidates, current)
+            if unused.size == 0:
+                break
+            trial = current.copy()
+            trial[worst] = rng.choice(unused)
+            current = trial
+        _, medoids, dims, labels = best
+        # Refinement pass: recompute dimensions from final clusters.
+        dims = self._find_dimensions(X, medoids)
+        labels, _ = self._segmental_assign(X, medoids, dims)
+        self.labels_ = labels.astype(np.int64)
+        self.medoid_indices_ = medoids
+        self.dims_ = dims
+        self.clusters_ = SubspaceClustering(
+            [
+                SubspaceCluster(np.flatnonzero(labels == i).tolist(), dims[i])
+                for i in range(k)
+                if np.any(labels == i)
+            ],
+            name="PROCLUS",
+        )
+        return self

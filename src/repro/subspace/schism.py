@@ -1,0 +1,126 @@
+"""SCHISM (Sequeira & Zaki 2004) — slides 72-73.
+
+Observation: the expected number of objects in a cell shrinks
+exponentially with the subspace dimensionality, so CLIQUE's *fixed*
+density threshold either floods low-dimensional subspaces or misses
+high-dimensional clusters. SCHISM's dimensionality-adaptive threshold
+comes from the Chernoff-Hoeffding bound (slide 73)::
+
+    tau(s) = E[X_s]/n + sqrt( ln(1/tau) / (2 n) ),   E[X_s]/n = (1/xi)^s
+
+i.e. the expected cell mass under the uniform-independence null plus a
+confidence slack: a cell holding more than ``tau(s) * n`` objects is
+*statistically surprising* at level ``tau``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .clique import CLIQUE
+from ..core.base import ParamsMixin
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import ValidationError
+from ..utils.validation import check_array, check_in_range
+
+__all__ = ["SCHISM", "schism_threshold"]
+
+
+register(TaxonomyEntry(
+    key="schism",
+    reference="Sequeira & Zaki, 2004",
+    search_space=SearchSpace.SUBSPACES,
+    processing=Processing.SIMULTANEOUS,
+    given_knowledge=False,
+    n_clusterings=">=2",
+    view_detection="no dissimilarity",
+    flexible_definition=False,
+    estimator="repro.subspace.schism.SCHISM",
+    notes="Chernoff-Hoeffding dimensionality-adaptive threshold",
+))
+
+
+def schism_threshold(dimensionality, n_samples, n_intervals, tau=0.05):
+    """The SCHISM threshold ``tau(s)`` as a *fraction* of the data.
+
+    Parameters
+    ----------
+    dimensionality : int — subspace size ``s``.
+    n_samples : int — database size ``n``.
+    n_intervals : int — grid resolution ``xi``.
+    tau : float in (0, 1) — significance level of the Chernoff-Hoeffding
+        bound (smaller = stricter = higher threshold).
+
+    Returns
+    -------
+    float — monotonically decreasing in ``s``, approaching the constant
+    slack term as ``(1/xi)^s -> 0``.
+    """
+    if dimensionality < 1:
+        raise ValidationError("dimensionality must be >= 1")
+    if n_samples < 1:
+        raise ValidationError("n_samples must be >= 1")
+    if n_intervals < 2:
+        raise ValidationError("n_intervals must be >= 2")
+    check_in_range(tau, "tau", low=0.0, high=1.0,
+                   inclusive_low=False, inclusive_high=False)
+    expected = (1.0 / n_intervals) ** dimensionality
+    slack = math.sqrt(math.log(1.0 / tau) / (2.0 * n_samples))
+    return expected + slack
+
+
+class SCHISM(ParamsMixin):
+    """CLIQUE-style mining with the SCHISM threshold function.
+
+    Parameters
+    ----------
+    n_intervals, max_dim, min_cluster_size, prune : as in CLIQUE.
+    tau : float — significance level of the threshold function.
+
+    Attributes
+    ----------
+    clusters_ : SubspaceClustering
+    thresholds_ : dict dimensionality -> threshold fraction used.
+    subspaces_visited_ : int
+    """
+
+    def __init__(self, n_intervals=10, tau=0.05, max_dim=None,
+                 min_cluster_size=2, prune=True):
+        self.n_intervals = n_intervals
+        self.tau = tau
+        self.max_dim = max_dim
+        self.min_cluster_size = min_cluster_size
+        self.prune = prune
+        self.clusters_ = None
+        self.thresholds_ = None
+        self.subspaces_visited_ = None
+        self._clique_ = None
+
+    def fit(self, X):
+        X = check_array(X)
+        n = X.shape[0]
+
+        def threshold_fn(s):
+            return schism_threshold(s, n, self.n_intervals, tau=self.tau)
+
+        clique = CLIQUE(
+            n_intervals=self.n_intervals,
+            density_threshold=0.5,        # unused when threshold_fn given
+            max_dim=self.max_dim,
+            min_cluster_size=self.min_cluster_size,
+            prune=self.prune,
+            threshold_fn=threshold_fn,
+        ).fit(X)
+        max_dim = X.shape[1] if self.max_dim is None else int(self.max_dim)
+        self.clusters_ = clique.clusters_
+        self.clusters_.name = "SCHISM"
+        self.thresholds_ = {
+            s: threshold_fn(s) for s in range(1, max_dim + 1)
+        }
+        self.subspaces_visited_ = clique.subspaces_visited_
+        self._clique_ = clique
+        return self
+
+    def fit_predict(self, X):
+        """Fit and return the :class:`SubspaceClustering` result."""
+        return self.fit(X).clusters_

@@ -1,0 +1,31 @@
+"""Paradigm 2 — multiple clusterings by orthogonal space transformations
+(tutorial section 3)."""
+
+from .altspace import (
+    AlternativeClusteringViaTransformation,
+    AlternativeSpaceTransform,
+    invert_stretcher,
+)
+from .flexible import FlexibleAlternativeClustering, FlexibleAlternativeTransform
+from .metric_learning import MetricLearner, learn_metric, scatter_matrices
+from .orthogonal import (
+    OrthogonalAlternative,
+    OrthogonalClustering,
+    OrthogonalProjectionTransform,
+    explanatory_subspace,
+)
+
+__all__ = [
+    "AlternativeClusteringViaTransformation",
+    "AlternativeSpaceTransform",
+    "invert_stretcher",
+    "FlexibleAlternativeClustering",
+    "FlexibleAlternativeTransform",
+    "MetricLearner",
+    "learn_metric",
+    "scatter_matrices",
+    "OrthogonalAlternative",
+    "OrthogonalClustering",
+    "OrthogonalProjectionTransform",
+    "explanatory_subspace",
+]

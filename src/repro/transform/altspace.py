@@ -1,0 +1,137 @@
+"""Alternative clustering via metric-learning + stretcher inversion
+(Davidson & Qi 2008) — slides 50-52.
+
+1. Learn a transformation matrix ``D`` from the given clustering's
+   must-link/cannot-link constraints (any metric learner; we use the
+   scatter-based learner in :mod:`repro.transform.metric_learning`).
+2. SVD-decompose ``D = H . S . A`` ("rotate . stretch . rotate").
+3. Invert the stretcher: ``M = H . S^{-1} . A``. Directions that ``D``
+   stretched (those separating the known clusters) are compressed, and
+   vice versa, so clustering ``{M x}`` reveals an alternative grouping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metric_learning import MetricLearner
+from ..core.base import AlternativeClusterer
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..cluster.kmeans import KMeans
+from ..exceptions import ValidationError
+from ..utils.validation import check_array, check_random_state
+
+__all__ = ["AlternativeSpaceTransform", "invert_stretcher", "AlternativeClusteringViaTransformation"]
+
+
+register(TaxonomyEntry(
+    key="davidson-qi",
+    reference="Davidson & Qi, 2008",
+    search_space=SearchSpace.TRANSFORMED,
+    processing=Processing.ITERATIVE,
+    given_knowledge=True,
+    n_clusterings="2",
+    view_detection="dissimilarity",
+    flexible_definition=True,
+    estimator="repro.transform.altspace.AlternativeClusteringViaTransformation",
+    notes="SVD of learned metric, inverted stretcher",
+))
+
+
+def invert_stretcher(D, *, floor=1e-6):
+    """``M = H S^{-1} A`` for the SVD ``D = H S A`` (slide 51).
+
+    Singular values below ``floor`` (relative to the largest) are clamped
+    before inversion so directions the metric collapsed entirely do not
+    explode.
+    """
+    D = np.asarray(D, dtype=np.float64)
+    if D.ndim != 2 or D.shape[0] != D.shape[1]:
+        raise ValidationError("D must be square")
+    H, s, A = np.linalg.svd(D)
+    s_max = s.max() if s.size else 1.0
+    s_clamped = np.maximum(s, floor * s_max)
+    return H @ np.diag(1.0 / s_clamped) @ A
+
+
+class AlternativeSpaceTransform:
+    """Transformer form (pluggable into IterativeAlternativePipeline).
+
+    ``fit(X, labels)`` learns ``D`` from the labels and stores the
+    alternative matrix ``M``; ``transform(X)`` applies it.
+
+    Attributes
+    ----------
+    metric_ : ndarray — the learned ``D``.
+    matrix_ : ndarray — the alternative transformation ``M``.
+    """
+
+    def __init__(self, reg=1e-3, floor=1e-6):
+        self.reg = float(reg)
+        self.floor = float(floor)
+        self.metric_ = None
+        self.matrix_ = None
+
+    def fit(self, X, labels):
+        learner = MetricLearner(reg=self.reg).fit(X, labels)
+        self.metric_ = learner.metric_
+        self.matrix_ = invert_stretcher(learner.metric_, floor=self.floor)
+        return self
+
+    def transform(self, X):
+        if self.matrix_ is None:
+            raise ValidationError("transform is not fitted")
+        X = check_array(X)
+        return X @ self.matrix_.T
+
+
+class AlternativeClusteringViaTransformation(AlternativeClusterer):
+    """End-to-end Davidson & Qi alternative clusterer.
+
+    Parameters
+    ----------
+    clusterer : BaseClusterer or None
+        Applied to the transformed data; default k-means with the given
+        clustering's cluster count (the paradigm is clusterer-agnostic,
+        slide 48).
+    reg, floor : metric learning / inversion regularisers.
+    random_state : seeds the default clusterer.
+
+    Attributes
+    ----------
+    labels_ : ndarray — the alternative clustering.
+    transform_ : AlternativeSpaceTransform — fitted transformation.
+    transformed_X_ : ndarray — the transformed data that was clustered.
+    """
+
+    def __init__(self, clusterer=None, reg=1e-3, floor=1e-6,
+                 random_state=None):
+        self.clusterer = clusterer
+        self.reg = reg
+        self.floor = floor
+        self.random_state = random_state
+        self.labels_ = None
+        self.transform_ = None
+        self.transformed_X_ = None
+
+    def fit(self, X, given):
+        X = check_array(X, min_samples=2)
+        given_list = self._given_labels(given)
+        if len(given_list) != 1:
+            raise ValidationError("expects exactly one given clustering")
+        labels = given_list[0]
+        if labels.shape[0] != X.shape[0]:
+            raise ValidationError("given clustering length mismatch")
+        transform = AlternativeSpaceTransform(reg=self.reg, floor=self.floor)
+        transform.fit(X, labels)
+        Z = transform.transform(X)
+        clusterer = self.clusterer
+        if clusterer is None:
+            k = int(np.unique(labels[labels != -1]).size)
+            rng = check_random_state(self.random_state)
+            clusterer = KMeans(n_clusters=max(k, 2),
+                               random_state=rng.integers(2**31 - 1))
+        self.labels_ = np.asarray(clusterer.fit(Z).labels_)
+        self.transform_ = transform
+        self.transformed_X_ = Z
+        return self

@@ -1,0 +1,155 @@
+"""Constraint-based alternative transformation (Qi & Davidson 2009) —
+slides 54-55.
+
+Finds a linear map ``M`` minimising distortion (KL divergence between
+the original and transformed distributions) subject to: points should be
+*far* from the means of the clusters they previously did **not** belong
+to (so the old structure stops dominating). The optimum is closed form::
+
+    M = Sigma~^{-1/2},   Sigma~ = (1/n) sum_i sum_{j : x_i not in C_j}
+                                   (x_i - m_j)(x_i - m_j)^T
+
+The "more general approach" of the paper — choosing which clusters to
+keep and which to reject — is exposed via ``reject_clusters``: only the
+rejected clusters' means contribute to ``Sigma~`` (default: all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import AlternativeClusterer
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..cluster.kmeans import KMeans
+from ..exceptions import ValidationError
+from ..utils.validation import check_array, check_labels, check_random_state
+
+__all__ = ["FlexibleAlternativeTransform", "FlexibleAlternativeClustering"]
+
+
+register(TaxonomyEntry(
+    key="qi-davidson",
+    reference="Qi & Davidson, 2009",
+    search_space=SearchSpace.TRANSFORMED,
+    processing=Processing.ITERATIVE,
+    given_knowledge=True,
+    n_clusterings="2",
+    view_detection="dissimilarity",
+    flexible_definition=True,
+    estimator="repro.transform.flexible.FlexibleAlternativeClustering",
+    notes="closed-form M = Sigma~^{-1/2}; keep/reject cluster subsets",
+))
+
+
+class FlexibleAlternativeTransform:
+    """Transformer computing ``M = Sigma~^{-1/2}``.
+
+    Parameters
+    ----------
+    reject_clusters : iterable of int or None
+        Cluster ids whose structure should be *rejected* (pushed away
+        from). ``None`` rejects all given clusters — the basic setting.
+    reg : float
+        Ridge added to ``Sigma~`` before the inverse square root.
+
+    Attributes
+    ----------
+    matrix_ : ndarray (d, d) — the transformation ``M``.
+    sigma_ : ndarray (d, d) — the scatter ``Sigma~``.
+    """
+
+    def __init__(self, reject_clusters=None, reg=1e-6):
+        self.reject_clusters = reject_clusters
+        self.reg = float(reg)
+        self.matrix_ = None
+        self.sigma_ = None
+
+    def fit(self, X, labels):
+        X = check_array(X)
+        labels = check_labels(labels, n_samples=X.shape[0])
+        ids = np.unique(labels)
+        ids = ids[ids != -1]
+        if ids.size < 1:
+            raise ValidationError("given clustering has no clusters")
+        reject = set(int(c) for c in (self.reject_clusters
+                                      if self.reject_clusters is not None
+                                      else ids))
+        unknown = reject - set(int(c) for c in ids)
+        if unknown:
+            raise ValidationError(f"reject_clusters {sorted(unknown)} not in given clustering")
+        n, d = X.shape
+        sigma = np.zeros((d, d))
+        count = 0
+        for cid in ids:
+            if cid not in reject:
+                continue
+            m = X[labels == cid].mean(axis=0)
+            outside = X[labels != cid]
+            diff = outside - m[None, :]
+            sigma += diff.T @ diff
+            count += outside.shape[0]
+        if count == 0:
+            raise ValidationError("no (point, rejected-cluster) pairs found")
+        sigma /= n
+        sigma += self.reg * np.trace(sigma) / max(d, 1) * np.eye(d)
+        vals, vecs = np.linalg.eigh(sigma)
+        inv_sqrt = vecs @ np.diag(1.0 / np.sqrt(np.maximum(vals, 1e-12))) @ vecs.T
+        self.sigma_ = sigma
+        self.matrix_ = inv_sqrt
+        return self
+
+    def transform(self, X):
+        if self.matrix_ is None:
+            raise ValidationError("transform is not fitted")
+        X = check_array(X)
+        return X @ self.matrix_.T
+
+
+class FlexibleAlternativeClustering(AlternativeClusterer):
+    """End-to-end Qi & Davidson alternative clusterer.
+
+    Parameters
+    ----------
+    clusterer : BaseClusterer or None
+        Default: k-means matching the given cluster count.
+    reject_clusters : iterable of int or None
+        Which parts of the given clustering to move away from.
+    reg, random_state : as usual.
+
+    Attributes
+    ----------
+    labels_, transform_, transformed_X_ : as in the Davidson & Qi class.
+    """
+
+    def __init__(self, clusterer=None, reject_clusters=None, reg=1e-6,
+                 random_state=None):
+        self.clusterer = clusterer
+        self.reject_clusters = reject_clusters
+        self.reg = reg
+        self.random_state = random_state
+        self.labels_ = None
+        self.transform_ = None
+        self.transformed_X_ = None
+
+    def fit(self, X, given):
+        X = check_array(X, min_samples=2)
+        given_list = self._given_labels(given)
+        if len(given_list) != 1:
+            raise ValidationError("expects exactly one given clustering")
+        labels = given_list[0]
+        if labels.shape[0] != X.shape[0]:
+            raise ValidationError("given clustering length mismatch")
+        transform = FlexibleAlternativeTransform(
+            reject_clusters=self.reject_clusters, reg=self.reg
+        ).fit(X, labels)
+        Z = transform.transform(X)
+        clusterer = self.clusterer
+        if clusterer is None:
+            k = int(np.unique(labels[labels != -1]).size)
+            rng = check_random_state(self.random_state)
+            clusterer = KMeans(n_clusters=max(k, 2),
+                               random_state=rng.integers(2**31 - 1))
+        self.labels_ = np.asarray(clusterer.fit(Z).labels_)
+        self.transform_ = transform
+        self.transformed_X_ = Z
+        return self

@@ -1,0 +1,100 @@
+"""Scatter-based metric learning substrate.
+
+Davidson & Qi (2008) assume "any metric learning algorithm" that, from a
+given clustering, learns a transformation under which that clustering is
+easy to see (slide 50). This module provides such a learner without
+external dependencies: a Fisher-style whitening metric
+
+    D = S_w^{-1/2} . S_b . S_w^{-1/2}    (as a PSD matrix, ``learn_metric``)
+
+built from the within-cluster scatter ``S_w`` (must-link pairs pulled
+together) and between-cluster scatter ``S_b`` (cannot-link pairs pushed
+apart).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..utils.validation import check_array, check_labels
+
+__all__ = ["scatter_matrices", "learn_metric", "MetricLearner"]
+
+
+def scatter_matrices(X, labels):
+    """Within- and between-cluster scatter matrices ``(S_w, S_b)``.
+
+    Noise objects are ignored. Both matrices are normalised by the
+    participating object count so their scales are comparable.
+    """
+    X = check_array(X)
+    labels = check_labels(labels, n_samples=X.shape[0])
+    mask = labels != -1
+    Xc = X[mask]
+    lc = labels[mask]
+    if Xc.shape[0] == 0:
+        raise ValidationError("all objects are noise")
+    overall = Xc.mean(axis=0)
+    d = X.shape[1]
+    S_w = np.zeros((d, d))
+    S_b = np.zeros((d, d))
+    for cid in np.unique(lc):
+        pts = Xc[lc == cid]
+        mu = pts.mean(axis=0)
+        diff = pts - mu
+        S_w += diff.T @ diff
+        gap = (mu - overall)[:, None]
+        S_b += pts.shape[0] * (gap @ gap.T)
+    n = Xc.shape[0]
+    return S_w / n, S_b / n
+
+
+def learn_metric(X, labels, *, reg=1e-3):
+    """PSD metric matrix ``D`` under which the given clustering is compact.
+
+    ``D = S_w^{-1/2} (S_b + reg I) S_w^{-1/2}`` scaled to unit spectral
+    norm — distances ``sqrt((x-y)^T D (x-y))`` shrink within-cluster
+    directions and stretch between-cluster directions.
+    """
+    S_w, S_b = scatter_matrices(X, labels)
+    d = X.shape[1]
+    S_w = S_w + reg * np.trace(S_w) / max(d, 1) * np.eye(d) + reg * np.eye(d)
+    vals, vecs = np.linalg.eigh(S_w)
+    inv_sqrt = vecs @ np.diag(1.0 / np.sqrt(np.maximum(vals, 1e-12))) @ vecs.T
+    D = inv_sqrt @ (S_b + reg * np.eye(d)) @ inv_sqrt
+    D = 0.5 * (D + D.T)
+    top = np.linalg.eigvalsh(D).max()
+    if top <= 0:
+        raise ValidationError("degenerate metric (no between-cluster scatter)")
+    return D / top
+
+
+class MetricLearner:
+    """Object-style wrapper around :func:`learn_metric`.
+
+    Attributes
+    ----------
+    metric_ : ndarray (d, d) — the learned PSD matrix ``D``.
+    transform_matrix_ : ndarray (d, d) — ``D^{1/2}``, so that Euclidean
+        distance after ``transform`` equals the learned metric.
+    """
+
+    def __init__(self, reg=1e-3):
+        self.reg = float(reg)
+        self.metric_ = None
+        self.transform_matrix_ = None
+
+    def fit(self, X, labels):
+        D = learn_metric(X, labels, reg=self.reg)
+        vals, vecs = np.linalg.eigh(D)
+        sqrt = vecs @ np.diag(np.sqrt(np.maximum(vals, 0.0))) @ vecs.T
+        self.metric_ = D
+        self.transform_matrix_ = sqrt
+        return self
+
+    def transform(self, X):
+        if self.transform_matrix_ is None:
+            raise ValidationError("MetricLearner is not fitted")
+        X = check_array(X)
+        return X @ self.transform_matrix_.T

@@ -1,0 +1,224 @@
+"""Orthogonal subspace projections (Cui, Fern & Dy 2007/2010) — s57-60.
+
+Iteratively: cluster the data, find the "explanatory" subspace ``A``
+spanned by the (strong principal components of the) cluster means, then
+project the data onto the orthogonal complement::
+
+    M = I - A (A^T A)^{-1} A^T,     DB_{i+1} = { M x | x in DB_i }
+
+Removing the main factors highlights previously weak structure; the
+iteration continues until the residual space is exhausted or clusterings
+become redundant — so the number of clusterings is determined
+automatically (slide 60), unlike the other paradigm-2 methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import AlternativeClusterer, MultiClusteringEstimator
+from ..core.pipeline import IterativeAlternativePipeline
+from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..cluster.kmeans import KMeans
+from ..exceptions import ValidationError
+from ..utils.linalg import orthogonal_complement_projector, orthonormal_basis
+from ..utils.validation import check_array, check_labels
+
+__all__ = ["OrthogonalProjectionTransform", "OrthogonalClustering",
+           "OrthogonalAlternative", "explanatory_subspace"]
+
+
+register(TaxonomyEntry(
+    key="cui-orthogonal",
+    reference="Cui et al., 2007",
+    search_space=SearchSpace.TRANSFORMED,
+    processing=Processing.ITERATIVE,
+    given_knowledge=True,
+    n_clusterings=">=2",
+    view_detection="dissimilarity",
+    flexible_definition=True,
+    estimator="repro.transform.orthogonal.OrthogonalClustering",
+    notes="#clusterings determined automatically by residual exhaustion",
+))
+
+
+def explanatory_subspace(X, labels, *, variance_ratio=0.9, max_components=None):
+    """Basis ``A`` of the subspace capturing the clustering structure.
+
+    PCA of the cluster-mean matrix: keep the fewest principal directions
+    explaining ``variance_ratio`` of the means' variance (slide 58 keeps
+    ``p < k`` strong components). Returns an orthonormal (d, p) basis.
+    """
+    X = check_array(X)
+    labels = check_labels(labels, n_samples=X.shape[0])
+    ids = np.unique(labels)
+    ids = ids[ids != -1]
+    if ids.size < 1:
+        raise ValidationError("no clusters in labels")
+    means = np.stack([X[labels == cid].mean(axis=0) for cid in ids])
+    centered = means - means.mean(axis=0, keepdims=True)
+    U, s, Vt = np.linalg.svd(centered, full_matrices=False)
+    if s.size == 0 or s[0] <= 1e-12:
+        # Degenerate: all means coincide; explain nothing.
+        return np.zeros((X.shape[1], 0))
+    var = s ** 2
+    cum = np.cumsum(var) / var.sum()
+    p = int(np.searchsorted(cum, variance_ratio) + 1)
+    p = min(p, ids.size - 1 if ids.size > 1 else 1)
+    if max_components is not None:
+        p = min(p, int(max_components))
+    p = max(p, 1)
+    return orthonormal_basis(Vt[:p].T)
+
+
+class OrthogonalProjectionTransform:
+    """Transformer projecting out the explanatory subspace of a clustering.
+
+    Sets ``should_stop_`` when the residual space would become (near)
+    empty, letting the pipeline terminate (auto-#clusterings).
+
+    Attributes
+    ----------
+    basis_ : ndarray (d, p) — explanatory subspace ``A``.
+    projector_ : ndarray (d, d) — ``I - A(A^T A)^{-1}A^T``.
+    should_stop_ : bool
+    """
+
+    def __init__(self, variance_ratio=0.9, max_components=None,
+                 min_residual_energy=1e-3):
+        self.variance_ratio = float(variance_ratio)
+        self.max_components = max_components
+        self.min_residual_energy = float(min_residual_energy)
+        self.basis_ = None
+        self.projector_ = None
+        self.should_stop_ = False
+
+    def fit(self, X, labels):
+        X = check_array(X)
+        A = explanatory_subspace(
+            X, labels, variance_ratio=self.variance_ratio,
+            max_components=self.max_components,
+        )
+        self.basis_ = A
+        if A.shape[1] == 0:
+            self.projector_ = np.eye(X.shape[1])
+            self.should_stop_ = True
+            return self
+        self.projector_ = orthogonal_complement_projector(A)
+        residual = X @ self.projector_.T
+        total = float(np.sum((X - X.mean(axis=0)) ** 2))
+        res_energy = float(np.sum((residual - residual.mean(axis=0)) ** 2))
+        self.should_stop_ = (
+            total <= 0 or res_energy / max(total, 1e-12) < self.min_residual_energy
+        )
+        return self
+
+    def transform(self, X):
+        if self.projector_ is None:
+            raise ValidationError("transform is not fitted")
+        X = check_array(X)
+        return X @ self.projector_.T
+
+
+class OrthogonalAlternative(AlternativeClusterer):
+    """Single-step given-knowledge form of Cui et al. (slide 58-59).
+
+    Given an existing clustering, project the data onto the orthogonal
+    complement of its explanatory subspace and cluster once — the
+    building block the iterative :class:`OrthogonalClustering` chains.
+
+    Parameters
+    ----------
+    clusterer : BaseClusterer or None — default k-means matching the
+        given cluster count.
+    variance_ratio : PCA energy kept for the explanatory subspace.
+    random_state : seeds the default clusterer.
+
+    Attributes
+    ----------
+    labels_ : ndarray — the alternative clustering.
+    transform_ : OrthogonalProjectionTransform — the fitted projector.
+    """
+
+    def __init__(self, clusterer=None, variance_ratio=0.9,
+                 random_state=None):
+        self.clusterer = clusterer
+        self.variance_ratio = variance_ratio
+        self.random_state = random_state
+        self.labels_ = None
+        self.transform_ = None
+
+    def fit(self, X, given):
+        X = check_array(X, min_samples=2)
+        given_list = self._given_labels(given)
+        if len(given_list) != 1:
+            raise ValidationError("expects exactly one given clustering")
+        labels = given_list[0]
+        if labels.shape[0] != X.shape[0]:
+            raise ValidationError("given clustering length mismatch")
+        transform = OrthogonalProjectionTransform(
+            variance_ratio=self.variance_ratio).fit(X, labels)
+        Z = transform.transform(X)
+        clusterer = self.clusterer
+        if clusterer is None:
+            k = int(np.unique(labels[labels != -1]).size)
+            clusterer = KMeans(n_clusters=max(k, 2),
+                               random_state=self.random_state)
+        self.labels_ = np.asarray(clusterer.fit(Z).labels_)
+        self.transform_ = transform
+        return self
+
+
+class OrthogonalClustering(MultiClusteringEstimator):
+    """Full Cui et al. iteration with automatic stopping.
+
+    Parameters
+    ----------
+    clusterer : BaseClusterer or None
+        Default k-means with ``n_clusters``.
+    n_clusters : int
+        Used only for the default clusterer.
+    max_clusterings : int
+        Safety bound on the number of produced solutions.
+    variance_ratio : float
+        PCA energy kept when extracting the explanatory subspace.
+    min_dissimilarity : float
+        Redundancy guard forwarded to the pipeline.
+    random_state : seeds the default clusterer.
+
+    Attributes
+    ----------
+    labelings_ : list of ndarray
+    stopped_reason_ : str — "transformer" = residual space exhausted.
+    """
+
+    def __init__(self, clusterer=None, n_clusters=2, max_clusterings=5,
+                 variance_ratio=0.9, min_dissimilarity=0.05,
+                 random_state=None):
+        self.clusterer = clusterer
+        self.n_clusters = n_clusters
+        self.max_clusterings = max_clusterings
+        self.variance_ratio = variance_ratio
+        self.min_dissimilarity = min_dissimilarity
+        self.random_state = random_state
+        self.labelings_ = None
+        self.stopped_reason_ = None
+        self.pipeline_ = None
+
+    def fit(self, X):
+        clusterer = self.clusterer or KMeans(
+            n_clusters=self.n_clusters, random_state=self.random_state
+        )
+        pipeline = IterativeAlternativePipeline(
+            clusterer=clusterer,
+            transformer=OrthogonalProjectionTransform(
+                variance_ratio=self.variance_ratio
+            ),
+            n_solutions=self.max_clusterings,
+            min_dissimilarity=self.min_dissimilarity,
+        )
+        pipeline.fit(X)
+        self.labelings_ = pipeline.labelings_
+        self.stopped_reason_ = pipeline.stopped_reason_
+        self.pipeline_ = pipeline
+        return self

@@ -1,0 +1,43 @@
+"""Shared utilities: validation and linear-algebra kernels."""
+
+from .linalg import (
+    cdist_sq,
+    center_kernel,
+    distance_contrast,
+    logsumexp,
+    mahalanobis_sq,
+    orthogonal_complement_projector,
+    orthonormal_basis,
+    pairwise_distances,
+    pairwise_sq_distances,
+    rbf_kernel,
+)
+from .validation import (
+    as_feature_indices,
+    check_array,
+    check_in_range,
+    check_is_fitted,
+    check_labels,
+    check_n_clusters,
+    check_random_state,
+)
+
+__all__ = [
+    "cdist_sq",
+    "center_kernel",
+    "distance_contrast",
+    "logsumexp",
+    "mahalanobis_sq",
+    "orthogonal_complement_projector",
+    "orthonormal_basis",
+    "pairwise_distances",
+    "pairwise_sq_distances",
+    "rbf_kernel",
+    "as_feature_indices",
+    "check_array",
+    "check_in_range",
+    "check_is_fitted",
+    "check_labels",
+    "check_n_clusters",
+    "check_random_state",
+]

@@ -1,0 +1,142 @@
+"""Small linear-algebra and distance kernels used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "pairwise_sq_distances",
+    "pairwise_distances",
+    "cdist_sq",
+    "mahalanobis_sq",
+    "orthonormal_basis",
+    "orthogonal_complement_projector",
+    "logsumexp",
+    "rbf_kernel",
+    "center_kernel",
+    "distance_contrast",
+]
+
+
+def cdist_sq(A, B):
+    """Squared Euclidean distances between rows of ``A`` and rows of ``B``.
+
+    Uses the expansion ``|a-b|^2 = |a|^2 + |b|^2 - 2 a.b`` with clipping to
+    guard against negative round-off.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    aa = np.sum(A * A, axis=1)[:, None]
+    bb = np.sum(B * B, axis=1)[None, :]
+    d2 = aa + bb - 2.0 * (A @ B.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def pairwise_sq_distances(X):
+    """All-pairs squared Euclidean distances of the rows of ``X``."""
+    d2 = cdist_sq(X, X)
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def pairwise_distances(X):
+    """All-pairs Euclidean distances of the rows of ``X``."""
+    return np.sqrt(pairwise_sq_distances(X))
+
+
+def mahalanobis_sq(X, mean, B):
+    """Squared Mahalanobis distance ``(x-m)^T B (x-m)`` for each row of X.
+
+    ``B`` must be a symmetric positive semi-definite matrix.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    diff = X - np.asarray(mean, dtype=np.float64)[None, :]
+    return np.einsum("ij,jk,ik->i", diff, B, diff)
+
+
+def orthonormal_basis(V, tol=1e-10):
+    """Orthonormal basis of the column span of ``V`` via SVD.
+
+    Returns an array of shape ``(d, r)`` where ``r`` is the numerical rank.
+    """
+    V = np.asarray(V, dtype=np.float64)
+    if V.ndim == 1:
+        V = V[:, None]
+    if V.shape[1] == 0:
+        return np.zeros((V.shape[0], 0))
+    U, s, _ = np.linalg.svd(V, full_matrices=False)
+    rank = int(np.sum(s > tol * max(V.shape) * (s[0] if s.size else 1.0)))
+    return U[:, :rank]
+
+
+def orthogonal_complement_projector(A):
+    """Projector onto the orthogonal complement of the column span of ``A``.
+
+    This is the matrix ``M = I - A (A^T A)^{-1} A^T`` from Cui et al. (2007),
+    computed stably through an orthonormal basis.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim == 1:
+        A = A[:, None]
+    d = A.shape[0]
+    Q = orthonormal_basis(A)
+    return np.eye(d) - Q @ Q.T
+
+
+def logsumexp(a, axis=None):
+    """Numerically stable ``log(sum(exp(a)))``."""
+    a = np.asarray(a, dtype=np.float64)
+    amax = np.max(a, axis=axis, keepdims=True)
+    amax = np.where(np.isfinite(amax), amax, 0.0)
+    out = np.log(np.sum(np.exp(a - amax), axis=axis, keepdims=True)) + amax
+    if axis is None:
+        return float(out.ravel()[0])
+    return np.squeeze(out, axis=axis)
+
+
+def rbf_kernel(X, gamma=None):
+    """Gaussian RBF kernel matrix ``exp(-gamma |x-y|^2)``.
+
+    When ``gamma`` is ``None`` the median-distance heuristic is used.
+    """
+    d2 = pairwise_sq_distances(X)
+    if gamma is None:
+        pos = d2[d2 > 0]
+        med = np.median(pos) if pos.size else 1.0
+        gamma = 1.0 / (2.0 * med) if med > 0 else 1.0
+    return np.exp(-gamma * d2)
+
+
+def center_kernel(K):
+    """Double-centre a kernel matrix: ``H K H`` with ``H = I - 11^T/n``."""
+    K = np.asarray(K, dtype=np.float64)
+    n = K.shape[0]
+    if K.shape != (n, n):
+        raise ValidationError("kernel matrix must be square")
+    row_mean = K.mean(axis=0, keepdims=True)
+    col_mean = K.mean(axis=1, keepdims=True)
+    return K - row_mean - col_mean + K.mean()
+
+
+def distance_contrast(X):
+    """Relative distance contrast ``(dmax - dmin) / dmin`` averaged over points.
+
+    This is the quantity of Beyer et al. (1999) quoted on slide 12 of the
+    tutorial: it tends to zero as the dimensionality of i.i.d. data grows
+    (the "curse of dimensionality").
+    """
+    d = pairwise_distances(X)
+    n = d.shape[0]
+    if n < 3:
+        raise ValidationError("distance_contrast needs at least 3 points")
+    eye = np.eye(n, dtype=bool)
+    d_masked = np.where(eye, np.inf, d)
+    dmin = d_masked.min(axis=1)
+    dmax = np.where(eye, -np.inf, d).max(axis=1)
+    valid = dmin > 0
+    if not valid.any():
+        return 0.0
+    return float(np.mean((dmax[valid] - dmin[valid]) / dmin[valid]))

@@ -1,0 +1,179 @@
+"""Input validation helpers shared by every estimator in the library.
+
+These mirror the conventions of mainstream numerical Python libraries:
+data is validated once at the public boundary (``fit``), converted to a
+well-formed ``float64`` array, and internal code can then assume clean
+inputs.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ValidationError
+
+__all__ = [
+    "check_array",
+    "check_labels",
+    "check_random_state",
+    "check_is_fitted",
+    "check_n_clusters",
+    "check_in_range",
+    "as_feature_indices",
+]
+
+
+def check_array(X, *, min_samples=1, min_features=1, name="X"):
+    """Validate a 2-D numeric data matrix and return it as ``float64``.
+
+    Parameters
+    ----------
+    X : array-like of shape (n_samples, n_features)
+        The data to validate.
+    min_samples : int
+        Minimum number of rows required.
+    min_features : int
+        Minimum number of columns required.
+    name : str
+        Name used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous ``float64`` copy-or-view of the input.
+
+    Raises
+    ------
+    ValidationError
+        If the input is not 2-D, contains NaN/inf, or is too small.
+    """
+    try:
+        arr = np.asarray(X, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} could not be converted to a float array: {exc}") from exc
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if arr.shape[0] < min_samples:
+        raise ValidationError(
+            f"{name} needs at least {min_samples} samples, got {arr.shape[0]}"
+        )
+    if arr.shape[1] < min_features:
+        raise ValidationError(
+            f"{name} needs at least {min_features} features, got {arr.shape[1]}"
+        )
+    if not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_labels(labels, *, n_samples=None, allow_noise=True, name="labels"):
+    """Validate an integer label vector.
+
+    Labels must be integers; ``-1`` denotes noise (allowed only when
+    ``allow_noise`` is true). Returns an ``int64`` array.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.issubdtype(arr.dtype, np.integer):
+        rounded = np.round(np.asarray(arr, dtype=np.float64))
+        if not np.allclose(arr, rounded):
+            raise ValidationError(f"{name} must contain integers")
+        arr = rounded
+    arr = arr.astype(np.int64)
+    if n_samples is not None and arr.shape[0] != n_samples:
+        raise ValidationError(
+            f"{name} has length {arr.shape[0]}, expected {n_samples}"
+        )
+    if arr.min() < -1 or (arr.min() == -1 and not allow_noise):
+        raise ValidationError(
+            f"{name} contains invalid negative labels (noise label -1 "
+            f"{'is allowed' if allow_noise else 'is not allowed here'})"
+        )
+    return arr
+
+
+def check_random_state(seed):
+    """Turn ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an int seed, or an existing
+    ``Generator`` (returned unchanged).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, numbers.Integral):
+        return np.random.default_rng(int(seed))
+    if isinstance(seed, np.random.Generator):
+        return seed
+    raise ValidationError(
+        f"random_state must be None, an int, or a numpy Generator, got {type(seed)!r}"
+    )
+
+
+def check_is_fitted(estimator, attributes):
+    """Raise :class:`NotFittedError` unless all ``attributes`` exist."""
+    if isinstance(attributes, str):
+        attributes = [attributes]
+    missing = [a for a in attributes if getattr(estimator, a, None) is None]
+    if missing:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet "
+            f"(missing attributes: {missing}); call fit() first."
+        )
+
+
+def check_n_clusters(n_clusters, n_samples, name="n_clusters"):
+    """Validate a cluster count against the number of samples."""
+    if not isinstance(n_clusters, numbers.Integral):
+        raise ValidationError(f"{name} must be an integer, got {type(n_clusters)!r}")
+    n_clusters = int(n_clusters)
+    if n_clusters < 1:
+        raise ValidationError(f"{name} must be >= 1, got {n_clusters}")
+    if n_clusters > n_samples:
+        raise ValidationError(
+            f"{name}={n_clusters} exceeds the number of samples {n_samples}"
+        )
+    return n_clusters
+
+
+def check_in_range(value, name, *, low=None, high=None, inclusive_low=True,
+                   inclusive_high=True):
+    """Validate a scalar parameter against an interval."""
+    if not isinstance(value, numbers.Real):
+        raise ValidationError(f"{name} must be a real number, got {type(value)!r}")
+    value = float(value)
+    if low is not None:
+        if inclusive_low and value < low:
+            raise ValidationError(f"{name} must be >= {low}, got {value}")
+        if not inclusive_low and value <= low:
+            raise ValidationError(f"{name} must be > {low}, got {value}")
+    if high is not None:
+        if inclusive_high and value > high:
+            raise ValidationError(f"{name} must be <= {high}, got {value}")
+        if not inclusive_high and value >= high:
+            raise ValidationError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def as_feature_indices(subspace, n_features, name="subspace"):
+    """Validate a subspace (set of feature indices) against ``n_features``.
+
+    Returns a sorted tuple of unique ``int`` indices.
+    """
+    try:
+        dims = sorted({int(d) for d in subspace})
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be an iterable of ints: {exc}") from exc
+    if not dims:
+        raise ValidationError(f"{name} must contain at least one dimension")
+    if dims[0] < 0 or dims[-1] >= n_features:
+        raise ValidationError(
+            f"{name} indices must lie in [0, {n_features - 1}], got {dims}"
+        )
+    return tuple(dims)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_blobs,
+    make_four_squares,
+    make_multiple_truths,
+    make_subspace_data,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def blobs3():
+    """3 well-separated Gaussian blobs in 2-d."""
+    centers = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+    X, y = make_blobs(n_samples=120, centers=centers, cluster_std=0.6,
+                      random_state=0)
+    return X, y
+
+
+@pytest.fixture
+def four_squares():
+    """The slide-26 toy with both ground truths."""
+    return make_four_squares(n_samples=160, separation=4.0,
+                             cluster_std=0.5, random_state=0)
+
+
+@pytest.fixture
+def two_truths():
+    """Wide table hiding two independent labelings."""
+    X, truths, views = make_multiple_truths(
+        n_samples=150, n_views=2, clusters_per_view=3, features_per_view=3,
+        cluster_std=0.5, random_state=1,
+    )
+    return X, truths, views
+
+
+@pytest.fixture
+def planted_subspaces():
+    """240 x 8 data with three 2-d subspace clusters."""
+    X, hidden = make_subspace_data(
+        n_samples=240, n_features=8,
+        clusters=[(80, (0, 1)), (80, (2, 3)), (80, (4, 5))],
+        cluster_std=0.4, random_state=3,
+    )
+    return X, hidden

@@ -1,0 +1,71 @@
+"""Tests for the ablation experiments and the CLI."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    run_a1_osclu_beta,
+    run_a2_deckmeans_restarts,
+    run_a3_grid_resolution,
+    run_a4_miner_scaling,
+    run_a5_adaptive_grid,
+)
+
+
+class TestAblations:
+    def test_registry_contains_ablations(self):
+        for key in ("A1", "A2", "A3", "A4", "A5"):
+            assert key in ALL_EXPERIMENTS
+
+    def test_a1_beta_crossover(self):
+        table = run_a1_osclu_beta()
+        rows = {r["beta"]: r for r in table.rows}
+        assert rows[0.4]["near_duplicate_survives"] is False
+        assert rows[1.0]["near_duplicate_survives"] is True
+        # the independent concept always survives
+        assert all(r["independent_survives"] for r in table.rows)
+
+    def test_a2_penalty_and_restarts_both_needed(self):
+        table = run_a2_deckmeans_restarts(n_seeds=3, n_inits=(1, 20))
+        rows = {(r["lam"], r["n_init"]): r for r in table.rows}
+        best = rows[(5.0, 20)]["both_truths_rate"]
+        assert best >= rows[(0.0, 20)]["both_truths_rate"]
+        assert best >= rows[(5.0, 1)]["both_truths_rate"]
+
+    def test_a3_resolution_sweet_spot(self):
+        table = run_a3_grid_resolution(resolutions=(3, 6, 24))
+        f1 = {r["n_intervals"]: r["object_f1"] for r in table.rows}
+        assert f1[6] > f1[3]
+
+    def test_a4_rows_complete(self):
+        table = run_a4_miner_scaling(feature_counts=(6, 10), n_samples=150)
+        miners = {r["miner"] for r in table.rows}
+        assert miners == {"CLIQUE", "SCHISM", "SUBCLU", "MAFIA"}
+        assert all(r["seconds"] >= 0 for r in table.rows)
+
+    def test_a5_adaptive_recovers_more(self):
+        table = run_a5_adaptive_grid()
+        f1 = {r["method"]: r["object_f1"] for r in table.rows}
+        assert f1["MAFIA (adaptive windows)"] >= f1["CLIQUE (fixed grid)"]
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "F9" in out and "T1" in out
+
+    def test_taxonomy(self, capsys):
+        assert cli_main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "coala" in out and "orclus" in out
+
+    def test_run_single(self, capsys):
+        assert cli_main(["run", "f6"]) == 0
+        out = capsys.readouterr().out
+        assert "relative_contrast" in out
+        assert "completed in" in out
+
+    def test_run_unknown(self, capsys):
+        assert cli_main(["run", "nope"]) == 2

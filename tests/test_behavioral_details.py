@@ -1,0 +1,163 @@
+"""Fine-grained behavioural regression tests across the library."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Agglomerative, KMeans
+from repro.core import Clustering, SubspaceCluster, SubspaceClustering
+from repro.data import make_blobs, make_four_squares, make_two_view_sources
+from repro.exceptions import ValidationError
+from repro.metrics import adjusted_rand_index as ari
+from repro.multiview import CoEM, RandomProjectionEnsemble, align_labels
+from repro.originalspace import COALA, MetaClustering
+from repro.subspace import CLIQUE, MAFIA, OSCLU, SCHISM
+
+
+class TestCOALADetails:
+    def test_three_cluster_alternative(self, four_squares):
+        """COALA with k > 2 still avoids the given grouping."""
+        X, lh, lv = four_squares
+        given = KMeans(n_clusters=2, random_state=0).fit(X).labels_
+        alt = COALA(n_clusters=3, w=0.6).fit(X, given)
+        assert len(set(alt.labels_.tolist())) == 3
+        assert ari(alt.labels_, given) < 0.6
+
+    def test_noise_in_given_imposes_no_constraints(self, four_squares):
+        """Noise objects in the given clustering are unconstrained:
+        with an all-noise given, COALA == plain average-link."""
+        X, _, _ = four_squares
+        all_noise = np.full(X.shape[0], -1)
+        alt = COALA(n_clusters=2, w=0.5).fit(X, all_noise)
+        plain = Agglomerative(n_clusters=2, linkage="average").fit(X)
+        assert ari(alt.labels_, plain.labels_) == 1.0
+        assert alt.n_dissimilarity_merges_ == 0 or \
+            alt.n_quality_merges_ + alt.n_dissimilarity_merges_ == \
+            X.shape[0] - 2
+
+
+class TestMetaClusteringDetails:
+    def test_zipf_zero_disables_weighting(self, four_squares):
+        X, _, _ = four_squares
+        meta = MetaClustering(n_base=6, n_clusters=2, zipf_alpha=0.0,
+                              random_state=0).fit(X)
+        assert len(meta.base_labelings_) == 6
+
+    def test_meta_labels_cover_base(self, four_squares):
+        X, _, _ = four_squares
+        meta = MetaClustering(n_base=10, n_clusters=2, n_meta_clusters=4,
+                              random_state=0).fit(X)
+        assert meta.meta_labels_.shape == (10,)
+        assert len(meta.labelings_) == len(set(meta.meta_labels_.tolist()))
+
+
+class TestSubspaceContainerDetails:
+    def test_to_labelings_first_come_priority(self):
+        m = SubspaceClustering([
+            SubspaceCluster([0, 1, 2], [0]),
+            SubspaceCluster([2, 3], [0]),     # object 2 already claimed
+        ])
+        labels = m.to_labelings(5)[(0,)]
+        assert labels[2] == 0
+        assert labels[3] == 1
+
+    def test_osclu_admission_can_evict_nothing(self):
+        """Admitting a cluster never silently removes earlier picks —
+        the trial set simply isn't adopted when it breaks orthogonality."""
+        big = SubspaceCluster(range(0, 100), (0, 1))
+        small_dup = SubspaceCluster(range(0, 40), (0, 1))
+        other = SubspaceCluster(range(100, 160), (3, 4))
+        osclu = OSCLU(alpha=0.5, beta=0.5).fit(
+            SubspaceClustering([big, small_dup, other]))
+        chosen = set(osclu.clusters_)
+        assert big in chosen and other in chosen
+        assert small_dup not in chosen
+
+
+class TestMinerDetails:
+    def test_clique_max_dim_respected(self, planted_subspaces):
+        X, _ = planted_subspaces
+        cl = CLIQUE(n_intervals=8, density_threshold=0.05, max_dim=1).fit(X)
+        assert all(c.dimensionality == 1 for c in cl.clusters_)
+
+    def test_clique_min_cluster_size(self, planted_subspaces):
+        X, _ = planted_subspaces
+        cl = CLIQUE(n_intervals=8, density_threshold=0.05, max_dim=2,
+                    min_cluster_size=50).fit(X)
+        assert all(c.n_objects >= 50 for c in cl.clusters_)
+
+    def test_schism_prune_flag(self, planted_subspaces):
+        X, _ = planted_subspaces
+        pruned = SCHISM(n_intervals=6, tau=0.05, max_dim=2,
+                        prune=True).fit(X)
+        full = SCHISM(n_intervals=6, tau=0.05, max_dim=2,
+                      prune=False).fit(X)
+        assert pruned.subspaces_visited_ <= full.subspaces_visited_
+
+    def test_mafia_merge_tolerance_extremes(self, planted_subspaces):
+        X, _ = planted_subspaces
+        fine = MAFIA(alpha=2.5, merge_tolerance=0.01, max_dim=1).fit(X)
+        coarse = MAFIA(alpha=2.5, merge_tolerance=0.99, max_dim=1).fit(X)
+        # near-zero tolerance keeps ~every fine bin; huge tolerance
+        # merges everything into few windows
+        n_fine = sum(e.size for e in fine.window_edges_)
+        n_coarse = sum(e.size for e in coarse.window_edges_)
+        assert n_fine > n_coarse
+
+
+class TestMultiViewDetails:
+    def test_coem_agreement_tol_zero_runs_to_cap(self):
+        (X1, X2), _ = make_two_view_sources(
+            n_samples=100, n_clusters=3, min_center_distance=3.0,
+            random_state=0)
+        co = CoEM(n_clusters=3, agreement_tol=0.0, max_iter=4,
+                  random_state=0).fit((X1, X2))
+        assert co.n_iter_ <= 4
+
+    def test_randproj_em_components_override(self):
+        X, _ = make_blobs(n_samples=80, centers=3, n_features=10,
+                          random_state=0)
+        rp = RandomProjectionEnsemble(n_clusters=3, n_views=3,
+                                      em_components=5,
+                                      random_state=0).fit(X)
+        for lab in rp.view_labelings_:
+            assert len(set(lab.tolist())) <= 5
+
+    def test_align_labels_with_extra_clusters(self):
+        ref = np.array([0, 0, 1, 1, 1, 1])
+        lab = np.array([2, 2, 0, 0, 1, 1])   # 3 clusters vs 2 in ref
+        aligned = align_labels(ref, lab)
+        # the two matched clusters take ref ids; the extra one gets a
+        # fresh id not colliding with ref's
+        assert set(aligned.tolist()) <= {0, 1, 2}
+        assert aligned[0] == aligned[1] == 0
+
+
+class TestClusteringContainerDetails:
+    def test_restrict_keeps_name(self):
+        c = Clustering([0, 1, 0, 1], name="demo")
+        assert c.restrict([0, 1]).name == "demo"
+
+    def test_hash_consistent_with_eq(self):
+        a = Clustering([0, 1, 2])
+        b = Clustering(np.array([0, 1, 2]))
+        assert a == b and hash(a) == hash(b)
+
+    def test_eq_other_type(self):
+        assert Clustering([0, 1]).__eq__("nope") is NotImplemented
+
+
+class TestValidationDetails:
+    def test_kmeans_explicit_init_single_run(self, blobs3):
+        X, y = blobs3
+        centers = np.stack([X[y == c].mean(axis=0) for c in range(3)])
+        km = KMeans(n_clusters=3, init=centers, n_init=50).fit(X)
+        # explicit init forces a single run regardless of n_init
+        assert ari(km.labels_, y) == 1.0
+
+    def test_subspace_cluster_quality_float(self):
+        c = SubspaceCluster([0], [0], quality=np.float64(0.5))
+        assert isinstance(c.quality, float)
+
+    def test_clustering_rejects_2d_labels(self):
+        with pytest.raises(ValidationError):
+            Clustering([[0, 1], [1, 0]])

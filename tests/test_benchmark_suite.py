@@ -1,0 +1,73 @@
+"""Tests for the benchmark suite and the B1 cross-paradigm experiment."""
+
+import numpy as np
+import pytest
+
+from repro.data import BenchmarkScenario, benchmark_suite
+from repro.exceptions import ValidationError
+from repro.experiments import ALL_EXPERIMENTS, run_b1_cross_paradigm
+from repro.metrics import adjusted_rand_index as ari
+
+
+class TestBenchmarkSuite:
+    def test_scenarios_present(self):
+        suite = benchmark_suite()
+        assert set(suite) == {"toy2", "views2", "views3", "documents",
+                              "customers"}
+
+    def test_scenario_shapes(self):
+        for scenario in benchmark_suite().values():
+            n = scenario.X.shape[0]
+            assert scenario.n_truths >= 2
+            for t in scenario.truths:
+                assert t.shape == (n,)
+            assert scenario.n_clusters >= 2
+            assert scenario.description
+
+    def test_truths_mutually_dissimilar(self):
+        for scenario in benchmark_suite().values():
+            for i in range(scenario.n_truths):
+                for j in range(i + 1, scenario.n_truths):
+                    assert abs(ari(scenario.truths[i],
+                                   scenario.truths[j])) < 0.2, scenario.name
+
+    def test_deterministic(self):
+        a = benchmark_suite(random_state=0)
+        b = benchmark_suite(random_state=0)
+        for name in a:
+            assert np.allclose(a[name].X, b[name].X)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValidationError):
+            BenchmarkScenario("x", np.zeros((4, 2)), [], 2, "no truths")
+        with pytest.raises(ValidationError):
+            BenchmarkScenario("x", np.zeros((4, 2)), [np.zeros(3, int)],
+                              2, "size mismatch")
+
+    def test_repr(self):
+        s = benchmark_suite()["toy2"]
+        assert "toy2" in repr(s)
+
+
+class TestB1:
+    def test_registered(self):
+        assert "B1" in ALL_EXPERIMENTS
+
+    def test_toy_scenario_all_paradigms_succeed(self):
+        table = run_b1_cross_paradigm(scenarios=("toy2",))
+        assert len(table.rows) == 4
+        assert all(r["recovery"] == 1.0 for r in table.rows)
+        assert all(r["redundancy"] < 0.3 for r in table.rows)
+
+    def test_subspace_wins_views3(self):
+        table = run_b1_cross_paradigm(scenarios=("views3",))
+        rows = {r["method"]: r for r in table.rows}
+        subspace = rows["SCHISM+OSCLU (P3)"]
+        assert subspace["recovery"] == 1.0
+        # the flat simultaneous method cannot recover all three views
+        assert rows["dec-kmeans (P1 simultaneous)"]["recovery"] < 1.0
+
+    def test_columns_complete(self):
+        table = run_b1_cross_paradigm(scenarios=("toy2",))
+        for row in table.rows:
+            assert set(row) == set(table.columns)

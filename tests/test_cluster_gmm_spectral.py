@@ -1,0 +1,139 @@
+"""Unit tests for GaussianMixtureEM and SpectralClustering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    GaussianMixtureEM,
+    SpectralClustering,
+    normalized_laplacian,
+    spectral_embedding,
+)
+from repro.cluster.gmm import e_step, gaussian_log_density, m_step
+from repro.exceptions import ValidationError
+from repro.metrics import adjusted_rand_index
+
+
+class TestGaussianDensity:
+    def test_standard_normal_at_zero(self):
+        X = np.zeros((1, 2))
+        ld = gaussian_log_density(X, np.zeros(2), 1.0, "spherical")
+        assert np.isclose(ld[0], -np.log(2 * np.pi))
+
+    def test_covariance_types_agree_on_isotropic(self, rng):
+        X = rng.standard_normal((10, 3))
+        mean = np.zeros(3)
+        sph = gaussian_log_density(X, mean, 2.0, "spherical")
+        diag = gaussian_log_density(X, mean, np.full(3, 2.0), "diag")
+        full = gaussian_log_density(X, mean, 2.0 * np.eye(3), "full")
+        assert np.allclose(sph, diag, atol=1e-6)
+        assert np.allclose(sph, full, atol=1e-3)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            gaussian_log_density(np.zeros((1, 2)), np.zeros(2), 1.0, "huh")
+
+
+class TestEMSteps:
+    def test_e_step_resp_rows_sum_to_one(self, blobs3):
+        X, _ = blobs3
+        weights = np.array([0.5, 0.5])
+        means = X[:2].copy()
+        covs = np.array([1.0, 1.0])
+        resp, ll = e_step(X, weights, means, covs, "spherical")
+        assert np.allclose(resp.sum(axis=1), 1.0)
+        assert np.isfinite(ll)
+
+    def test_m_step_weights_sum_to_one(self, blobs3, rng):
+        X, _ = blobs3
+        resp = rng.uniform(size=(X.shape[0], 3))
+        resp /= resp.sum(axis=1, keepdims=True)
+        weights, means, covs = m_step(X, resp, "diag")
+        assert np.isclose(weights.sum(), 1.0)
+        assert means.shape == (3, X.shape[1])
+        assert (covs > 0).all()
+
+
+class TestGaussianMixtureEM:
+    def test_recovers_blobs(self, blobs3):
+        X, y = blobs3
+        for cov in ("spherical", "diag", "full"):
+            gm = GaussianMixtureEM(n_components=3, covariance_type=cov,
+                                   random_state=0).fit(X)
+            assert adjusted_rand_index(gm.labels_, y) == 1.0, cov
+
+    def test_loglikelihood_improves_with_k(self, blobs3):
+        X, _ = blobs3
+        ll1 = GaussianMixtureEM(n_components=1, random_state=0).fit(X).log_likelihood_
+        ll3 = GaussianMixtureEM(n_components=3, random_state=0).fit(X).log_likelihood_
+        assert ll3 > ll1
+
+    def test_responsibilities_shape_and_rows(self, blobs3):
+        X, _ = blobs3
+        gm = GaussianMixtureEM(n_components=3, random_state=0).fit(X)
+        assert gm.responsibilities_.shape == (X.shape[0], 3)
+        assert np.allclose(gm.responsibilities_.sum(axis=1), 1.0)
+
+    def test_score_samples(self, blobs3):
+        X, _ = blobs3
+        gm = GaussianMixtureEM(n_components=3, random_state=0).fit(X)
+        assert np.isfinite(gm.score_samples(X))
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(ValidationError):
+            GaussianMixtureEM().score_samples(np.zeros((2, 2)))
+
+    def test_predict_matches_labels_on_train(self, blobs3):
+        X, _ = blobs3
+        gm = GaussianMixtureEM(n_components=3, random_state=0).fit(X)
+        assert np.array_equal(gm.predict(X), gm.labels_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ValidationError):
+            GaussianMixtureEM().predict(np.zeros((2, 2)))
+
+    def test_reproducible(self, blobs3):
+        X, _ = blobs3
+        a = GaussianMixtureEM(n_components=3, random_state=7).fit(X).labels_
+        b = GaussianMixtureEM(n_components=3, random_state=7).fit(X).labels_
+        assert np.array_equal(a, b)
+
+
+class TestSpectral:
+    def test_normalized_laplacian_properties(self, rng):
+        X = rng.standard_normal((10, 2))
+        from repro.utils.linalg import rbf_kernel
+        W = rbf_kernel(X)
+        np.fill_diagonal(W, 0.0)
+        L = normalized_laplacian(W)
+        vals = np.linalg.eigvalsh(L)
+        assert vals.min() > -1e-8
+        assert vals.max() < 2.0 + 1e-8
+
+    def test_laplacian_rejects_nonsquare(self):
+        with pytest.raises(ValidationError):
+            normalized_laplacian(np.zeros((2, 3)))
+
+    def test_embedding_rows_unit_norm(self, blobs3):
+        X, _ = blobs3
+        from repro.utils.linalg import rbf_kernel
+        W = rbf_kernel(X)
+        np.fill_diagonal(W, 0.0)
+        emb = spectral_embedding(W, 3)
+        assert np.allclose(np.linalg.norm(emb, axis=1), 1.0)
+
+    def test_recovers_blobs(self, blobs3):
+        X, y = blobs3
+        sc = SpectralClustering(n_clusters=3, random_state=0).fit(X)
+        assert adjusted_rand_index(sc.labels_, y) == 1.0
+
+    def test_nonconvex_rings(self):
+        # Two concentric rings: k-means fails, spectral succeeds.
+        rng = np.random.default_rng(0)
+        t = rng.uniform(0, 2 * np.pi, 120)
+        r = np.concatenate([np.full(60, 1.0), np.full(60, 4.0)])
+        r = r + 0.05 * rng.standard_normal(120)
+        X = np.c_[r * np.cos(t), r * np.sin(t)]
+        y = np.repeat([0, 1], 60)
+        sc = SpectralClustering(n_clusters=2, gamma=2.0, random_state=0).fit(X)
+        assert adjusted_rand_index(sc.labels_, y) == 1.0

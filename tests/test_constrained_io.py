@@ -1,0 +1,173 @@
+"""Tests for ConstrainedKMeans and the serialisation module."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import ConstrainedKMeans, KMeans, constraints_from_clustering
+from repro.core import Clustering, SubspaceCluster, SubspaceClustering
+from repro.exceptions import ValidationError
+from repro.io import (
+    clustering_from_dict,
+    clustering_to_dict,
+    load_json,
+    result_table_to_dict,
+    save_json,
+    subspace_clustering_from_dict,
+    subspace_clustering_to_dict,
+)
+from repro.metrics import adjusted_rand_index as ari
+
+
+class TestConstraintsFromClustering:
+    def test_cannot_pairs_are_within_cluster(self):
+        labels = np.array([0, 0, 1, 1, 1])
+        pairs = constraints_from_clustering(labels, kind="cannot")
+        assert (0, 1) in pairs
+        assert len(pairs) == 1 + 3  # C(2,2) + C(3,2)
+        for i, j in pairs:
+            assert labels[i] == labels[j]
+
+    def test_noise_excluded(self):
+        pairs = constraints_from_clustering([0, 0, -1, -1])
+        assert pairs == [(0, 1)]
+
+    def test_max_pairs_subsamples(self):
+        labels = np.zeros(20, dtype=int)
+        pairs = constraints_from_clustering(labels, max_pairs=10,
+                                            random_state=0)
+        assert len(pairs) == 10
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            constraints_from_clustering([0, 0], kind="maybe")
+
+
+class TestConstrainedKMeans:
+    def test_unconstrained_matches_kmeans_quality(self, blobs3):
+        X, y = blobs3
+        ck = ConstrainedKMeans(n_clusters=3, random_state=0).fit(X)
+        assert ari(ck.labels_, y) == 1.0
+        assert ck.n_violations_ == 0
+
+    def test_must_links_enforced(self, blobs3):
+        X, y = blobs3
+        # link one point of cluster 0 to one of cluster 1
+        i = int(np.flatnonzero(y == 0)[0])
+        j = int(np.flatnonzero(y == 1)[0])
+        ck = ConstrainedKMeans(n_clusters=3, must_link=[(i, j)],
+                               random_state=0).fit(X)
+        assert ck.labels_[i] == ck.labels_[j]
+
+    def test_cannot_links_enforced(self, blobs3):
+        X, y = blobs3
+        members = np.flatnonzero(y == 0)[:2]
+        ck = ConstrainedKMeans(
+            n_clusters=3, cannot_link=[(int(members[0]), int(members[1]))],
+            random_state=0).fit(X)
+        assert ck.labels_[members[0]] != ck.labels_[members[1]]
+        assert ck.n_violations_ == 0
+
+    def test_must_link_closure_reproduces_given(self, four_squares):
+        X, _, _ = four_squares
+        given = KMeans(n_clusters=2, random_state=0).fit(X).labels_
+        ml = constraints_from_clustering(given, kind="must", max_pairs=200,
+                                         random_state=0)
+        ck = ConstrainedKMeans(n_clusters=2, must_link=ml,
+                               random_state=0).fit(X)
+        assert ari(ck.labels_, given) > 0.9
+
+    def test_contradiction_detected(self, blobs3):
+        X, _ = blobs3
+        with pytest.raises(ValidationError, match="contradictory"):
+            ConstrainedKMeans(n_clusters=3, must_link=[(0, 1)],
+                              cannot_link=[(0, 1)]).fit(X)
+
+    def test_transitive_contradiction(self, blobs3):
+        X, _ = blobs3
+        with pytest.raises(ValidationError, match="contradictory"):
+            ConstrainedKMeans(n_clusters=3,
+                              must_link=[(0, 1), (1, 2)],
+                              cannot_link=[(0, 2)]).fit(X)
+
+    def test_strict_mode_raises_on_unsatisfiable(self, blobs3):
+        X, _ = blobs3
+        # 4 mutually cannot-linked objects cannot fit in 3 clusters
+        quad = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        with pytest.raises(ValidationError, match="unsatisfiable"):
+            ConstrainedKMeans(n_clusters=3, cannot_link=quad,
+                              strict=True).fit(X)
+
+    def test_soft_mode_counts_violations(self, blobs3):
+        X, _ = blobs3
+        quad = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        ck = ConstrainedKMeans(n_clusters=3, cannot_link=quad,
+                               strict=False, random_state=0).fit(X)
+        assert ck.n_violations_ >= 1
+
+    def test_invalid_pair_rejected(self, blobs3):
+        X, _ = blobs3
+        with pytest.raises(ValidationError):
+            ConstrainedKMeans(cannot_link=[(0, 0)]).fit(X)
+        with pytest.raises(ValidationError):
+            ConstrainedKMeans(must_link=[(0, 10**6)]).fit(X)
+
+
+class TestIO:
+    def test_clustering_round_trip(self, tmp_path):
+        c = Clustering([0, 1, -1, 0], name="demo")
+        path = save_json(c, os.fspath(tmp_path / "c.json"))
+        back = load_json(path)
+        assert isinstance(back, Clustering)
+        assert np.array_equal(back.labels, c.labels)
+        assert back.name == "demo"
+
+    def test_raw_labels_accepted(self, tmp_path):
+        path = save_json(np.array([0, 0, 1]), os.fspath(tmp_path / "l.json"))
+        back = load_json(path)
+        assert list(back.labels) == [0, 0, 1]
+
+    def test_subspace_round_trip(self, tmp_path):
+        sc = SubspaceClustering(
+            [SubspaceCluster([3, 1], [0, 2], quality=0.25)], name="mined")
+        path = save_json(sc, os.fspath(tmp_path / "s.json"))
+        back = load_json(path)
+        assert isinstance(back, SubspaceClustering)
+        assert back[0].dim_tuple() == (0, 2)
+        assert back[0].objects == frozenset({1, 3})
+        assert back[0].quality == 0.25
+        assert back.name == "mined"
+
+    def test_dict_round_trips(self):
+        c = Clustering([0, 1])
+        assert clustering_from_dict(clustering_to_dict(c)) == c
+        sc = SubspaceClustering([SubspaceCluster([0], [0])])
+        back = subspace_clustering_from_dict(subspace_clustering_to_dict(sc))
+        assert list(back) == list(sc)
+
+    def test_result_table_serialised(self, tmp_path):
+        from repro.experiments import ResultTable
+        t = ResultTable("demo", ["a"])
+        t.add(a=1)
+        payload = result_table_to_dict(t)
+        assert payload["rows"] == [{"a": 1}]
+        path = save_json(t, os.fspath(tmp_path / "t.json"))
+        back = load_json(path)
+        assert back["title"] == "demo"
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            clustering_from_dict({"kind": "other"})
+        with pytest.raises(ValidationError):
+            subspace_clustering_from_dict({"kind": "other"})
+
+    def test_unserialisable_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_json(object(), os.fspath(tmp_path / "x.json"))
+
+    def test_unknown_payload_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "mystery"}')
+        with pytest.raises(ValidationError):
+            load_json(os.fspath(path))

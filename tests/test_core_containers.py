@@ -1,0 +1,168 @@
+"""Unit tests for Clustering / SubspaceCluster / SubspaceClustering."""
+
+import numpy as np
+import pytest
+
+from repro.core import Clustering, SubspaceCluster, SubspaceClustering, cross_tabulate
+from repro.exceptions import ValidationError
+
+
+class TestClustering:
+    def test_basic_properties(self):
+        c = Clustering([0, 0, 1, -1, 2])
+        assert c.n_objects == 5
+        assert c.n_clusters == 3
+        assert list(c.cluster_ids) == [0, 1, 2]
+        assert list(c.noise_indices) == [3]
+        assert len(c) == 3
+
+    def test_members(self):
+        c = Clustering([0, 1, 0])
+        assert list(c.members(0)) == [0, 2]
+
+    def test_members_missing_cluster(self):
+        c = Clustering([0, 1])
+        with pytest.raises(ValidationError):
+            c.members(7)
+
+    def test_sizes_align_with_ids(self):
+        c = Clustering([5, 5, 2, 2, 2])
+        assert list(c.sizes()) == [3, 2]
+
+    def test_immutability(self):
+        c = Clustering([0, 1])
+        with pytest.raises(ValueError):
+            c.labels[0] = 5
+
+    def test_equality_and_hash(self):
+        a = Clustering([0, 1, 0])
+        b = Clustering([0, 1, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Clustering([1, 0, 1])  # different label names
+
+    def test_relabeled(self):
+        c = Clustering([5, 9, -1, 5]).relabeled()
+        assert list(c.labels) == [0, 1, -1, 0]
+
+    def test_restrict(self):
+        c = Clustering([0, 1, 2, 0])
+        sub = c.restrict([0, 3])
+        assert list(sub.labels) == [0, 0]
+
+    def test_clusters_list(self):
+        c = Clustering([0, 1, 0])
+        groups = c.clusters()
+        assert [g.tolist() for g in groups] == [[0, 2], [1]]
+
+    def test_repr_mentions_counts(self):
+        r = repr(Clustering([0, 0, -1], name="x"))
+        assert "2 objects" in r or "3 objects" in r
+
+    def test_cross_tabulate(self):
+        a = Clustering([0, 0, 1, 1])
+        b = Clustering([0, 1, 1, 1])
+        assert cross_tabulate(a, b).tolist() == [[1, 1], [0, 2]]
+
+
+class TestSubspaceCluster:
+    def test_properties(self):
+        c = SubspaceCluster([3, 1, 2], [0, 4], quality=0.5)
+        assert c.n_objects == 3
+        assert c.dimensionality == 2
+        assert c.size == 6
+        assert c.dim_tuple() == (0, 4)
+        assert list(c.object_array()) == [1, 2, 3]
+        assert c.quality == 0.5
+
+    def test_immutable(self):
+        c = SubspaceCluster([0], [0])
+        with pytest.raises(AttributeError):
+            c.objects = frozenset()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            SubspaceCluster([], [0])
+        with pytest.raises(ValidationError):
+            SubspaceCluster([0], [])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            SubspaceCluster([-1], [0])
+
+    def test_equality_ignores_quality(self):
+        a = SubspaceCluster([0, 1], [2], quality=1.0)
+        b = SubspaceCluster([1, 0], [2], quality=9.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_overlap_objects(self):
+        a = SubspaceCluster([0, 1, 2], [0])
+        b = SubspaceCluster([2, 3], [0])
+        assert a.overlap_objects(b) == 1
+
+    def test_shares_subspace_beta(self):
+        a = SubspaceCluster([0], [0, 1, 2, 3])
+        b = SubspaceCluster([0], [2, 3, 4])
+        # |T ∩ S| = 2, |T| = 3 -> covered at beta <= 2/3
+        assert a.shares_subspace(b, beta=0.5)
+        assert not a.shares_subspace(b, beta=0.9)
+
+
+class TestSubspaceClustering:
+    def test_deduplication(self):
+        c = SubspaceCluster([0, 1], [0])
+        m = SubspaceClustering([c, SubspaceCluster([1, 0], [0])])
+        assert len(m) == 1
+
+    def test_subspaces_sorted(self):
+        m = SubspaceClustering([
+            SubspaceCluster([0], [2, 1]),
+            SubspaceCluster([1], [0]),
+        ])
+        assert m.subspaces() == [(0,), (1, 2)]
+
+    def test_covered_objects(self):
+        m = SubspaceClustering([
+            SubspaceCluster([0, 1], [0]),
+            SubspaceCluster([2], [1]),
+        ])
+        assert m.covered_objects() == {0, 1, 2}
+
+    def test_group_by_subspace(self):
+        m = SubspaceClustering([
+            SubspaceCluster([0], [0, 1]),
+            SubspaceCluster([1], [1, 0]),
+            SubspaceCluster([2], [2]),
+        ])
+        groups = m.group_by_subspace()
+        assert len(groups[(0, 1)]) == 2
+        assert len(groups[(2,)]) == 1
+
+    def test_to_labelings(self):
+        m = SubspaceClustering([
+            SubspaceCluster([0, 1], [0]),
+            SubspaceCluster([3], [0]),
+        ])
+        labs = m.to_labelings(5)
+        lab = labs[(0,)]
+        assert lab[0] == lab[1] == 0
+        assert lab[3] == 1
+        assert lab[2] == -1 and lab[4] == -1
+
+    def test_total_micro_cells(self):
+        m = SubspaceClustering([
+            SubspaceCluster([0, 1], [0, 1]),   # 4 cells
+            SubspaceCluster([2], [0]),         # 1 cell
+        ])
+        assert m.total_micro_cells() == 5
+
+    def test_accepts_raw_pairs(self):
+        m = SubspaceClustering([([0, 1], [0])])
+        assert len(m) == 1
+
+    def test_indexing_and_iter(self):
+        c = SubspaceCluster([0], [0])
+        m = SubspaceClustering([c])
+        assert m[0] == c
+        assert list(m) == [c]

@@ -1,0 +1,250 @@
+"""Unit tests for data generators, loaders, and view utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    extract_views,
+    load_customer_segments,
+    load_document_topics,
+    load_gene_expression_like,
+    load_iris_like,
+    load_wine_like,
+    make_blobs,
+    make_four_squares,
+    make_multiple_truths,
+    make_subspace_data,
+    make_two_view_sources,
+    make_uniform,
+    random_feature_partition,
+    random_projection,
+    split_features,
+)
+from repro.exceptions import ValidationError
+from repro.metrics import adjusted_rand_index
+
+
+class TestMakeBlobs:
+    def test_shapes(self):
+        X, y = make_blobs(n_samples=50, centers=4, n_features=3,
+                          random_state=0)
+        assert X.shape == (50, 3)
+        assert y.shape == (50,)
+        assert set(y.tolist()) == {0, 1, 2, 3}
+
+    def test_explicit_centers(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        X, y = make_blobs(n_samples=40, centers=centers, cluster_std=0.1,
+                          random_state=0)
+        for c in range(2):
+            assert np.allclose(X[y == c].mean(axis=0), centers[c], atol=0.2)
+
+    def test_reproducible(self):
+        X1, _ = make_blobs(random_state=5)
+        X2, _ = make_blobs(random_state=5)
+        assert np.allclose(X1, X2)
+
+    def test_balanced_sizes(self):
+        _, y = make_blobs(n_samples=10, centers=3, random_state=0)
+        counts = np.bincount(y)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestFourSquares:
+    def test_truths_are_orthogonal(self):
+        X, lh, lv = make_four_squares(400, random_state=0)
+        assert abs(adjusted_rand_index(lh, lv)) < 0.05
+
+    def test_truths_follow_geometry(self):
+        X, lh, lv = make_four_squares(200, separation=6.0, cluster_std=0.3,
+                                      random_state=1)
+        assert adjusted_rand_index(lh, (X[:, 0] > 0).astype(int)) == 1.0
+        assert adjusted_rand_index(lv, (X[:, 1] > 0).astype(int)) == 1.0
+
+    def test_asymmetric_separation(self):
+        X, _, _ = make_four_squares(200, separation=(8.0, 2.0),
+                                    cluster_std=0.1, random_state=2)
+        assert X[:, 0].std() > X[:, 1].std()
+
+
+class TestMultipleTruths:
+    def test_views_disjoint_and_complete(self, two_truths):
+        X, truths, views = two_truths
+        flat = [f for v in views for f in v]
+        assert len(set(flat)) == len(flat)
+        assert X.shape[1] == len(flat)
+
+    def test_truths_independent(self):
+        _, truths, _ = make_multiple_truths(n_samples=2000, random_state=0)
+        assert abs(adjusted_rand_index(truths[0], truths[1])) < 0.02
+
+    def test_view_features_predict_their_truth(self, two_truths):
+        X, truths, views = two_truths
+        from repro.cluster import KMeans
+        for truth, feats in zip(truths, views):
+            km = KMeans(n_clusters=3, random_state=0).fit(X[:, list(feats)])
+            assert adjusted_rand_index(km.labels_, truth) > 0.9
+
+    def test_noise_features_appended(self):
+        X, _, views = make_multiple_truths(
+            n_samples=50, n_views=2, features_per_view=2, noise_features=3,
+            random_state=0)
+        assert X.shape[1] == 7
+
+    def test_invalid_views(self):
+        with pytest.raises(ValidationError):
+            make_multiple_truths(n_views=0)
+
+
+class TestSubspaceData:
+    def test_hidden_matches_spec(self):
+        X, hidden = make_subspace_data(
+            n_samples=100, n_features=6,
+            clusters=[(30, (0, 1)), (30, (2, 3))], random_state=0)
+        assert len(hidden) == 2
+        assert hidden[0].dim_tuple() == (0, 1)
+        assert hidden[0].n_objects == 30
+
+    def test_clustered_dims_compact(self):
+        X, hidden = make_subspace_data(
+            n_samples=120, n_features=4, clusters=[(60, (0, 1))],
+            cluster_std=0.2, random_state=1)
+        objs = hidden[0].object_array()
+        clustered_std = X[np.ix_(objs, [0, 1])].std(axis=0).max()
+        noise_std = X[:, 2].std()
+        assert clustered_std < noise_std / 3
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValidationError):
+            make_subspace_data(n_features=4, clusters=[(10, (7,))])
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValidationError):
+            make_subspace_data(n_samples=10, clusters=[(20, (0,))])
+
+
+class TestTwoViewSources:
+    def test_shapes_and_shared_truth(self):
+        (X1, X2), y = make_two_view_sources(
+            n_samples=80, n_features=(2, 3), random_state=0)
+        assert X1.shape == (80, 2)
+        assert X2.shape == (80, 3)
+        assert y.shape == (80,)
+
+    def test_min_center_distance_enforced(self):
+        (X1, _), y = make_two_view_sources(
+            n_samples=200, n_clusters=3, cluster_std=0.1,
+            min_center_distance=4.0, random_state=0)
+        centers = np.stack([X1[y == c].mean(axis=0) for c in range(3)])
+        d = np.linalg.norm(centers[:, None] - centers[None, :], axis=-1)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() > 3.0
+
+    def test_impossible_separation_raises(self):
+        with pytest.raises(ValidationError):
+            make_two_view_sources(n_clusters=10, center_spread=0.1,
+                                  min_center_distance=100.0, random_state=0)
+
+    def test_sparse_noise_disjoint(self):
+        (X1, X2), y = make_two_view_sources(
+            n_samples=100, sparse_noise_fraction=0.3, center_spread=5.0,
+            random_state=0)
+        # noise is off-range: coordinates beyond 3 * spread
+        noisy1 = np.any(np.abs(X1) > 15.0, axis=1)
+        noisy2 = np.any(np.abs(X2) > 15.0, axis=1)
+        assert noisy1.sum() > 0 and noisy2.sum() > 0
+        assert not np.any(noisy1 & noisy2)
+
+    def test_unreliable_view_degrades_one_side(self):
+        from repro.cluster import KMeans
+        (X1, X2), y = make_two_view_sources(
+            n_samples=300, unreliable_view=1, unreliable_fraction=0.4,
+            min_center_distance=4.0, random_state=0)
+        a1 = adjusted_rand_index(
+            KMeans(n_clusters=3, random_state=0).fit(X1).labels_, y)
+        a2 = adjusted_rand_index(
+            KMeans(n_clusters=3, random_state=0).fit(X2).labels_, y)
+        assert a1 > a2 + 0.15
+
+
+class TestUniform:
+    def test_range(self):
+        X = make_uniform(50, 3, low=2.0, high=4.0, random_state=0)
+        assert X.min() >= 2.0 and X.max() <= 4.0
+
+
+class TestLoaders:
+    def test_iris_like(self):
+        X, y = load_iris_like()
+        assert X.shape == (150, 4)
+        assert np.bincount(y).tolist() == [50, 50, 50]
+
+    def test_wine_like(self):
+        X, y = load_wine_like()
+        assert X.shape == (178, 13)
+        assert sorted(np.bincount(y).tolist()) == [48, 59, 71]
+
+    def test_gene_expression_two_roles(self):
+        X, t1, t2 = load_gene_expression_like()
+        assert X.shape == (240, 12)
+        assert abs(adjusted_rand_index(t1, t2)) < 0.1
+
+    def test_customer_segments(self):
+        X, prof, leisure, views = load_customer_segments()
+        assert X.shape[1] == 6
+        assert len(views) == 2
+
+    def test_document_topics_nonnegative(self):
+        X, known, novel = load_document_topics()
+        assert (X >= 0).all()
+        assert abs(adjusted_rand_index(known, novel)) < 0.1
+
+    def test_loaders_deterministic(self):
+        X1, _ = load_iris_like()
+        X2, _ = load_iris_like()
+        assert np.allclose(X1, X2)
+
+
+class TestViews:
+    def test_split_features(self):
+        X = np.arange(12).reshape(3, 4).astype(float)
+        v1, v2 = split_features(X, [[0, 1], [2, 3]])
+        assert v1.shape == (3, 2) and v2.shape == (3, 2)
+
+    def test_split_empty_group_rejected(self):
+        with pytest.raises(ValidationError):
+            split_features(np.zeros((2, 2)), [[], [0]])
+
+    def test_random_partition_covers_all(self):
+        groups = random_feature_partition(10, 3, random_state=0)
+        flat = sorted(f for g in groups for f in g)
+        assert flat == list(range(10))
+
+    def test_partition_bounds(self):
+        with pytest.raises(ValidationError):
+            random_feature_partition(3, 5)
+
+    def test_random_projection_shape(self, rng):
+        X = rng.standard_normal((20, 10))
+        Z = random_projection(X, 4, random_state=0)
+        assert Z.shape == (20, 4)
+
+    def test_random_projection_preserves_distances_roughly(self, rng):
+        X = rng.standard_normal((30, 200))
+        Z = random_projection(X, 100, random_state=0)
+        from repro.utils.linalg import pairwise_distances
+        dx = pairwise_distances(X)
+        dz = pairwise_distances(Z)
+        mask = dx > 0
+        ratio = dz[mask] / dx[mask]
+        assert 0.7 < ratio.mean() < 1.3
+
+    def test_extract_views_methods(self, rng):
+        X = rng.standard_normal((20, 6))
+        fs = extract_views(X, 2, method="feature_split", random_state=0)
+        assert len(fs) == 2 and fs[0].shape[1] + fs[1].shape[1] == 6
+        rp = extract_views(X, 3, method="random_projection",
+                           n_components=2, random_state=0)
+        assert len(rp) == 3 and all(v.shape == (20, 2) for v in rp)
+        with pytest.raises(ValidationError):
+            extract_views(X, 2, method="nope")

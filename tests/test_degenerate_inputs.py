@@ -1,0 +1,145 @@
+"""Failure-injection tests: degenerate inputs must not crash or return
+malformed results (errors must be the library's own ValidationError)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Agglomerative,
+    DBSCAN,
+    GaussianMixtureEM,
+    KMeans,
+    SpectralClustering,
+)
+from repro.exceptions import MultiClustError, ValidationError
+from repro.metrics import adjusted_rand_index, silhouette_score
+from repro.originalspace import COALA, DecorrelatedKMeans
+from repro.subspace import CLIQUE, MAFIA, P3C, SUBCLU
+from repro.transform import FlexibleAlternativeClustering
+
+
+@pytest.fixture
+def identical_points():
+    return np.ones((20, 3))
+
+
+@pytest.fixture
+def constant_feature(rng):
+    X = rng.standard_normal((30, 3))
+    X[:, 1] = 7.0
+    return X
+
+
+@pytest.fixture
+def two_points():
+    return np.array([[0.0, 0.0], [1.0, 1.0]])
+
+
+class TestIdenticalPoints:
+    def test_kmeans_converges(self, identical_points):
+        km = KMeans(n_clusters=2, random_state=0).fit(identical_points)
+        assert km.labels_.shape == (20,)
+        assert km.inertia_ == 0.0
+
+    def test_gmm_converges(self, identical_points):
+        gm = GaussianMixtureEM(n_components=2,
+                               random_state=0).fit(identical_points)
+        assert np.isfinite(gm.log_likelihood_)
+
+    def test_dbscan_single_cluster(self, identical_points):
+        db = DBSCAN(eps=0.1, min_pts=2).fit(identical_points)
+        assert set(db.labels_.tolist()) == {0}
+
+    def test_agglomerative(self, identical_points):
+        agg = Agglomerative(n_clusters=2).fit(identical_points)
+        assert agg.labels_.shape == (20,)
+
+    def test_clique_one_dense_cell(self, identical_points):
+        cl = CLIQUE(n_intervals=4, density_threshold=0.5).fit(identical_points)
+        # every dimension has one fully dense cell
+        assert len(cl.clusters_) >= 1
+
+    def test_spectral_does_not_crash(self, identical_points):
+        sc = SpectralClustering(n_clusters=2,
+                                random_state=0).fit(identical_points)
+        assert sc.labels_.shape == (20,)
+
+
+class TestConstantFeature:
+    def test_kmeans(self, constant_feature):
+        km = KMeans(n_clusters=3, random_state=0).fit(constant_feature)
+        assert len(set(km.labels_.tolist())) == 3
+
+    def test_subclu(self, constant_feature):
+        su = SUBCLU(eps=0.8, min_pts=4, max_dim=2).fit(constant_feature)
+        assert su.clusters_ is not None
+
+    def test_mafia_constant_dim_single_window(self, constant_feature):
+        maf = MAFIA(alpha=2.0, max_dim=2).fit(constant_feature)
+        assert maf.window_edges_[1].size == 2
+
+    def test_p3c(self, constant_feature):
+        p3c = P3C(n_bins=6, alpha=1e-3).fit(constant_feature)
+        assert p3c.intervals_[1] == []
+
+    def test_flexible_transform(self, constant_feature):
+        labels = np.repeat([0, 1, 2], 10)
+        alt = FlexibleAlternativeClustering(random_state=0).fit(
+            constant_feature, labels)
+        assert alt.labels_.shape == (30,)
+
+
+class TestTinyInputs:
+    def test_two_points_kmeans(self, two_points):
+        km = KMeans(n_clusters=2, random_state=0).fit(two_points)
+        assert set(km.labels_.tolist()) == {0, 1}
+
+    def test_coala_two_points(self, two_points):
+        alt = COALA(n_clusters=2, w=1.0).fit(two_points, [0, 1])
+        assert alt.labels_.shape == (2,)
+
+    def test_deckmeans_minimum(self, two_points):
+        dk = DecorrelatedKMeans(n_clusters=2, n_clusterings=2,
+                                n_init=2, random_state=0).fit(two_points)
+        assert len(dk.labelings_) == 2
+
+    def test_single_point_rejected_where_meaningless(self):
+        X = np.array([[1.0, 2.0]])
+        with pytest.raises(MultiClustError):
+            GaussianMixtureEM(n_components=1).fit(X)
+
+    def test_silhouette_single_cluster_raises(self, two_points):
+        with pytest.raises(ValidationError):
+            silhouette_score(two_points, np.zeros(2, dtype=int))
+
+
+class TestMetricDegeneracies:
+    def test_ari_all_singletons(self):
+        a = np.arange(10)
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_ari_single_cluster_both(self):
+        a = np.zeros(10, dtype=int)
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_ari_singletons_vs_one_cluster(self):
+        a = np.arange(10)
+        b = np.zeros(10, dtype=int)
+        # degenerate pair: no pairs agree positively, expected handling
+        v = adjusted_rand_index(a, b)
+        assert -1.0 <= v <= 1.0
+
+
+class TestEmptyAndMalformed:
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            KMeans().fit(np.zeros((0, 2)))
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(ValidationError):
+            KMeans().fit(np.array([[object()]], dtype=object))
+
+    def test_mismatched_given_everywhere(self, rng):
+        X = rng.standard_normal((20, 2))
+        with pytest.raises(ValidationError):
+            COALA().fit(X, np.zeros(19, dtype=int))

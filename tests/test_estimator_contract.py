@@ -1,0 +1,193 @@
+"""Estimator-contract sweep: every estimator in the library honours the
+shared API conventions (params round-trip, seeded reproducibility,
+refit independence, validation of bad input)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Agglomerative,
+    ConstrainedKMeans,
+    DBSCAN,
+    FuzzyCMeans,
+    GaussianMixtureEM,
+    KernelKMeans,
+    KMeans,
+    KMedoids,
+    SpectralClustering,
+)
+from repro.exceptions import ValidationError
+from repro.originalspace import (
+    ADCOAlternative,
+    CAMI,
+    COALA,
+    ConditionalEnsembles,
+    DecorrelatedKMeans,
+    DisparateClustering,
+    MetaClustering,
+    MinCEntropy,
+)
+from repro.subspace import (CLIQUE, DOC, DUSC, FIRES, MAFIA, ORCLUS, P3C,
+                            PROCLUS, SCHISM, SUBCLU)
+from repro.transform import (
+    AlternativeClusteringViaTransformation,
+    FlexibleAlternativeClustering,
+    OrthogonalAlternative,
+    OrthogonalClustering,
+)
+
+SIMPLE_CLUSTERERS = [
+    lambda: KMeans(n_clusters=2, random_state=0),
+    lambda: KMedoids(n_clusters=2, random_state=0),
+    lambda: GaussianMixtureEM(n_components=2, random_state=0),
+    lambda: Agglomerative(n_clusters=2),
+    lambda: DBSCAN(eps=1.0, min_pts=4),
+    lambda: SpectralClustering(n_clusters=2, random_state=0),
+    lambda: PROCLUS(n_clusters=2, avg_dims=2, random_state=0),
+    lambda: ORCLUS(n_clusters=2, n_components=1, n_init=2, random_state=0),
+    lambda: KernelKMeans(n_clusters=2, n_init=2, random_state=0),
+    lambda: ConstrainedKMeans(n_clusters=2, random_state=0),
+    lambda: FuzzyCMeans(n_clusters=2, random_state=0),
+]
+
+MULTI_ESTIMATORS = [
+    lambda: DecorrelatedKMeans(n_clusters=2, n_init=3, random_state=0),
+    lambda: CAMI(n_clusters=2, n_init=2, random_state=0),
+    lambda: MetaClustering(n_base=6, n_clusters=2, random_state=0),
+    lambda: DisparateClustering(n_clusters=2, n_init=2, random_state=0),
+    lambda: OrthogonalClustering(n_clusters=2, max_clusterings=2,
+                                 random_state=0),
+]
+
+ALTERNATIVE_ESTIMATORS = [
+    lambda: COALA(n_clusters=2, w=0.8),
+    lambda: MinCEntropy(n_clusters=2, n_init=1, max_sweeps=5,
+                        random_state=0),
+    lambda: ADCOAlternative(n_clusters=2, n_init=1, max_iter=5,
+                            random_state=0),
+    lambda: ConditionalEnsembles(n_clusters=2, random_state=0),
+    lambda: AlternativeClusteringViaTransformation(random_state=0),
+    lambda: FlexibleAlternativeClustering(random_state=0),
+    lambda: OrthogonalAlternative(random_state=0),
+]
+
+SUBSPACE_MINERS = [
+    lambda: CLIQUE(n_intervals=5, density_threshold=0.1, max_dim=2),
+    lambda: SCHISM(n_intervals=5, tau=0.05, max_dim=2),
+    lambda: SUBCLU(eps=1.0, min_pts=5, max_dim=2),
+    lambda: MAFIA(alpha=2.0, max_dim=2),
+    lambda: P3C(n_bins=8, alpha=1e-3, max_dim=2),
+    lambda: DOC(n_clusters=2, w=1.0, n_trials=50, random_state=0),
+    lambda: DUSC(eps=0.8, factor=2.0, max_dim=2),
+    lambda: FIRES(eps=0.8, min_pts=8),
+]
+
+
+@pytest.mark.parametrize("factory", SIMPLE_CLUSTERERS + MULTI_ESTIMATORS
+                         + ALTERNATIVE_ESTIMATORS + SUBSPACE_MINERS)
+class TestParamsContract:
+    def test_params_round_trip(self, factory):
+        est = factory()
+        params = est.get_params()
+        est2 = type(est)(**params)
+        assert est2.get_params() == params
+
+    def test_set_params_returns_self(self, factory):
+        est = factory()
+        name = next(iter(est.get_params()))
+        assert est.set_params(**{name: est.get_params()[name]}) is est
+
+    def test_unknown_param_rejected(self, factory):
+        with pytest.raises(ValidationError):
+            factory().set_params(definitely_not_a_param=1)
+
+
+@pytest.mark.parametrize("factory", SIMPLE_CLUSTERERS)
+class TestSimpleClustererContract:
+    def test_fit_returns_self_and_labels(self, factory, blobs3):
+        X, _ = blobs3
+        est = factory()
+        assert est.fit(X) is est
+        labels = np.asarray(est.labels_)
+        assert labels.shape == (X.shape[0],)
+        assert labels.dtype == np.int64
+
+    def test_seeded_reproducibility(self, factory, blobs3):
+        X, _ = blobs3
+        a = factory().fit(X).labels_
+        b = factory().fit(X).labels_
+        assert np.array_equal(a, b)
+
+    def test_refit_overwrites(self, factory, blobs3):
+        X, _ = blobs3
+        est = factory()
+        est.fit(X)
+        first = np.asarray(est.labels_).copy()
+        est.fit(X[::-1])
+        assert np.asarray(est.labels_).shape == first.shape
+
+    def test_rejects_nan(self, factory):
+        X = np.full((10, 2), np.nan)
+        with pytest.raises(ValidationError):
+            factory().fit(X)
+
+
+@pytest.mark.parametrize("factory", MULTI_ESTIMATORS)
+class TestMultiEstimatorContract:
+    def test_labelings_shape(self, factory, four_squares):
+        X, _, _ = four_squares
+        est = factory().fit(X)
+        assert est.n_clusterings_ >= 1
+        for lab in est.labelings_:
+            assert np.asarray(lab).shape == (X.shape[0],)
+
+    def test_seeded_reproducibility(self, factory, four_squares):
+        X, _, _ = four_squares
+        a = factory().fit(X).labelings_
+        b = factory().fit(X).labelings_
+        for la, lb in zip(a, b):
+            assert np.array_equal(la, lb)
+
+
+@pytest.mark.parametrize("factory", ALTERNATIVE_ESTIMATORS)
+class TestAlternativeContract:
+    def test_fit_predict_matches_labels(self, factory, four_squares):
+        X, lh, _ = four_squares
+        est = factory()
+        labels = est.fit_predict(X, lh)
+        assert np.array_equal(labels, est.labels_)
+
+    def test_seeded_reproducibility(self, factory, four_squares):
+        X, lh, _ = four_squares
+        a = factory().fit(X, lh).labels_
+        b = factory().fit(X, lh).labels_
+        assert np.array_equal(a, b)
+
+    def test_given_length_mismatch_rejected(self, factory, four_squares):
+        X, lh, _ = four_squares
+        with pytest.raises(ValidationError):
+            factory().fit(X, lh[:-3])
+
+
+@pytest.mark.parametrize("factory", SUBSPACE_MINERS)
+class TestSubspaceMinerContract:
+    def test_clusters_are_valid(self, factory, planted_subspaces):
+        X, _ = planted_subspaces
+        miner = factory().fit(X)
+        n, d = X.shape
+        for c in miner.clusters_:
+            assert max(c.objects) < n
+            assert max(c.dims) < d
+
+    def test_fit_predict_returns_clustering(self, factory,
+                                            planted_subspaces):
+        X, _ = planted_subspaces
+        result = factory().fit_predict(X)
+        # DOC's fit_predict returns labels; miners return clusterings
+        assert result is not None
+
+    def test_seeded_reproducibility(self, factory, planted_subspaces):
+        X, _ = planted_subspaces
+        a = factory().fit(X).clusters_
+        b = factory().fit(X).clusters_
+        assert set(a) == set(b)

@@ -1,0 +1,202 @@
+"""Tests for the experiment harness and every run_* experiment.
+
+Each experiment runs at reduced size and is checked for the *shape* of
+the paper claim it reproduces (EXPERIMENTS.md records the full-size
+numbers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ResultTable,
+    run_f1_toy_alternatives,
+    run_f2_coala_tradeoff,
+    run_f3_simultaneous_vs_iterative,
+    run_f4_transformation,
+    run_f5_orthogonal_iterations,
+    run_f6_distance_concentration,
+    run_f7_clique_pruning,
+    run_f8_schism_threshold,
+    run_f9_redundancy,
+    run_f10_osclu_asclu,
+    run_f11_enclus_entropy,
+    run_f12_coem,
+    run_f13_mvdbscan,
+    run_f14_consensus,
+    run_f15_meta_clustering,
+    run_f16_msc,
+    run_t1_taxonomy,
+    timed,
+)
+
+
+class TestHarness:
+    def test_result_table_render(self):
+        t = ResultTable("demo", ["a", "b"])
+        t.add(a=1, b=2.5).add(a="x")
+        text = t.render()
+        assert "demo" in text and "2.500" in text
+
+    def test_unknown_column_rejected(self):
+        t = ResultTable("demo", ["a"])
+        with pytest.raises(ValidationError):
+            t.add(nope=1)
+
+    def test_column_access(self):
+        t = ResultTable("demo", ["a"])
+        t.add(a=1).add(a=2)
+        assert t.column("a") == [1, 2]
+        with pytest.raises(ValidationError):
+            t.column("b")
+
+    def test_timed(self):
+        result, secs = timed(lambda: 42)
+        assert result == 42 and secs >= 0
+
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+            "F10", "F11", "F12", "F13", "F14", "F15", "F16",
+            "A1", "A2", "A3", "A4", "A5", "B1",
+        }
+
+
+class TestT1F6:
+    def test_taxonomy_has_all_paradigm_rows(self):
+        table = run_t1_taxonomy()
+        assert len(table.rows) >= 20
+        spaces = set(table.column("space"))
+        assert spaces == {"original", "transformed", "subspaces",
+                          "multi-source"}
+
+    def test_distance_concentration_monotone(self):
+        table = run_f6_distance_concentration(dims=(2, 10, 50),
+                                              n_samples=80)
+        contrasts = table.column("relative_contrast")
+        assert contrasts[0] > contrasts[1] > contrasts[2]
+
+
+class TestOriginalSpaceExperiments:
+    def test_f1_alternatives_recover_secondary(self):
+        table = run_f1_toy_alternatives(n_samples=120, random_state=0)
+        rows = {r["method"]: r for r in table.rows}
+        assert rows["kmeans (given)"]["ari_vs_primary_truth"] > 0.9
+        assert rows["COALA (alt)"]["ari_vs_secondary_truth"] > 0.9
+        assert rows["minCEntropy (alt)"]["ari_vs_secondary_truth"] > 0.9
+
+    def test_f2_tradeoff_direction(self):
+        table = run_f2_coala_tradeoff(n_samples=120,
+                                      w_values=(0.2, 2.5))
+        small_w, large_w = table.rows
+        assert small_w["dissimilarity_to_given"] > \
+            large_w["dissimilarity_to_given"]
+        assert large_w["silhouette"] >= small_w["silhouette"]
+
+    def test_f3_naive_chain_collapses(self):
+        table = run_f3_simultaneous_vs_iterative(n_samples=120)
+        rows = {r["strategy"]: r for r in table.rows}
+        naive = rows["naive chain: C3 = alt(C2) only"]
+        cond = rows["conditioned chain: C3 = alt({C1, C2})"]
+        assert naive["min_pairwise_dissimilarity"] < 0.1
+        assert cond["min_pairwise_dissimilarity"] > 0.5
+
+    def test_f15_duplication_detected(self):
+        table = run_f15_meta_clustering(n_samples=120, n_base=20)
+        rows = {r["quantity"]: r["value"] for r in table.rows}
+        assert rows["duplicate pair rate (diss < 0.05)"] > 0.1
+        assert rows["mean dissimilarity among representatives"] > 0.3
+
+
+class TestTransformExperiments:
+    def test_f4_transformations_flip_clustering(self):
+        table = run_f4_transformation(n_samples=120)
+        rows = {r["method"]: r for r in table.rows}
+        assert rows["kmeans rerun (no transform)"]["ari_vs_given"] > 0.9
+        for m in ("Davidson&Qi 2008 (SVD stretcher inversion)",
+                  "Qi&Davidson 2009 (closed-form Sigma~^-1/2)"):
+            assert rows[m]["ari_vs_given"] < 0.1
+            assert rows[m]["ari_vs_secondary_truth"] > 0.9
+
+    def test_f5_views_peeled_in_dominance_order(self):
+        table = run_f5_orthogonal_iterations(n_samples=180, n_views=2)
+        aris = table.column("best_view_ari")
+        views = table.column("best_matching_view")
+        assert aris[0] > 0.9 and aris[1] > 0.9
+        assert views[0] != views[1]
+
+
+class TestSubspaceExperiments:
+    def test_f7_pruning_identical_and_cheaper(self):
+        table = run_f7_clique_pruning(feature_counts=(6, 8), n_samples=150)
+        for row in table.rows:
+            assert row["identical_results"]
+            assert row["visited_pruned"] < row["visited_exhaustive"]
+
+    def test_f8_schism_recovers_high_dim(self):
+        # F8 needs its full sample size: the planted 4-d cluster sits
+        # right at the Chernoff-Hoeffding threshold for smaller n.
+        table = run_f8_schism_threshold(n_samples=300)
+        rows = {r["quantity"]: r["value"] for r in table.rows}
+        assert rows["schism found cluster in hidden subspace"] is True
+        assert rows["clique found cluster in hidden subspace"] is False
+        assert rows["schism tau(s=4)"] < rows["schism tau(s=1)"]
+
+    def test_f9_selection_reduces_redundancy(self):
+        table = run_f9_redundancy(n_samples=180)
+        rows = {r["method"]: r for r in table.rows}
+        assert rows["CLIQUE (ALL)"]["redundancy_ratio"] > 3.0
+        assert rows["OSCLU (select)"]["redundancy_ratio"] < \
+            rows["CLIQUE (ALL)"]["redundancy_ratio"]
+        assert rows["OSCLU (select)"]["ce"] > rows["CLIQUE (ALL)"]["ce"]
+
+    def test_f10_asclu_avoids_known(self):
+        table = run_f10_osclu_asclu(n_samples=180)
+        rows = {r["quantity"]: r["value"] for r in table.rows}
+        assert rows["ASCLU reuses known concept"] is False
+
+    def test_f11_planted_beats_noise(self):
+        table = run_f11_enclus_entropy(n_samples=180)
+        planted = [r for r in table.rows if r["kind"] == "planted"]
+        noise = [r for r in table.rows if r["kind"] == "noise"]
+        assert min(p["interest"] for p in planted) > \
+            max(n["interest"] for n in noise)
+        assert max(p["entropy"] for p in planted) < \
+            min(n["entropy"] for n in noise)
+
+
+class TestMultiviewExperiments:
+    def test_f12_coem_at_least_single_view(self):
+        table = run_f12_coem(n_samples=180)
+        rows = {r["method"]: r for r in table.rows}
+        best_single = max(rows["EM view 1 only"]["ari_vs_truth"],
+                          rows["EM view 2 only"]["ari_vs_truth"])
+        assert rows["co-EM (both views)"]["ari_vs_truth"] >= best_single - 0.05
+
+    def test_f13_union_vs_intersection(self):
+        table = run_f13_mvdbscan(n_samples=180)
+        rows = {(r["scenario"], r["method"]): r for r in table.rows}
+        sparse_union = rows[("sparse views", "union")]
+        sparse_inter = rows[("sparse views", "intersection")]
+        assert sparse_union["coverage"] > sparse_inter["coverage"] + 0.3
+        assert sparse_union["ari_vs_truth"] > 0.9
+        unrel_union = rows[("unreliable view", "union")]
+        unrel_inter = rows[("unreliable view", "intersection")]
+        assert unrel_inter["ari_vs_truth"] > unrel_union["ari_vs_truth"]
+
+    def test_f14_consensus_stabilises(self):
+        table = run_f14_consensus(n_samples=150, n_runs=6)
+        rows = {r["method"]: r for r in table.rows}
+        single = rows["single EM x6"]
+        ens = [v for k, v in rows.items() if "ensemble" in k][0]
+        assert ens["ari_mean"] >= single["ari_mean"] - 0.05
+        assert ens["ari_std"] <= single["ari_std"] + 1e-9
+
+    def test_f16_hsic_penalty_helps(self):
+        table = run_f16_msc(n_samples=120, n_seeds=3)
+        rows = {r["lam"]: r for r in table.rows}
+        assert rows[2.0]["both_truths_recovered_rate"] >= \
+            rows[0.0]["both_truths_recovered_rate"]
+        assert rows[2.0]["mean_pairwise_hsic"] < 0.2

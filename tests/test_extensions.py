@@ -1,0 +1,250 @@
+"""Tests for the extension algorithms: DOC, ORCLUS, MAFIA,
+DisparateClustering, ADCOAlternative, MultiViewSpectral."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans
+from repro.data import make_subspace_data, make_two_view_sources
+from repro.exceptions import ValidationError
+from repro.metrics import adjusted_rand_index as ari
+from repro.metrics import pair_f1_subspace
+from repro.multiview import MultiViewSpectral
+from repro.originalspace import (
+    ADCOAlternative,
+    DisparateClustering,
+    contingency_uniformity,
+)
+from repro.subspace import DOC, MAFIA, ORCLUS, adaptive_windows, doc_quality
+
+
+def make_pancakes(orientations, n_per=100, d=4, l=2, thick_scale=3.0,
+                  thin_scale=0.08, seed=2):
+    """Oriented 'pancake' clusters through the origin."""
+    rng = np.random.default_rng(seed)
+    X_parts, y = [], []
+    for c, angle_seed in enumerate(orientations):
+        Q, _ = np.linalg.qr(
+            np.random.default_rng(angle_seed).standard_normal((d, d)))
+        thick, thin = Q[:, :d - l], Q[:, d - l:]
+        Z = rng.standard_normal((n_per, d - l)) * thick_scale
+        E = rng.standard_normal((n_per, l)) * thin_scale
+        X_parts.append(Z @ thick.T + E @ thin.T)
+        y.extend([c] * n_per)
+    return np.vstack(X_parts), np.asarray(y)
+
+
+class TestDOC:
+    def test_quality_function(self):
+        assert doc_quality(10, 2, beta=0.25) == 10 * 16.0
+        with pytest.raises(ValidationError):
+            doc_quality(10, 2, beta=0.9)
+
+    def test_finds_planted_subspaces(self, planted_subspaces):
+        X, hidden = planted_subspaces
+        doc = DOC(n_clusters=3, w=1.5, n_trials=300, random_state=0).fit(X)
+        assert pair_f1_subspace(doc.clusters_, hidden) > 0.6
+        planted = {h.dim_tuple() for h in hidden}
+        found = set(c.dim_tuple() for c in doc.clusters_)
+        # at least one cluster lands on an exact planted subspace
+        assert planted & found
+
+    def test_labels_partition_with_outliers(self, planted_subspaces):
+        X, _ = planted_subspaces
+        doc = DOC(n_clusters=2, w=1.0, random_state=0).fit(X)
+        assert doc.labels_.shape == (X.shape[0],)
+        assert set(doc.labels_.tolist()) <= {-1, 0, 1}
+
+    def test_qualities_recorded_descending_or_positive(self,
+                                                       planted_subspaces):
+        X, _ = planted_subspaces
+        doc = DOC(n_clusters=3, w=1.5, random_state=0).fit(X)
+        assert len(doc.qualities_) == len(doc.clusters_)
+        assert all(q > 0 for q in doc.qualities_)
+
+    def test_invalid_params(self, planted_subspaces):
+        X, _ = planted_subspaces
+        with pytest.raises(ValidationError):
+            DOC(w=0.0).fit(X)
+        with pytest.raises(ValidationError):
+            DOC(beta=0.7).fit(X)
+
+
+class TestORCLUS:
+    def test_oriented_clusters_where_kmeans_fails(self):
+        X, y = make_pancakes([0, 1])
+        orc = ORCLUS(n_clusters=2, n_components=2, n_init=10,
+                     random_state=0).fit(X)
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert ari(orc.labels_, y) > 0.9
+        assert ari(km.labels_, y) < 0.3
+
+    def test_bases_orthonormal(self):
+        X, _ = make_pancakes([0, 1])
+        orc = ORCLUS(n_clusters=2, n_components=2, n_init=3,
+                     random_state=0).fit(X)
+        for B in orc.bases_:
+            assert np.allclose(B.T @ B, np.eye(B.shape[1]), atol=1e-8)
+
+    def test_energy_lower_for_correct_l(self):
+        X, _ = make_pancakes([0, 1])
+        tight = ORCLUS(n_clusters=2, n_components=2, n_init=10,
+                       random_state=0).fit(X)
+        # projecting onto the thin directions gives tiny energy
+        assert tight.projected_energy_ < 0.1
+
+    def test_invalid_params(self):
+        X, _ = make_pancakes([0])
+        with pytest.raises(ValidationError):
+            ORCLUS(n_components=0).fit(X)
+        with pytest.raises(ValidationError):
+            ORCLUS(n_components=99).fit(X)
+        with pytest.raises(ValidationError):
+            ORCLUS(decay=1.5).fit(X)
+
+
+class TestMAFIA:
+    def test_adaptive_windows_cover_range(self, rng):
+        values = np.concatenate([rng.normal(0, 0.2, 100),
+                                 rng.uniform(-5, 5, 100)])
+        edges = adaptive_windows(values)
+        assert edges[0] <= values.min()
+        assert edges[-1] >= values.max()
+        assert np.all(np.diff(edges) > 0)
+
+    def test_dense_region_gets_fine_windows(self, rng):
+        # A sharp spike inside a uniform background should create a
+        # narrow window near the spike.
+        values = np.concatenate([rng.uniform(0, 10, 200),
+                                 rng.normal(5.0, 0.05, 200)])
+        edges = adaptive_windows(values, n_fine_bins=40)
+        widths = np.diff(edges)
+        near_spike = (edges[:-1] < 5.3) & (edges[1:] > 4.7)
+        assert widths[near_spike].min() < widths.max()
+
+    def test_constant_column(self):
+        edges = adaptive_windows(np.zeros(50))
+        assert edges.size == 2
+
+    def test_finds_planted_clusters(self, planted_subspaces):
+        X, hidden = planted_subspaces
+        mafia = MAFIA(alpha=2.5, max_dim=2).fit(X)
+        assert pair_f1_subspace(mafia.clusters_, hidden) > 0.7
+        planted = {h.dim_tuple() for h in hidden}
+        assert planted <= set(mafia.clusters_.subspaces())
+
+    def test_higher_alpha_fewer_clusters(self, planted_subspaces):
+        X, _ = planted_subspaces
+        loose = MAFIA(alpha=1.5, max_dim=2).fit(X)
+        strict = MAFIA(alpha=4.0, max_dim=2).fit(X)
+        assert len(strict.clusters_) <= len(loose.clusters_)
+
+    def test_invalid_alpha(self, planted_subspaces):
+        X, _ = planted_subspaces
+        with pytest.raises(ValidationError):
+            MAFIA(alpha=1.0).fit(X)
+
+
+class TestDisparate:
+    def test_uniformity_measure(self):
+        a = [0, 0, 1, 1]
+        assert contingency_uniformity(a, a) < 0.6     # diagonal table
+        b = [0, 1, 0, 1]
+        assert contingency_uniformity(a, b) == 1.0    # perfectly uniform
+
+    def test_disparate_mode_finds_both_views(self, four_squares):
+        X, lh, lv = four_squares
+        disp = DisparateClustering(n_clusters=2, mode="disparate",
+                                   pressure=2.0, n_init=5,
+                                   random_state=0).fit(X)
+        a, b = disp.labelings_
+        assert max(ari(a, lh), ari(b, lh)) > 0.8
+        assert max(ari(a, lv), ari(b, lv)) > 0.8
+        assert disp.uniformity_ > 0.8
+
+    def test_dependent_mode_aligns_clusterings(self, four_squares):
+        X, _, _ = four_squares
+        dep = DisparateClustering(n_clusters=2, mode="dependent",
+                                  pressure=2.0, n_init=5,
+                                  random_state=0).fit(X)
+        a, b = dep.labelings_
+        assert ari(a, b) > 0.9
+        assert dep.uniformity_ < 0.7
+
+    def test_modes_differ(self, four_squares):
+        X, _, _ = four_squares
+        disp = DisparateClustering(mode="disparate", pressure=2.0,
+                                   random_state=0).fit(X)
+        dep = DisparateClustering(mode="dependent", pressure=2.0,
+                                  random_state=0).fit(X)
+        assert disp.uniformity_ > dep.uniformity_
+
+    def test_invalid_mode(self, four_squares):
+        X, _, _ = four_squares
+        with pytest.raises(ValidationError):
+            DisparateClustering(mode="sideways").fit(X)
+
+
+class TestADCOAlternative:
+    def test_finds_alternative(self, four_squares):
+        X, lh, lv = four_squares
+        given = KMeans(n_clusters=2, random_state=0).fit(X).labels_
+        primary, secondary = (lh, lv) if ari(given, lh) > ari(given, lv) \
+            else (lv, lh)
+        alt = ADCOAlternative(n_clusters=2, lam=2.0, n_init=3,
+                              random_state=0).fit(X, given)
+        assert ari(alt.labels_, secondary) > 0.8
+        assert ari(alt.labels_, given) < 0.2
+
+    def test_profile_similarity_reported(self, four_squares):
+        X, _, _ = four_squares
+        given = KMeans(n_clusters=2, random_state=0).fit(X).labels_
+        alt = ADCOAlternative(n_clusters=2, lam=2.0, n_init=2,
+                              random_state=0).fit(X, given)
+        assert 0.0 <= alt.adco_to_given_ <= 1.0
+        assert np.isfinite(alt.objective_)
+
+    def test_lam_zero_is_plain_quality(self, four_squares):
+        X, _, _ = four_squares
+        given = KMeans(n_clusters=2, random_state=0).fit(X).labels_
+        alt = ADCOAlternative(n_clusters=2, lam=0.0, n_init=2,
+                              random_state=0).fit(X, given)
+        # without the penalty nothing forbids rediscovering the given
+        assert alt.labels_.shape == given.shape
+
+
+class TestMultiViewSpectral:
+    def test_consensus_on_two_views(self):
+        (X1, X2), y = make_two_view_sources(
+            n_samples=180, n_clusters=3, min_center_distance=3.5,
+            random_state=0)
+        mvs = MultiViewSpectral(n_clusters=3, random_state=0).fit((X1, X2))
+        assert ari(mvs.labels_, y) > 0.9
+
+    def test_weights_must_match(self):
+        (X1, X2), _ = make_two_view_sources(n_samples=60, random_state=0)
+        with pytest.raises(ValidationError):
+            MultiViewSpectral(weights=[1.0]).fit((X1, X2))
+        with pytest.raises(ValidationError):
+            MultiViewSpectral(weights=[0.0, 0.0]).fit((X1, X2))
+
+    def test_downweighting_bad_view_helps(self):
+        (U1, U2), y = make_two_view_sources(
+            n_samples=180, n_clusters=3, unreliable_view=1,
+            unreliable_fraction=0.5, min_center_distance=4.0,
+            random_state=1)
+        balanced = MultiViewSpectral(n_clusters=3,
+                                     random_state=0).fit((U1, U2))
+        weighted = MultiViewSpectral(n_clusters=3, weights=[0.9, 0.1],
+                                     random_state=0).fit((U1, U2))
+        assert ari(weighted.labels_, y) >= ari(balanced.labels_, y) - 0.05
+
+    def test_needs_two_views(self):
+        (X1, _), _ = make_two_view_sources(n_samples=60, random_state=0)
+        with pytest.raises(ValidationError):
+            MultiViewSpectral().fit((X1,))
+
+    def test_mixed_affinity_symmetric(self):
+        (X1, X2), _ = make_two_view_sources(n_samples=80, random_state=0)
+        mvs = MultiViewSpectral(n_clusters=3, random_state=0).fit((X1, X2))
+        assert np.allclose(mvs.mixed_affinity_, mvs.mixed_affinity_.T)

@@ -1,0 +1,123 @@
+"""Tests for FuzzyCMeans, MultiViewKMeans, and ParallelUniverses."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FuzzyCMeans, fcm_memberships
+from repro.data import make_blobs, make_multiple_truths, make_two_view_sources
+from repro.exceptions import ValidationError
+from repro.metrics import adjusted_rand_index as ari
+from repro.multiview import MultiViewKMeans, ParallelUniverses
+
+
+@pytest.fixture
+def universes():
+    X, truths, views = make_multiple_truths(
+        n_samples=240, n_views=2, clusters_per_view=2, features_per_view=2,
+        cluster_std=0.5, center_spread=5.0, random_state=1)
+    U1 = X[:, list(views[0])]
+    U2 = X[:, list(views[1])]
+    return (U1, U2), truths
+
+
+class TestFuzzyCMeans:
+    def test_recovers_blobs(self, blobs3):
+        X, y = blobs3
+        f = FuzzyCMeans(n_clusters=3, random_state=0).fit(X)
+        assert ari(f.labels_, y) == 1.0
+
+    def test_memberships_valid(self, blobs3):
+        X, _ = blobs3
+        f = FuzzyCMeans(n_clusters=3, random_state=0).fit(X)
+        assert np.allclose(f.memberships_.sum(axis=1), 1.0)
+        assert (f.memberships_ >= 0).all()
+
+    def test_memberships_crisper_than_uniform(self, blobs3):
+        X, _ = blobs3
+        f = FuzzyCMeans(n_clusters=3, random_state=0).fit(X)
+        assert f.memberships_.max(axis=1).mean() > 0.8
+
+    def test_point_on_center_is_crisp(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        u = fcm_memberships(np.array([[0.0, 0.0]]), centers)
+        assert np.isclose(u[0, 0], 1.0)
+
+    def test_fuzzifier_controls_softness(self, blobs3):
+        X, _ = blobs3
+        crisp = FuzzyCMeans(n_clusters=3, m=1.5, random_state=0).fit(X)
+        soft = FuzzyCMeans(n_clusters=3, m=3.0, random_state=0).fit(X)
+        assert crisp.memberships_.max(axis=1).mean() > \
+            soft.memberships_.max(axis=1).mean()
+
+    def test_invalid_fuzzifier(self, blobs3):
+        X, _ = blobs3
+        with pytest.raises(ValidationError):
+            FuzzyCMeans(m=1.0).fit(X)
+
+
+class TestMultiViewKMeans:
+    def test_shared_partition_matches_truth(self):
+        (V1, V2), y = make_two_view_sources(
+            n_samples=200, n_clusters=3, min_center_distance=3.5,
+            random_state=0)
+        mk = MultiViewKMeans(n_clusters=3, random_state=0).fit((V1, V2))
+        assert ari(mk.labels_, y) > 0.95
+
+    def test_per_view_centers_shapes(self):
+        (V1, V2), _ = make_two_view_sources(
+            n_samples=120, n_clusters=3, n_features=(2, 4), random_state=0)
+        mk = MultiViewKMeans(n_clusters=3, random_state=0).fit((V1, V2))
+        assert mk.view_centers_[0].shape == (3, 2)
+        assert mk.view_centers_[1].shape == (3, 4)
+
+    def test_downweighting_bad_view_helps(self):
+        (U1, U2), y = make_two_view_sources(
+            n_samples=200, n_clusters=3, unreliable_view=1,
+            unreliable_fraction=0.5, min_center_distance=4.0,
+            random_state=1)
+        weighted = MultiViewKMeans(n_clusters=3, weights=[0.95, 0.05],
+                                   random_state=0).fit((U1, U2))
+        assert ari(weighted.labels_, y) > 0.9
+
+    def test_validation(self):
+        (V1, V2), _ = make_two_view_sources(n_samples=60, random_state=0)
+        with pytest.raises(ValidationError):
+            MultiViewKMeans().fit((V1,))
+        with pytest.raises(ValidationError):
+            MultiViewKMeans(weights=[1.0]).fit((V1, V2))
+        with pytest.raises(ValidationError):
+            MultiViewKMeans().fit((V1, V2[:-1]))
+
+
+class TestParallelUniverses:
+    def test_clusters_specialise_to_universes(self, universes):
+        (U1, U2), truths = universes
+        pu = ParallelUniverses(n_clusters=4, random_state=0).fit((U1, U2))
+        # two clusters per universe, each universe's clusters match its
+        # own planted truth on their members
+        assert sorted(np.bincount(pu.universe_of_cluster_,
+                                  minlength=2).tolist()) == [2, 2]
+        for uni in (0, 1):
+            ids = np.flatnonzero(pu.universe_of_cluster_ == uni)
+            mask = np.isin(pu.labels_, ids)
+            assert ari(pu.labels_[mask], truths[uni][mask]) > 0.9
+
+    def test_universe_weights_valid(self, universes):
+        (U1, U2), _ = universes
+        pu = ParallelUniverses(n_clusters=4, random_state=0).fit((U1, U2))
+        assert np.allclose(pu.universe_weights_.sum(axis=1), 1.0)
+        assert (pu.universe_weights_ >= 0).all()
+
+    def test_weights_concentrate(self, universes):
+        (U1, U2), _ = universes
+        pu = ParallelUniverses(n_clusters=4, random_state=0).fit((U1, U2))
+        assert pu.universe_weights_.max(axis=1).min() > 0.8
+
+    def test_validation(self, universes):
+        (U1, U2), _ = universes
+        with pytest.raises(ValidationError):
+            ParallelUniverses().fit((U1,))
+        with pytest.raises(ValidationError):
+            ParallelUniverses(m=1.0).fit((U1, U2))
+        with pytest.raises(ValidationError):
+            ParallelUniverses(sharpness=0.0).fit((U1, U2))

@@ -1,0 +1,154 @@
+"""Integration tests: cross-paradigm workflows on the motivating
+application scenarios of the tutorial (slides 5-8)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans
+from repro.core import (
+    Clustering,
+    IterativeAlternativePipeline,
+    MultipleClusteringObjective,
+    SubspaceClustering,
+)
+from repro.data import (
+    load_customer_segments,
+    load_document_topics,
+    load_gene_expression_like,
+)
+from repro.metrics import adjusted_rand_index as ari
+from repro.metrics import normalized_mutual_information as nmi
+from repro.multiview import ClusterEnsemble, CoEM
+from repro.originalspace import COALA, MinCEntropy
+from repro.subspace import ASCLU, OSCLU, SCHISM
+from repro.transform import (
+    AlternativeClusteringViaTransformation,
+    OrthogonalClustering,
+    OrthogonalProjectionTransform,
+)
+
+
+class TestGeneExpressionScenario:
+    """Slide 5: one gene, several functional roles -> two regimes."""
+
+    def test_orthogonal_clustering_finds_both_roles(self):
+        X, role1, role2 = load_gene_expression_like(random_state=2)
+        oc = OrthogonalClustering(n_clusters=3, max_clusterings=4,
+                                  random_state=0).fit(X)
+        best1 = max(ari(lab, role1) for lab in oc.labelings_)
+        best2 = max(ari(lab, role2) for lab in oc.labelings_)
+        assert best1 > 0.5
+        assert best2 > 0.5
+
+    def test_alternative_to_first_role(self):
+        X, role1, role2 = load_gene_expression_like(random_state=2)
+        alt = MinCEntropy(n_clusters=3, beta=2.0, random_state=0).fit(X, role1)
+        assert nmi(alt.labels_, role1) < 0.3
+
+
+class TestCustomerScenario:
+    """Slides 8/16: professional vs leisure views of customers."""
+
+    def test_subspace_pipeline_recovers_both_views(self):
+        X, prof, leisure, views = load_customer_segments(random_state=3)
+        schism = SCHISM(n_intervals=6, tau=0.01, max_dim=3).fit(X)
+        osclu = OSCLU(alpha=0.5, beta=0.34).fit(schism.clusters_)
+        # the selected concepts must touch both view feature groups
+        selected_dims = set()
+        for c in osclu.clusters_:
+            selected_dims |= c.dims
+        assert selected_dims & set(views[0])
+        assert selected_dims & set(views[1])
+
+    def test_transformation_flips_between_views(self):
+        X, prof, leisure, _ = load_customer_segments(random_state=3)
+        given = KMeans(n_clusters=3, random_state=0).fit(X).labels_
+        primary, secondary = (prof, leisure) if ari(given, prof) >= ari(
+            given, leisure) else (leisure, prof)
+        alt = AlternativeClusteringViaTransformation(
+            random_state=0).fit(X, given)
+        assert ari(alt.labels_, secondary) > ari(alt.labels_, primary)
+
+
+class TestDocumentScenario:
+    """Slide 7: known topics given, novel topics wanted."""
+
+    def test_alternative_methods_find_novel_topics(self):
+        X, known, novel = load_document_topics(n_documents=150,
+                                               vocab_size=24,
+                                               random_state=4)
+        alt = MinCEntropy(n_clusters=3, beta=2.0, random_state=0).fit(X, known)
+        assert ari(alt.labels_, novel) > ari(alt.labels_, known)
+
+    def test_coala_on_documents(self):
+        X, known, novel = load_document_topics(n_documents=120,
+                                               vocab_size=24,
+                                               random_state=4)
+        alt = COALA(n_clusters=3, w=0.7).fit(X, known)
+        assert ari(alt.labels_, known) < 0.5
+
+
+class TestCrossParadigm:
+    def test_pipeline_with_alternative_transform(self, four_squares):
+        """Paradigm-2 transformer inside the generic pipeline."""
+        from repro.transform import AlternativeSpaceTransform
+        X, lh, lv = four_squares
+        pipe = IterativeAlternativePipeline(
+            clusterer=KMeans(n_clusters=2, random_state=0),
+            transformer=AlternativeSpaceTransform(),
+            n_solutions=2,
+        ).fit(X)
+        assert len(pipe.labelings_) == 2
+        a, b = pipe.labelings_
+        assert ari(a, b) < 0.1
+        assert max(ari(a, lh), ari(b, lh)) > 0.9
+        assert max(ari(a, lv), ari(b, lv)) > 0.9
+
+    def test_objective_ranks_method_outputs(self, four_squares):
+        """The slide-27 objective prefers the diverse pair over the
+        duplicated pair regardless of which paradigm produced it."""
+        X, lh, lv = four_squares
+        given = KMeans(n_clusters=2, random_state=0).fit(X).labels_
+        coala = COALA(n_clusters=2, w=0.8).fit(X, given).labels_
+        obj = MultipleClusteringObjective(lam=1.0)
+        assert obj.score(X, [given, coala]) > obj.score(X, [given, given])
+
+    def test_subspace_to_flat_conversion_feeds_ensemble(self,
+                                                        planted_subspaces):
+        """Paradigm-3 output consumed by paradigm-4 consensus."""
+        X, hidden = planted_subspaces
+        schism = SCHISM(n_intervals=8, tau=0.01, max_dim=2).fit(X)
+        labelings = list(schism.clusters_.to_labelings(X.shape[0]).values())
+        ce = ClusterEnsemble(n_clusters=3).fit(labelings)
+        assert ce.labels_.shape == (X.shape[0],)
+        assert ce.anmi_ > 0.0
+
+    def test_asclu_given_flat_clustering_as_subspace_knowledge(
+            self, planted_subspaces):
+        """Flat given knowledge lifted into (O, S) form for ASCLU."""
+        X, hidden = planted_subspaces
+        km = KMeans(n_clusters=3, random_state=0).fit(X[:, [0, 1]])
+        known = SubspaceClustering([
+            (np.flatnonzero(km.labels_ == c).tolist(), (0, 1))
+            for c in range(3)
+        ])
+        schism = SCHISM(n_intervals=8, tau=0.01, max_dim=2).fit(X)
+        asclu = ASCLU(alpha=0.5, beta=0.5).fit(schism.clusters_, known)
+        assert (0, 1) not in asclu.clusters_.subspaces()
+
+    def test_clustering_container_round_trip(self, four_squares):
+        X, lh, _ = four_squares
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        wrapped = km.clustering_
+        assert isinstance(wrapped, Clustering)
+        assert ari(wrapped.labels, km.labels_) == 1.0
+
+    def test_coem_on_customer_views(self):
+        X, prof, leisure, views = load_customer_segments(random_state=3)
+        X1 = X[:, list(views[0])]
+        X2 = X[:, list(views[1])]
+        # views encode DIFFERENT truths here, so co-EM's consensus should
+        # agree with at most one of them strongly — it must still run and
+        # converge.
+        co = CoEM(n_clusters=3, max_iter=30, random_state=0).fit((X1, X2))
+        assert co.labels_.shape == (X.shape[0],)

@@ -1,0 +1,89 @@
+"""Tests for KernelKMeans and OrthogonalAlternative."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import KernelKMeans, KMeans
+from repro.exceptions import ValidationError
+from repro.metrics import adjusted_rand_index as ari
+from repro.transform import OrthogonalAlternative
+from repro.utils.linalg import rbf_kernel
+
+
+class TestKernelKMeans:
+    def test_recovers_blobs(self, blobs3):
+        X, y = blobs3
+        kk = KernelKMeans(n_clusters=3, random_state=0).fit(X)
+        assert ari(kk.labels_, y) == 1.0
+
+    def test_four_corner_structure(self, four_squares):
+        X, lh, lv = four_squares
+        kk = KernelKMeans(n_clusters=4, random_state=0).fit(X)
+        truth4 = lh * 2 + lv
+        assert ari(kk.labels_, truth4) > 0.9
+
+    def test_quality_reported(self, blobs3):
+        X, _ = blobs3
+        kk = KernelKMeans(n_clusters=3, random_state=0).fit(X)
+        assert 0.0 < kk.quality_ <= 1.0
+
+    def test_precomputed_kernel(self, blobs3):
+        X, y = blobs3
+        K = rbf_kernel(X)
+        kk = KernelKMeans(n_clusters=3, kernel=K, random_state=0).fit(X)
+        assert ari(kk.labels_, y) == 1.0
+
+    def test_quality_improves_over_random(self, blobs3, rng):
+        X, _ = blobs3
+        kk = KernelKMeans(n_clusters=3, random_state=0).fit(X)
+        K = rbf_kernel(X)
+        random_labels = rng.integers(3, size=X.shape[0])
+        q_random = sum(
+            float(K[np.ix_(random_labels == c, random_labels == c)].sum())
+            / max(int(np.sum(random_labels == c)), 1)
+            for c in range(3)
+        ) / X.shape[0]
+        assert kk.quality_ > q_random
+
+    def test_reproducible(self, blobs3):
+        X, _ = blobs3
+        a = KernelKMeans(n_clusters=3, random_state=5).fit(X).labels_
+        b = KernelKMeans(n_clusters=3, random_state=5).fit(X).labels_
+        assert np.array_equal(a, b)
+
+
+class TestOrthogonalAlternative:
+    def test_finds_alternative(self, four_squares):
+        X, lh, lv = four_squares
+        given = KMeans(n_clusters=2, random_state=0).fit(X).labels_
+        primary, secondary = (lh, lv) if ari(given, lh) > ari(given, lv) \
+            else (lv, lh)
+        alt = OrthogonalAlternative(random_state=0).fit(X, given)
+        assert ari(alt.labels_, secondary) > 0.9
+        assert ari(alt.labels_, given) < 0.1
+
+    def test_transform_exposed(self, four_squares):
+        X, lh, _ = four_squares
+        alt = OrthogonalAlternative(random_state=0).fit(X, lh)
+        assert alt.transform_.projector_.shape == (2, 2)
+        # the projector annihilates the given structure's direction
+        basis = alt.transform_.basis_
+        assert np.allclose(alt.transform_.projector_ @ basis, 0, atol=1e-8)
+
+    def test_accepts_clustering_object(self, four_squares):
+        from repro.core import Clustering
+        X, lh, _ = four_squares
+        alt = OrthogonalAlternative(random_state=0).fit(X, Clustering(lh))
+        assert alt.labels_.shape == (X.shape[0],)
+
+    def test_custom_clusterer(self, four_squares):
+        from repro.cluster import Agglomerative
+        X, lh, lv = four_squares
+        alt = OrthogonalAlternative(
+            clusterer=Agglomerative(n_clusters=2)).fit(X, lh)
+        assert ari(alt.labels_, lv) > 0.8
+
+    def test_mismatch_rejected(self, four_squares):
+        X, lh, _ = four_squares
+        with pytest.raises(ValidationError):
+            OrthogonalAlternative().fit(X, lh[:-1])

@@ -1,0 +1,74 @@
+"""Unit tests for external evaluation measures."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import clustering_accuracy, f_measure, purity
+
+
+class TestPurity:
+    def test_perfect(self):
+        a = [0, 0, 1, 1]
+        assert purity(a, a) == 1.0
+
+    def test_permutation_invariant(self):
+        assert purity([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_one_big_cluster(self):
+        # single cluster over two balanced classes -> purity 0.5
+        assert purity([0, 0, 0, 0], [0, 0, 1, 1]) == 0.5
+
+    def test_over_clustering_inflates_purity(self):
+        # purity's known bias: singletons are always pure
+        true = [0, 0, 1, 1]
+        singletons = [0, 1, 2, 3]
+        assert purity(singletons, true) == 1.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(3, size=60)
+        b = rng.integers(4, size=60)
+        assert 0.0 < purity(a, b) <= 1.0
+
+
+class TestAccuracy:
+    def test_matching_corrects_label_swap(self):
+        assert clustering_accuracy([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_partial(self):
+        pred = [0, 0, 1, 1, 1, 1]
+        true = [0, 0, 0, 0, 1, 1]
+        # best matching: 0->0 (2), 1->1 (2) => 4/6
+        assert np.isclose(clustering_accuracy(pred, true), 4 / 6)
+
+    def test_one_to_one_constraint(self):
+        # accuracy cannot assign two predicted clusters to one class
+        pred = [0, 1, 0, 1]
+        true = [0, 0, 0, 0]
+        assert clustering_accuracy(pred, true) <= 0.5 + 1e-12
+
+    def test_at_most_purity(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            a = rng.integers(4, size=50)
+            b = rng.integers(3, size=50)
+            assert clustering_accuracy(a, b) <= purity(a, b) + 1e-12
+
+
+class TestFMeasure:
+    def test_perfect(self):
+        a = [0, 1, 2, 0, 1, 2]
+        assert np.isclose(f_measure(a, a), 1.0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(3, size=60)
+        b = rng.integers(3, size=60)
+        assert 0.0 < f_measure(a, b) <= 1.0
+
+    def test_split_cluster_penalised(self):
+        true = [0] * 8 + [1] * 8
+        merged = [0] * 16
+        split = [0, 0, 0, 0, 1, 1, 1, 1] + [2] * 8
+        assert f_measure(split, true) > f_measure(merged, true) - 0.3
+        assert f_measure(split, true) < 1.0

@@ -1,0 +1,59 @@
+"""Unit tests for the HSIC estimator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import hsic, linear_hsic, normalized_hsic
+
+
+class TestHSIC:
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((300, 2))
+        Y = rng.standard_normal((300, 2))
+        assert normalized_hsic(X, Y) < 0.1
+
+    def test_identical_is_one(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((100, 2))
+        assert np.isclose(normalized_hsic(X, X), 1.0)
+
+    def test_dependent_higher_than_independent(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((200, 1))
+        Y_dep = X * 2.0 + 0.01 * rng.standard_normal((200, 1))
+        Y_ind = rng.standard_normal((200, 1))
+        assert normalized_hsic(X, Y_dep) > normalized_hsic(X, Y_ind) + 0.3
+
+    def test_nonlinear_dependence_detected(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-3, 3, size=(300, 1))
+        Y = np.sin(X) + 0.05 * rng.standard_normal((300, 1))
+        ind = rng.standard_normal((300, 1))
+        assert normalized_hsic(X, Y) > normalized_hsic(X, ind) + 0.1
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(4)
+        X = rng.standard_normal((50, 3))
+        Y = rng.standard_normal((50, 2))
+        assert hsic(X, Y) >= -1e-12
+        assert linear_hsic(X, Y) >= -1e-12
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(5)
+        X = rng.standard_normal((60, 2))
+        Y = rng.standard_normal((60, 2))
+        assert np.isclose(hsic(X, Y), hsic(Y, X))
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            hsic(np.zeros((5, 2)), np.zeros((6, 2)))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValidationError):
+            hsic(np.zeros((5, 2)), np.zeros((5, 2)), kernel="poly")
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValidationError):
+            hsic(np.zeros((1, 2)), np.zeros((1, 2)))

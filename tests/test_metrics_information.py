@@ -1,0 +1,110 @@
+"""Unit tests for information-theoretic partition metrics."""
+
+import numpy as np
+
+from repro.metrics import (
+    conditional_entropy,
+    entropy_of_distribution,
+    entropy_of_labels,
+    mutual_information,
+    normalized_mutual_information,
+    variation_of_information,
+)
+
+
+class TestEntropy:
+    def test_uniform_distribution(self):
+        assert np.isclose(entropy_of_distribution([0.5, 0.5]), np.log(2))
+
+    def test_degenerate_zero(self):
+        assert entropy_of_distribution([1.0, 0.0]) == 0.0
+
+    def test_unnormalised_input_ok(self):
+        assert np.isclose(entropy_of_distribution([2, 2]), np.log(2))
+
+    def test_labels_entropy(self):
+        assert np.isclose(entropy_of_labels([0, 0, 1, 1]), np.log(2))
+
+    def test_noise_excluded(self):
+        assert np.isclose(entropy_of_labels([0, 0, 1, 1, -1, -1]), np.log(2))
+
+    def test_single_cluster_zero(self):
+        assert entropy_of_labels([3, 3, 3]) == 0.0
+
+
+class TestMutualInformation:
+    def test_identical_equals_entropy(self):
+        a = [0, 0, 1, 1, 2, 2]
+        assert np.isclose(mutual_information(a, a), entropy_of_labels(a))
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(2, size=5000)
+        b = rng.integers(2, size=5000)
+        assert mutual_information(a, b) < 0.01
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(3, size=50)
+        b = rng.integers(2, size=50)
+        assert np.isclose(mutual_information(a, b), mutual_information(b, a))
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            a = rng.integers(4, size=30)
+            b = rng.integers(3, size=30)
+            assert mutual_information(a, b) >= -1e-12
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        a = [0, 1, 0, 1, 2]
+        assert np.isclose(normalized_mutual_information(a, a), 1.0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(3, size=60)
+        b = rng.integers(4, size=60)
+        for avg in ("arithmetic", "geometric", "min", "max"):
+            v = normalized_mutual_information(a, b, average=avg)
+            assert 0.0 <= v <= 1.0
+
+    def test_both_trivial(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+
+class TestVIAndConditional:
+    def test_vi_identical_zero(self):
+        a = [0, 0, 1, 1]
+        assert np.isclose(variation_of_information(a, a), 0.0)
+
+    def test_vi_symmetric(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(3, size=40)
+        b = rng.integers(2, size=40)
+        assert np.isclose(variation_of_information(a, b),
+                          variation_of_information(b, a))
+
+    def test_vi_triangle_inequality(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(3, size=40)
+        b = rng.integers(3, size=40)
+        c = rng.integers(3, size=40)
+        assert (variation_of_information(a, c)
+                <= variation_of_information(a, b)
+                + variation_of_information(b, c) + 1e-9)
+
+    def test_conditional_entropy_chain(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(3, size=50)
+        b = rng.integers(2, size=50)
+        # H(A|B) = H(A) - I(A;B)
+        assert np.isclose(
+            conditional_entropy(a, b),
+            entropy_of_labels(a) - mutual_information(a, b),
+        )
+
+    def test_conditional_entropy_identical_zero(self):
+        a = [0, 1, 0, 1]
+        assert np.isclose(conditional_entropy(a, a), 0.0, atol=1e-12)

@@ -1,0 +1,88 @@
+"""Unit tests for internal clustering quality measures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    compactness,
+    davies_bouldin,
+    dunn_index,
+    silhouette_score,
+    sse,
+)
+
+
+@pytest.fixture
+def two_tight_clusters():
+    X = np.array([
+        [0.0, 0.0], [0.1, 0.0], [0.0, 0.1],
+        [10.0, 10.0], [10.1, 10.0], [10.0, 10.1],
+    ])
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    return X, labels
+
+
+class TestSSE:
+    def test_zero_for_points_at_mean(self):
+        X = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert sse(X, [0, 0]) == 0.0
+
+    def test_known_value(self):
+        X = np.array([[0.0], [2.0]])
+        # mean 1, squared deviations 1 + 1
+        assert np.isclose(sse(X, [0, 0]), 2.0)
+
+    def test_noise_ignored(self):
+        X = np.array([[0.0], [2.0], [100.0]])
+        assert np.isclose(sse(X, [0, 0, -1]), 2.0)
+
+    def test_compactness_is_negative_sse(self, two_tight_clusters):
+        X, labels = two_tight_clusters
+        assert np.isclose(compactness(X, labels), -sse(X, labels))
+
+
+class TestSilhouette:
+    def test_well_separated_high(self, two_tight_clusters):
+        X, labels = two_tight_clusters
+        assert silhouette_score(X, labels) > 0.9
+
+    def test_bad_split_low(self, two_tight_clusters):
+        X, _ = two_tight_clusters
+        bad = np.array([0, 1, 0, 1, 0, 1])
+        assert silhouette_score(X, bad) < 0.1
+
+    def test_requires_two_clusters(self, two_tight_clusters):
+        X, _ = two_tight_clusters
+        with pytest.raises(ValidationError):
+            silhouette_score(X, np.zeros(6, dtype=int))
+
+    def test_bounds(self, blobs3):
+        X, y = blobs3
+        s = silhouette_score(X, y)
+        assert -1.0 <= s <= 1.0
+
+
+class TestDaviesBouldin:
+    def test_lower_for_better_clustering(self, two_tight_clusters):
+        X, labels = two_tight_clusters
+        bad = np.array([0, 1, 0, 1, 0, 1])
+        assert davies_bouldin(X, labels) < davies_bouldin(X, bad)
+
+    def test_requires_two_clusters(self, two_tight_clusters):
+        X, _ = two_tight_clusters
+        with pytest.raises(ValidationError):
+            davies_bouldin(X, np.zeros(6, dtype=int))
+
+
+class TestDunn:
+    def test_higher_for_better_clustering(self, two_tight_clusters):
+        X, labels = two_tight_clusters
+        bad = np.array([0, 1, 0, 1, 0, 1])
+        assert dunn_index(X, labels) > dunn_index(X, bad)
+
+    def test_known_geometry(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        # min separation 9, max diameter 1
+        assert np.isclose(dunn_index(X, labels), 9.0)

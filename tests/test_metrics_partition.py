@@ -1,0 +1,116 @@
+"""Unit tests for pair-counting partition metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    adjusted_rand_index,
+    contingency_matrix,
+    fowlkes_mallows,
+    jaccard_index,
+    pair_confusion,
+    pair_precision_recall_f1,
+    rand_index,
+    relabel_consecutive,
+)
+
+
+class TestContingency:
+    def test_known_table(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 1, 1]
+        mat = contingency_matrix(a, b)
+        assert mat.tolist() == [[1, 1], [0, 2]]
+
+    def test_noise_dropped(self):
+        mat = contingency_matrix([0, 0, -1], [0, 1, 0])
+        assert mat.sum() == 2
+
+    def test_noise_included(self):
+        mat = contingency_matrix([0, 0, -1], [0, 1, 0], include_noise=True)
+        assert mat.sum() == 3
+
+    def test_all_noise_raises(self):
+        with pytest.raises(ValidationError):
+            contingency_matrix([-1, -1], [0, 1])
+
+    def test_pair_confusion_sums_to_total_pairs(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(3, size=30)
+        b = rng.integers(4, size=30)
+        n11, n10, n01, n00 = pair_confusion(a, b)
+        assert n11 + n10 + n01 + n00 == 30 * 29 / 2
+
+    def test_relabel_consecutive(self):
+        new, classes = relabel_consecutive([5, 5, -1, 9])
+        assert list(new) == [0, 0, -1, 1]
+        assert list(classes) == [5, 9]
+
+
+class TestRand:
+    def test_identical_is_one(self):
+        a = [0, 0, 1, 1, 2]
+        assert rand_index(a, a) == 1.0
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_label_permutation_invariant(self):
+        a = [0, 0, 1, 1]
+        b = [1, 1, 0, 0]
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_independent_ari_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(3, size=3000)
+        b = rng.integers(3, size=3000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(3, size=40)
+        b = rng.integers(2, size=40)
+        assert np.isclose(adjusted_rand_index(a, b),
+                          adjusted_rand_index(b, a))
+        assert np.isclose(rand_index(a, b), rand_index(b, a))
+
+    def test_known_value(self):
+        # Classic example: RI = (n11+n00)/total.
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 2, 2]
+        n11, n10, n01, n00 = pair_confusion(a, b)
+        assert (n11, n10, n01, n00) == (2, 4, 1, 8)
+        assert np.isclose(rand_index(a, b), 10 / 15)
+
+    def test_opposite_partition_negative_ari(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert adjusted_rand_index(a, b) < 0
+
+
+class TestOtherPairMetrics:
+    def test_jaccard_identical(self):
+        a = [0, 1, 0, 1]
+        assert jaccard_index(a, a) == 1.0
+
+    def test_jaccard_bounds(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(3, size=50)
+        b = rng.integers(3, size=50)
+        assert 0.0 <= jaccard_index(a, b) <= 1.0
+
+    def test_fowlkes_mallows_identical(self):
+        a = [0, 0, 1, 1]
+        assert fowlkes_mallows(a, a) == 1.0
+
+    def test_precision_recall_f1(self):
+        pred = [0, 0, 0, 0]   # one big cluster
+        true = [0, 0, 1, 1]
+        p, r, f1 = pair_precision_recall_f1(pred, true)
+        assert np.isclose(p, 2 / 6)
+        assert np.isclose(r, 1.0)
+        assert 0 < f1 < 1
+
+    def test_f1_perfect(self):
+        a = [0, 1, 2, 0]
+        p, r, f1 = pair_precision_recall_f1(a, a)
+        assert f1 == 1.0

@@ -1,0 +1,255 @@
+"""Tests for paradigm 4 — multiple given views/sources and consensus."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GaussianMixtureEM, KMeans
+from repro.data import make_blobs, make_four_squares, make_two_view_sources
+from repro.exceptions import ValidationError
+from repro.metrics import adjusted_rand_index as ari
+from repro.multiview import (
+    ClusterEnsemble,
+    CoEM,
+    MultipleSpectralViews,
+    MultiViewDBSCAN,
+    RandomProjectionEnsemble,
+    align_labels,
+    average_nmi,
+    coassociation_matrix,
+    cspa_consensus,
+    majority_vote_consensus,
+    soft_comembership,
+)
+
+
+@pytest.fixture
+def two_views():
+    return make_two_view_sources(
+        n_samples=180, n_clusters=3, cluster_std=0.7,
+        min_center_distance=3.5, random_state=0)
+
+
+class TestCoEM:
+    def test_matches_shared_truth(self, two_views):
+        (X1, X2), y = two_views
+        co = CoEM(n_clusters=3, random_state=0).fit((X1, X2))
+        assert ari(co.labels_, y) > 0.9
+
+    def test_views_agree(self, two_views):
+        (X1, X2), y = two_views
+        co = CoEM(n_clusters=3, random_state=0).fit((X1, X2))
+        assert co.agreement_ > 0.9
+        assert ari(co.view_labels_[0], co.view_labels_[1]) > 0.8
+
+    def test_responsibilities_valid(self, two_views):
+        (X1, X2), _ = two_views
+        co = CoEM(n_clusters=3, random_state=0).fit((X1, X2))
+        assert np.allclose(co.responsibilities_.sum(axis=1), 1.0)
+
+    def test_terminates(self, two_views):
+        (X1, X2), _ = two_views
+        co = CoEM(n_clusters=3, max_iter=7, random_state=0).fit((X1, X2))
+        assert co.n_iter_ <= 7
+
+    def test_requires_two_views(self, two_views):
+        (X1, _), _ = two_views
+        with pytest.raises(ValidationError):
+            CoEM().fit((X1,))
+
+    def test_row_mismatch(self, two_views):
+        (X1, X2), _ = two_views
+        with pytest.raises(ValidationError):
+            CoEM().fit((X1, X2[:-1]))
+
+    def test_fit_predict(self, two_views):
+        (X1, X2), _ = two_views
+        co = CoEM(n_clusters=3, random_state=0)
+        labels = co.fit_predict((X1, X2))
+        assert np.array_equal(labels, co.labels_)
+
+
+class TestMultiViewDBSCAN:
+    def test_union_covers_sparse_views(self):
+        (S1, S2), y = make_two_view_sources(
+            n_samples=180, n_clusters=3, sparse_noise_fraction=0.3,
+            center_spread=6.0, min_center_distance=4.0, random_state=0)
+        union = MultiViewDBSCAN(eps=0.8, min_pts=6, method="union").fit((S1, S2))
+        inter = MultiViewDBSCAN(eps=0.8, min_pts=6,
+                                method="intersection").fit((S1, S2))
+        union_cov = float(np.mean(union.labels_ != -1))
+        inter_cov = float(np.mean(inter.labels_ != -1))
+        assert union_cov > 0.9
+        assert inter_cov < 0.6
+        assert ari(union.labels_, y) > 0.9
+
+    def test_intersection_purer_on_unreliable(self):
+        (U1, U2), y = make_two_view_sources(
+            n_samples=180, n_clusters=3, unreliable_view=1,
+            unreliable_fraction=0.4, center_spread=6.0,
+            min_center_distance=4.0, random_state=0)
+        union = MultiViewDBSCAN(eps=0.8, min_pts=6, method="union").fit((U1, U2))
+        inter = MultiViewDBSCAN(eps=0.8, min_pts=6,
+                                method="intersection").fit((U1, U2))
+        covered = inter.labels_ != -1
+        assert ari(inter.labels_[covered], y[covered]) > \
+            ari(union.labels_, y) + 0.3
+
+    def test_per_view_eps(self, two_views):
+        (X1, X2), _ = two_views
+        mv = MultiViewDBSCAN(eps=[0.8, 1.0], min_pts=5).fit((X1, X2))
+        assert mv.labels_.shape == (180,)
+
+    def test_eps_length_mismatch(self, two_views):
+        (X1, X2), _ = two_views
+        with pytest.raises(ValidationError):
+            MultiViewDBSCAN(eps=[0.8, 1.0, 1.2]).fit((X1, X2))
+
+    def test_unknown_method(self, two_views):
+        (X1, X2), _ = two_views
+        with pytest.raises(ValidationError):
+            MultiViewDBSCAN(method="xor").fit((X1, X2))
+
+    def test_needs_two_views(self, two_views):
+        (X1, _), _ = two_views
+        with pytest.raises(ValidationError):
+            MultiViewDBSCAN().fit((X1,))
+
+    def test_neighborhood_sizes_recorded(self, two_views):
+        (X1, X2), _ = two_views
+        mv = MultiViewDBSCAN(eps=0.8, min_pts=5).fit((X1, X2))
+        assert mv.per_view_neighborhood_sizes_.shape == (180, 2)
+        assert (mv.per_view_neighborhood_sizes_ >= 1).all()
+
+
+class TestEnsemblePrimitives:
+    def test_coassociation_bounds(self, blobs3):
+        X, y = blobs3
+        labs = [y, y]
+        co = coassociation_matrix(labs)
+        assert np.allclose(np.diag(co), 1.0)
+        assert ((co == 0.0) | (co == 1.0)).all()
+
+    def test_coassociation_noise_never_coassociates(self):
+        labs = [np.array([-1, -1, 0, 0])]
+        co = coassociation_matrix(labs)
+        assert co[0, 1] == 0.0
+        assert co[2, 3] == 1.0
+
+    def test_align_labels_recovers_permutation(self, blobs3):
+        _, y = blobs3
+        permuted = (y + 1) % 3
+        aligned = align_labels(y, permuted)
+        assert np.array_equal(aligned, y)
+
+    def test_align_preserves_noise(self):
+        ref = np.array([0, 0, 1, 1])
+        lab = np.array([1, 1, -1, 0])
+        aligned = align_labels(ref, lab)
+        assert aligned[2] == -1
+
+    def test_majority_vote(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 0, 1, 0])
+        c = np.array([0, 0, 1, 1])
+        consensus = majority_vote_consensus([a, b, c])
+        assert np.array_equal(consensus, a)
+
+    def test_cspa_recovers_truth(self, blobs3):
+        X, y = blobs3
+        rng = np.random.default_rng(0)
+        labs = []
+        for s in range(5):
+            km = KMeans(n_clusters=3, n_init=1, init="random",
+                        random_state=s).fit(X)
+            labs.append(km.labels_)
+        consensus = cspa_consensus(labs, n_clusters=3)
+        assert ari(consensus, y) > 0.9
+
+    def test_average_nmi_perfect(self, blobs3):
+        _, y = blobs3
+        assert np.isclose(average_nmi(y, [y, y]), 1.0)
+
+    def test_cluster_ensemble_best(self, blobs3):
+        X, y = blobs3
+        labs = [KMeans(n_clusters=3, n_init=1, init="random",
+                       random_state=s).fit(X).labels_ for s in range(4)]
+        ce = ClusterEnsemble(n_clusters=3, method="best").fit(labs)
+        assert ce.method_used_ in {"cspa", "majority"}
+        assert 0.0 <= ce.anmi_ <= 1.0
+
+    def test_unknown_method(self, blobs3):
+        X, y = blobs3
+        with pytest.raises(ValidationError):
+            ClusterEnsemble(method="magic").fit([y])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            coassociation_matrix([[0, 1], [0, 1, 2]])
+
+
+class TestRandomProjectionEnsemble:
+    def test_soft_comembership_properties(self, rng):
+        R = rng.uniform(size=(10, 3))
+        R /= R.sum(axis=1, keepdims=True)
+        P = soft_comembership(R)
+        assert P.shape == (10, 10)
+        assert np.allclose(P, P.T)
+        assert (P >= 0).all() and (P <= 1 + 1e-9).all()
+
+    def test_recovers_high_dim_blobs(self):
+        X, y = make_blobs(n_samples=150, centers=3, n_features=20,
+                          cluster_std=1.5, random_state=4)
+        rp = RandomProjectionEnsemble(n_clusters=3, n_views=8,
+                                      random_state=0).fit(X)
+        assert ari(rp.labels_, y) > 0.9
+
+    def test_attributes(self):
+        X, _ = make_blobs(n_samples=60, centers=3, n_features=10,
+                          random_state=0)
+        rp = RandomProjectionEnsemble(n_clusters=3, n_views=4,
+                                      random_state=0).fit(X)
+        assert rp.aggregated_similarity_.shape == (60, 60)
+        assert len(rp.view_labelings_) == 4
+
+    def test_invalid_views(self):
+        X, _ = make_blobs(n_samples=30, random_state=0)
+        with pytest.raises(ValidationError):
+            RandomProjectionEnsemble(n_views=0).fit(X)
+
+
+class TestMSC:
+    def test_recovers_both_views_with_penalty(self):
+        X, lh, lv = make_four_squares(150, random_state=5)
+        msc = MultipleSpectralViews(n_clusters=2, n_views=2,
+                                    n_components=1, lam=2.0,
+                                    random_state=0).fit(X)
+        a, b = msc.labelings_
+        assert max(ari(a, lh), ari(b, lh)) > 0.9
+        assert max(ari(a, lv), ari(b, lv)) > 0.9
+        assert msc.pairwise_hsic_[0, 1] < 0.2
+
+    def test_projections_orthonormal(self):
+        X, _, _ = make_four_squares(100, random_state=0)
+        msc = MultipleSpectralViews(n_clusters=2, n_views=2,
+                                    n_components=1, lam=1.0,
+                                    random_state=0).fit(X)
+        for W in msc.projections_:
+            assert np.allclose(W.T @ W, np.eye(W.shape[1]), atol=1e-8)
+
+    def test_hsic_matrix_shape(self):
+        X, _, _ = make_four_squares(80, random_state=1)
+        msc = MultipleSpectralViews(n_clusters=2, n_views=3,
+                                    n_components=1, lam=1.0,
+                                    random_state=0).fit(X)
+        assert msc.pairwise_hsic_.shape == (3, 3)
+        assert np.allclose(np.diag(msc.pairwise_hsic_), 1.0)
+
+    def test_needs_two_views(self):
+        X, _, _ = make_four_squares(60, random_state=0)
+        with pytest.raises(ValidationError):
+            MultipleSpectralViews(n_views=1).fit(X)
+
+    def test_negative_lam_rejected(self):
+        X, _, _ = make_four_squares(60, random_state=0)
+        with pytest.raises(ValidationError):
+            MultipleSpectralViews(lam=-1.0).fit(X)

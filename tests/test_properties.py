@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the mathematical identities the library's algorithms depend
+on: pair-counting consistency, information-theoretic bounds, lattice
+closure, container semantics, and subspace-metric bounds.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import Clustering, SubspaceCluster, SubspaceClustering
+from repro.metrics import (
+    adjusted_rand_index,
+    clustering_error,
+    entropy_of_labels,
+    jaccard_index,
+    mutual_information,
+    normalized_mutual_information,
+    pair_confusion,
+    rand_index,
+    rnia,
+    variation_of_information,
+)
+from repro.subspace import apriori_candidates, subsets_one_smaller
+from repro.utils.linalg import cdist_sq, logsumexp
+
+labels_strategy = arrays(
+    np.int64, st.integers(min_value=2, max_value=30),
+    elements=st.integers(min_value=0, max_value=4),
+)
+
+
+def paired_labels():
+    return st.integers(min_value=2, max_value=30).flatmap(
+        lambda n: st.tuples(
+            arrays(np.int64, n, elements=st.integers(0, 4)),
+            arrays(np.int64, n, elements=st.integers(0, 4)),
+        )
+    )
+
+
+class TestPairCountingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(paired_labels())
+    def test_pair_confusion_partitions_all_pairs(self, ab):
+        a, b = ab
+        n = a.shape[0]
+        n11, n10, n01, n00 = pair_confusion(a, b)
+        assert n11 + n10 + n01 + n00 == n * (n - 1) / 2
+        assert min(n11, n10, n01, n00) >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(paired_labels())
+    def test_rand_bounds_and_symmetry(self, ab):
+        a, b = ab
+        r = rand_index(a, b)
+        assert 0.0 <= r <= 1.0
+        assert np.isclose(r, rand_index(b, a))
+
+    @settings(max_examples=60, deadline=None)
+    @given(paired_labels())
+    def test_ari_upper_bound_and_symmetry(self, ab):
+        a, b = ab
+        v = adjusted_rand_index(a, b)
+        assert v <= 1.0 + 1e-12
+        assert np.isclose(v, adjusted_rand_index(b, a))
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy)
+    def test_self_agreement_is_perfect(self, a):
+        assert rand_index(a, a) == 1.0
+        assert adjusted_rand_index(a, a) == 1.0
+        assert jaccard_index(a, a) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy, st.permutations(list(range(5))))
+    def test_relabeling_invariance(self, a, perm):
+        perm = np.asarray(perm)
+        b = perm[a]
+        assert np.isclose(adjusted_rand_index(a, b), 1.0)
+
+
+class TestInformationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(paired_labels())
+    def test_mi_bounded_by_entropies(self, ab):
+        a, b = ab
+        mi = mutual_information(a, b)
+        assert -1e-9 <= mi <= min(entropy_of_labels(a),
+                                  entropy_of_labels(b)) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(paired_labels())
+    def test_nmi_bounds(self, ab):
+        a, b = ab
+        assert 0.0 <= normalized_mutual_information(a, b) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(paired_labels())
+    def test_vi_nonnegative_and_symmetric(self, ab):
+        a, b = ab
+        vi = variation_of_information(a, b)
+        assert vi >= 0.0
+        assert np.isclose(vi, variation_of_information(b, a))
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy)
+    def test_entropy_bounded_by_log_k(self, a):
+        k = len(set(a.tolist()))
+        assert -1e-12 <= entropy_of_labels(a) <= np.log(max(k, 1)) + 1e-9
+
+
+subspace_cluster_strategy = st.builds(
+    SubspaceCluster,
+    st.sets(st.integers(0, 40), min_size=1, max_size=15),
+    st.sets(st.integers(0, 6), min_size=1, max_size=4),
+)
+
+
+class TestSubspaceMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(subspace_cluster_strategy, min_size=1, max_size=5),
+           st.lists(subspace_cluster_strategy, min_size=1, max_size=5))
+    def test_rnia_and_ce_bounds(self, found, hidden):
+        assert 0.0 <= rnia(found, hidden) <= 1.0
+        assert 0.0 <= clustering_error(found, hidden) <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(subspace_cluster_strategy, min_size=1, max_size=5))
+    def test_self_scores_perfect(self, clusters):
+        uniq = list(SubspaceClustering(clusters))
+        assert rnia(uniq, uniq) == 1.0
+        assert clustering_error(uniq, uniq) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(subspace_cluster_strategy, min_size=1, max_size=5),
+           st.lists(subspace_cluster_strategy, min_size=1, max_size=5))
+    def test_rnia_symmetric(self, a, b):
+        assert np.isclose(rnia(a, b), rnia(b, a))
+
+
+class TestLatticeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)).map(
+            lambda t: tuple(sorted(set(t)))).filter(lambda t: len(t) == 2),
+        min_size=0, max_size=15,
+    ))
+    def test_apriori_candidates_sound(self, frequent):
+        frequent = sorted(frequent)
+        if not frequent:
+            assert apriori_candidates(frequent) == []
+            return
+        freq_set = set(frequent)
+        for cand in apriori_candidates(frequent):
+            assert len(cand) == 3
+            assert list(cand) == sorted(set(cand))
+            # soundness: every one-smaller subset is frequent
+            for sub in subsets_one_smaller(cand):
+                assert sub in freq_set
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.integers(0, 8), min_size=2, max_size=5))
+    def test_subsets_one_smaller_complete(self, s):
+        t = tuple(sorted(s))
+        subs = subsets_one_smaller(t)
+        assert len(subs) == len(t)
+        assert len(set(subs)) == len(t)
+        for sub in subs:
+            assert set(sub) < set(t)
+
+
+class TestContainerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(labels_strategy)
+    def test_clustering_members_partition(self, labels):
+        c = Clustering(labels)
+        seen = np.concatenate(
+            [c.members(cid) for cid in c.cluster_ids] + [c.noise_indices]
+        )
+        assert sorted(seen.tolist()) == list(range(c.n_objects))
+
+    @settings(max_examples=50, deadline=None)
+    @given(labels_strategy)
+    def test_relabeled_preserves_partition(self, labels):
+        c = Clustering(labels)
+        r = c.relabeled()
+        assert adjusted_rand_index(labels, r.labels) == 1.0 or \
+            c.n_clusters <= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(subspace_cluster_strategy, min_size=0, max_size=6))
+    def test_subspace_clustering_dedup_idempotent(self, clusters):
+        m1 = SubspaceClustering(clusters)
+        m2 = SubspaceClustering(list(m1))
+        assert len(m1) == len(m2)
+        assert list(m1) == list(m2)
+
+
+class TestNumericProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(arrays(np.float64, st.tuples(st.integers(2, 8), st.integers(1, 4)),
+                  elements=st.floats(-50, 50)))
+    def test_cdist_triangle_inequality(self, X):
+        d = np.sqrt(cdist_sq(X, X))
+        n = d.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrays(np.float64, st.integers(1, 20),
+                  elements=st.floats(-100, 100)))
+    def test_logsumexp_dominates_max(self, a):
+        v = logsumexp(a)
+        assert v >= a.max() - 1e-12
+        assert v <= a.max() + np.log(a.size) + 1e-9

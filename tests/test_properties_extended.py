@@ -1,0 +1,119 @@
+"""Extended property-based tests: external metrics, serialisation
+round-trips, MAFIA windows, ADCO profiles, and the report matching."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import Clustering, SubspaceCluster, SubspaceClustering
+from repro.io import (
+    clustering_from_dict,
+    clustering_to_dict,
+    subspace_clustering_from_dict,
+    subspace_clustering_to_dict,
+)
+from repro.metrics import (
+    MultipleClusteringReport,
+    clustering_accuracy,
+    f_measure,
+    purity,
+)
+from repro.subspace import adaptive_windows
+
+labels_strategy = arrays(
+    np.int64, st.integers(min_value=2, max_value=25),
+    elements=st.integers(min_value=0, max_value=4),
+)
+
+
+def paired_labels():
+    return st.integers(min_value=2, max_value=25).flatmap(
+        lambda n: st.tuples(
+            arrays(np.int64, n, elements=st.integers(0, 4)),
+            arrays(np.int64, n, elements=st.integers(0, 4)),
+        )
+    )
+
+
+class TestExternalMetricProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(paired_labels())
+    def test_bounds(self, ab):
+        a, b = ab
+        assert 0.0 < purity(a, b) <= 1.0
+        assert 0.0 <= clustering_accuracy(a, b) <= 1.0
+        assert 0.0 < f_measure(a, b) <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy)
+    def test_self_scores_perfect(self, a):
+        assert purity(a, a) == 1.0
+        assert clustering_accuracy(a, a) == 1.0
+        assert np.isclose(f_measure(a, a), 1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(paired_labels())
+    def test_accuracy_never_exceeds_purity(self, ab):
+        a, b = ab
+        assert clustering_accuracy(a, b) <= purity(a, b) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy, st.permutations(list(range(5))))
+    def test_relabeling_invariance(self, a, perm):
+        b = np.asarray(perm)[a]
+        assert np.isclose(clustering_accuracy(a, b), 1.0)
+        assert np.isclose(purity(a, b), 1.0)
+
+
+class TestSerialisationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(arrays(np.int64, st.integers(1, 30),
+                  elements=st.integers(-1, 6)))
+    def test_clustering_round_trip(self, labels):
+        c = Clustering(labels)
+        back = clustering_from_dict(clustering_to_dict(c))
+        assert back == c
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.builds(
+            SubspaceCluster,
+            st.sets(st.integers(0, 20), min_size=1, max_size=8),
+            st.sets(st.integers(0, 5), min_size=1, max_size=3),
+        ),
+        min_size=0, max_size=5,
+    ))
+    def test_subspace_round_trip(self, clusters):
+        sc = SubspaceClustering(clusters)
+        back = subspace_clustering_from_dict(
+            subspace_clustering_to_dict(sc))
+        assert list(back) == list(sc)
+
+
+class TestAdaptiveWindowProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(arrays(np.float64, st.integers(5, 200),
+                  elements=st.floats(-100, 100)))
+    def test_windows_are_monotone_cover(self, values):
+        edges = adaptive_windows(values)
+        assert np.all(np.diff(edges) > 0)
+        assert edges[0] <= values.min()
+        assert edges[-1] >= values.max()
+
+
+class TestReportProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(5, 25), st.integers(1, 3), st.integers(1, 3),
+           st.integers(0, 10_000))
+    def test_assignment_is_one_to_one(self, n, n_sol, n_truth, seed):
+        rng = np.random.default_rng(seed)
+        solutions = [rng.integers(3, size=n) for _ in range(n_sol)]
+        truths = [rng.integers(3, size=n) for _ in range(n_truth)]
+        rep = MultipleClusteringReport(solutions, truths)
+        rows = [r for r, _, _ in rep.assignment_]
+        cols = [c for _, c, _ in rep.assignment_]
+        assert len(set(rows)) == len(rows)
+        assert len(set(cols)) == len(cols)
+        assert len(rep.assignment_) == min(n_sol, n_truth)
+        assert 0.0 <= rep.recovery_rate(0.5) <= 1.0

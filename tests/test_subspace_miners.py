@@ -1,0 +1,317 @@
+"""Tests for the subspace base miners: grid, lattice, CLIQUE, SCHISM,
+SUBCLU, PROCLUS, ENCLUS."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_subspace_data, make_uniform
+from repro.exceptions import ValidationError
+from repro.metrics import pair_f1_subspace
+from repro.subspace import (
+    CLIQUE,
+    EnclusSubspaceSearch,
+    GridDiscretization,
+    PROCLUS,
+    SCHISM,
+    SUBCLU,
+    all_subspaces,
+    apriori_candidates,
+    connected_components_of_cells,
+    is_downward_closed,
+    schism_threshold,
+    subsets_one_smaller,
+    subspace_entropy,
+    subspace_interest,
+)
+
+
+class TestGrid:
+    def test_cell_indices_in_range(self, planted_subspaces):
+        X, _ = planted_subspaces
+        grid = GridDiscretization(n_intervals=5).fit(X)
+        assert grid.cell_index_.min() >= 0
+        assert grid.cell_index_.max() <= 4
+
+    def test_cells_partition_objects(self, planted_subspaces):
+        X, _ = planted_subspaces
+        grid = GridDiscretization(n_intervals=5).fit(X)
+        cells = grid.cells_in_subspace((0, 1))
+        total = sum(v.size for v in cells.values())
+        assert total == X.shape[0]
+
+    def test_dense_units_threshold(self, planted_subspaces):
+        X, _ = planted_subspaces
+        grid = GridDiscretization(n_intervals=5).fit(X)
+        dense = grid.dense_units((0,), threshold=30)
+        for objs in dense.values():
+            assert objs.size > 30
+
+    def test_density_sums_to_one(self, planted_subspaces):
+        X, _ = planted_subspaces
+        grid = GridDiscretization(n_intervals=4).fit(X)
+        assert np.isclose(grid.cell_density((2, 3)).sum(), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ValidationError):
+            GridDiscretization().cells_in_subspace((0,))
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValidationError):
+            GridDiscretization(n_intervals=0)
+
+    def test_connected_components(self):
+        cells = {
+            (0, 0): np.array([0]),
+            (0, 1): np.array([1]),    # adjacent to (0,0)
+            (5, 5): np.array([2]),    # isolated
+        }
+        comps = connected_components_of_cells(cells)
+        sizes = sorted(len(c[0]) for c in comps)
+        assert sizes == [1, 2]
+
+    def test_diagonal_not_adjacent(self):
+        cells = {(0, 0): np.array([0]), (1, 1): np.array([1])}
+        comps = connected_components_of_cells(cells)
+        assert len(comps) == 2
+
+
+class TestLattice:
+    def test_all_subspaces_count(self):
+        assert len(all_subspaces(4)) == 15
+        assert len(all_subspaces(4, max_dim=2)) == 4 + 6
+
+    def test_subsets_one_smaller(self):
+        assert subsets_one_smaller((0, 1, 2)) == [(1, 2), (0, 2), (0, 1)]
+        assert subsets_one_smaller((0,)) == []
+
+    def test_apriori_join(self):
+        frequent = [(0, 1), (0, 2), (1, 2)]
+        cands = apriori_candidates(frequent)
+        assert cands == [(0, 1, 2)]
+
+    def test_apriori_prunes_missing_subset(self):
+        frequent = [(0, 1), (0, 2)]  # (1, 2) missing
+        assert apriori_candidates(frequent) == []
+
+    def test_apriori_mixed_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            apriori_candidates([(0,), (0, 1)])
+
+    def test_is_downward_closed(self):
+        assert is_downward_closed([(0,), (1,), (0, 1)])
+        assert not is_downward_closed([(0, 1)])
+
+
+class TestCLIQUE:
+    def test_finds_planted_subspaces(self, planted_subspaces):
+        X, hidden = planted_subspaces
+        cl = CLIQUE(n_intervals=8, density_threshold=0.05, max_dim=3).fit(X)
+        found_subspaces = set(cl.clusters_.subspaces())
+        for h in hidden:
+            assert h.dim_tuple() in found_subspaces
+        assert pair_f1_subspace(cl.clusters_, hidden) > 0.7
+
+    def test_pruned_equals_exhaustive(self, planted_subspaces):
+        X, _ = planted_subspaces
+        a = CLIQUE(n_intervals=6, density_threshold=0.08, max_dim=4,
+                   prune=True).fit(X)
+        b = CLIQUE(n_intervals=6, density_threshold=0.08, max_dim=4,
+                   prune=False).fit(X)
+        assert set(a.clusters_) == set(b.clusters_)
+        assert a.subspaces_visited_ < b.subspaces_visited_
+
+    def test_objects_in_multiple_clusters(self, planted_subspaces):
+        X, _ = planted_subspaces
+        cl = CLIQUE(n_intervals=8, density_threshold=0.05, max_dim=2).fit(X)
+        # overlapping micro-cells: total membership exceeds coverage
+        total_memberships = sum(c.n_objects for c in cl.clusters_)
+        assert total_memberships > len(cl.clusters_.covered_objects())
+
+    def test_no_dense_units_on_tiny_threshold(self):
+        X = make_uniform(60, 3, random_state=0)
+        cl = CLIQUE(n_intervals=4, density_threshold=0.99).fit(X)
+        assert len(cl.clusters_) == 0
+
+    def test_invalid_threshold(self, planted_subspaces):
+        X, _ = planted_subspaces
+        with pytest.raises(ValidationError):
+            CLIQUE(density_threshold=0.0).fit(X)
+        with pytest.raises(ValidationError):
+            CLIQUE(density_threshold=1.5).fit(X)
+
+    def test_quality_is_support_fraction(self, planted_subspaces):
+        X, _ = planted_subspaces
+        cl = CLIQUE(n_intervals=8, density_threshold=0.05, max_dim=2).fit(X)
+        for c in cl.clusters_:
+            assert np.isclose(c.quality, c.n_objects / X.shape[0])
+
+    def test_fit_predict_returns_clustering(self, planted_subspaces):
+        X, _ = planted_subspaces
+        result = CLIQUE(n_intervals=8, density_threshold=0.05,
+                        max_dim=2).fit_predict(X)
+        assert len(result) > 0
+
+
+class TestSCHISM:
+    def test_threshold_decreases_with_dimensionality(self):
+        taus = [schism_threshold(s, 300, 8, tau=0.05) for s in range(1, 6)]
+        assert all(taus[i] > taus[i + 1] for i in range(4))
+
+    def test_threshold_approaches_slack(self):
+        import math
+        slack = math.sqrt(math.log(1 / 0.05) / (2 * 300))
+        assert np.isclose(schism_threshold(50, 300, 8, tau=0.05), slack,
+                          atol=1e-12)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValidationError):
+            schism_threshold(0, 300, 8)
+        with pytest.raises(ValidationError):
+            schism_threshold(1, 300, 8, tau=1.5)
+        with pytest.raises(ValidationError):
+            schism_threshold(1, 300, 1)
+
+    def test_finds_high_dim_cluster_where_fixed_fails(self):
+        n = 300
+        X, hidden = make_subspace_data(
+            n_samples=n, n_features=8, clusters=[(75, (0, 1, 2, 3))],
+            cluster_std=0.4, random_state=7)
+        fixed = CLIQUE(n_intervals=6, density_threshold=1.3 / 6).fit(X)
+        adaptive = SCHISM(n_intervals=6, tau=0.01).fit(X)
+        assert (0, 1, 2, 3) not in fixed.clusters_.subspaces()
+        assert (0, 1, 2, 3) in adaptive.clusters_.subspaces()
+
+    def test_result_smaller_than_clique_default(self, planted_subspaces):
+        X, _ = planted_subspaces
+        clique = CLIQUE(n_intervals=8, density_threshold=0.05,
+                        max_dim=3).fit(X)
+        schism = SCHISM(n_intervals=8, tau=0.01, max_dim=3).fit(X)
+        assert len(schism.clusters_) < len(clique.clusters_)
+
+    def test_thresholds_attribute(self, planted_subspaces):
+        X, _ = planted_subspaces
+        schism = SCHISM(n_intervals=8, tau=0.01, max_dim=3).fit(X)
+        assert set(schism.thresholds_) == {1, 2, 3}
+
+
+class TestSUBCLU:
+    def test_finds_planted_objects(self, planted_subspaces):
+        X, hidden = planted_subspaces
+        su = SUBCLU(eps=0.9, min_pts=8, max_dim=2).fit(X)
+        assert pair_f1_subspace(su.clusters_, hidden) > 0.8
+
+    def test_planted_subspaces_present(self, planted_subspaces):
+        X, hidden = planted_subspaces
+        su = SUBCLU(eps=1.2, min_pts=8, max_dim=2).fit(X)
+        found = set(su.clusters_.subspaces())
+        for h in hidden:
+            assert h.dim_tuple() in found
+
+    def test_monotonicity_of_results(self, planted_subspaces):
+        """Objects clustered in S must be clustered in every subset of S."""
+        X, _ = planted_subspaces
+        su = SUBCLU(eps=1.2, min_pts=8, max_dim=2).fit(X)
+        groups = su.clusters_.group_by_subspace()
+        for subspace, clusters in groups.items():
+            if len(subspace) < 2:
+                continue
+            members = set()
+            for c in clusters:
+                members |= c.objects
+            for j in subspace:
+                lower = set()
+                for c in groups.get((j,), []):
+                    lower |= c.objects
+                assert members <= lower
+
+    def test_counters(self, planted_subspaces):
+        X, _ = planted_subspaces
+        su = SUBCLU(eps=1.2, min_pts=8, max_dim=2).fit(X)
+        assert su.subspaces_visited_ >= X.shape[1]
+        assert su.candidate_objects_scanned_ >= X.shape[0] * X.shape[1]
+
+    def test_invalid_eps(self, planted_subspaces):
+        X, _ = planted_subspaces
+        with pytest.raises(ValidationError):
+            SUBCLU(eps=0.0).fit(X)
+
+
+class TestPROCLUS:
+    def test_recovers_partition_and_dims(self, planted_subspaces):
+        X, hidden = planted_subspaces
+        pr = PROCLUS(n_clusters=3, avg_dims=2, random_state=0).fit(X)
+        assert pair_f1_subspace(pr.clusters_, hidden) > 0.8
+        planted_dims = {h.dim_tuple() for h in hidden}
+        assert len(planted_dims & set(pr.dims_)) >= 2
+
+    def test_single_partition(self, planted_subspaces):
+        X, _ = planted_subspaces
+        pr = PROCLUS(n_clusters=3, avg_dims=2, random_state=0).fit(X)
+        assert pr.labels_.shape == (X.shape[0],)
+        assert len(pr.clusters_) <= 3
+
+    def test_two_dims_minimum_per_cluster(self, planted_subspaces):
+        X, _ = planted_subspaces
+        pr = PROCLUS(n_clusters=3, avg_dims=2, random_state=1).fit(X)
+        assert all(len(d) >= 2 for d in pr.dims_)
+
+    def test_avg_dims_validation(self, planted_subspaces):
+        X, _ = planted_subspaces
+        with pytest.raises(ValidationError):
+            PROCLUS(avg_dims=1).fit(X)
+        with pytest.raises(ValidationError):
+            PROCLUS(avg_dims=100).fit(X)
+
+
+class TestENCLUS:
+    def test_planted_subspaces_rank_top(self, planted_subspaces):
+        X, hidden = planted_subspaces
+        search = EnclusSubspaceSearch(n_intervals=6, omega=10.0,
+                                      epsilon=0.0, max_dim=2).fit(X)
+        top3 = set(search.subspaces_[:3])
+        planted = {h.dim_tuple() for h in hidden}
+        assert len(top3 & planted) >= 2
+
+    def test_entropy_monotone_under_superset(self, planted_subspaces):
+        X, _ = planted_subspaces
+        search = EnclusSubspaceSearch(n_intervals=6, omega=10.0,
+                                      epsilon=0.0, max_dim=2).fit(X)
+        assert search.entropies_[(0, 1)] >= search.entropies_[(0,)] - 1e-9
+
+    def test_noise_subspace_low_interest(self, planted_subspaces):
+        X, _ = planted_subspaces
+        search = EnclusSubspaceSearch(n_intervals=6, omega=10.0,
+                                      epsilon=0.0, max_dim=2).fit(X)
+        assert search.interests_[(6, 7)] < search.interests_[(0, 1)]
+
+    def test_omega_prunes(self, planted_subspaces):
+        X, _ = planted_subspaces
+        tight = EnclusSubspaceSearch(n_intervals=6, omega=3.1,
+                                     epsilon=0.0, max_dim=2).fit(X)
+        loose = EnclusSubspaceSearch(n_intervals=6, omega=10.0,
+                                     epsilon=0.0, max_dim=2).fit(X)
+        assert len(tight.subspaces_) <= len(loose.subspaces_)
+
+    def test_cluster_subspaces_returns_labelings(self, planted_subspaces):
+        X, _ = planted_subspaces
+        search = EnclusSubspaceSearch(n_intervals=6, omega=10.0,
+                                      epsilon=0.0, max_dim=2).fit(X)
+        results = search.cluster_subspaces(X, n_clusters=2, top=2,
+                                           random_state=0)
+        assert len(results) == 2
+        for subspace, labels in results:
+            assert labels.shape == (X.shape[0],)
+
+    def test_uniform_data_yields_no_interest(self):
+        X = make_uniform(150, 4, random_state=0)
+        search = EnclusSubspaceSearch(n_intervals=5, omega=10.0,
+                                      epsilon=0.2, max_dim=2).fit(X)
+        assert len(search.subspaces_) == 0
+
+    def test_grid_entropy_helpers(self, planted_subspaces):
+        X, _ = planted_subspaces
+        grid = GridDiscretization(6).fit(X)
+        h = subspace_entropy(grid, (0, 1))
+        assert h > 0
+        interest = subspace_interest(grid, (0, 1))
+        assert interest > 0

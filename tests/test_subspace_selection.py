@@ -1,0 +1,254 @@
+"""Tests for the subspace selection models: StatPC, RESCU, OSCLU, ASCLU."""
+
+import numpy as np
+import pytest
+
+from repro.core import SubspaceCluster, SubspaceClustering
+from repro.exceptions import ValidationError
+from repro.subspace import (
+    ASCLU,
+    OSCLU,
+    RESCU,
+    SCHISM,
+    StatPC,
+    already_clustered,
+    cluster_significance,
+    concept_group,
+    covers_subspace,
+    global_interestingness,
+    interestingness_size_dim,
+    is_orthogonal_clustering,
+    is_valid_alternative_cluster,
+)
+
+
+@pytest.fixture
+def schism_candidates(planted_subspaces):
+    X, hidden = planted_subspaces
+    sc = SCHISM(n_intervals=8, tau=0.01, max_dim=3).fit(X)
+    return X, hidden, sc.clusters_
+
+
+class TestCoversSubspace:
+    def test_basic(self):
+        assert covers_subspace({0, 1, 2}, {1, 2}, beta=0.5)
+        assert not covers_subspace({0, 1}, {3, 4}, beta=0.1)
+
+    def test_slide82_examples(self):
+        # {1,2} does NOT cover {3,4} nor {2,3,4} at beta=0.5
+        assert not covers_subspace({1, 2}, {3, 4}, beta=0.5)
+        assert not covers_subspace({1, 2}, {2, 3, 4}, beta=0.5)
+        # {1,2,3,4} covers {1,2,3}
+        assert covers_subspace({1, 2, 3, 4}, {1, 2, 3}, beta=0.5)
+        # {1..10} covers {1..9, 11} (9 of 10 dims shared)
+        assert covers_subspace(set(range(1, 11)), set(range(1, 10)) | {11},
+                               beta=0.5)
+
+    def test_beta_one_requires_containment(self):
+        assert covers_subspace({0, 1, 2}, {0, 1}, beta=1.0)
+        assert not covers_subspace({0, 1}, {0, 2}, beta=1.0)
+
+    def test_empty_t_rejected(self):
+        with pytest.raises(ValidationError):
+            covers_subspace({0}, set(), beta=0.5)
+
+
+class TestConceptGroups:
+    def test_same_subspace_grouped(self):
+        a = SubspaceCluster(range(10), (0, 1))
+        b = SubspaceCluster(range(10, 20), (0, 1))
+        c = SubspaceCluster(range(20, 30), (4, 5))
+        m = SubspaceClustering([a, b, c])
+        group = concept_group(a, m, beta=0.5)
+        assert b in group and c not in group
+
+    def test_global_interestingness_new_objects(self):
+        a = SubspaceCluster(range(0, 10), (0, 1))
+        b = SubspaceCluster(range(5, 15), (0, 1))
+        m = SubspaceClustering([b])
+        # 5 of a's 10 objects are new w.r.t. its concept group
+        assert np.isclose(global_interestingness(a, m, beta=0.5), 0.5)
+
+    def test_different_concept_fully_new(self):
+        a = SubspaceCluster(range(0, 10), (0, 1))
+        b = SubspaceCluster(range(0, 10), (4, 5))  # same objects, other view
+        m = SubspaceClustering([b])
+        assert global_interestingness(a, m, beta=0.5) == 1.0
+
+    def test_is_orthogonal_clustering(self):
+        a = SubspaceCluster(range(0, 10), (0, 1))
+        b = SubspaceCluster(range(0, 10), (4, 5))
+        assert is_orthogonal_clustering(SubspaceClustering([a, b]),
+                                        alpha=0.5, beta=0.5)
+        dup = SubspaceCluster(range(0, 10), (0, 1, 2))
+        assert not is_orthogonal_clustering(SubspaceClustering([a, dup]),
+                                            alpha=0.5, beta=0.5)
+
+
+class TestOSCLU:
+    def test_selects_orthogonal_concepts(self, schism_candidates):
+        X, hidden, candidates = schism_candidates
+        osclu = OSCLU(alpha=0.5, beta=0.5).fit(candidates)
+        assert is_orthogonal_clustering(osclu.clusters_, alpha=0.5, beta=0.5)
+        # The greedy approximation must keep at least two of the three
+        # planted concepts as full 2-d clusters (the third may be
+        # represented by its higher-scoring 1-d projection).
+        planted = {h.dim_tuple() for h in hidden}
+        assert len(planted & set(osclu.clusters_.subspaces())) >= 2
+
+    def test_redundant_projections_dropped(self, schism_candidates):
+        _, _, candidates = schism_candidates
+        osclu = OSCLU(alpha=0.5, beta=0.5).fit(candidates)
+        assert len(osclu.clusters_) < len(candidates)
+
+    def test_objective_matches_selection(self, schism_candidates):
+        _, _, candidates = schism_candidates
+        osclu = OSCLU(alpha=0.5, beta=0.5).fit(candidates)
+        expected = sum(c.n_objects * c.dimensionality
+                       for c in osclu.clusters_)
+        assert np.isclose(osclu.objective_, expected)
+
+    def test_max_clusters_cap(self, schism_candidates):
+        _, _, candidates = schism_candidates
+        osclu = OSCLU(alpha=0.5, beta=0.5, max_clusters=2).fit(candidates)
+        assert len(osclu.clusters_) <= 2
+
+    def test_custom_interestingness(self, schism_candidates):
+        _, _, candidates = schism_candidates
+        osclu = OSCLU(alpha=0.5, beta=0.5,
+                      local_interestingness=lambda c: c.n_objects)
+        osclu.fit(candidates)
+        assert len(osclu.clusters_) >= 1
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValidationError):
+            OSCLU().fit(SubspaceClustering([]))
+
+    def test_invalid_alpha_beta(self, schism_candidates):
+        _, _, candidates = schism_candidates
+        with pytest.raises(ValidationError):
+            OSCLU(alpha=0.0).fit(candidates)
+        with pytest.raises(ValidationError):
+            OSCLU(beta=1.5).fit(candidates)
+
+
+class TestASCLU:
+    def test_alternative_avoids_known_concept(self, schism_candidates):
+        X, hidden, candidates = schism_candidates
+        known = SubspaceClustering([hidden[0]])
+        asclu = ASCLU(alpha=0.5, beta=0.5).fit(candidates, known)
+        assert hidden[0].dim_tuple() not in asclu.clusters_.subspaces()
+        # the other two concepts survive
+        others = {hidden[1].dim_tuple(), hidden[2].dim_tuple()}
+        assert others <= set(asclu.clusters_.subspaces())
+
+    def test_every_result_is_valid_alternative(self, schism_candidates):
+        _, hidden, candidates = schism_candidates
+        known = SubspaceClustering([hidden[0]])
+        asclu = ASCLU(alpha=0.5, beta=0.5).fit(candidates, known)
+        for c in asclu.clusters_:
+            assert is_valid_alternative_cluster(c, known, 0.5, 0.5)
+
+    def test_already_clustered_helper(self):
+        known = SubspaceClustering([SubspaceCluster(range(0, 20), (0, 1))])
+        same_concept = SubspaceCluster(range(10, 30), (0, 1))
+        other_concept = SubspaceCluster(range(10, 30), (4, 5))
+        assert already_clustered(known, same_concept, 0.5) == set(range(0, 20))
+        assert already_clustered(known, other_concept, 0.5) == set()
+
+    def test_same_objects_other_view_is_valid(self):
+        known = SubspaceClustering([SubspaceCluster(range(0, 20), (0, 1))])
+        c = SubspaceCluster(range(0, 20), (4, 5))
+        assert is_valid_alternative_cluster(c, known, alpha=0.5, beta=0.5)
+
+    def test_rejected_counter(self, schism_candidates):
+        _, hidden, candidates = schism_candidates
+        known = SubspaceClustering([hidden[0]])
+        asclu = ASCLU(alpha=0.5, beta=0.5).fit(candidates, known)
+        assert asclu.rejected_known_overlap_ > 0
+
+    def test_empty_valid_set_gives_empty_result(self):
+        known = SubspaceClustering([SubspaceCluster(range(0, 10), (0,))])
+        candidates = SubspaceClustering(
+            [SubspaceCluster(range(0, 10), (0,))])
+        asclu = ASCLU(alpha=0.5, beta=0.5).fit(candidates, known)
+        assert len(asclu.clusters_) == 0
+
+
+class TestRESCU:
+    def test_reduces_redundancy(self, schism_candidates):
+        _, _, candidates = schism_candidates
+        rescu = RESCU(min_new_fraction=0.5).fit(candidates)
+        assert len(rescu.clusters_) < len(candidates)
+        assert rescu.rejected_redundant_ > 0
+
+    def test_selected_cover_mostly_disjoint_objects(self, schism_candidates):
+        _, _, candidates = schism_candidates
+        rescu = RESCU(min_new_fraction=0.5).fit(candidates)
+        covered = set()
+        for c in rescu.clusters_:
+            new = len(c.objects - covered) / len(c.objects)
+            if covered:
+                assert new >= 0.5
+            covered |= c.objects
+
+    def test_interestingness_ordering(self):
+        big = SubspaceCluster(range(0, 100), (0,))
+        small = SubspaceCluster(range(100, 110), (1,))
+        rescu = RESCU(min_new_fraction=0.1).fit(
+            SubspaceClustering([small, big]))
+        assert rescu.clusters_[0] == big
+
+    def test_max_clusters(self, schism_candidates):
+        _, _, candidates = schism_candidates
+        rescu = RESCU(min_new_fraction=0.1, max_clusters=2).fit(candidates)
+        assert len(rescu.clusters_) <= 2
+
+    def test_default_interestingness(self):
+        c = SubspaceCluster(range(10), (0, 1, 2, 3))
+        assert np.isclose(interestingness_size_dim(c), 10 * 2.0)
+
+    def test_invalid_fraction(self, schism_candidates):
+        _, _, candidates = schism_candidates
+        with pytest.raises(ValidationError):
+            RESCU(min_new_fraction=0.0).fit(candidates)
+
+
+class TestStatPC:
+    def test_significance_of_planted_vs_random(self, planted_subspaces):
+        X, hidden = planted_subspaces
+        rng = np.random.default_rng(0)
+        random_cluster = SubspaceCluster(
+            rng.choice(X.shape[0], size=80, replace=False).tolist(), (0, 1))
+        p_planted = cluster_significance(X, hidden[0])
+        p_random = cluster_significance(X, random_cluster)
+        assert p_planted < 1e-10
+        assert p_random > 1e-6
+
+    def test_selection_keeps_planted_concepts(self, schism_candidates):
+        X, hidden, candidates = schism_candidates
+        st = StatPC(alpha0=1e-3).fit(X, candidates=candidates)
+        found = set(st.clusters_.subspaces())
+        planted = {h.dim_tuple() for h in hidden}
+        assert planted <= found
+
+    def test_pvalues_aligned(self, schism_candidates):
+        X, _, candidates = schism_candidates
+        st = StatPC().fit(X, candidates=candidates)
+        assert len(st.p_values_) == len(st.candidates_)
+
+    def test_default_miner(self, planted_subspaces):
+        X, hidden = planted_subspaces
+        st = StatPC().fit(X)
+        assert len(st.clusters_) >= 1
+
+    def test_explained_candidates_skipped(self, schism_candidates):
+        X, _, candidates = schism_candidates
+        strict = StatPC(alpha_explain=0.9).fit(X, candidates=candidates)
+        loose = StatPC(alpha_explain=0.0).fit(X, candidates=candidates)
+        assert len(strict.clusters_) <= len(loose.clusters_)
+
+    def test_invalid_alpha(self, planted_subspaces):
+        X, _ = planted_subspaces
+        with pytest.raises(ValidationError):
+            StatPC(alpha0=0.0).fit(X)

@@ -1,0 +1,225 @@
+"""Tests for paradigm 2 — orthogonal space transformations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans
+from repro.core import IterativeAlternativePipeline
+from repro.data import make_multiple_truths
+from repro.exceptions import ValidationError
+from repro.metrics import adjusted_rand_index as ari
+from repro.transform import (
+    AlternativeClusteringViaTransformation,
+    AlternativeSpaceTransform,
+    FlexibleAlternativeClustering,
+    FlexibleAlternativeTransform,
+    MetricLearner,
+    OrthogonalClustering,
+    OrthogonalProjectionTransform,
+    explanatory_subspace,
+    invert_stretcher,
+    learn_metric,
+    scatter_matrices,
+)
+
+
+@pytest.fixture
+def toy_with_given(four_squares):
+    X, lh, lv = four_squares
+    given = KMeans(n_clusters=2, random_state=0).fit(X).labels_
+    if ari(given, lh) >= ari(given, lv):
+        return X, given, lh, lv
+    return X, given, lv, lh
+
+
+class TestMetricLearning:
+    def test_scatter_shapes(self, four_squares):
+        X, lh, _ = four_squares
+        S_w, S_b = scatter_matrices(X, lh)
+        assert S_w.shape == (2, 2) and S_b.shape == (2, 2)
+        # scatter matrices are PSD
+        assert np.linalg.eigvalsh(S_w).min() >= -1e-9
+        assert np.linalg.eigvalsh(S_b).min() >= -1e-9
+
+    def test_metric_separates_given_direction(self, four_squares):
+        X, lh, _ = four_squares
+        D = learn_metric(X, lh)
+        # lh splits on x: the metric must weight x more than y.
+        assert D[0, 0] > D[1, 1]
+
+    def test_all_noise_rejected(self, four_squares):
+        X, _, _ = four_squares
+        with pytest.raises(ValidationError):
+            scatter_matrices(X, np.full(X.shape[0], -1))
+
+    def test_learner_transform_compresses_within(self, four_squares):
+        X, lh, _ = four_squares
+        ml = MetricLearner().fit(X, lh)
+        Z = ml.transform(X)
+        # After the transform, the given clustering is easy to see:
+        # between-cluster distance dominates within-cluster spread.
+        mu0, mu1 = Z[lh == 0].mean(axis=0), Z[lh == 1].mean(axis=0)
+        spread = max(Z[lh == 0].std(), Z[lh == 1].std())
+        assert np.linalg.norm(mu0 - mu1) > 2 * spread
+
+    def test_transform_before_fit(self, four_squares):
+        X, _, _ = four_squares
+        with pytest.raises(ValidationError):
+            MetricLearner().transform(X)
+
+
+class TestInvertStretcher:
+    def test_inverts_singular_values(self):
+        D = np.diag([4.0, 1.0])
+        M = invert_stretcher(D)
+        vals = np.linalg.svd(M, compute_uv=False)
+        assert np.allclose(sorted(vals), [0.25, 1.0])
+
+    def test_slide51_example(self):
+        # The worked example of slide 51.
+        D = np.array([[1.5, -1.0], [-1.0, 1.0]])
+        M = invert_stretcher(D)
+        H, s, A = np.linalg.svd(D)
+        expected = H @ np.diag(1.0 / s) @ A
+        assert np.allclose(M, expected)
+
+    def test_floor_guards_degenerate(self):
+        D = np.diag([1.0, 0.0])
+        M = invert_stretcher(D, floor=1e-3)
+        assert np.isfinite(M).all()
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValidationError):
+            invert_stretcher(np.zeros((2, 3)))
+
+
+class TestDavidsonQi:
+    def test_finds_alternative(self, toy_with_given):
+        X, given, _, secondary = toy_with_given
+        alt = AlternativeClusteringViaTransformation(
+            random_state=0).fit(X, given)
+        assert ari(alt.labels_, secondary) > 0.9
+        assert ari(alt.labels_, given) < 0.1
+
+    def test_transform_attributes(self, toy_with_given):
+        X, given, _, _ = toy_with_given
+        alt = AlternativeClusteringViaTransformation(
+            random_state=0).fit(X, given)
+        assert alt.transform_.metric_.shape == (2, 2)
+        assert alt.transformed_X_.shape == X.shape
+
+    def test_custom_clusterer(self, toy_with_given):
+        from repro.cluster import Agglomerative
+        X, given, _, secondary = toy_with_given
+        alt = AlternativeClusteringViaTransformation(
+            clusterer=Agglomerative(n_clusters=2)).fit(X, given)
+        assert ari(alt.labels_, secondary) > 0.8
+
+    def test_transformer_standalone(self, toy_with_given):
+        X, given, _, _ = toy_with_given
+        tr = AlternativeSpaceTransform().fit(X, given)
+        Z = tr.transform(X)
+        assert Z.shape == X.shape
+        with pytest.raises(ValidationError):
+            AlternativeSpaceTransform().transform(X)
+
+
+class TestQiDavidson:
+    def test_finds_alternative(self, toy_with_given):
+        X, given, _, secondary = toy_with_given
+        alt = FlexibleAlternativeClustering(random_state=0).fit(X, given)
+        assert ari(alt.labels_, secondary) > 0.9
+
+    def test_reject_subset(self, toy_with_given):
+        X, given, _, _ = toy_with_given
+        tr = FlexibleAlternativeTransform(reject_clusters=[0]).fit(X, given)
+        assert tr.matrix_.shape == (2, 2)
+
+    def test_unknown_reject_cluster(self, toy_with_given):
+        X, given, _, _ = toy_with_given
+        with pytest.raises(ValidationError):
+            FlexibleAlternativeTransform(reject_clusters=[99]).fit(X, given)
+
+    def test_sigma_psd(self, toy_with_given):
+        X, given, _, _ = toy_with_given
+        tr = FlexibleAlternativeTransform().fit(X, given)
+        assert np.linalg.eigvalsh(tr.sigma_).min() > 0
+
+
+class TestOrthogonalClustering:
+    def test_explanatory_subspace_shape(self, two_truths):
+        X, truths, _ = two_truths
+        A = explanatory_subspace(X, truths[0])
+        assert A.shape[0] == X.shape[1]
+        assert 1 <= A.shape[1] <= 2
+
+    def test_degenerate_means(self):
+        X = np.random.default_rng(0).standard_normal((20, 3))
+        labels = np.zeros(20, dtype=int)
+        A = explanatory_subspace(X, labels)
+        assert A.shape[1] == 0
+
+    def test_transform_removes_structure(self, two_truths):
+        X, truths, views = two_truths
+        tr = OrthogonalProjectionTransform().fit(X, truths[0])
+        Z = tr.transform(X)
+        km = KMeans(n_clusters=3, random_state=0).fit(Z)
+        assert ari(km.labels_, truths[0]) < 0.3
+
+    def test_recovers_successive_views(self):
+        X, truths, _ = make_multiple_truths(
+            n_samples=200, n_views=2, clusters_per_view=2,
+            features_per_view=4, center_spread=(8.0, 4.0),
+            cluster_std=0.4, random_state=5)
+        oc = OrthogonalClustering(n_clusters=2, max_clusterings=3,
+                                  random_state=0).fit(X)
+        best0 = max(ari(lab, truths[0]) for lab in oc.labelings_)
+        best1 = max(ari(lab, truths[1]) for lab in oc.labelings_)
+        assert best0 > 0.9
+        assert best1 > 0.9
+
+    def test_stops_in_bounded_rounds(self, two_truths):
+        X, _, _ = two_truths
+        oc = OrthogonalClustering(n_clusters=3, max_clusterings=4,
+                                  random_state=0).fit(X)
+        assert 1 <= len(oc.labelings_) <= 4
+        assert oc.stopped_reason_ in {"n_solutions", "transformer",
+                                      "redundant"}
+
+
+class TestPipeline:
+    def test_generic_pipeline_with_orthogonal_transform(self, two_truths):
+        X, _, _ = two_truths
+        pipe = IterativeAlternativePipeline(
+            clusterer=KMeans(n_clusters=3, random_state=0),
+            transformer=OrthogonalProjectionTransform(),
+            n_solutions=3,
+        )
+        pipe.fit(X)
+        assert 1 <= len(pipe.labelings_) <= 3
+        assert pipe.transforms_[0] is None
+
+    def test_redundancy_guard(self, blobs3):
+        X, _ = blobs3
+
+        class IdentityTransform:
+            should_stop_ = False
+            def fit(self, X, labels):
+                return self
+            def transform(self, X):
+                return X
+
+        pipe = IterativeAlternativePipeline(
+            clusterer=KMeans(n_clusters=3, random_state=0),
+            transformer=IdentityTransform(),
+            n_solutions=4,
+            min_dissimilarity=0.05,
+        )
+        pipe.fit(X)
+        # identical data -> identical clustering -> guard fires
+        assert len(pipe.labelings_) == 1
+        assert pipe.stopped_reason_ == "redundant"
+
+    def test_invalid_n_solutions(self):
+        with pytest.raises(ValidationError):
+            IterativeAlternativePipeline(KMeans(), None, n_solutions=0)

@@ -1,0 +1,174 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import (
+    as_feature_indices,
+    check_array,
+    check_in_range,
+    check_is_fitted,
+    check_labels,
+    check_n_clusters,
+    check_random_state,
+)
+
+
+class TestCheckArray:
+    def test_returns_float64(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_1d_promoted_to_column(self):
+        out = check_array([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_array([[np.inf, 1.0]])
+
+    def test_min_samples_enforced(self):
+        with pytest.raises(ValidationError, match="at least 5"):
+            check_array([[1.0], [2.0]], min_samples=5)
+
+    def test_min_features_enforced(self):
+        with pytest.raises(ValidationError, match="features"):
+            check_array([[1.0], [2.0]], min_features=2)
+
+    def test_rejects_strings(self):
+        with pytest.raises(ValidationError):
+            check_array([["a", "b"]])
+
+    def test_contiguous(self):
+        out = check_array(np.asfortranarray(np.zeros((3, 4))))
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestCheckLabels:
+    def test_basic(self):
+        out = check_labels([0, 1, 1, 2])
+        assert out.dtype == np.int64
+
+    def test_float_integers_accepted(self):
+        out = check_labels([0.0, 1.0, 2.0])
+        assert list(out) == [0, 1, 2]
+
+    def test_nonintegral_floats_rejected(self):
+        with pytest.raises(ValidationError, match="integers"):
+            check_labels([0.5, 1.0])
+
+    def test_noise_allowed(self):
+        out = check_labels([-1, 0, 1])
+        assert out[0] == -1
+
+    def test_noise_forbidden(self):
+        with pytest.raises(ValidationError):
+            check_labels([-1, 0], allow_noise=False)
+
+    def test_below_noise_rejected(self):
+        with pytest.raises(ValidationError):
+            check_labels([-2, 0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="length"):
+            check_labels([0, 1], n_samples=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_labels([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            check_labels([[0, 1]])
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_reproducible(self):
+        a = check_random_state(42).integers(1000)
+        b = check_random_state(42).integers(1000)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert check_random_state(g) is g
+
+    def test_invalid_type(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+
+class TestCheckIsFitted:
+    def test_raises_when_missing(self):
+        class E:
+            labels_ = None
+        with pytest.raises(NotFittedError, match="labels_"):
+            check_is_fitted(E(), "labels_")
+
+    def test_passes_when_present(self):
+        class E:
+            labels_ = np.array([0])
+        check_is_fitted(E(), ["labels_"])
+
+
+class TestCheckNClusters:
+    def test_valid(self):
+        assert check_n_clusters(3, 10) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            check_n_clusters(0, 10)
+
+    def test_exceeds_samples(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            check_n_clusters(11, 10)
+
+    def test_non_integer(self):
+        with pytest.raises(ValidationError):
+            check_n_clusters(2.5, 10)
+
+
+class TestCheckInRange:
+    def test_bounds(self):
+        assert check_in_range(0.5, "x", low=0.0, high=1.0) == 0.5
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValidationError, match="> 0"):
+            check_in_range(0.0, "x", low=0.0, inclusive_low=False)
+
+    def test_above_high(self):
+        with pytest.raises(ValidationError):
+            check_in_range(2.0, "x", high=1.0)
+
+    def test_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_in_range("a", "x")
+
+
+class TestAsFeatureIndices:
+    def test_sorted_unique(self):
+        assert as_feature_indices([3, 1, 3], 5) == (1, 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            as_feature_indices([5], 5)
+
+    def test_negative(self):
+        with pytest.raises(ValidationError):
+            as_feature_indices([-1], 5)
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            as_feature_indices([], 5)
