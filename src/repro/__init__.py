@@ -27,11 +27,14 @@ Subpackages
     Paradigm 4: multiple given views/sources and consensus.
 ``repro.experiments``
     The benchmark harness regenerating the tutorial's tables/figures.
+``repro.robustness``
+    Fault-tolerant run layer: budgets, retries, structured failures,
+    and fault injection (see ``docs/robustness.md``).
 """
 
 __version__ = "1.0.0"
 
-from . import cluster, core, data, io, metrics, utils  # noqa: F401
+from . import cluster, core, data, io, metrics, robustness, utils  # noqa: F401
 from .core import (
     Clustering,
     MultipleClusteringObjective,
@@ -46,6 +49,7 @@ __all__ = [
     "data",
     "io",
     "metrics",
+    "robustness",
     "utils",
     "Clustering",
     "MultipleClusteringObjective",

@@ -6,13 +6,21 @@ Usage::
     python -m repro taxonomy             # print the slide-116 table (T1)
     python -m repro run F9               # run one experiment
     python -m repro run all              # run every experiment
+
+``run`` is fault-tolerant: a failing experiment is recorded with a
+``status`` and the sweep continues (``--keep-going``, default on), a
+per-experiment wall-clock budget can be set with ``--budget``, failed
+experiments can be retried with ``--max-retries``, and
+``--inject-fault ID`` forces an experiment to fail so the degradation
+path itself can be exercised. The exit code is 0 only when every
+requested experiment succeeded.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
-import time
 
 
 def _build_parser():
@@ -27,7 +35,83 @@ def _build_parser():
     sub.add_parser("report", help="regenerate the EXPERIMENTS.md content")
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="experiment id, e.g. F9, T1, all")
+    run.add_argument(
+        "--keep-going", action=argparse.BooleanOptionalAction, default=True,
+        help="record a failing experiment and continue the sweep "
+             "(default: on; --no-keep-going stops at the first failure)",
+    )
+    run.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock budget, enforced at optimiser "
+             "iteration boundaries",
+    )
+    run.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed experiment (budget grows per retry)",
+    )
+    run.add_argument(
+        "--inject-fault", action="append", default=[], metavar="ID",
+        help="force this experiment to fail (repeatable; exercises the "
+             "fault-tolerance path)",
+    )
     return parser
+
+
+def _run_command(args, all_experiments):
+    from .experiments import run_experiments, summarize_outcomes
+
+    if args.budget is not None and not args.budget > 0:
+        print(f"--budget must be a positive number of seconds, "
+              f"got {args.budget}", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print(f"--max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 2
+
+    key = args.experiment.upper()
+    if key == "ALL":
+        keys = list(all_experiments)
+    elif key in all_experiments:
+        keys = [key]
+    else:
+        close = difflib.get_close_matches(key, all_experiments, n=1)
+        hint = f" -- did you mean {close[0]}?" if close else ""
+        print(f"unknown experiment {args.experiment!r}{hint}; "
+              f"choose from {', '.join(all_experiments)} or 'all'",
+              file=sys.stderr)
+        return 2
+
+    def stream(outcome):
+        if outcome.ok:
+            print(outcome.table.render())
+            print(f"[{outcome.key} completed in {outcome.elapsed:.2f}s]\n")
+        else:
+            print(f"[{outcome.key} FAILED after {outcome.elapsed:.2f}s "
+                  f"({outcome.attempts} attempt(s)): "
+                  f"{outcome.failure.error_type}: {outcome.failure.message}]\n")
+
+    fail_keys = {k.upper() for k in args.inject_fault}
+    unmatched = fail_keys - set(keys)
+    if unmatched:
+        print(f"warning: --inject-fault {', '.join(sorted(unmatched))} "
+              "matches no selected experiment", file=sys.stderr)
+    outcomes = run_experiments(
+        {k: all_experiments[k] for k in keys},
+        keep_going=args.keep_going,
+        max_seconds=args.budget,
+        max_retries=args.max_retries,
+        fail_keys=fail_keys,
+        callback=stream,
+    )
+    failed = [o for o in outcomes if not o.ok]
+    if len(outcomes) > 1 or failed:
+        print(summarize_outcomes(outcomes).render())
+    if failed:
+        print(f"\n{len(failed)}/{len(outcomes)} experiment(s) failed: "
+              f"{', '.join(o.key for o in failed)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None):
@@ -48,24 +132,7 @@ def main(argv=None):
 
         print(generate_report())
         return 0
-    # run
-    key = args.experiment.upper()
-    if key == "ALL":
-        keys = list(ALL_EXPERIMENTS)
-    elif key in ALL_EXPERIMENTS:
-        keys = [key]
-    else:
-        print(f"unknown experiment {args.experiment!r}; "
-              f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'",
-              file=sys.stderr)
-        return 2
-    for k in keys:
-        start = time.perf_counter()
-        table = ALL_EXPERIMENTS[k]()
-        elapsed = time.perf_counter() - start
-        print(table.render())
-        print(f"[{k} completed in {elapsed:.2f}s]\n")
-    return 0
+    return _run_command(args, ALL_EXPERIMENTS)
 
 
 if __name__ == "__main__":

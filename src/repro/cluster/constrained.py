@@ -13,14 +13,18 @@ raises (strict mode).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from .kmeans import kmeans_plus_plus
 from ..core.base import BaseClusterer
-from ..exceptions import ValidationError
+from ..exceptions import ConvergenceWarning, ValidationError
+from ..robustness.guard import budget_tick
 from ..utils.linalg import cdist_sq
 from ..utils.validation import (
     check_array,
+    check_count,
     check_labels,
     check_n_clusters,
     check_random_state,
@@ -76,6 +80,7 @@ class ConstrainedKMeans(BaseClusterer):
     labels_ : ndarray
     cluster_centers_ : ndarray (k, d)
     n_violations_ : int — constraints left violated (soft mode only).
+    n_iter_ : int — assignment rounds of the winning restart.
     """
 
     def __init__(self, n_clusters=2, must_link=(), cannot_link=(),
@@ -90,6 +95,7 @@ class ConstrainedKMeans(BaseClusterer):
         self.labels_ = None
         self.cluster_centers_ = None
         self.n_violations_ = None
+        self.n_iter_ = None
 
     @staticmethod
     def _validate_pairs(pairs, n, name):
@@ -123,9 +129,11 @@ class ConstrainedKMeans(BaseClusterer):
         return list(groups.values())
 
     def fit(self, X):
-        X = check_array(X, min_samples=2)
+        X = self._check_array(X, min_samples=2)
         n = X.shape[0]
         k = check_n_clusters(self.n_clusters, n)
+        max_iter = check_count(self.max_iter, "max_iter", estimator=self)
+        n_init = check_count(self.n_init, "n_init", estimator=self)
         must = self._validate_pairs(self.must_link, n, "must_link")
         cannot = self._validate_pairs(self.cannot_link, n, "cannot_link")
         rng = check_random_state(self.random_state)
@@ -150,11 +158,14 @@ class ConstrainedKMeans(BaseClusterer):
         block_means = np.stack([X[b].mean(axis=0) for b in blocks])
 
         best = None
-        for _ in range(max(1, int(self.n_init))):
+        for _ in range(n_init):
             centers = kmeans_plus_plus(X, k, rng)
             assign = np.full(len(blocks), -1, dtype=np.int64)
             violations = 0
-            for _it in range(int(self.max_iter)):
+            n_iter = 0
+            converged = False
+            for n_iter in range(1, max_iter + 1):
+                budget_tick()
                 # Assign blocks greedily, largest first (hardest to place).
                 order = np.argsort(-block_sizes)
                 new_assign = np.full(len(blocks), -1, dtype=np.int64)
@@ -191,6 +202,7 @@ class ConstrainedKMeans(BaseClusterer):
                         )
                 if np.array_equal(new_assign, assign):
                     assign = new_assign
+                    converged = True
                     break
                 assign = new_assign
             labels = np.empty(n, dtype=np.int64)
@@ -200,9 +212,16 @@ class ConstrainedKMeans(BaseClusterer):
                 cdist_sq(X, centers)[np.arange(n), labels].sum()
             )
             if best is None or (violations, inertia) < (best[0], best[1]):
-                best = (violations, inertia, labels, centers.copy())
-        violations, _, labels, centers = best
+                best = (violations, inertia, labels, centers.copy(), n_iter,
+                        converged)
+        violations, _, labels, centers, n_iter, converged = best
+        if not converged:
+            warnings.warn(
+                f"ConstrainedKMeans did not stabilise in max_iter={max_iter} "
+                "rounds", ConvergenceWarning, stacklevel=2,
+            )
         self.labels_ = labels
         self.cluster_centers_ = centers
         self.n_violations_ = int(violations)
+        self.n_iter_ = n_iter
         return self

@@ -12,7 +12,7 @@ import numpy as np
 
 from ..core.base import BaseClusterer
 from ..utils.linalg import cdist_sq
-from ..utils.validation import check_array, check_in_range
+from ..utils.validation import check_array, check_count, check_in_range
 
 __all__ = ["DBSCAN", "dbscan_from_neighborhoods", "epsilon_neighborhoods"]
 
@@ -95,10 +95,11 @@ class DBSCAN(BaseClusterer):
         self.core_sample_indices_ = None
 
     def fit(self, X):
-        X = check_array(X)
+        X = self._check_array(X)
         check_in_range(self.eps, "eps", low=0.0, inclusive_low=False)
+        min_pts = check_count(self.min_pts, "min_pts", estimator=self)
         neighborhoods = epsilon_neighborhoods(X, self.eps)
-        labels, core = dbscan_from_neighborhoods(neighborhoods, self.min_pts)
+        labels, core = dbscan_from_neighborhoods(neighborhoods, min_pts)
         self.labels_ = labels
         self.core_sample_indices_ = np.flatnonzero(core)
         return self

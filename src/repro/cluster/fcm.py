@@ -7,12 +7,17 @@ updates of memberships ``u_ic`` (with fuzzifier ``m``) and centroids.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.base import BaseClusterer
+from ..exceptions import ConvergenceWarning
+from ..robustness.guard import budget_tick
 from ..utils.linalg import cdist_sq
 from ..utils.validation import (
     check_array,
+    check_count,
     check_in_range,
     check_n_clusters,
     check_random_state,
@@ -58,6 +63,7 @@ class FuzzyCMeans(BaseClusterer):
     memberships_ : ndarray (n, k) — soft memberships, rows sum to 1.
     cluster_centers_ : ndarray (k, d)
     objective_ : float — final weighted SSE.
+    n_iter_ : int — iterations of the winning restart.
     """
 
     def __init__(self, n_clusters=2, m=2.0, max_iter=150, tol=1e-6,
@@ -72,35 +78,65 @@ class FuzzyCMeans(BaseClusterer):
         self.memberships_ = None
         self.cluster_centers_ = None
         self.objective_ = None
+        self.n_iter_ = None
 
     def fit(self, X):
         from .kmeans import kmeans_plus_plus
 
-        X = check_array(X, min_samples=2)
+        X = self._check_array(X, min_samples=2)
         n = X.shape[0]
         k = check_n_clusters(self.n_clusters, n)
         check_in_range(self.m, "m", low=1.0, inclusive_low=False)
+        max_iter = check_count(self.max_iter, "max_iter", estimator=self)
+        n_init = check_count(self.n_init, "n_init", estimator=self)
         rng = check_random_state(self.random_state)
         best = None
-        for _ in range(max(1, int(self.n_init))):
+        reseeded = False
+        for _ in range(n_init):
             centers = kmeans_plus_plus(X, k, rng)
             prev = np.inf
             u = None
-            for _it in range(int(self.max_iter)):
+            n_iter = 0
+            converged = False
+            for n_iter in range(1, max_iter + 1):
+                budget_tick()
                 u = fcm_memberships(X, centers, m=self.m)
                 um = u ** self.m
-                centers = (um.T @ X) / np.maximum(
-                    um.sum(axis=0)[:, None], 1e-12)
+                mass = um.sum(axis=0)
+                centers = (um.T @ X) / np.maximum(mass[:, None], 1e-12)
+                # Graceful degradation: a cluster whose total membership
+                # collapsed would get a garbage (near-zero) centroid —
+                # re-seed it at the point farthest from its best center.
+                dead = mass <= 1e-9
+                if dead.any():
+                    reseeded = True
+                    d2 = cdist_sq(X, centers)
+                    far = int(np.argmax(d2.min(axis=1)))
+                    centers[dead] = X[far]
                 obj = float(np.sum(um * cdist_sq(X, centers)))
-                if prev - obj <= self.tol * max(prev, 1e-12):
+                if (np.isfinite(prev)
+                        and prev - obj <= self.tol * max(prev, 1e-12)):
                     prev = obj
+                    converged = True
                     break
                 prev = obj
             if best is None or prev < best[0]:
-                best = (prev, u, centers)
-        obj, u, centers = best
+                best = (prev, u, centers, n_iter, converged)
+        obj, u, centers, n_iter, converged = best
+        if not converged:
+            warnings.warn(
+                f"FuzzyCMeans did not converge in max_iter={max_iter} "
+                "iterations; consider raising max_iter or tol",
+                ConvergenceWarning, stacklevel=2,
+            )
+        if reseeded:
+            warnings.warn(
+                "FuzzyCMeans re-seeded a cluster with collapsed membership",
+                ConvergenceWarning, stacklevel=2,
+            )
         self.objective_ = float(obj)
         self.memberships_ = u
         self.cluster_centers_ = centers
         self.labels_ = np.argmax(u, axis=1).astype(np.int64)
+        self.n_iter_ = n_iter
         return self

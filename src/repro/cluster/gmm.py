@@ -8,13 +8,17 @@ those algorithms can interleave them with their own penalties/views.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.base import BaseClusterer
-from ..exceptions import ValidationError
+from ..exceptions import ConvergenceWarning, ValidationError
+from ..robustness.guard import budget_tick
 from ..utils.linalg import cdist_sq, logsumexp
 from ..utils.validation import (
     check_array,
+    check_count,
     check_n_clusters,
     check_random_state,
 )
@@ -28,6 +32,42 @@ __all__ = [
 ]
 
 _MIN_VAR = 1e-6
+_MAX_REG = 1e3
+
+
+def _regularized_cholesky(cov):
+    """Cholesky of ``cov`` with automatic regularisation escalation.
+
+    Starts at the standard ``_MIN_VAR`` floor and multiplies the ridge
+    by 100 until the factorisation succeeds: a component that collapsed
+    onto duplicate points (singular covariance) degrades to a wider
+    Gaussian instead of killing the whole EM run. The escalation is
+    reported once per fit via :class:`ConvergenceWarning`.
+    """
+    d = cov.shape[0]
+    eye = np.eye(d)
+    reg = _MIN_VAR
+    while reg <= _MAX_REG:
+        try:
+            chol = np.linalg.cholesky(cov + reg * eye)
+            if np.isfinite(chol).all():
+                if reg > _MIN_VAR:
+                    warnings.warn(
+                        "singular component covariance: regularisation "
+                        f"escalated to {reg:.1e}",
+                        ConvergenceWarning, stacklevel=3,
+                    )
+                return chol
+        except np.linalg.LinAlgError:
+            pass
+        reg *= 100.0
+    # Last resort: discard off-diagonal structure entirely.
+    warnings.warn(
+        "component covariance irrecoverably singular; degraded to its "
+        "diagonal", ConvergenceWarning, stacklevel=3,
+    )
+    diag = np.maximum(np.nan_to_num(np.diag(cov), nan=_MIN_VAR), _MIN_VAR)
+    return np.diag(np.sqrt(diag))
 
 
 def gaussian_log_density(X, mean, cov, covariance_type):
@@ -44,8 +84,7 @@ def gaussian_log_density(X, mean, cov, covariance_type):
         logdet = float(np.sum(np.log(var)))
     elif covariance_type == "full":
         cov = np.asarray(cov, dtype=np.float64)
-        cov = cov + _MIN_VAR * np.eye(d)
-        chol = np.linalg.cholesky(cov)
+        chol = _regularized_cholesky(cov)
         sol = np.linalg.solve(chol, diff.T)
         maha = np.sum(sol * sol, axis=0)
         logdet = 2.0 * float(np.sum(np.log(np.diag(chol))))
@@ -156,27 +195,43 @@ class GaussianMixtureEM(BaseClusterer):
         self.n_iter_ = None
 
     def fit(self, X):
-        X = check_array(X, min_samples=2)
+        X = self._check_array(X, min_samples=2)
         k = check_n_clusters(self.n_components, X.shape[0], name="n_components")
+        max_iter = check_count(self.max_iter, "max_iter", estimator=self)
+        n_init = check_count(self.n_init, "n_init", estimator=self)
         rng = check_random_state(self.random_state)
         best = None
-        for _ in range(max(1, int(self.n_init))):
+        for _ in range(n_init):
             weights, means, covs = init_params_kmeanspp(
                 X, k, rng, self.covariance_type
             )
             prev_ll = -np.inf
             n_iter = 0
+            converged = False
             resp = None
-            for n_iter in range(1, self.max_iter + 1):
+            for n_iter in range(1, max_iter + 1):
+                budget_tick()
                 resp, ll = e_step(X, weights, means, covs, self.covariance_type)
                 weights, means, covs = m_step(X, resp, self.covariance_type)
-                if abs(ll - prev_ll) <= self.tol * max(abs(prev_ll), 1.0):
+                if (np.isfinite(prev_ll)
+                        and abs(ll - prev_ll)
+                        <= self.tol * max(abs(prev_ll), 1.0)):
                     prev_ll = ll
+                    converged = True
                     break
                 prev_ll = ll
+            if resp is None:
+                resp, prev_ll = e_step(X, weights, means, covs,
+                                       self.covariance_type)
             if best is None or prev_ll > best[0]:
-                best = (prev_ll, weights, means, covs, resp, n_iter)
-        ll, weights, means, covs, resp, n_iter = best
+                best = (prev_ll, weights, means, covs, resp, n_iter, converged)
+        ll, weights, means, covs, resp, n_iter, converged = best
+        if not converged:
+            warnings.warn(
+                f"GaussianMixtureEM did not converge in max_iter={max_iter} "
+                "EM iterations; consider raising max_iter or tol",
+                ConvergenceWarning, stacklevel=2,
+            )
         self.log_likelihood_ = float(ll)
         self.weights_, self.means_, self.covariances_ = weights, means, covs
         self.responsibilities_ = resp

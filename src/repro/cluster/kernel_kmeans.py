@@ -13,12 +13,17 @@ given-knowledge penalty.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.base import BaseClusterer
+from ..exceptions import ConvergenceWarning, ValidationError
+from ..robustness.guard import budget_tick
 from ..utils.linalg import rbf_kernel
 from ..utils.validation import (
     check_array,
+    check_count,
     check_n_clusters,
     check_random_state,
 )
@@ -41,6 +46,7 @@ class KernelKMeans(BaseClusterer):
     ----------
     labels_ : ndarray
     quality_ : float — final ``Q(C) / n``.
+    n_iter_ : int — local-search sweeps of the winning restart.
     """
 
     def __init__(self, n_clusters=2, gamma=None, kernel=None, max_sweeps=30,
@@ -53,23 +59,39 @@ class KernelKMeans(BaseClusterer):
         self.random_state = random_state
         self.labels_ = None
         self.quality_ = None
+        self.n_iter_ = None
 
     def fit(self, X):
         from ..originalspace.mincentropy import _State
 
-        X = check_array(X, min_samples=2)
+        X = self._check_array(X, min_samples=2)
         n = X.shape[0]
         k = check_n_clusters(self.n_clusters, n)
+        max_sweeps = check_count(self.max_sweeps, "max_sweeps", estimator=self)
+        n_init = check_count(self.n_init, "n_init", estimator=self)
         rng = check_random_state(self.random_state)
         if self.kernel is not None:
             K = np.asarray(self.kernel, dtype=np.float64)
+            if K.ndim != 2 or K.shape != (n, n):
+                raise ValidationError(
+                    f"KernelKMeans: precomputed kernel must have shape "
+                    f"({n}, {n}) matching X, got {K.shape}"
+                )
+            if not np.isfinite(K).all():
+                raise ValidationError(
+                    "KernelKMeans: precomputed kernel contains NaN or "
+                    "infinite values"
+                )
         else:
             K = rbf_kernel(X, gamma=self.gamma)
         best = None
-        for _ in range(max(1, int(self.n_init))):
+        for _ in range(n_init):
             labels = rng.integers(k, size=n).astype(np.int64)
             state = _State(K, labels, k, [], [])
-            for _sweep in range(int(self.max_sweeps)):
+            n_sweeps = 0
+            converged = False
+            for n_sweeps in range(1, max_sweeps + 1):
+                budget_tick()
                 improved = False
                 for i in rng.permutation(n):
                     a = state.labels[i]
@@ -86,10 +108,17 @@ class KernelKMeans(BaseClusterer):
                         state.apply_move(i, a, best_b)
                         improved = True
                 if not improved:
+                    converged = True
                     break
             q = state.quality() / n
             if best is None or q > best[0]:
-                best = (q, state.labels.copy())
-        self.quality_, labels = best
+                best = (q, state.labels.copy(), n_sweeps, converged)
+        self.quality_, labels, self.n_iter_, converged = best
+        if not converged:
+            warnings.warn(
+                f"KernelKMeans local search still improving after "
+                f"max_sweeps={max_sweeps}; consider raising max_sweeps",
+                ConvergenceWarning, stacklevel=2,
+            )
         self.labels_ = labels.astype(np.int64)
         return self

@@ -7,13 +7,17 @@ ancestry, the orthogonal-projection pipeline, and several benches.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.base import BaseClusterer
-from ..exceptions import ValidationError
+from ..exceptions import ConvergenceWarning, ValidationError
+from ..robustness.guard import budget_tick
 from ..utils.linalg import cdist_sq
 from ..utils.validation import (
     check_array,
+    check_count,
     check_n_clusters,
     check_random_state,
 )
@@ -103,7 +107,9 @@ class KMeans(BaseClusterer):
         prev_inertia = np.inf
         labels = None
         n_iter = 0
+        converged = False
         for n_iter in range(1, max_iter + 1):
+            budget_tick()
             d2 = cdist_sq(X, centers)
             labels = np.argmin(d2, axis=1)
             inertia = float(d2[np.arange(X.shape[0]), labels].sum())
@@ -115,31 +121,45 @@ class KMeans(BaseClusterer):
                     # Re-seed an empty cluster at the farthest point.
                     far = int(np.argmax(d2[np.arange(X.shape[0]), labels]))
                     centers[c] = X[far]
-            if prev_inertia - inertia <= tol * max(prev_inertia, 1e-12):
+            # The first pass has no previous objective (inf sentinel, and
+            # inf <= tol*inf would hold) — never declare convergence on it.
+            if (np.isfinite(prev_inertia)
+                    and prev_inertia - inertia <= tol * max(prev_inertia,
+                                                            1e-12)):
                 prev_inertia = inertia
+                converged = True
                 break
             prev_inertia = inertia
         # Final assignment against the updated centers.
         d2 = cdist_sq(X, centers)
         labels = np.argmin(d2, axis=1)
         inertia = float(d2[np.arange(X.shape[0]), labels].sum())
-        return labels, centers, inertia, n_iter
+        return labels, centers, inertia, n_iter, converged
 
     def fit(self, X):
-        X = check_array(X)
+        X = self._check_array(X)
         k = check_n_clusters(self.n_clusters, X.shape[0])
+        max_iter = check_count(self.max_iter, "max_iter", estimator=self)
         rng = check_random_state(self.random_state)
         explicit_init = isinstance(self.init, np.ndarray)
-        n_init = 1 if explicit_init else max(1, int(self.n_init))
+        n_init = 1 if explicit_init else check_count(
+            self.n_init, "n_init", estimator=self)
         best = None
         for _ in range(n_init):
             centers = self._initial_centers(X, rng)
-            labels, centers, inertia, n_iter = self._lloyd(
-                X, centers, self.max_iter, self.tol
+            labels, centers, inertia, n_iter, converged = self._lloyd(
+                X, centers, max_iter, self.tol
             )
             if best is None or inertia < best[2]:
-                best = (labels, centers, inertia, n_iter)
-        self.labels_, self.cluster_centers_, self.inertia_, self.n_iter_ = best
+                best = (labels, centers, inertia, n_iter, converged)
+        (self.labels_, self.cluster_centers_, self.inertia_, self.n_iter_,
+         converged) = best
+        if not converged:
+            warnings.warn(
+                f"KMeans did not converge in max_iter={max_iter} "
+                "Lloyd iterations; consider raising max_iter or tol",
+                ConvergenceWarning, stacklevel=2,
+            )
         self.labels_ = self.labels_.astype(np.int64)
         return self
 

@@ -6,11 +6,20 @@ draws and swaps medoids rather than means.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.base import BaseClusterer
+from ..exceptions import ConvergenceWarning
+from ..robustness.guard import budget_tick
 from ..utils.linalg import pairwise_distances
-from ..utils.validation import check_array, check_n_clusters, check_random_state
+from ..utils.validation import (
+    check_array,
+    check_count,
+    check_n_clusters,
+    check_random_state,
+)
 
 __all__ = ["KMedoids"]
 
@@ -30,6 +39,8 @@ class KMedoids(BaseClusterer):
     medoid_indices_ : ndarray of shape (n_clusters,)
     inertia_ : float
         Sum of distances of points to their medoid.
+    n_iter_ : int
+        Alternating assignment/update rounds performed.
     """
 
     def __init__(self, n_clusters=8, max_iter=100, random_state=None):
@@ -39,20 +50,32 @@ class KMedoids(BaseClusterer):
         self.labels_ = None
         self.medoid_indices_ = None
         self.inertia_ = None
+        self.n_iter_ = None
 
     def fit(self, X):
-        X = check_array(X)
+        X = self._check_array(X)
         n = X.shape[0]
         k = check_n_clusters(self.n_clusters, n)
+        max_iter = check_count(self.max_iter, "max_iter", estimator=self)
         rng = check_random_state(self.random_state)
         d = pairwise_distances(X)
         medoids = rng.choice(n, size=k, replace=False)
         labels = np.argmin(d[:, medoids], axis=1)
-        for _ in range(self.max_iter):
+        n_iter = 0
+        converged = False
+        for n_iter in range(1, max_iter + 1):
+            budget_tick()
             changed = False
             for c in range(k):
                 members = np.flatnonzero(labels == c)
                 if members.size == 0:
+                    # Re-seed an empty cluster at the point farthest from
+                    # its current medoid (graceful degradation instead of
+                    # carrying a stale, unreachable medoid forever).
+                    far = int(np.argmax(d[np.arange(n), medoids[labels]]))
+                    if far not in medoids:
+                        medoids[c] = far
+                        changed = True
                     continue
                 sub = d[np.ix_(members, members)]
                 best_local = members[int(np.argmin(sub.sum(axis=1)))]
@@ -61,9 +84,16 @@ class KMedoids(BaseClusterer):
                     changed = True
             new_labels = np.argmin(d[:, medoids], axis=1)
             if not changed and np.array_equal(new_labels, labels):
+                converged = True
                 break
             labels = new_labels
+        if not converged:
+            warnings.warn(
+                f"KMedoids did not stabilise in max_iter={max_iter} rounds",
+                ConvergenceWarning, stacklevel=2,
+            )
         self.medoid_indices_ = medoids
         self.labels_ = labels.astype(np.int64)
         self.inertia_ = float(d[np.arange(n), medoids[labels]].sum())
+        self.n_iter_ = n_iter
         return self

@@ -7,10 +7,12 @@ under an HSIC penalty.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.base import BaseClusterer
-from ..exceptions import ValidationError
+from ..exceptions import ConvergenceWarning, ValidationError
 from ..utils.linalg import rbf_kernel
 from ..utils.validation import check_array, check_n_clusters, check_random_state
 
@@ -21,8 +23,10 @@ def normalized_laplacian(W):
     """Symmetric normalised Laplacian ``I - D^{-1/2} W D^{-1/2}``."""
     W = np.asarray(W, dtype=np.float64)
     n = W.shape[0]
-    if W.shape != (n, n):
+    if W.ndim != 2 or W.shape != (n, n):
         raise ValidationError("affinity matrix must be square")
+    if not np.isfinite(W).all():
+        raise ValidationError("affinity matrix contains NaN or infinite values")
     deg = W.sum(axis=1)
     inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
     return np.eye(n) - (inv_sqrt[:, None] * W) * inv_sqrt[None, :]
@@ -34,7 +38,20 @@ def spectral_embedding(W, n_components):
     Returns an (n, n_components) matrix whose rows are the NJW embedding.
     """
     L = normalized_laplacian(W)
-    vals, vecs = np.linalg.eigh(L)
+    try:
+        vals, vecs = np.linalg.eigh(L)
+    except np.linalg.LinAlgError:
+        # Graceful degradation: eigh's iteration can fail to converge on
+        # pathological Laplacians. L is symmetric PSD, so its singular
+        # vectors (dense SVD, a different and more robust algorithm)
+        # coincide with its eigenvectors.
+        warnings.warn(
+            "eigh failed to converge on the normalised Laplacian; "
+            "falling back to a dense SVD solver",
+            ConvergenceWarning, stacklevel=2,
+        )
+        U_svd, s, _ = np.linalg.svd(L)
+        vals, vecs = s, U_svd
     order = np.argsort(vals)
     U = vecs[:, order[:n_components]]
     norms = np.linalg.norm(U, axis=1, keepdims=True)
@@ -71,7 +88,7 @@ class SpectralClustering(BaseClusterer):
     def fit(self, X):
         from .kmeans import KMeans
 
-        X = check_array(X, min_samples=2)
+        X = self._check_array(X, min_samples=2)
         k = check_n_clusters(self.n_clusters, X.shape[0])
         rng = check_random_state(self.random_state)
         W = rbf_kernel(X, gamma=self.gamma)

@@ -21,7 +21,7 @@ import numpy as np
 
 from .clustering import Clustering
 from ..exceptions import ValidationError
-from ..utils.validation import check_is_fitted
+from ..utils.validation import check_array, check_is_fitted
 
 __all__ = [
     "ParamsMixin",
@@ -62,6 +62,15 @@ class ParamsMixin:
     def __repr__(self):
         params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
         return f"{type(self).__name__}({params})"
+
+    def _check_array(self, X, **kwargs):
+        """:func:`check_array` with this estimator's name in messages.
+
+        Every ``fit`` validates through this so harness logs attribute a
+        rejected input to the estimator that rejected it.
+        """
+        kwargs.setdefault("estimator", type(self).__name__)
+        return check_array(X, **kwargs)
 
 
 class BaseClusterer(ParamsMixin):

@@ -13,12 +13,14 @@ user-supplied transformer) share it.
 from __future__ import annotations
 
 import copy
+import warnings
 
 import numpy as np
 
 from .base import MultiClusteringEstimator
-from ..exceptions import ValidationError
+from ..exceptions import ConvergenceWarning, ValidationError
 from ..metrics.partition import adjusted_rand_index
+from ..robustness.guard import budget_tick
 from ..utils.validation import check_array
 
 __all__ = ["IterativeAlternativePipeline"]
@@ -53,6 +55,11 @@ class IterativeAlternativePipeline(MultiClusteringEstimator):
         The fitted transformer of each round (``None`` for the first).
     stopped_reason_ : str
         Why the chain ended: "n_solutions", "transformer", "redundant".
+        A "redundant" stop (near-duplicate clusterings in subsequent
+        rounds — the slide-62 failure mode) additionally issues a
+        :class:`ConvergenceWarning`.
+    n_iter_ : int
+        Rounds performed (= number of produced clusterings).
     """
 
     def __init__(self, clusterer, transformer, n_solutions=2,
@@ -66,6 +73,7 @@ class IterativeAlternativePipeline(MultiClusteringEstimator):
         self.labelings_ = None
         self.transforms_ = None
         self.stopped_reason_ = None
+        self.n_iter_ = None
 
     def _clone_clusterer(self):
         return type(self.clusterer)(**self.clusterer.get_params())
@@ -80,6 +88,7 @@ class IterativeAlternativePipeline(MultiClusteringEstimator):
         transforms = []
         reason = "n_solutions"
         for _ in range(self.n_solutions):
+            budget_tick()
             labels = self._clone_clusterer().fit(data).labels_
             labels = np.asarray(labels)
             if labelings and self.min_dissimilarity > 0:
@@ -98,7 +107,16 @@ class IterativeAlternativePipeline(MultiClusteringEstimator):
                 break
             transforms.append(transformer)
             data = transformer.transform(data)
+        if reason == "redundant":
+            warnings.warn(
+                "iterative alternative chain stopped early: round "
+                f"{len(labelings) + 1} produced a near-duplicate of an "
+                "earlier clustering (the residual space no longer yields "
+                "dissimilar structure)",
+                ConvergenceWarning, stacklevel=2,
+            )
         self.labelings_ = labelings
         self.transforms_ = [None] + transforms
         self.stopped_reason_ = reason
+        self.n_iter_ = len(labelings)
         return self

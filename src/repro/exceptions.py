@@ -18,5 +18,24 @@ class ValidationError(MultiClustError, ValueError):
     """Raised when user-supplied data or parameters are invalid."""
 
 
+class BudgetExceededError(MultiClustError):
+    """Raised when a :class:`repro.robustness.RunBudget` is exhausted.
+
+    Iterative optimisers check the active budget cooperatively (once per
+    outer iteration), so a fit running under a
+    :class:`repro.robustness.RunGuard` stops shortly after its wall-clock
+    or iteration budget is spent instead of running unbounded.
+    """
+
+
+class FaultInjectedError(MultiClustError):
+    """Raised by the fault-injection harness to force a structured failure.
+
+    Never raised in normal operation; used by
+    :mod:`repro.robustness.faults` and the ``--inject-fault`` CLI flag to
+    prove that the failure-handling paths work end to end.
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """Issued when an iterative optimiser stops before converging."""

@@ -34,7 +34,13 @@ from .exp_subspace import (
     run_f11_enclus_entropy,
 )
 from .exp_transform import run_f4_transformation, run_f5_orthogonal_iterations
-from .harness import ResultTable, timed
+from .harness import (
+    ExperimentOutcome,
+    ResultTable,
+    run_experiments,
+    summarize_outcomes,
+    timed,
+)
 from .report import CLAIMS, generate_report
 
 ALL_EXPERIMENTS = {
@@ -67,7 +73,10 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "CLAIMS",
     "generate_report",
+    "ExperimentOutcome",
     "ResultTable",
+    "run_experiments",
+    "summarize_outcomes",
     "timed",
     "run_t1_taxonomy",
     "run_f1_toy_alternatives",

@@ -1,17 +1,27 @@
-"""Experiment harness: result tables and rendering.
+"""Experiment harness: result tables, rendering, and fault-tolerant sweeps.
 
 Every experiment in EXPERIMENTS.md is a ``run_*`` function returning a
 :class:`ResultTable`; the benchmark scripts print the table so the
 tutorial's figures/tables can be regenerated with one command.
+
+:func:`run_experiments` executes a batch of them under a
+:class:`~repro.robustness.RunGuard`: each experiment gets its own
+budget/retry policy, failures become :class:`ExperimentOutcome` records
+with a ``status`` instead of aborting the sweep, and
+:func:`summarize_outcomes` renders the per-experiment status table.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from typing import Any, Optional
 
-from ..exceptions import ValidationError
+from ..exceptions import FaultInjectedError, ValidationError
+from ..robustness.guard import RunFailure, RunGuard
 
-__all__ = ["ResultTable", "timed"]
+__all__ = ["ExperimentOutcome", "ResultTable", "run_experiments",
+           "summarize_outcomes", "timed"]
 
 
 class ResultTable:
@@ -74,3 +84,95 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+@dataclass
+class ExperimentOutcome:
+    """Per-experiment record of a guarded sweep.
+
+    ``status`` is "ok" (``table`` holds the ResultTable) or "failed"
+    (``failure`` holds the structured :class:`RunFailure`).
+    """
+
+    key: str
+    status: str
+    table: Any = None
+    failure: Optional[RunFailure] = None
+    elapsed: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+
+def run_experiments(experiments, *, keep_going=True, max_seconds=None,
+                    max_retries=0, fail_keys=(), callback=None):
+    """Run a mapping of ``{key: experiment_fn}`` fault-tolerantly.
+
+    Parameters
+    ----------
+    experiments : mapping of str -> callable
+        Each callable takes no arguments and returns a ResultTable.
+    keep_going : bool
+        When true (the default), a failing experiment is recorded and
+        the sweep continues; when false the sweep stops at the first
+        failure (outcomes collected so far are still returned).
+    max_seconds : float or None
+        Per-experiment wall-clock budget, enforced cooperatively at
+        optimiser iteration boundaries (see ``repro.robustness``).
+    max_retries : int
+        Extra attempts per experiment after a retryable failure.
+    fail_keys : collection of str
+        Fault injection: these experiments raise
+        :class:`FaultInjectedError` instead of running — exercises the
+        degradation path end to end without a genuinely broken build.
+    callback : callable or None
+        Invoked with each :class:`ExperimentOutcome` as it completes
+        (the CLI uses this for streaming output).
+
+    Returns
+    -------
+    list of ExperimentOutcome
+    """
+    fail_keys = frozenset(fail_keys)
+    outcomes = []
+    for key, fn in experiments.items():
+        guard = RunGuard(max_seconds=max_seconds, max_retries=max_retries,
+                         label=key)
+        if key in fail_keys:
+            def fn(key=key):
+                raise FaultInjectedError(
+                    f"fault injected into experiment {key} (--inject-fault)"
+                )
+        result = guard.run(fn)
+        outcome = ExperimentOutcome(
+            key=key,
+            status=result.status,
+            table=result.value,
+            failure=result.failure,
+            elapsed=result.elapsed,
+            attempts=result.attempts,
+        )
+        outcomes.append(outcome)
+        if callback is not None:
+            callback(outcome)
+        if not outcome.ok and not keep_going:
+            break
+    return outcomes
+
+
+def summarize_outcomes(outcomes):
+    """Status-per-experiment summary as a :class:`ResultTable`."""
+    table = ResultTable(
+        "run summary", ["experiment", "status", "seconds", "error"]
+    )
+    for outcome in outcomes:
+        error = ""
+        if outcome.failure is not None:
+            error = f"{outcome.failure.error_type}: {outcome.failure.message}"
+            if len(error) > 60:
+                error = error[:57] + "..."
+        table.add(experiment=outcome.key, status=outcome.status,
+                  seconds=outcome.elapsed, error=error)
+    return table

@@ -1,0 +1,54 @@
+"""Fault-tolerant run layer: budgets, retries, graceful degradation.
+
+A production multi-clustering service runs ~20 optimisers over arbitrary
+user data; any one of them can hit a degenerate seed, a singular
+covariance, or an empty cluster. This subsystem makes such runs
+*bounded* (wall-clock / iteration budgets enforced cooperatively inside
+every optimiser loop), *recoverable* (retry-with-reseed for stochastic
+fits), and *observable* (structured :class:`RunFailure` records instead
+of raw tracebacks). :mod:`repro.robustness.faults` provides the fault
+injection used to prove every estimator fails structurally, never with
+an unhandled NumPy error.
+
+See ``docs/robustness.md`` for the full guide.
+"""
+
+from .faults import (
+    DATA_FAULTS,
+    FlakyEstimator,
+    StallingEstimator,
+    adversarial_cluster_count,
+    collapse_to_single_point,
+    faulty_variants,
+    inject_constant_feature,
+    inject_duplicate_rows,
+    inject_inf_cells,
+    inject_nan_cells,
+)
+from .guard import (
+    RunBudget,
+    RunFailure,
+    RunGuard,
+    RunResult,
+    active_budget,
+    budget_tick,
+)
+
+__all__ = [
+    "RunBudget",
+    "RunFailure",
+    "RunGuard",
+    "RunResult",
+    "active_budget",
+    "budget_tick",
+    "DATA_FAULTS",
+    "FlakyEstimator",
+    "StallingEstimator",
+    "adversarial_cluster_count",
+    "collapse_to_single_point",
+    "faulty_variants",
+    "inject_constant_feature",
+    "inject_duplicate_rows",
+    "inject_inf_cells",
+    "inject_nan_cells",
+]

@@ -1,0 +1,175 @@
+"""Fault injection for robustness testing.
+
+Two families of faults:
+
+* **Data faults** — pure functions that corrupt a clean data matrix in a
+  controlled way (NaN/Inf cells, constant features, duplicate rows,
+  collapsing everything to a single point). :data:`DATA_FAULTS` is the
+  registry the fault-injection test suite parametrises over, and
+  :func:`faulty_variants` yields every corrupted copy of a matrix.
+* **Estimator faults** — wrappers simulating misbehaving optimisers:
+  :class:`StallingEstimator` spins without progress (tripping a
+  :class:`~repro.robustness.RunBudget`), :class:`FlakyEstimator` fails
+  deterministically until its ``random_state`` has been bumped enough
+  times (exercising the retry-with-reseed policy of
+  :class:`~repro.robustness.RunGuard`).
+
+Every injector is deterministic given ``random_state`` so failures are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .guard import budget_tick
+from ..core.base import BaseClusterer
+from ..exceptions import FaultInjectedError
+from ..utils.validation import check_random_state
+
+__all__ = [
+    "inject_nan_cells",
+    "inject_inf_cells",
+    "inject_constant_feature",
+    "inject_duplicate_rows",
+    "collapse_to_single_point",
+    "adversarial_cluster_count",
+    "faulty_variants",
+    "DATA_FAULTS",
+    "StallingEstimator",
+    "FlakyEstimator",
+]
+
+
+def _as_matrix(X):
+    X = np.array(X, dtype=np.float64, copy=True)
+    if X.ndim != 2 or X.size == 0:
+        raise FaultInjectedError("fault injection needs a non-empty 2-d matrix")
+    return X
+
+
+def inject_nan_cells(X, *, n_cells=1, random_state=0):
+    """Overwrite ``n_cells`` random cells with NaN."""
+    X = _as_matrix(X)
+    rng = check_random_state(random_state)
+    flat = rng.choice(X.size, size=min(int(n_cells), X.size), replace=False)
+    X.ravel()[flat] = np.nan
+    return X
+
+
+def inject_inf_cells(X, *, n_cells=1, random_state=0):
+    """Overwrite ``n_cells`` random cells with +/- infinity."""
+    X = _as_matrix(X)
+    rng = check_random_state(random_state)
+    flat = rng.choice(X.size, size=min(int(n_cells), X.size), replace=False)
+    X.ravel()[flat] = rng.choice([np.inf, -np.inf], size=flat.size)
+    return X
+
+
+def inject_constant_feature(X, *, feature=0, value=1.0):
+    """Make one column constant (zero variance)."""
+    X = _as_matrix(X)
+    X[:, int(feature) % X.shape[1]] = float(value)
+    return X
+
+
+def inject_duplicate_rows(X, *, fraction=0.5, random_state=0):
+    """Replace a fraction of rows with copies of other rows."""
+    X = _as_matrix(X)
+    rng = check_random_state(random_state)
+    n = X.shape[0]
+    n_dup = max(1, int(round(fraction * n)))
+    targets = rng.choice(n, size=min(n_dup, n), replace=False)
+    sources = rng.integers(n, size=targets.size)
+    X[targets] = X[sources]
+    return X
+
+
+def collapse_to_single_point(X):
+    """Every row becomes the first row (zero spread everywhere)."""
+    X = _as_matrix(X)
+    X[:] = X[0]
+    return X
+
+
+def adversarial_cluster_count(X):
+    """A cluster count guaranteed to exceed the sample count."""
+    return int(np.asarray(X).shape[0]) + 1
+
+
+#: Registry of named data faults: name -> injector taking (X) -> X_faulty.
+#: These are the degenerate-but-representable inputs every estimator must
+#: survive structurally (clean success, ValidationError, or RunFailure).
+DATA_FAULTS = {
+    "nan_cell": lambda X: inject_nan_cells(X, n_cells=2, random_state=0),
+    "inf_cell": lambda X: inject_inf_cells(X, n_cells=2, random_state=0),
+    "constant_feature": lambda X: inject_constant_feature(X, feature=1),
+    "duplicate_rows": lambda X: inject_duplicate_rows(X, fraction=0.5,
+                                                      random_state=0),
+    "single_point": collapse_to_single_point,
+}
+
+
+def faulty_variants(X, *, faults=None):
+    """Yield ``(name, X_faulty)`` for every registered (or named) fault."""
+    names = list(DATA_FAULTS) if faults is None else list(faults)
+    for name in names:
+        yield name, DATA_FAULTS[name](X)
+
+
+class StallingEstimator(BaseClusterer):
+    """Simulated optimiser stall: ``fit`` spins without making progress.
+
+    Calls :func:`~repro.robustness.budget_tick` every poll, so under a
+    :class:`~repro.robustness.RunGuard` wall-clock budget the stall is
+    interrupted with ``BudgetExceededError`` almost immediately. Without
+    a guard it gives up after ``stall_seconds`` (a safety valve, not a
+    feature) and then fits trivially.
+    """
+
+    def __init__(self, stall_seconds=5.0, poll_seconds=0.001):
+        self.stall_seconds = stall_seconds
+        self.poll_seconds = poll_seconds
+        self.labels_ = None
+        self.n_iter_ = None
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        deadline = time.perf_counter() + float(self.stall_seconds)
+        ticks = 0
+        while time.perf_counter() < deadline:
+            budget_tick()
+            ticks += 1
+            time.sleep(float(self.poll_seconds))
+        self.labels_ = np.zeros(X.shape[0], dtype=np.int64)
+        self.n_iter_ = ticks
+        return self
+
+
+class FlakyEstimator(BaseClusterer):
+    """Fails deterministically until reseeded ``n_failures`` times.
+
+    ``fit`` raises :class:`~repro.exceptions.FaultInjectedError` while
+    ``random_state < seed0 + n_failures``. :meth:`RunGuard.fit
+    <repro.robustness.RunGuard.fit>` bumps ``random_state`` by one per
+    retry, so a guard with ``max_retries >= n_failures`` succeeds on the
+    attempt whose seed crosses the threshold — a deterministic stand-in
+    for a stochastic optimiser that only converges under some seeds.
+    """
+
+    def __init__(self, n_failures=1, random_state=0):
+        self.n_failures = n_failures
+        self.random_state = random_state
+        self.labels_ = None
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        seed = 0 if self.random_state is None else int(self.random_state)
+        if seed < int(self.n_failures):
+            raise FaultInjectedError(
+                f"injected failure (seed {seed} < {self.n_failures})"
+            )
+        self.labels_ = np.zeros(X.shape[0], dtype=np.int64)
+        return self

@@ -1,0 +1,378 @@
+"""Budgets, retries, and structured failure records for estimator runs.
+
+Three cooperating pieces make any ``fit`` bounded and recoverable:
+
+* :class:`RunBudget` — a wall-clock / iteration budget. Iterative
+  optimisers across the library call :func:`budget_tick` once per outer
+  iteration; when a budget is active and spent, the tick raises
+  :class:`~repro.exceptions.BudgetExceededError`, so a runaway or
+  stalled optimisation stops at the next iteration boundary instead of
+  running unbounded. Without an active budget a tick costs a few
+  nanoseconds.
+* :class:`RunFailure` / :class:`RunResult` — structured records of what
+  happened: either a value or a failure with error type, message,
+  traceback, elapsed time, and attempt count. Harness code stores these
+  in result tables instead of letting exceptions abort a whole sweep.
+* :class:`RunGuard` — the policy object tying the two together. It can
+  be used three ways::
+
+      guard = RunGuard(max_seconds=30.0, max_retries=2)
+
+      # 1. guarded call: never raises on caught errors
+      result = guard.run(estimator.fit, X)
+
+      # 2. retry-with-reseed for stochastic optimisers: each retry
+      #    clones the estimator with a bumped random_state and an
+      #    exponentially enlarged budget (``backoff``)
+      result = guard.fit(estimator, X)
+
+      # 3. context manager (single attempt, captures the exception)
+      with RunGuard(max_seconds=5.0) as g:
+          estimator.fit(X)
+      if not g.result.ok:
+          print(g.result.failure)
+
+It can also decorate a function, turning its return value into a
+:class:`RunResult`::
+
+    @RunGuard(max_seconds=5.0)
+    def run_once():
+        return estimator.fit(X)
+
+``ValidationError`` is never retried — bad input stays bad under a new
+seed — but it is still captured as a failure so sweeps keep going.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import numbers
+import time
+import traceback as _tb
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..exceptions import BudgetExceededError, ValidationError
+
+__all__ = [
+    "RunBudget",
+    "RunFailure",
+    "RunResult",
+    "RunGuard",
+    "active_budget",
+    "budget_tick",
+]
+
+_ACTIVE_BUDGET: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_active_budget", default=None
+)
+
+
+def active_budget():
+    """The innermost active :class:`RunBudget`, or ``None``."""
+    return _ACTIVE_BUDGET.get()
+
+
+def budget_tick(n=1):
+    """Cooperative budget checkpoint for iterative optimisers.
+
+    Library optimisation loops call this once per outer iteration.
+    Raises :class:`~repro.exceptions.BudgetExceededError` when the
+    enclosing :class:`RunGuard` budget is spent; no-op otherwise.
+    """
+    budget = _ACTIVE_BUDGET.get()
+    if budget is not None:
+        budget.tick(n)
+
+
+class RunBudget:
+    """A wall-clock and/or iteration budget, checked cooperatively.
+
+    Parameters
+    ----------
+    max_seconds : float or None
+        Wall-clock allowance from construction time.
+    max_ticks : int or None
+        Allowance of :meth:`tick` calls (outer optimiser iterations).
+
+    The budget starts running on construction; :meth:`tick` and
+    :meth:`check` raise :class:`BudgetExceededError` once spent.
+    """
+
+    def __init__(self, max_seconds=None, max_ticks=None):
+        if max_seconds is not None:
+            max_seconds = float(max_seconds)
+            if not max_seconds > 0:
+                raise ValidationError(
+                    f"max_seconds must be positive, got {max_seconds}"
+                )
+        if max_ticks is not None:
+            if not isinstance(max_ticks, numbers.Integral) or max_ticks < 1:
+                raise ValidationError(
+                    f"max_ticks must be a positive integer, got {max_ticks!r}"
+                )
+            max_ticks = int(max_ticks)
+        self.max_seconds = max_seconds
+        self.max_ticks = max_ticks
+        self.started_at = time.perf_counter()
+        self.ticks = 0
+
+    def elapsed(self):
+        """Seconds since the budget started."""
+        return time.perf_counter() - self.started_at
+
+    def remaining_seconds(self):
+        """Wall-clock budget left (``None`` when unbounded)."""
+        if self.max_seconds is None:
+            return None
+        return self.max_seconds - self.elapsed()
+
+    def exhausted(self):
+        """True when either allowance is spent (does not raise)."""
+        if self.max_seconds is not None and self.elapsed() > self.max_seconds:
+            return True
+        return self.max_ticks is not None and self.ticks > self.max_ticks
+
+    def check(self):
+        """Raise :class:`BudgetExceededError` if the wall clock is spent."""
+        if self.max_seconds is not None and self.elapsed() > self.max_seconds:
+            raise BudgetExceededError(
+                f"wall-clock budget of {self.max_seconds:.4g}s exhausted "
+                f"after {self.elapsed():.4g}s"
+            )
+
+    def tick(self, n=1):
+        """Count ``n`` iterations and enforce both allowances."""
+        self.ticks += n
+        if self.max_ticks is not None and self.ticks > self.max_ticks:
+            raise BudgetExceededError(
+                f"iteration budget of {self.max_ticks} ticks exhausted"
+            )
+        self.check()
+
+    def __repr__(self):
+        return (f"RunBudget(max_seconds={self.max_seconds}, "
+                f"max_ticks={self.max_ticks}, elapsed={self.elapsed():.3f}, "
+                f"ticks={self.ticks})")
+
+
+@dataclass
+class RunFailure:
+    """Structured record of a failed (guarded) run."""
+
+    label: str
+    error_type: str
+    message: str
+    traceback: str
+    elapsed: float
+    attempts: int
+    context: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_exception(cls, exc, *, label="", elapsed=0.0, attempts=1,
+                       context=None):
+        """Build a failure record from a caught exception."""
+        return cls(
+            label=str(label),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                _tb.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            elapsed=float(elapsed),
+            attempts=int(attempts),
+            context=dict(context or {}),
+        )
+
+    def __str__(self):
+        where = f"[{self.label}] " if self.label else ""
+        return (f"{where}{self.error_type}: {self.message} "
+                f"(attempts={self.attempts}, elapsed={self.elapsed:.2f}s)")
+
+
+@dataclass
+class RunResult:
+    """Outcome of a guarded run: a value or a :class:`RunFailure`."""
+
+    status: str  # "ok" | "failed"
+    value: Any = None
+    failure: Optional[RunFailure] = None
+    elapsed: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+    def unwrap(self):
+        """Return the value, re-raising a library error on failure."""
+        if self.ok:
+            return self.value
+        raise RuntimeError(f"guarded run failed: {self.failure}")
+
+
+class RunGuard:
+    """Enforce budgets and retry policy around estimator fits.
+
+    Parameters
+    ----------
+    max_seconds : float or None
+        Per-attempt wall-clock budget. Retry attempt ``i`` receives
+        ``max_seconds * backoff**i`` (exponential backoff on budget), so
+        a stochastic optimiser that timed out gets more room under its
+        new seed.
+    max_ticks : int or None
+        Per-attempt iteration budget (outer optimiser iterations,
+        counted via :func:`budget_tick`).
+    max_retries : int
+        Extra attempts after the first failure. :meth:`fit` reseeds the
+        estimator between attempts; :meth:`run` simply re-invokes.
+    backoff : float >= 1
+        Budget growth factor per retry.
+    label : str
+        Identifies the run in :class:`RunFailure` records.
+    catch : tuple of exception types
+        What to convert into failures. Defaults to ``(Exception,)`` —
+        ``KeyboardInterrupt``/``SystemExit`` always propagate.
+
+    Notes
+    -----
+    ``ValidationError`` and ``NotImplementedError`` are captured but
+    never retried: invalid input does not become valid under a new seed.
+    """
+
+    _NO_RETRY = (ValidationError, NotImplementedError)
+
+    def __init__(self, max_seconds=None, max_ticks=None, max_retries=0,
+                 backoff=2.0, label="", catch=(Exception,)):
+        if max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if not backoff >= 1.0:
+            raise ValidationError(f"backoff must be >= 1, got {backoff}")
+        self.max_seconds = max_seconds
+        self.max_ticks = max_ticks
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.label = label
+        self.catch = tuple(catch)
+        self.result = None
+        self._token = None
+        self._entered_at = None
+
+    # -- budgets ---------------------------------------------------------
+
+    def _attempt_budget(self, attempt):
+        """Fresh budget for attempt ``attempt`` (0-based), with backoff."""
+        seconds = self.max_seconds
+        if seconds is not None:
+            seconds = seconds * self.backoff ** attempt
+        if seconds is None and self.max_ticks is None:
+            return None
+        return RunBudget(max_seconds=seconds, max_ticks=self.max_ticks)
+
+    # -- guarded execution ----------------------------------------------
+
+    def _execute(self, attempt_fn, *, context=None):
+        """Run ``attempt_fn(attempt)`` under per-attempt budgets."""
+        start = time.perf_counter()
+        last_exc = None
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            attempts = attempt + 1
+            budget = self._attempt_budget(attempt)
+            token = None
+            if budget is not None:
+                token = _ACTIVE_BUDGET.set(budget)
+            try:
+                value = attempt_fn(attempt)
+                return RunResult(
+                    status="ok", value=value,
+                    elapsed=time.perf_counter() - start, attempts=attempts,
+                )
+            except self.catch as exc:
+                last_exc = exc
+                if isinstance(exc, self._NO_RETRY):
+                    break
+            finally:
+                if token is not None:
+                    _ACTIVE_BUDGET.reset(token)
+        elapsed = time.perf_counter() - start
+        failure = RunFailure.from_exception(
+            last_exc, label=self.label, elapsed=elapsed, attempts=attempts,
+            context=context,
+        )
+        return RunResult(status="failed", failure=failure, elapsed=elapsed,
+                         attempts=attempts)
+
+    def run(self, fn, *args, **kwargs):
+        """Call ``fn(*args, **kwargs)`` guarded; return a :class:`RunResult`.
+
+        Caught exceptions become failures instead of propagating. Plain
+        retries re-invoke ``fn`` unchanged — use :meth:`fit` for the
+        reseeding policy.
+        """
+        return self._execute(lambda attempt: fn(*args, **kwargs))
+
+    def fit(self, estimator, *fit_args, **fit_kwargs):
+        """Guarded ``estimator.fit`` with retry-with-reseed.
+
+        The first attempt fits ``estimator`` in place. Each retry clones
+        it via ``get_params`` and, when the estimator has an int-or-None
+        ``random_state`` parameter, bumps the seed so the optimiser
+        explores a different basin; the wall-clock budget grows by
+        ``backoff`` per attempt. Returns a :class:`RunResult` whose
+        value is the fitted estimator.
+        """
+        def attempt_fn(attempt):
+            est = estimator
+            if attempt > 0 and hasattr(estimator, "get_params"):
+                params = estimator.get_params()
+                seed = params.get("random_state", "missing")
+                if seed is None or isinstance(seed, numbers.Integral):
+                    params["random_state"] = (
+                        (0 if seed is None else int(seed)) + attempt
+                    )
+                est = type(estimator)(**params)
+            return est.fit(*fit_args, **fit_kwargs)
+
+        context = {"estimator": type(estimator).__name__,
+                   "params": getattr(estimator, "get_params", dict)()}
+        return self._execute(attempt_fn, context=context)
+
+    # -- decorator form --------------------------------------------------
+
+    def __call__(self, fn):
+        """Decorate ``fn`` so calls return :class:`RunResult`."""
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return self.run(fn, *args, **kwargs)
+        return wrapper
+
+    # -- context-manager form (single attempt) ---------------------------
+
+    def __enter__(self):
+        self.result = None
+        self._entered_at = time.perf_counter()
+        budget = self._attempt_budget(0)
+        self._token = _ACTIVE_BUDGET.set(budget) if budget is not None else None
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._token is not None:
+            _ACTIVE_BUDGET.reset(self._token)
+            self._token = None
+        elapsed = time.perf_counter() - self._entered_at
+        if exc is None:
+            self.result = RunResult(status="ok", elapsed=elapsed)
+            return False
+        if isinstance(exc, self.catch):
+            failure = RunFailure.from_exception(
+                exc, label=self.label, elapsed=elapsed, attempts=1
+            )
+            self.result = RunResult(status="failed", failure=failure,
+                                    elapsed=elapsed)
+            return True
+        return False

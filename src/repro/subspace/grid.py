@@ -10,13 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.base import ParamsMixin
 from ..exceptions import ValidationError
 from ..utils.validation import check_array
 
 __all__ = ["GridDiscretization", "connected_components_of_cells"]
 
 
-class GridDiscretization:
+class GridDiscretization(ParamsMixin):
     """Equal-width grid over the data's bounding box.
 
     Parameters

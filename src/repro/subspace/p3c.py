@@ -25,7 +25,7 @@ from scipy import stats
 from ..core.base import ParamsMixin
 from ..core.subspace import SubspaceCluster, SubspaceClustering
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
-from ..utils.validation import check_array, check_in_range
+from ..utils.validation import check_count, check_in_range
 
 __all__ = ["P3C", "significant_intervals"]
 
@@ -107,9 +107,11 @@ class P3C(ParamsMixin):
         self.intervals_ = None
 
     def fit(self, X):
-        X = check_array(X)
+        X = self._check_array(X)
         check_in_range(self.alpha, "alpha", low=0.0, high=1.0,
                        inclusive_low=False)
+        n_bins = check_count(self.n_bins, "n_bins", low=2, estimator=self)
+        check_count(self.min_support, "min_support", estimator=self)
         n, d = X.shape
         max_dim = d if self.max_dim is None else min(int(self.max_dim), d)
 
@@ -118,7 +120,7 @@ class P3C(ParamsMixin):
         interval_bounds = {}
         per_dim = {}
         for j in range(d):
-            found = significant_intervals(X[:, j], n_bins=self.n_bins,
+            found = significant_intervals(X[:, j], n_bins=n_bins,
                                           alpha=self.alpha)
             per_dim[j] = [(lo, hi) for lo, hi, _ in found]
             for t, (lo, hi, members) in enumerate(found):

@@ -23,7 +23,7 @@ from ..core.base import ParamsMixin
 from ..core.subspace import SubspaceCluster, SubspaceClustering
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..utils.linalg import cdist_sq
-from ..utils.validation import check_array, check_in_range
+from ..utils.validation import check_count, check_in_range
 
 __all__ = ["SUBCLU"]
 
@@ -93,8 +93,10 @@ class SUBCLU(ParamsMixin):
         return out
 
     def fit(self, X):
-        X = check_array(X)
+        X = self._check_array(X)
         check_in_range(self.eps, "eps", low=0.0, inclusive_low=False)
+        check_count(self.min_pts, "min_pts", estimator=self)
+        check_count(self.min_cluster_size, "min_cluster_size", estimator=self)
         n, d = X.shape
         max_dim = d if self.max_dim is None else min(int(self.max_dim), d)
         all_objects = np.arange(n)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from .metric_learning import MetricLearner
-from ..core.base import AlternativeClusterer
+from ..core.base import AlternativeClusterer, ParamsMixin
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..cluster.kmeans import KMeans
 from ..exceptions import ValidationError
@@ -54,7 +54,7 @@ def invert_stretcher(D, *, floor=1e-6):
     return H @ np.diag(1.0 / s_clamped) @ A
 
 
-class AlternativeSpaceTransform:
+class AlternativeSpaceTransform(ParamsMixin):
     """Transformer form (pluggable into IterativeAlternativePipeline).
 
     ``fit(X, labels)`` learns ``D`` from the labels and stores the

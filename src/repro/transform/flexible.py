@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import AlternativeClusterer
+from ..core.base import AlternativeClusterer, ParamsMixin
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..cluster.kmeans import KMeans
 from ..exceptions import ValidationError
@@ -41,7 +41,7 @@ register(TaxonomyEntry(
 ))
 
 
-class FlexibleAlternativeTransform:
+class FlexibleAlternativeTransform(ParamsMixin):
     """Transformer computing ``M = Sigma~^{-1/2}``.
 
     Parameters

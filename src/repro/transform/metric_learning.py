@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.base import ParamsMixin
 from ..exceptions import ValidationError
 from ..utils.validation import check_array, check_labels
 
@@ -70,7 +71,7 @@ def learn_metric(X, labels, *, reg=1e-3):
     return D / top
 
 
-class MetricLearner:
+class MetricLearner(ParamsMixin):
     """Object-style wrapper around :func:`learn_metric`.
 
     Attributes

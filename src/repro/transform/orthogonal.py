@@ -16,7 +16,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import AlternativeClusterer, MultiClusteringEstimator
+from ..core.base import (
+    AlternativeClusterer,
+    MultiClusteringEstimator,
+    ParamsMixin,
+)
 from ..core.pipeline import IterativeAlternativePipeline
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..cluster.kmeans import KMeans
@@ -71,7 +75,7 @@ def explanatory_subspace(X, labels, *, variance_ratio=0.9, max_components=None):
     return orthonormal_basis(Vt[:p].T)
 
 
-class OrthogonalProjectionTransform:
+class OrthogonalProjectionTransform(ParamsMixin):
     """Transformer projecting out the explanatory subspace of a clustering.
 
     Sets ``should_stop_`` when the residual space would become (near)
@@ -190,6 +194,7 @@ class OrthogonalClustering(MultiClusteringEstimator):
     ----------
     labelings_ : list of ndarray
     stopped_reason_ : str — "transformer" = residual space exhausted.
+    n_iter_ : int — cluster/project rounds performed.
     """
 
     def __init__(self, clusterer=None, n_clusters=2, max_clusterings=5,
@@ -203,6 +208,7 @@ class OrthogonalClustering(MultiClusteringEstimator):
         self.random_state = random_state
         self.labelings_ = None
         self.stopped_reason_ = None
+        self.n_iter_ = None
         self.pipeline_ = None
 
     def fit(self, X):
@@ -220,5 +226,6 @@ class OrthogonalClustering(MultiClusteringEstimator):
         pipeline.fit(X)
         self.labelings_ = pipeline.labelings_
         self.stopped_reason_ = pipeline.stopped_reason_
+        self.n_iter_ = pipeline.n_iter_
         self.pipeline_ = pipeline
         return self

@@ -21,11 +21,23 @@ __all__ = [
     "check_is_fitted",
     "check_n_clusters",
     "check_in_range",
+    "check_count",
     "as_feature_indices",
 ]
 
 
-def check_array(X, *, min_samples=1, min_features=1, name="X"):
+def _owner_prefix(estimator):
+    """``"KMeans: "`` from an estimator instance/class/name, or ``""``."""
+    if estimator is None:
+        return ""
+    if isinstance(estimator, str):
+        return f"{estimator}: "
+    if isinstance(estimator, type):
+        return f"{estimator.__name__}: "
+    return f"{type(estimator).__name__}: "
+
+
+def check_array(X, *, min_samples=1, min_features=1, name="X", estimator=None):
     """Validate a 2-D numeric data matrix and return it as ``float64``.
 
     Parameters
@@ -38,6 +50,10 @@ def check_array(X, *, min_samples=1, min_features=1, name="X"):
         Minimum number of columns required.
     name : str
         Name used in error messages.
+    estimator : str, class, instance or None
+        When given, error messages are prefixed with the estimator name
+        so harness logs identify which of the ~20 algorithms rejected
+        the input.
 
     Returns
     -------
@@ -49,24 +65,29 @@ def check_array(X, *, min_samples=1, min_features=1, name="X"):
     ValidationError
         If the input is not 2-D, contains NaN/inf, or is too small.
     """
+    who = _owner_prefix(estimator)
     try:
         arr = np.asarray(X, dtype=np.float64)
     except (TypeError, ValueError) as exc:
-        raise ValidationError(f"{name} could not be converted to a float array: {exc}") from exc
+        raise ValidationError(
+            f"{who}{name} could not be converted to a float array: {exc}"
+        ) from exc
     if arr.ndim == 1:
         arr = arr.reshape(-1, 1)
     if arr.ndim != 2:
-        raise ValidationError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+        raise ValidationError(
+            f"{who}{name} must be 2-dimensional, got ndim={arr.ndim}"
+        )
     if arr.shape[0] < min_samples:
         raise ValidationError(
-            f"{name} needs at least {min_samples} samples, got {arr.shape[0]}"
+            f"{who}{name} needs at least {min_samples} samples, got {arr.shape[0]}"
         )
     if arr.shape[1] < min_features:
         raise ValidationError(
-            f"{name} needs at least {min_features} features, got {arr.shape[1]}"
+            f"{who}{name} needs at least {min_features} features, got {arr.shape[1]}"
         )
     if not np.isfinite(arr).all():
-        raise ValidationError(f"{name} contains NaN or infinite values")
+        raise ValidationError(f"{who}{name} contains NaN or infinite values")
     return np.ascontiguousarray(arr)
 
 
@@ -144,10 +165,17 @@ def check_n_clusters(n_clusters, n_samples, name="n_clusters"):
 
 def check_in_range(value, name, *, low=None, high=None, inclusive_low=True,
                    inclusive_high=True):
-    """Validate a scalar parameter against an interval."""
+    """Validate a scalar parameter against an interval.
+
+    Non-finite values (NaN/inf) are always rejected: NaN compares false
+    against any bound and would otherwise slip through silently, turning
+    e.g. a ``DBSCAN(eps=nan)`` fit into an all-noise non-result.
+    """
     if not isinstance(value, numbers.Real):
         raise ValidationError(f"{name} must be a real number, got {type(value)!r}")
     value = float(value)
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value}")
     if low is not None:
         if inclusive_low and value < low:
             raise ValidationError(f"{name} must be >= {low}, got {value}")
@@ -158,6 +186,26 @@ def check_in_range(value, name, *, low=None, high=None, inclusive_low=True,
             raise ValidationError(f"{name} must be <= {high}, got {value}")
         if not inclusive_high and value >= high:
             raise ValidationError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def check_count(value, name, *, low=1, high=None, estimator=None):
+    """Validate an integral count parameter (``max_iter``, ``min_pts``, …).
+
+    Returns the value as ``int``. Counts must be true integers — a float
+    ``max_iter`` (or NaN) silently breaks ``range()`` loop bounds — and
+    must lie in ``[low, high]``.
+    """
+    who = _owner_prefix(estimator)
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise ValidationError(
+            f"{who}{name} must be an integer, got {type(value).__name__}"
+        )
+    value = int(value)
+    if value < low:
+        raise ValidationError(f"{who}{name} must be >= {low}, got {value}")
+    if high is not None and value > high:
+        raise ValidationError(f"{who}{name} must be <= {high}, got {value}")
     return value
 
 

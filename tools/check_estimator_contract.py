@@ -1,0 +1,150 @@
+"""Verify the robustness contract of every public estimator.
+
+Usage:  PYTHONPATH=src python tools/check_estimator_contract.py
+
+The contract (see docs/robustness.md):
+
+1. every estimator class exported by the algorithm subpackages is
+   default-constructible, has ``fit``, and supports ``get_params`` —
+   the hook :class:`repro.robustness.RunGuard` uses for
+   retry-with-reseed;
+2. ``get_params`` round-trips through the constructor (cloning works);
+3. loop-bound parameters (``max_iter``-style) default to positive
+   integers, so every optimisation loop is bounded out of the box;
+4. a data matrix containing NaN is rejected with a library error
+   (:class:`repro.exceptions.MultiClustError`), never a raw NumPy /
+   linear-algebra exception deep inside the optimiser.
+
+Exit status is the number of violations, so the script doubles as a CI
+gate (``tests/test_robustness.py`` runs it inside the tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+import warnings
+
+import numpy as np
+
+BOUND_PARAMS = ("max_iter", "n_init", "max_sweeps", "max_clusterings",
+                "n_solutions")
+
+PACKAGES = [
+    "repro.cluster",
+    "repro.originalspace",
+    "repro.subspace",
+    "repro.transform",
+    "repro.multiview",
+]
+
+
+def iter_estimators():
+    """Yield ``(qualified_name, class)`` for every exported estimator."""
+    import importlib
+
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for name in pkg.__all__:
+            obj = getattr(pkg, name)
+            if inspect.isclass(obj) and hasattr(obj, "fit"):
+                yield f"{pkg_name}.{name}", obj
+
+
+def fit_family(cls):
+    """First ``fit`` parameter name: X, views, candidates or labelings."""
+    params = [p for p in inspect.signature(cls.fit).parameters
+              if p != "self"]
+    return params[0], params[1:]
+
+
+def nan_fit_args(cls):
+    """Arguments driving ``fit`` with a NaN-poisoned input, or ``None``
+    when the family takes no raw data matrix (candidates/labelings)."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(40, 4))
+    X[3, 2] = np.nan
+    first, rest = fit_family(cls)
+    if first == "X":
+        args = [X]
+    elif first == "views":
+        args = [[X, X.copy()]]
+    else:
+        return None
+    if rest and rest[0] in ("given", "labels"):
+        args.append(np.repeat([0, 1], 20))
+    elif rest and rest[0] == "known":
+        return None
+    elif rest:
+        # optional trailing args (e.g. StatPC's candidates) stay default
+        pass
+    return args
+
+
+def check_estimator(name, cls):
+    """Return a list of violation strings for one estimator class."""
+    from repro.exceptions import MultiClustError
+
+    problems = []
+    try:
+        inst = cls()
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+        return [f"{name}: not default-constructible ({exc!r})"]
+
+    if not callable(getattr(inst, "get_params", None)):
+        problems.append(f"{name}: missing get_params (RunGuard cannot "
+                        "clone/reseed it)")
+        return problems
+
+    params = inst.get_params()
+    try:
+        clone = cls(**params)
+        if clone.get_params().keys() != params.keys():
+            problems.append(f"{name}: get_params does not round-trip")
+    except Exception as exc:  # noqa: BLE001
+        problems.append(f"{name}: constructor rejects its own "
+                        f"get_params ({exc!r})")
+
+    for key in BOUND_PARAMS:
+        if key in params:
+            value = params[key]
+            if (isinstance(value, bool) or not isinstance(value, int)
+                    or value < 1):
+                problems.append(
+                    f"{name}: {key} default {value!r} is not a positive "
+                    "integer — the optimisation loop is unbounded"
+                )
+
+    args = nan_fit_args(cls)
+    if args is not None:
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                cls().fit(*args)
+            problems.append(f"{name}: silently accepts NaN input")
+        except MultiClustError:
+            pass
+        except Exception as exc:  # noqa: BLE001
+            problems.append(
+                f"{name}: NaN input escapes as raw "
+                f"{type(exc).__name__}: {exc}"
+            )
+    return problems
+
+
+def main(argv=None):
+    """Run the sweep; print violations; return their count."""
+    del argv  # no options yet
+    n_checked = 0
+    violations = []
+    for name, cls in iter_estimators():
+        n_checked += 1
+        violations.extend(check_estimator(name, cls))
+    for line in violations:
+        print(f"VIOLATION: {line}")
+    print(f"checked {n_checked} estimators, {len(violations)} violation(s)")
+    return len(violations)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
