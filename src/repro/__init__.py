@@ -30,11 +30,23 @@ Subpackages
 ``repro.robustness``
     Fault-tolerant run layer: budgets, retries, structured failures,
     and fault injection (see ``docs/robustness.md``).
+``repro.observability``
+    Instrumentation layer: tracing spans, metrics registry, convergence
+    telemetry, and logging (see ``docs/observability.md``).
 """
 
 __version__ = "1.0.0"
 
-from . import cluster, core, data, io, metrics, robustness, utils  # noqa: F401
+from . import (  # noqa: F401
+    cluster,
+    core,
+    data,
+    io,
+    metrics,
+    observability,
+    robustness,
+    utils,
+)
 from .core import (
     Clustering,
     MultipleClusteringObjective,
@@ -49,6 +61,7 @@ __all__ = [
     "data",
     "io",
     "metrics",
+    "observability",
     "robustness",
     "utils",
     "Clustering",

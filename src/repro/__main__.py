@@ -14,6 +14,12 @@ experiments can be retried with ``--max-retries``, and
 ``--inject-fault ID`` forces an experiment to fail so the degradation
 path itself can be exercised. The exit code is 0 only when every
 requested experiment succeeded.
+
+Observability: ``-v``/``-vv`` (or ``--log-level``) turn on progress
+logging, ``run --trace FILE`` exports the sweep's span tree as JSONL,
+``run --profile`` adds tracemalloc peaks to the spans, and
+``report FILE`` renders a previously exported trace as a span tree
+plus a slowest-stages table.
 """
 
 from __future__ import annotations
@@ -29,10 +35,26 @@ def _build_parser():
         description="multiclust experiment harness "
                     "(tables/figures of the SDM'11 / ICDE'12 tutorial)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="progress logging on stderr (-v: info, -vv: debug)",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="explicit logging level name (overrides -v), e.g. DEBUG",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("taxonomy", help="print the algorithm taxonomy table")
-    sub.add_parser("report", help="regenerate the EXPERIMENTS.md content")
+    report = sub.add_parser(
+        "report",
+        help="regenerate the EXPERIMENTS.md content, or render a trace",
+    )
+    report.add_argument(
+        "trace", nargs="?", default=None, metavar="TRACE.jsonl",
+        help="span JSONL from 'run --trace'; when given, render the span "
+             "tree and slowest-stages table instead of EXPERIMENTS.md",
+    )
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="experiment id, e.g. F9, T1, all")
     run.add_argument(
@@ -54,11 +76,21 @@ def _build_parser():
         help="force this experiment to fail (repeatable; exercises the "
              "fault-tolerance path)",
     )
+    run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the sweep's span tree as JSONL to FILE "
+             "(render it later with 'python -m repro report FILE')",
+    )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="capture tracemalloc peak memory per span (slower)",
+    )
     return parser
 
 
 def _run_command(args, all_experiments):
     from .experiments import run_experiments, summarize_outcomes
+    from .observability.tracer import Tracer
 
     if args.budget is not None and not args.budget > 0:
         print(f"--budget must be a positive number of seconds, "
@@ -85,7 +117,10 @@ def _run_command(args, all_experiments):
     def stream(outcome):
         if outcome.ok:
             print(outcome.table.render())
-            print(f"[{outcome.key} completed in {outcome.elapsed:.2f}s]\n")
+            extra = (f", peak {outcome.peak_kb:.0f} KiB"
+                     if outcome.peak_kb is not None else "")
+            print(f"[{outcome.key} completed in {outcome.elapsed:.2f}s "
+                  f"({outcome.iterations} iterations{extra})]\n")
         else:
             print(f"[{outcome.key} FAILED after {outcome.elapsed:.2f}s "
                   f"({outcome.attempts} attempt(s)): "
@@ -96,6 +131,7 @@ def _run_command(args, all_experiments):
     if unmatched:
         print(f"warning: --inject-fault {', '.join(sorted(unmatched))} "
               "matches no selected experiment", file=sys.stderr)
+    tracer = Tracer(profile_memory=args.profile)
     outcomes = run_experiments(
         {k: all_experiments[k] for k in keys},
         keep_going=args.keep_going,
@@ -103,10 +139,15 @@ def _run_command(args, all_experiments):
         max_retries=args.max_retries,
         fail_keys=fail_keys,
         callback=stream,
+        tracer=tracer,
     )
     failed = [o for o in outcomes if not o.ok]
     if len(outcomes) > 1 or failed:
         print(summarize_outcomes(outcomes).render())
+    if args.trace is not None:
+        n = tracer.write_jsonl(args.trace)
+        print(f"[wrote {n} spans to {args.trace}; render with "
+              f"'python -m repro report {args.trace}']", file=sys.stderr)
     if failed:
         print(f"\n{len(failed)}/{len(outcomes)} experiment(s) failed: "
               f"{', '.join(o.key for o in failed)}", file=sys.stderr)
@@ -114,11 +155,37 @@ def _run_command(args, all_experiments):
     return 0
 
 
+def _report_trace(path):
+    from .exceptions import ValidationError
+    from .observability.tracer import (
+        read_jsonl,
+        render_records,
+        render_stage_table,
+        slowest_stages,
+    )
+
+    try:
+        records = read_jsonl(path)
+    except (OSError, ValidationError) as exc:
+        print(f"cannot read trace {path!r}: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"trace {path!r} contains no spans", file=sys.stderr)
+        return 1
+    print(render_records(records))
+    print()
+    print(render_stage_table(slowest_stages(records)))
+    return 0
+
+
 def main(argv=None):
     from .experiments import ALL_EXPERIMENTS
     from .core.taxonomy import render_table
+    from .observability.logs import configure_logging, level_from_verbosity
 
     args = _build_parser().parse_args(argv)
+    configure_logging(args.log_level if args.log_level is not None
+                      else level_from_verbosity(args.verbose))
     if args.command == "list":
         for key, fn in ALL_EXPERIMENTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]
@@ -128,6 +195,8 @@ def main(argv=None):
         print(render_table())
         return 0
     if args.command == "report":
+        if args.trace is not None:
+            return _report_trace(args.trace)
         from .experiments.report import generate_report
 
         print(generate_report())

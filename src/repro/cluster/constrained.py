@@ -20,6 +20,8 @@ import numpy as np
 from .kmeans import kmeans_plus_plus
 from ..core.base import BaseClusterer
 from ..exceptions import ConvergenceWarning, ValidationError
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
 from ..robustness.guard import budget_tick
 from ..utils.linalg import cdist_sq
 from ..utils.validation import (
@@ -81,6 +83,10 @@ class ConstrainedKMeans(BaseClusterer):
     cluster_centers_ : ndarray (k, d)
     n_violations_ : int — constraints left violated (soft mode only).
     n_iter_ : int — assignment rounds of the winning restart.
+    convergence_trace_ : list of ConvergenceEvent
+        Per-round weighted block-assignment cost of the winning restart.
+        Non-monotone by design: the greedy constrained assignment can
+        trade distance for feasibility between rounds.
     """
 
     def __init__(self, n_clusters=2, must_link=(), cannot_link=(),
@@ -96,6 +102,7 @@ class ConstrainedKMeans(BaseClusterer):
         self.cluster_centers_ = None
         self.n_violations_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
     @staticmethod
     def _validate_pairs(pairs, n, name):
@@ -128,6 +135,7 @@ class ConstrainedKMeans(BaseClusterer):
             groups.setdefault(find(i), []).append(i)
         return list(groups.values())
 
+    @traced_fit
     def fit(self, X):
         X = self._check_array(X, min_samples=2)
         n = X.shape[0]
@@ -158,53 +166,59 @@ class ConstrainedKMeans(BaseClusterer):
         block_means = np.stack([X[b].mean(axis=0) for b in blocks])
 
         best = None
+        best_trace = None
         for _ in range(n_init):
             centers = kmeans_plus_plus(X, k, rng)
             assign = np.full(len(blocks), -1, dtype=np.int64)
             violations = 0
             n_iter = 0
             converged = False
-            for n_iter in range(1, max_iter + 1):
-                budget_tick()
-                # Assign blocks greedily, largest first (hardest to place).
-                order = np.argsort(-block_sizes)
-                new_assign = np.full(len(blocks), -1, dtype=np.int64)
-                violations = 0
-                d2 = cdist_sq(block_means, centers)
-                for b in order:
-                    ranked = np.argsort(d2[b])
-                    placed = False
-                    for c in ranked:
-                        conflict = any(
-                            new_assign[other] == c
-                            for other in block_cannot.get(int(b), ())
-                        )
-                        if not conflict:
-                            new_assign[b] = c
-                            placed = True
-                            break
-                    if not placed:
-                        if self.strict:
-                            raise ValidationError(
-                                "constraints unsatisfiable with "
-                                f"k={k} clusters"
+            with capture_convergence() as capture:
+                for n_iter in range(1, max_iter + 1):
+                    # Assign blocks greedily, largest first (hardest to
+                    # place).
+                    order = np.argsort(-block_sizes)
+                    new_assign = np.full(len(blocks), -1, dtype=np.int64)
+                    violations = 0
+                    d2 = cdist_sq(block_means, centers)
+                    for b in order:
+                        ranked = np.argsort(d2[b])
+                        placed = False
+                        for c in ranked:
+                            conflict = any(
+                                new_assign[other] == c
+                                for other in block_cannot.get(int(b), ())
                             )
-                        new_assign[b] = int(ranked[0])
-                        violations += 1
-                # Centre update from block assignments.
-                for c in range(k):
-                    sel = new_assign == c
-                    if sel.any():
-                        w = block_sizes[sel]
-                        centers[c] = (
-                            (block_means[sel] * w[:, None]).sum(axis=0)
-                            / w.sum()
-                        )
-                if np.array_equal(new_assign, assign):
+                            if not conflict:
+                                new_assign[b] = c
+                                placed = True
+                                break
+                        if not placed:
+                            if self.strict:
+                                raise ValidationError(
+                                    "constraints unsatisfiable with "
+                                    f"k={k} clusters"
+                                )
+                            new_assign[b] = int(ranked[0])
+                            violations += 1
+                    budget_tick(objective=float(
+                        (d2[np.arange(len(blocks)), new_assign]
+                         * block_sizes).sum()
+                    ))
+                    # Centre update from block assignments.
+                    for c in range(k):
+                        sel = new_assign == c
+                        if sel.any():
+                            w = block_sizes[sel]
+                            centers[c] = (
+                                (block_means[sel] * w[:, None]).sum(axis=0)
+                                / w.sum()
+                            )
+                    if np.array_equal(new_assign, assign):
+                        assign = new_assign
+                        converged = True
+                        break
                     assign = new_assign
-                    converged = True
-                    break
-                assign = new_assign
             labels = np.empty(n, dtype=np.int64)
             for b, members in enumerate(blocks):
                 labels[members] = assign[b]
@@ -214,7 +228,9 @@ class ConstrainedKMeans(BaseClusterer):
             if best is None or (violations, inertia) < (best[0], best[1]):
                 best = (violations, inertia, labels, centers.copy(), n_iter,
                         converged)
+                best_trace = capture.events
         violations, _, labels, centers, n_iter, converged = best
+        record_convergence(self, best_trace)
         if not converged:
             warnings.warn(
                 f"ConstrainedKMeans did not stabilise in max_iter={max_iter} "

@@ -13,6 +13,8 @@ import numpy as np
 
 from ..core.base import BaseClusterer
 from ..exceptions import ConvergenceWarning
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
 from ..robustness.guard import budget_tick
 from ..utils.linalg import cdist_sq
 from ..utils.validation import (
@@ -64,6 +66,8 @@ class FuzzyCMeans(BaseClusterer):
     cluster_centers_ : ndarray (k, d)
     objective_ : float — final weighted SSE.
     n_iter_ : int — iterations of the winning restart.
+    convergence_trace_ : list of ConvergenceEvent — per-iteration
+        weighted SSE of the winning restart (nonincreasing).
     """
 
     def __init__(self, n_clusters=2, m=2.0, max_iter=150, tol=1e-6,
@@ -79,7 +83,9 @@ class FuzzyCMeans(BaseClusterer):
         self.cluster_centers_ = None
         self.objective_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X):
         from .kmeans import kmeans_plus_plus
 
@@ -91,6 +97,7 @@ class FuzzyCMeans(BaseClusterer):
         n_init = check_count(self.n_init, "n_init", estimator=self)
         rng = check_random_state(self.random_state)
         best = None
+        best_trace = None
         reseeded = False
         for _ in range(n_init):
             centers = kmeans_plus_plus(X, k, rng)
@@ -98,30 +105,32 @@ class FuzzyCMeans(BaseClusterer):
             u = None
             n_iter = 0
             converged = False
-            for n_iter in range(1, max_iter + 1):
-                budget_tick()
-                u = fcm_memberships(X, centers, m=self.m)
-                um = u ** self.m
-                mass = um.sum(axis=0)
-                centers = (um.T @ X) / np.maximum(mass[:, None], 1e-12)
-                # Graceful degradation: a cluster whose total membership
-                # collapsed would get a garbage (near-zero) centroid —
-                # re-seed it at the point farthest from its best center.
-                dead = mass <= 1e-9
-                if dead.any():
-                    reseeded = True
-                    d2 = cdist_sq(X, centers)
-                    far = int(np.argmax(d2.min(axis=1)))
-                    centers[dead] = X[far]
-                obj = float(np.sum(um * cdist_sq(X, centers)))
-                if (np.isfinite(prev)
-                        and prev - obj <= self.tol * max(prev, 1e-12)):
+            with capture_convergence() as capture:
+                for n_iter in range(1, max_iter + 1):
+                    u = fcm_memberships(X, centers, m=self.m)
+                    um = u ** self.m
+                    mass = um.sum(axis=0)
+                    centers = (um.T @ X) / np.maximum(mass[:, None], 1e-12)
+                    # Graceful degradation: a cluster whose total membership
+                    # collapsed would get a garbage (near-zero) centroid —
+                    # re-seed it at the point farthest from its best center.
+                    dead = mass <= 1e-9
+                    if dead.any():
+                        reseeded = True
+                        d2 = cdist_sq(X, centers)
+                        far = int(np.argmax(d2.min(axis=1)))
+                        centers[dead] = X[far]
+                    obj = float(np.sum(um * cdist_sq(X, centers)))
+                    budget_tick(objective=obj)
+                    if (np.isfinite(prev)
+                            and prev - obj <= self.tol * max(prev, 1e-12)):
+                        prev = obj
+                        converged = True
+                        break
                     prev = obj
-                    converged = True
-                    break
-                prev = obj
             if best is None or prev < best[0]:
                 best = (prev, u, centers, n_iter, converged)
+                best_trace = capture.events
         obj, u, centers, n_iter, converged = best
         if not converged:
             warnings.warn(
@@ -139,4 +148,5 @@ class FuzzyCMeans(BaseClusterer):
         self.cluster_centers_ = centers
         self.labels_ = np.argmax(u, axis=1).astype(np.int64)
         self.n_iter_ = n_iter
+        record_convergence(self, best_trace)
         return self

@@ -14,6 +14,8 @@ import numpy as np
 
 from ..core.base import BaseClusterer
 from ..exceptions import ConvergenceWarning, ValidationError
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
 from ..robustness.guard import budget_tick
 from ..utils.linalg import cdist_sq, logsumexp
 from ..utils.validation import (
@@ -176,6 +178,9 @@ class GaussianMixtureEM(BaseClusterer):
     responsibilities_ : ndarray (n, k)
     log_likelihood_ : float
     n_iter_ : int
+    convergence_trace_ : list of ConvergenceEvent
+        Per-iteration log-likelihood of the winning restart;
+        nondecreasing by the EM guarantee.
     """
 
     def __init__(self, n_components=2, covariance_type="full", max_iter=200,
@@ -193,7 +198,9 @@ class GaussianMixtureEM(BaseClusterer):
         self.responsibilities_ = None
         self.log_likelihood_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X):
         X = self._check_array(X, min_samples=2)
         k = check_n_clusters(self.n_components, X.shape[0], name="n_components")
@@ -201,6 +208,7 @@ class GaussianMixtureEM(BaseClusterer):
         n_init = check_count(self.n_init, "n_init", estimator=self)
         rng = check_random_state(self.random_state)
         best = None
+        best_trace = None
         for _ in range(n_init):
             weights, means, covs = init_params_kmeanspp(
                 X, k, rng, self.covariance_type
@@ -209,22 +217,26 @@ class GaussianMixtureEM(BaseClusterer):
             n_iter = 0
             converged = False
             resp = None
-            for n_iter in range(1, max_iter + 1):
-                budget_tick()
-                resp, ll = e_step(X, weights, means, covs, self.covariance_type)
-                weights, means, covs = m_step(X, resp, self.covariance_type)
-                if (np.isfinite(prev_ll)
-                        and abs(ll - prev_ll)
-                        <= self.tol * max(abs(prev_ll), 1.0)):
+            with capture_convergence() as capture:
+                for n_iter in range(1, max_iter + 1):
+                    resp, ll = e_step(X, weights, means, covs,
+                                      self.covariance_type)
+                    budget_tick(objective=ll)
+                    weights, means, covs = m_step(X, resp,
+                                                  self.covariance_type)
+                    if (np.isfinite(prev_ll)
+                            and abs(ll - prev_ll)
+                            <= self.tol * max(abs(prev_ll), 1.0)):
+                        prev_ll = ll
+                        converged = True
+                        break
                     prev_ll = ll
-                    converged = True
-                    break
-                prev_ll = ll
             if resp is None:
                 resp, prev_ll = e_step(X, weights, means, covs,
                                        self.covariance_type)
             if best is None or prev_ll > best[0]:
                 best = (prev_ll, weights, means, covs, resp, n_iter, converged)
+                best_trace = capture.events
         ll, weights, means, covs, resp, n_iter, converged = best
         if not converged:
             warnings.warn(
@@ -237,6 +249,7 @@ class GaussianMixtureEM(BaseClusterer):
         self.responsibilities_ = resp
         self.labels_ = np.argmax(resp, axis=1).astype(np.int64)
         self.n_iter_ = n_iter
+        record_convergence(self, best_trace)
         return self
 
     def predict(self, X):

@@ -19,6 +19,8 @@ import numpy as np
 
 from ..core.base import BaseClusterer
 from ..exceptions import ConvergenceWarning, ValidationError
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
 from ..robustness.guard import budget_tick
 from ..utils.linalg import rbf_kernel
 from ..utils.validation import (
@@ -47,6 +49,9 @@ class KernelKMeans(BaseClusterer):
     labels_ : ndarray
     quality_ : float — final ``Q(C) / n``.
     n_iter_ : int — local-search sweeps of the winning restart.
+    convergence_trace_ : list of ConvergenceEvent — per-sweep
+        ``Q(C) / n`` of the winning restart (nondecreasing: the local
+        search only applies improving moves).
     """
 
     def __init__(self, n_clusters=2, gamma=None, kernel=None, max_sweeps=30,
@@ -60,7 +65,9 @@ class KernelKMeans(BaseClusterer):
         self.labels_ = None
         self.quality_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X):
         from ..originalspace.mincentropy import _State
 
@@ -85,35 +92,39 @@ class KernelKMeans(BaseClusterer):
         else:
             K = rbf_kernel(X, gamma=self.gamma)
         best = None
+        best_trace = None
         for _ in range(n_init):
             labels = rng.integers(k, size=n).astype(np.int64)
             state = _State(K, labels, k, [], [])
             n_sweeps = 0
             converged = False
-            for n_sweeps in range(1, max_sweeps + 1):
-                budget_tick()
-                improved = False
-                for i in rng.permutation(n):
-                    a = state.labels[i]
-                    if state.sizes[a] <= 1:
-                        continue
-                    best_b, best_gain = a, 0.0
-                    for b in range(k):
-                        if b == a:
+            with capture_convergence() as capture:
+                for n_sweeps in range(1, max_sweeps + 1):
+                    improved = False
+                    for i in rng.permutation(n):
+                        a = state.labels[i]
+                        if state.sizes[a] <= 1:
                             continue
-                        gain = state.move_delta_quality(i, a, b)
-                        if gain > best_gain + 1e-12:
-                            best_gain, best_b = gain, b
-                    if best_b != a:
-                        state.apply_move(i, a, best_b)
-                        improved = True
-                if not improved:
-                    converged = True
-                    break
+                        best_b, best_gain = a, 0.0
+                        for b in range(k):
+                            if b == a:
+                                continue
+                            gain = state.move_delta_quality(i, a, b)
+                            if gain > best_gain + 1e-12:
+                                best_gain, best_b = gain, b
+                        if best_b != a:
+                            state.apply_move(i, a, best_b)
+                            improved = True
+                    budget_tick(objective=state.quality() / n)
+                    if not improved:
+                        converged = True
+                        break
             q = state.quality() / n
             if best is None or q > best[0]:
                 best = (q, state.labels.copy(), n_sweeps, converged)
+                best_trace = capture.events
         self.quality_, labels, self.n_iter_, converged = best
+        record_convergence(self, best_trace)
         if not converged:
             warnings.warn(
                 f"KernelKMeans local search still improving after "

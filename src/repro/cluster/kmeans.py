@@ -13,6 +13,8 @@ import numpy as np
 
 from ..core.base import BaseClusterer
 from ..exceptions import ConvergenceWarning, ValidationError
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
 from ..robustness.guard import budget_tick
 from ..utils.linalg import cdist_sq
 from ..utils.validation import (
@@ -71,6 +73,9 @@ class KMeans(BaseClusterer):
         Final sum of squared distances to the assigned centers.
     n_iter_ : int
         Iterations of the winning restart.
+    convergence_trace_ : list of ConvergenceEvent
+        Per-iteration ``(iteration, inertia, delta)`` of the winning
+        restart; nonincreasing by Lloyd's guarantee.
     """
 
     def __init__(self, n_clusters=8, n_init=10, max_iter=300, tol=1e-6,
@@ -85,6 +90,7 @@ class KMeans(BaseClusterer):
         self.cluster_centers_ = None
         self.inertia_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
     def _initial_centers(self, X, rng):
         if isinstance(self.init, np.ndarray):
@@ -109,10 +115,10 @@ class KMeans(BaseClusterer):
         n_iter = 0
         converged = False
         for n_iter in range(1, max_iter + 1):
-            budget_tick()
             d2 = cdist_sq(X, centers)
             labels = np.argmin(d2, axis=1)
             inertia = float(d2[np.arange(X.shape[0]), labels].sum())
+            budget_tick(objective=inertia)
             for c in range(centers.shape[0]):
                 members = labels == c
                 if members.any():
@@ -136,6 +142,7 @@ class KMeans(BaseClusterer):
         inertia = float(d2[np.arange(X.shape[0]), labels].sum())
         return labels, centers, inertia, n_iter, converged
 
+    @traced_fit
     def fit(self, X):
         X = self._check_array(X)
         k = check_n_clusters(self.n_clusters, X.shape[0])
@@ -145,15 +152,19 @@ class KMeans(BaseClusterer):
         n_init = 1 if explicit_init else check_count(
             self.n_init, "n_init", estimator=self)
         best = None
+        best_trace = None
         for _ in range(n_init):
             centers = self._initial_centers(X, rng)
-            labels, centers, inertia, n_iter, converged = self._lloyd(
-                X, centers, max_iter, self.tol
-            )
+            with capture_convergence() as capture:
+                labels, centers, inertia, n_iter, converged = self._lloyd(
+                    X, centers, max_iter, self.tol
+                )
             if best is None or inertia < best[2]:
                 best = (labels, centers, inertia, n_iter, converged)
+                best_trace = capture.events
         (self.labels_, self.cluster_centers_, self.inertia_, self.n_iter_,
          converged) = best
+        record_convergence(self, best_trace)
         if not converged:
             warnings.warn(
                 f"KMeans did not converge in max_iter={max_iter} "

@@ -12,6 +12,8 @@ import numpy as np
 
 from ..core.base import BaseClusterer
 from ..exceptions import ConvergenceWarning
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
 from ..robustness.guard import budget_tick
 from ..utils.linalg import pairwise_distances
 from ..utils.validation import (
@@ -41,6 +43,9 @@ class KMedoids(BaseClusterer):
         Sum of distances of points to their medoid.
     n_iter_ : int
         Alternating assignment/update rounds performed.
+    convergence_trace_ : list of ConvergenceEvent
+        Per-round total point-to-medoid distance. Usually nonincreasing,
+        but empty-cluster re-seeding can bump the objective up.
     """
 
     def __init__(self, n_clusters=8, max_iter=100, random_state=None):
@@ -51,7 +56,9 @@ class KMedoids(BaseClusterer):
         self.medoid_indices_ = None
         self.inertia_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X):
         X = self._check_array(X)
         n = X.shape[0]
@@ -63,30 +70,33 @@ class KMedoids(BaseClusterer):
         labels = np.argmin(d[:, medoids], axis=1)
         n_iter = 0
         converged = False
-        for n_iter in range(1, max_iter + 1):
-            budget_tick()
-            changed = False
-            for c in range(k):
-                members = np.flatnonzero(labels == c)
-                if members.size == 0:
-                    # Re-seed an empty cluster at the point farthest from
-                    # its current medoid (graceful degradation instead of
-                    # carrying a stale, unreachable medoid forever).
-                    far = int(np.argmax(d[np.arange(n), medoids[labels]]))
-                    if far not in medoids:
-                        medoids[c] = far
+        with capture_convergence() as capture:
+            for n_iter in range(1, max_iter + 1):
+                changed = False
+                for c in range(k):
+                    members = np.flatnonzero(labels == c)
+                    if members.size == 0:
+                        # Re-seed an empty cluster at the point farthest from
+                        # its current medoid (graceful degradation instead of
+                        # carrying a stale, unreachable medoid forever).
+                        far = int(np.argmax(d[np.arange(n), medoids[labels]]))
+                        if far not in medoids:
+                            medoids[c] = far
+                            changed = True
+                        continue
+                    sub = d[np.ix_(members, members)]
+                    best_local = members[int(np.argmin(sub.sum(axis=1)))]
+                    if best_local != medoids[c]:
+                        medoids[c] = best_local
                         changed = True
-                    continue
-                sub = d[np.ix_(members, members)]
-                best_local = members[int(np.argmin(sub.sum(axis=1)))]
-                if best_local != medoids[c]:
-                    medoids[c] = best_local
-                    changed = True
-            new_labels = np.argmin(d[:, medoids], axis=1)
-            if not changed and np.array_equal(new_labels, labels):
-                converged = True
-                break
-            labels = new_labels
+                new_labels = np.argmin(d[:, medoids], axis=1)
+                budget_tick(
+                    objective=float(d[np.arange(n), medoids[new_labels]].sum())
+                )
+                if not changed and np.array_equal(new_labels, labels):
+                    converged = True
+                    break
+                labels = new_labels
         if not converged:
             warnings.warn(
                 f"KMedoids did not stabilise in max_iter={max_iter} rounds",
@@ -96,4 +106,5 @@ class KMedoids(BaseClusterer):
         self.labels_ = labels.astype(np.int64)
         self.inertia_ = float(d[np.arange(n), medoids[labels]].sum())
         self.n_iter_ = n_iter
+        record_convergence(self, capture.events)
         return self

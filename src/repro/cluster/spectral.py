@@ -13,6 +13,8 @@ import numpy as np
 
 from ..core.base import BaseClusterer
 from ..exceptions import ConvergenceWarning, ValidationError
+from ..observability.telemetry import record_convergence
+from ..observability.tracer import trace_span, traced_fit
 from ..utils.linalg import rbf_kernel
 from ..utils.validation import check_array, check_n_clusters, check_random_state
 
@@ -75,6 +77,9 @@ class SpectralClustering(BaseClusterer):
     labels_ : ndarray of shape (n_samples,)
     embedding_ : ndarray of shape (n_samples, n_clusters)
     affinity_matrix_ : ndarray
+    n_iter_ : int — Lloyd iterations of the embedded k-means step.
+    convergence_trace_ : list of ConvergenceEvent
+        Inertia trace of the embedded k-means step (nonincreasing).
     """
 
     def __init__(self, n_clusters=2, gamma=None, random_state=None):
@@ -84,19 +89,26 @@ class SpectralClustering(BaseClusterer):
         self.labels_ = None
         self.embedding_ = None
         self.affinity_matrix_ = None
+        self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X):
         from .kmeans import KMeans
 
         X = self._check_array(X, min_samples=2)
         k = check_n_clusters(self.n_clusters, X.shape[0])
         rng = check_random_state(self.random_state)
-        W = rbf_kernel(X, gamma=self.gamma)
-        np.fill_diagonal(W, 0.0)
-        emb = spectral_embedding(W, k)
+        with trace_span("affinity"):
+            W = rbf_kernel(X, gamma=self.gamma)
+            np.fill_diagonal(W, 0.0)
+        with trace_span("embedding"):
+            emb = spectral_embedding(W, k)
         km = KMeans(n_clusters=k, n_init=10,
                     random_state=rng.integers(2**31 - 1))
         self.labels_ = km.fit(emb).labels_
         self.embedding_ = emb
         self.affinity_matrix_ = W
+        self.n_iter_ = km.n_iter_
+        record_convergence(self, km.convergence_trace_)
         return self

@@ -20,6 +20,12 @@ import numpy as np
 from .base import MultiClusteringEstimator
 from ..exceptions import ConvergenceWarning, ValidationError
 from ..metrics.partition import adjusted_rand_index
+from ..observability.telemetry import (
+    capture_convergence,
+    emit_objective,
+    record_convergence,
+)
+from ..observability.tracer import traced_fit
 from ..robustness.guard import budget_tick
 from ..utils.validation import check_array
 
@@ -60,6 +66,11 @@ class IterativeAlternativePipeline(MultiClusteringEstimator):
         :class:`ConvergenceWarning`.
     n_iter_ : int
         Rounds performed (= number of produced clusterings).
+    convergence_trace_ : list of ConvergenceEvent
+        One event per accepted round; the objective is the round's
+        maximum ARI against all previous clusterings (0.0 for the first
+        round). Non-monotone: redundancy against a growing set of
+        solutions has no monotonicity guarantee.
     """
 
     def __init__(self, clusterer, transformer, n_solutions=2,
@@ -74,6 +85,7 @@ class IterativeAlternativePipeline(MultiClusteringEstimator):
         self.transforms_ = None
         self.stopped_reason_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
     def _clone_clusterer(self):
         return type(self.clusterer)(**self.clusterer.get_params())
@@ -81,32 +93,36 @@ class IterativeAlternativePipeline(MultiClusteringEstimator):
     def _clone_transformer(self):
         return copy.deepcopy(self.transformer)
 
+    @traced_fit
     def fit(self, X):
         X = check_array(X, min_samples=2)
         data = X
         labelings = []
         transforms = []
         reason = "n_solutions"
-        for _ in range(self.n_solutions):
-            budget_tick()
-            labels = self._clone_clusterer().fit(data).labels_
-            labels = np.asarray(labels)
-            if labelings and self.min_dissimilarity > 0:
-                sims = [adjusted_rand_index(labels, prev) for prev in labelings]
-                if max(sims) > 1.0 - self.min_dissimilarity:
+        with capture_convergence() as capture:
+            for _ in range(self.n_solutions):
+                budget_tick()
+                labels = self._clone_clusterer().fit(data).labels_
+                labels = np.asarray(labels)
+                sims = [adjusted_rand_index(labels, prev)
+                        for prev in labelings]
+                if (labelings and self.min_dissimilarity > 0
+                        and max(sims) > 1.0 - self.min_dissimilarity):
                     reason = "redundant"
                     break
-            labelings.append(labels)
-            if len(labelings) == self.n_solutions:
-                break
-            transformer = self._clone_transformer()
-            transformer.fit(data, labels)
-            if getattr(transformer, "should_stop_", False):
+                labelings.append(labels)
+                emit_objective(max(sims) if sims else 0.0)
+                if len(labelings) == self.n_solutions:
+                    break
+                transformer = self._clone_transformer()
+                transformer.fit(data, labels)
+                if getattr(transformer, "should_stop_", False):
+                    transforms.append(transformer)
+                    reason = "transformer"
+                    break
                 transforms.append(transformer)
-                reason = "transformer"
-                break
-            transforms.append(transformer)
-            data = transformer.transform(data)
+                data = transformer.transform(data)
         if reason == "redundant":
             warnings.warn(
                 "iterative alternative chain stopped early: round "
@@ -119,4 +135,5 @@ class IterativeAlternativePipeline(MultiClusteringEstimator):
         self.transforms_ = [None] + transforms
         self.stopped_reason_ = reason
         self.n_iter_ = len(labelings)
+        record_convergence(self, capture.events)
         return self

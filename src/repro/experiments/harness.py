@@ -13,15 +13,20 @@ with a ``status`` instead of aborting the sweep, and
 
 from __future__ import annotations
 
+import contextlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..exceptions import FaultInjectedError, ValidationError
+from ..observability.logs import get_logger
+from ..observability.tracer import Tracer, current_tracer
 from ..robustness.guard import RunFailure, RunGuard
 
 __all__ = ["ExperimentOutcome", "ResultTable", "run_experiments",
            "summarize_outcomes", "timed"]
+
+logger = get_logger("experiments")
 
 
 class ResultTable:
@@ -92,6 +97,12 @@ class ExperimentOutcome:
 
     ``status`` is "ok" (``table`` holds the ResultTable) or "failed"
     (``failure`` holds the structured :class:`RunFailure`).
+
+    ``iterations`` counts the cooperative optimiser ticks spent inside
+    the experiment (every ``budget_tick`` across all nested fits);
+    ``timings`` maps each direct child span (estimator fits, traced
+    substeps) to cumulative seconds; ``peak_kb`` is the tracemalloc
+    peak when the sweep ran with ``profile=True``.
     """
 
     key: str
@@ -100,6 +111,9 @@ class ExperimentOutcome:
     failure: Optional[RunFailure] = None
     elapsed: float = 0.0
     attempts: int = 1
+    iterations: int = 0
+    timings: Optional[dict] = field(default=None, repr=False)
+    peak_kb: Optional[float] = None
 
     @property
     def ok(self):
@@ -107,7 +121,8 @@ class ExperimentOutcome:
 
 
 def run_experiments(experiments, *, keep_going=True, max_seconds=None,
-                    max_retries=0, fail_keys=(), callback=None):
+                    max_retries=0, fail_keys=(), callback=None,
+                    tracer=None, profile=False):
     """Run a mapping of ``{key: experiment_fn}`` fault-tolerantly.
 
     Parameters
@@ -130,42 +145,74 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
     callback : callable or None
         Invoked with each :class:`ExperimentOutcome` as it completes
         (the CLI uses this for streaming output).
+    tracer : Tracer or None
+        Tracer collecting one span tree per experiment. A sweep-local
+        :class:`~repro.observability.Tracer` is created when None, so
+        outcomes always carry iteration counts and per-stage timings;
+        pass your own to keep the spans (e.g. for ``--trace FILE``).
+    profile : bool
+        When creating the internal tracer, capture tracemalloc peaks
+        (ignored when ``tracer`` is given — configure it directly).
 
     Returns
     -------
     list of ExperimentOutcome
     """
     fail_keys = frozenset(fail_keys)
+    if tracer is None:
+        tracer = Tracer(profile_memory=profile)
     outcomes = []
-    for key, fn in experiments.items():
-        guard = RunGuard(max_seconds=max_seconds, max_retries=max_retries,
-                         label=key)
-        if key in fail_keys:
-            def fn(key=key):
-                raise FaultInjectedError(
-                    f"fault injected into experiment {key} (--inject-fault)"
-                )
-        result = guard.run(fn)
-        outcome = ExperimentOutcome(
-            key=key,
-            status=result.status,
-            table=result.value,
-            failure=result.failure,
-            elapsed=result.elapsed,
-            attempts=result.attempts,
-        )
-        outcomes.append(outcome)
-        if callback is not None:
-            callback(outcome)
-        if not outcome.ok and not keep_going:
-            break
+    with contextlib.ExitStack() as stack:
+        if current_tracer() is not tracer:
+            stack.enter_context(tracer)
+        for key, fn in experiments.items():
+            guard = RunGuard(max_seconds=max_seconds,
+                             max_retries=max_retries, label=key,
+                             tracer=tracer)
+            if key in fail_keys:
+                def fn(key=key):
+                    raise FaultInjectedError(
+                        f"fault injected into experiment {key} "
+                        "(--inject-fault)"
+                    )
+            result = guard.run(fn)
+            telemetry = result.telemetry or {}
+            outcome = ExperimentOutcome(
+                key=key,
+                status=result.status,
+                table=result.value,
+                failure=result.failure,
+                elapsed=result.elapsed,
+                attempts=result.attempts,
+                iterations=telemetry.get("ticks", 0),
+                timings=result.timings,
+                peak_kb=telemetry.get("peak_kb"),
+            )
+            outcomes.append(outcome)
+            logger.info(
+                "experiment %s: %s in %.3fs (%d iterations, %d attempts)",
+                key, outcome.status, outcome.elapsed, outcome.iterations,
+                outcome.attempts,
+            )
+            if callback is not None:
+                callback(outcome)
+            if not outcome.ok and not keep_going:
+                logger.warning("stopping sweep after failure in %s", key)
+                break
     return outcomes
 
 
 def summarize_outcomes(outcomes):
-    """Status-per-experiment summary as a :class:`ResultTable`."""
+    """Status-per-experiment summary as a :class:`ResultTable`.
+
+    Includes elapsed wall-clock, attempts, and cooperative iteration
+    counts alongside the status so slow or retry-heavy experiments are
+    visible at a glance.
+    """
     table = ResultTable(
-        "run summary", ["experiment", "status", "seconds", "error"]
+        "run summary",
+        ["experiment", "status", "seconds", "attempts", "iterations",
+         "error"],
     )
     for outcome in outcomes:
         error = ""
@@ -174,5 +221,6 @@ def summarize_outcomes(outcomes):
             if len(error) > 60:
                 error = error[:57] + "..."
         table.add(experiment=outcome.key, status=outcome.status,
-                  seconds=outcome.elapsed, error=error)
+                  seconds=outcome.elapsed, attempts=outcome.attempts,
+                  iterations=outcome.iterations, error=error)
     return table

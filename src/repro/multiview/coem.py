@@ -18,6 +18,9 @@ from ..cluster.gmm import e_step, init_params_kmeanspp, m_step
 from ..core.base import ParamsMixin
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..exceptions import ValidationError
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
+from ..robustness.guard import budget_tick
 from ..utils.validation import (
     check_array,
     check_n_clusters,
@@ -64,6 +67,10 @@ class CoEM(ParamsMixin):
     log_likelihoods_ : [float, float] — per-view final log-likelihoods.
     agreement_ : float — fraction of objects on which the views agree.
     n_iter_ : int
+    convergence_trace_ : list of ConvergenceEvent
+        Per-iteration combined log-likelihood of the winning restart.
+        Non-monotone by design: co-EM has no single objective both
+        views' interleaved steps ascend, and may oscillate (slide 104).
     """
 
     def __init__(self, n_clusters=2, covariance_type="spherical",
@@ -81,6 +88,7 @@ class CoEM(ParamsMixin):
         self.log_likelihoods_ = None
         self.agreement_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
     def _validate_views(self, views):
         if len(views) != 2:
@@ -111,6 +119,7 @@ class CoEM(ParamsMixin):
             maps = [np.argmax(r, axis=1) for r in resps]
             agreement = float(np.mean(maps[0] == maps[1]))
             total = lls[0] + lls[1]
+            budget_tick(objective=total)
             if (agreement >= 1.0 - self.agreement_tol
                     and total <= prev_total + 1e-8):
                 break
@@ -126,16 +135,21 @@ class CoEM(ParamsMixin):
             "n_iter": n_iter,
         }
 
+    @traced_fit
     def fit(self, views):
         """Fit on a pair ``(X1, X2)`` of view matrices."""
         X1, X2 = self._validate_views(views)
         k = check_n_clusters(self.n_clusters, X1.shape[0])
         rng = check_random_state(self.random_state)
         best = None
+        best_trace = None
         for _ in range(max(1, int(self.n_init))):
-            result = self._run(X1, X2, k, rng)
+            with capture_convergence() as capture:
+                result = self._run(X1, X2, k, rng)
             if best is None or result["total"] > best["total"]:
                 best = result
+                best_trace = capture.events
+        record_convergence(self, best_trace)
         self.labels_ = best["labels"]
         self.view_labels_ = best["view_labels"]
         self.responsibilities_ = best["resp"]

@@ -27,6 +27,9 @@ from ..core.base import MultiClusteringEstimator
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..exceptions import ValidationError
 from ..metrics.hsic import normalized_hsic
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
+from ..robustness.guard import budget_tick
 from ..utils.linalg import rbf_kernel
 from ..utils.validation import (
     check_array,
@@ -74,6 +77,11 @@ class MultipleSpectralViews(MultiClusteringEstimator):
     projections_ : list of ndarray (d, q) — the learned ``W_v``.
     pairwise_hsic_ : ndarray (T, T) — normalised HSIC between final
         projected views (small off-diagonals = non-redundant views).
+    n_iter_ : int — alternating rounds performed.
+    convergence_trace_ : list of ConvergenceEvent
+        Per-round sum over views of the penalised projection objective
+        (top-``q`` eigenvalue mass). Non-monotone by design: each view's
+        penalty target moves as the other views update.
     """
 
     def __init__(self, n_clusters=2, n_views=2, n_components=None, lam=1.0,
@@ -88,7 +96,10 @@ class MultipleSpectralViews(MultiClusteringEstimator):
         self.labelings_ = None
         self.projections_ = None
         self.pairwise_hsic_ = None
+        self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X):
         X = check_array(X, min_samples=3)
         n, d = X.shape
@@ -110,30 +121,37 @@ class MultipleSpectralViews(MultiClusteringEstimator):
             Ws.append(Q[:, :q])
 
         embeddings = [None] * T
-        for _round in range(int(self.max_iter)):
-            for v in range(T):
-                Z = Xc @ Ws[v]
-                W_aff = rbf_kernel(Z, gamma=self.gamma)
-                np.fill_diagonal(W_aff, 0.0)
-                U = spectral_embedding(W_aff, k)
-                embeddings[v] = U
-                # Structure term: project onto directions aligned with the
-                # spectral embedding's cluster geometry.
-                S = Xc.T @ (U @ U.T) @ Xc
-                # HSIC penalty (linear kernel): push away from the other
-                # views' occupied directions.
-                if self.lam > 0:
-                    P = np.zeros((d, d))
-                    for u in range(T):
-                        if u == v:
-                            continue
-                        B = Xc @ Ws[u]
-                        G = Xc.T @ B
-                        P += G @ G.T
-                    scale = np.linalg.norm(S) / max(np.linalg.norm(P), 1e-12)
-                    S = S - self.lam * scale * P
-                vals, vecs = np.linalg.eigh(S)
-                Ws[v] = vecs[:, np.argsort(vals)[::-1][:q]]
+        n_rounds = 0
+        with capture_convergence() as capture:
+            for n_rounds in range(1, int(self.max_iter) + 1):
+                round_obj = 0.0
+                for v in range(T):
+                    Z = Xc @ Ws[v]
+                    W_aff = rbf_kernel(Z, gamma=self.gamma)
+                    np.fill_diagonal(W_aff, 0.0)
+                    U = spectral_embedding(W_aff, k)
+                    embeddings[v] = U
+                    # Structure term: project onto directions aligned with
+                    # the spectral embedding's cluster geometry.
+                    S = Xc.T @ (U @ U.T) @ Xc
+                    # HSIC penalty (linear kernel): push away from the other
+                    # views' occupied directions.
+                    if self.lam > 0:
+                        P = np.zeros((d, d))
+                        for u in range(T):
+                            if u == v:
+                                continue
+                            B = Xc @ Ws[u]
+                            G = Xc.T @ B
+                            P += G @ G.T
+                        scale = (np.linalg.norm(S)
+                                 / max(np.linalg.norm(P), 1e-12))
+                        S = S - self.lam * scale * P
+                    vals, vecs = np.linalg.eigh(S)
+                    top = np.argsort(vals)[::-1][:q]
+                    Ws[v] = vecs[:, top]
+                    round_obj += float(vals[top].sum())
+                budget_tick(objective=round_obj)
 
         labelings = []
         for v in range(T):
@@ -148,4 +166,6 @@ class MultipleSpectralViews(MultiClusteringEstimator):
         self.labelings_ = labelings
         self.projections_ = Ws
         self.pairwise_hsic_ = hsic_mat
+        self.n_iter_ = n_rounds
+        record_convergence(self, capture.events)
         return self

@@ -1,0 +1,247 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+The library keeps one default :class:`MetricsRegistry` per process
+(prometheus-client style). Estimators and the harness update it through
+the :func:`record` helper or by grabbing a named instrument::
+
+    from repro.observability import record, default_registry
+
+    record("fits_total")                       # counter += 1
+    record("queue_depth", 17, kind="gauge")    # gauge = 17
+    record("fit_seconds", 0.83, kind="histogram")
+
+    print(default_registry().render())
+
+Instruments are created on first use and a name is bound to one kind
+for the life of the registry — re-using ``fits_total`` as a gauge is a
+:class:`~repro.exceptions.ValidationError`, catching mix-ups early.
+Updates are O(1) dict operations; the registry is safe to leave enabled
+in production paths.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "default_registry",
+    "reset_default_registry",
+    "record",
+]
+
+# Geared to iteration counts and (milli)second timings alike.
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                   1000.0)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, n=1.0):
+        n = float(n)
+        if n < 0:
+            raise ValidationError(f"counters only go up, got inc({n})")
+        self.value += n
+
+    def snapshot(self):
+        return {"value": self.value}
+
+    def __repr__(self):
+        return f"Counter(value={self.value:g})"
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = float(value)
+
+    def inc(self, n=1.0):
+        self.value += float(n)
+
+    def snapshot(self):
+        return {"value": self.value}
+
+    def __repr__(self):
+        return f"Gauge(value={self.value:g})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with running count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; one implicit ``+inf`` bucket
+    catches the tail. ``counts[i]`` is the number of observations with
+    ``value <= buckets[i]`` (cumulative, prometheus-style, so bucket
+    boundaries can be compared across instruments).
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(not math.isfinite(b) for b in bounds):
+            raise ValidationError("histogram buckets must be finite and "
+                                  "non-empty")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValidationError("histogram buckets must be strictly "
+                                  f"increasing, got {bounds}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+        self.counts[-1] += 1  # +inf bucket counts everything
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                **{f"le_{b:g}": c
+                   for b, c in zip(self.buckets, self.counts)},
+                "le_inf": self.counts[-1],
+            },
+        }
+
+    def __repr__(self):
+        return (f"Histogram(count={self.count}, mean={self.mean:.3g}, "
+                f"min={self.min}, max={self.max})")
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, one kind per name."""
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, name, kind, **kwargs):
+        if not isinstance(name, str) or not name:
+            raise ValidationError(f"metric name must be a non-empty string, "
+                                  f"got {name!r}")
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, _KINDS[kind]):
+                raise ValidationError(
+                    f"metric {name!r} is a "
+                    f"{type(existing).__name__.lower()}, not a {kind}"
+                )
+            return existing
+        instrument = _KINDS[kind](**kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name):
+        return self._get(name, "counter")
+
+    def gauge(self, name):
+        return self._get(name, "gauge")
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS):
+        return self._get(name, "histogram", buckets=buckets)
+
+    def record(self, name, value=1.0, kind="counter"):
+        """One-line update: inc a counter / set a gauge / observe."""
+        if kind == "counter":
+            self.counter(name).inc(value)
+        elif kind == "gauge":
+            self.gauge(name).set(value)
+        elif kind == "histogram":
+            self.histogram(name).observe(value)
+        else:
+            raise ValidationError(
+                f"unknown metric kind {kind!r}; choose from "
+                f"{sorted(_KINDS)}"
+            )
+
+    def snapshot(self):
+        """All instruments as a nested, JSON-serialisable dict."""
+        return {
+            name: {"kind": type(inst).__name__.lower(), **inst.snapshot()}
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def to_json(self, **kwargs):
+        return json.dumps(self.snapshot(), **kwargs)
+
+    def render(self):
+        """Human-readable one-line-per-instrument dump."""
+        lines = []
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Histogram):
+                lines.append(
+                    f"{name}: histogram count={inst.count} "
+                    f"mean={inst.mean:.4g} min={inst.min} max={inst.max}"
+                )
+            else:
+                kind = type(inst).__name__.lower()
+                lines.append(f"{name}: {kind} {inst.value:g}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self):
+        self._instruments.clear()
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def __contains__(self, name):
+        return name in self._instruments
+
+    def __repr__(self):
+        return f"MetricsRegistry({len(self._instruments)} instruments)"
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry():
+    """The process-local registry estimators record into."""
+    return _DEFAULT_REGISTRY
+
+
+def reset_default_registry():
+    """Clear the default registry (tests / between sweeps)."""
+    _DEFAULT_REGISTRY.reset()
+
+
+def record(name, value=1.0, kind="counter"):
+    """Update the default registry (see :meth:`MetricsRegistry.record`)."""
+    _DEFAULT_REGISTRY.record(name, value, kind=kind)

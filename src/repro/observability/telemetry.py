@@ -1,0 +1,166 @@
+"""Per-iteration convergence telemetry for iterative optimisers.
+
+Every iterative optimiser in the library reports its objective once per
+outer iteration through the :func:`repro.robustness.budget_tick` seam
+(``budget_tick(objective=obj)``) or directly via :func:`emit_objective`.
+When a :func:`capture_convergence` scope is active — each estimator
+opens one around every restart of its optimisation loop — the values
+become :class:`ConvergenceEvent` records ``(iteration, objective,
+delta)``, and the winning restart's trace is stored on the fitted
+estimator as ``convergence_trace_``::
+
+    est = KMeans(n_clusters=3).fit(X)
+    for ev in est.convergence_trace_:
+        print(ev.iteration, ev.objective, ev.delta)
+
+``delta`` is ``objective - previous_objective`` (``nan`` on the first
+iteration), so a monotone optimiser shows a single sign throughout.
+Estimators whose objective is legitimately non-monotone (co-EM may
+oscillate, CAMI's repulsion step overshoots, ...) document that in their
+class docstring; :func:`summarize_trace` classifies the shape either
+way.
+
+The capture scope is a ``ContextVar``, so a sub-estimator fitted inside
+another optimiser (k-means inside spectral clustering, a clusterer
+inside the transformation pipeline) records into its *own* scope without
+polluting the caller's trace.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import math
+from typing import NamedTuple
+
+from .registry import default_registry
+
+__all__ = [
+    "ConvergenceEvent",
+    "ConvergenceCapture",
+    "capture_convergence",
+    "emit_objective",
+    "record_convergence",
+    "summarize_trace",
+]
+
+_ACTIVE_CAPTURE: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_convergence_capture", default=None
+)
+
+
+class ConvergenceEvent(NamedTuple):
+    """One outer-iteration observation of an optimiser's objective."""
+
+    iteration: int
+    objective: float
+    delta: float
+
+    def to_dict(self):
+        return {"iteration": self.iteration, "objective": self.objective,
+                "delta": self.delta}
+
+
+class ConvergenceCapture:
+    """Accumulates :class:`ConvergenceEvent` records for one optimiser run."""
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, objective):
+        objective = float(objective)
+        if self.events:
+            delta = objective - self.events[-1].objective
+        else:
+            delta = math.nan
+        self.events.append(
+            ConvergenceEvent(len(self.events) + 1, objective, delta)
+        )
+
+    def __len__(self):
+        return len(self.events)
+
+    def __repr__(self):
+        return f"ConvergenceCapture({len(self.events)} events)"
+
+
+@contextlib.contextmanager
+def capture_convergence():
+    """Scope collecting objective emissions from the code inside it.
+
+    Nested scopes shadow outer ones, isolating sub-estimator fits.
+    Yields the :class:`ConvergenceCapture`; read ``.events`` after the
+    block.
+    """
+    capture = ConvergenceCapture()
+    token = _ACTIVE_CAPTURE.set(capture)
+    try:
+        yield capture
+    finally:
+        _ACTIVE_CAPTURE.reset(token)
+
+
+def emit_objective(objective):
+    """Report one outer-iteration objective value.
+
+    No-op (one ``ContextVar`` read) when no capture scope is active.
+    :func:`repro.robustness.budget_tick` forwards its ``objective``
+    keyword here, so optimisers instrumented for budgets get telemetry
+    from the same call site.
+    """
+    capture = _ACTIVE_CAPTURE.get()
+    if capture is not None:
+        capture.emit(objective)
+
+
+def record_convergence(estimator, events):
+    """Attach ``events`` to ``estimator.convergence_trace_`` and count it.
+
+    Called once at the end of every instrumented ``fit`` with the
+    winning restart's events. Also updates the default metrics registry:
+    ``fits_total`` / ``fits_total.<Class>`` counters and the
+    ``fit_iterations`` histogram.
+    """
+    events = list(events)
+    estimator.convergence_trace_ = events
+    name = type(estimator).__name__
+    registry = default_registry()
+    registry.counter("fits_total").inc()
+    registry.counter(f"fits_total.{name}").inc()
+    if events:
+        registry.histogram("fit_iterations").observe(len(events))
+    return events
+
+
+def summarize_trace(events):
+    """Shape summary of a convergence trace.
+
+    Returns a dict with ``n_iterations``, ``first``/``final`` objective,
+    ``total_change``, and ``shape`` — one of ``"nonincreasing"``,
+    ``"nondecreasing"``, ``"mixed"``, ``"constant"``, or ``"empty"``.
+    """
+    events = list(events or ())
+    if not events:
+        return {"n_iterations": 0, "first": None, "final": None,
+                "total_change": 0.0, "shape": "empty"}
+    deltas = [ev.delta for ev in events[1:]]
+    eps = 1e-12 * max(1.0, abs(events[0].objective))
+    down = any(d < -eps for d in deltas)
+    up = any(d > eps for d in deltas)
+    if up and down:
+        shape = "mixed"
+    elif up:
+        shape = "nondecreasing"
+    elif down:
+        shape = "nonincreasing"
+    else:
+        shape = "constant"
+    return {
+        "n_iterations": len(events),
+        "first": events[0].objective,
+        "final": events[-1].objective,
+        "total_change": events[-1].objective - events[0].objective,
+        "shape": shape,
+    }

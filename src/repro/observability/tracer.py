@@ -1,0 +1,413 @@
+"""Nested tracing spans with wall-clock and optional peak-memory capture.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — typically
+``experiment -> estimator.fit -> substep`` — with per-span wall-clock
+duration, cooperative iteration counts (fed by
+:func:`repro.robustness.budget_tick`), and, when ``profile_memory`` is
+on, the ``tracemalloc`` peak attributable to each span. The result can
+be exported as JSONL (one record per span, machine-readable) and
+rendered as a text tree or a slowest-stage table.
+
+Fast path: when no tracer is active, :func:`trace_span` and
+:func:`add_ticks` cost a single ``ContextVar.get`` — estimators are
+instrumented unconditionally and the whole layer stays disabled by
+default.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer:                        # activates for this context
+        with tracer.span("experiment", key="F1"):
+            estimator.fit(X)            # fit spans nest automatically
+    print(tracer.render_tree())
+    tracer.write_jsonl("trace.jsonl")
+
+Loading back::
+
+    records = read_jsonl("trace.jsonl")
+    print(render_records(records))
+    print(render_stage_table(slowest_stages(records)))
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import functools
+import json
+import time
+import tracemalloc
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "trace_span",
+    "traced_fit",
+    "read_jsonl",
+    "render_records",
+    "slowest_stages",
+    "render_stage_table",
+]
+
+_ACTIVE_TRACER: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_active_tracer", default=None
+)
+
+
+def current_tracer():
+    """The tracer activated in this context, or ``None``."""
+    return _ACTIVE_TRACER.get()
+
+
+class Span:
+    """One timed node of the trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "n_ticks",
+                 "peak_bytes", "_running_peak")
+
+    def __init__(self, name, start, attrs=None):
+        self.name = str(name)
+        self.attrs = dict(attrs or {})
+        self.start = start
+        self.end = None
+        self.children = []
+        self.n_ticks = 0
+        self.peak_bytes = None
+        self._running_peak = 0
+
+    @property
+    def duration(self):
+        """Seconds spent inside the span (``None`` while still open)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def total_ticks(self):
+        """Cooperative iteration ticks in this span and all descendants."""
+        return self.n_ticks + sum(c.total_ticks() for c in self.children)
+
+    def __repr__(self):
+        dur = "open" if self.end is None else f"{self.duration:.3f}s"
+        return (f"Span({self.name!r}, {dur}, ticks={self.n_ticks}, "
+                f"children={len(self.children)})")
+
+
+class Tracer:
+    """Collects a forest of :class:`Span` trees for one run.
+
+    Parameters
+    ----------
+    profile_memory : bool
+        Capture per-span ``tracemalloc`` peaks. Starts ``tracemalloc``
+        when entering the tracer context (and stops it again if this
+        tracer started it). Roughly 2-4x slower fits — off by default.
+
+    Use as a context manager to activate: inside the ``with`` block,
+    instrumented code (``traced_fit`` estimators, ``budget_tick``)
+    reports into this tracer; outside, it costs nothing.
+    """
+
+    def __init__(self, profile_memory=False):
+        self.profile_memory = bool(profile_memory)
+        self.spans = []
+        self._stack = []
+        self._epoch = time.perf_counter()
+        self._token = None
+        self._started_tracemalloc = False
+
+    # -- activation ------------------------------------------------------
+
+    def __enter__(self):
+        if self._token is not None:
+            raise ValidationError("Tracer is already active")
+        if self.profile_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._token = _ACTIVE_TRACER.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _ACTIVE_TRACER.reset(self._token)
+        self._token = None
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+        return False
+
+    # -- span recording --------------------------------------------------
+
+    @contextlib.contextmanager
+    def span(self, name, **attrs):
+        """Open a nested span; attributes must be JSON-serialisable."""
+        profiling = self.profile_memory and tracemalloc.is_tracing()
+        if profiling:
+            peak_now = tracemalloc.get_traced_memory()[1]
+            if self._stack:
+                parent = self._stack[-1]
+                parent._running_peak = max(parent._running_peak, peak_now)
+            tracemalloc.reset_peak()
+        span = Span(name, time.perf_counter() - self._epoch, attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = time.perf_counter() - self._epoch
+            if profiling:
+                peak = max(tracemalloc.get_traced_memory()[1],
+                           span._running_peak)
+                span.peak_bytes = int(peak)
+                tracemalloc.reset_peak()
+                if self._stack:
+                    parent = self._stack[-1]
+                    parent._running_peak = max(parent._running_peak, peak)
+
+    def add_ticks(self, n=1):
+        """Credit ``n`` optimiser iterations to the innermost open span."""
+        if self._stack:
+            self._stack[-1].n_ticks += n
+
+    # -- export ----------------------------------------------------------
+
+    def to_records(self):
+        """Flatten the span forest to dicts in depth-first order."""
+        records = []
+
+        def visit(span, depth, path):
+            path = f"{path}/{span.name}" if path else span.name
+            rec = {
+                "name": span.name,
+                "path": path,
+                "depth": depth,
+                "start": round(span.start, 6),
+                "duration": (None if span.duration is None
+                             else round(span.duration, 6)),
+                "n_ticks": span.n_ticks,
+            }
+            if span.peak_bytes is not None:
+                rec["peak_kb"] = round(span.peak_bytes / 1024.0, 1)
+            if span.attrs:
+                rec["attrs"] = _json_safe(span.attrs)
+            records.append(rec)
+            for child in span.children:
+                visit(child, depth + 1, path)
+
+        for root in self.spans:
+            visit(root, 0, "")
+        return records
+
+    def write_jsonl(self, path):
+        """Write one JSON record per span to ``path``; returns the count."""
+        records = self.to_records()
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec) + "\n")
+        return len(records)
+
+    def render_tree(self, collapse=4):
+        """Text rendering of the span forest (see :func:`render_records`)."""
+        return render_records(self.to_records(), collapse=collapse)
+
+    def __repr__(self):
+        return (f"Tracer(profile_memory={self.profile_memory}, "
+                f"spans={len(self.spans)}, active={self._token is not None})")
+
+
+def _json_safe(obj):
+    """Coerce attrs to JSON-serialisable values (repr as last resort)."""
+    if isinstance(obj, dict):
+        return {str(k): _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+@contextlib.contextmanager
+def trace_span(name, **attrs):
+    """Span on the active tracer; no-op when tracing is disabled."""
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **attrs) as span:
+        yield span
+
+
+def traced_fit(fit):
+    """Wrap an estimator ``fit`` in a span named ``<Class>.fit``.
+
+    Decorator for estimator classes: when a tracer is active the fit
+    (and everything it calls — sub-estimators, substeps, iteration
+    ticks) is recorded as a nested span; when not, the only cost is one
+    ``ContextVar`` read.
+    """
+    @functools.wraps(fit)
+    def wrapper(self, *args, **kwargs):
+        tracer = _ACTIVE_TRACER.get()
+        if tracer is None:
+            return fit(self, *args, **kwargs)
+        with tracer.span(f"{type(self).__name__}.fit"):
+            return fit(self, *args, **kwargs)
+    return wrapper
+
+
+# -- loading and rendering -------------------------------------------------
+
+def read_jsonl(path):
+    """Load span records written by :meth:`Tracer.write_jsonl`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{path}:{line_no}: not a JSONL trace record ({exc})"
+                ) from exc
+    return records
+
+
+def _fmt_seconds(seconds):
+    if seconds is None:
+        return "open"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000.0:.1f}ms"
+
+
+def _tree_from_records(records):
+    """Rebuild (node, children) nesting from depth-annotated records."""
+    roots = []
+    stack = []  # (depth, node) ; node = [record, children]
+    for rec in records:
+        node = [rec, []]
+        depth = int(rec.get("depth", 0))
+        while stack and stack[-1][0] >= depth:
+            stack.pop()
+        if stack:
+            stack[-1][1][1].append(node)
+        else:
+            roots.append(node)
+        stack.append((depth, node))
+    return roots
+
+
+def render_records(records, collapse=4):
+    """Render span records as a box-drawing tree.
+
+    Sibling spans sharing a name are aggregated into one ``xN`` line
+    once the group exceeds ``collapse`` members, so sweeps with many
+    repeated fits stay readable.
+    """
+    lines = []
+
+    def describe(rec, count=1, total=None, ticks=None, peak=None):
+        total = rec.get("duration") if total is None else total
+        ticks = rec.get("n_ticks", 0) if ticks is None else ticks
+        peak = rec.get("peak_kb") if peak is None else peak
+        parts = [_fmt_seconds(total)]
+        if count > 1:
+            parts.append(f"mean {_fmt_seconds(total / count)}")
+        if ticks:
+            parts.append(f"{ticks} ticks")
+        if peak is not None:
+            parts.append(f"peak {peak:.0f}KB")
+        label = rec["name"] + (f" x{count}" if count > 1 else "")
+        return f"{label} ({', '.join(parts)})"
+
+    def walk(nodes, prefix):
+        groups = []
+        for node in nodes:
+            if groups and groups[-1][0][0]["name"] == node[0]["name"]:
+                groups[-1].append(node)
+            else:
+                groups.append([node])
+        flat = []
+        for group in groups:
+            if len(group) > collapse:
+                flat.append(group)
+            else:
+                flat.extend([node] for node in group)
+        for i, group in enumerate(flat):
+            last = i == len(flat) - 1
+            branch = "`- " if last else "|- "
+            child_prefix = prefix + ("   " if last else "|  ")
+            if len(group) == 1:
+                rec, children = group[0]
+                lines.append(prefix + branch + describe(rec))
+                walk(children, child_prefix)
+            else:
+                recs = [node[0] for node in group]
+                total = sum(r.get("duration") or 0.0 for r in recs)
+                ticks = sum(r.get("n_ticks", 0) for r in recs)
+                peaks = [r["peak_kb"] for r in recs if "peak_kb" in r]
+                lines.append(prefix + branch + describe(
+                    recs[0], count=len(recs), total=total, ticks=ticks,
+                    peak=max(peaks) if peaks else None,
+                ))
+
+    roots = _tree_from_records(records)
+    for node in roots:
+        rec, children = node
+        lines.append(describe(rec))
+        walk(children, "")
+    return "\n".join(lines) if lines else "(empty trace)"
+
+
+def slowest_stages(records, top=10):
+    """Aggregate records by path; the per-stage timing breakdown.
+
+    Returns dicts with ``path``, ``count``, ``total`` (inclusive
+    seconds), ``self`` (exclusive of child spans), ``ticks`` — sorted by
+    ``self`` descending, truncated to ``top``.
+    """
+    by_path = {}
+    child_time = {}
+    for rec in records:
+        path = rec["path"]
+        entry = by_path.setdefault(
+            path, {"path": path, "count": 0, "total": 0.0, "self": 0.0,
+                   "ticks": 0}
+        )
+        dur = rec.get("duration") or 0.0
+        entry["count"] += 1
+        entry["total"] += dur
+        entry["ticks"] += rec.get("n_ticks", 0)
+        parent = path.rsplit("/", 1)[0] if "/" in path else None
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + dur
+    for path, entry in by_path.items():
+        entry["self"] = max(entry["total"] - child_time.get(path, 0.0), 0.0)
+    ranked = sorted(by_path.values(), key=lambda e: e["self"], reverse=True)
+    return ranked[: int(top)]
+
+
+def render_stage_table(stages):
+    """Fixed-width text table for :func:`slowest_stages` output."""
+    header = ("stage", "count", "total", "self", "ticks")
+    rows = [
+        (s["path"], str(s["count"]), _fmt_seconds(s["total"]),
+         _fmt_seconds(s["self"]), str(s["ticks"]))
+        for s in stages
+    ]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows
+              else len(header[i]) for i in range(len(header))]
+
+    def line(vals):
+        return " | ".join(v.ljust(w) for v, w in zip(vals, widths))
+
+    out = [line(header), "-+-".join("-" * w for w in widths)]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)

@@ -20,6 +20,9 @@ import numpy as np
 from ..cluster.gmm import e_step, init_params_kmeanspp, m_step
 from ..core.base import MultiClusteringEstimator
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
+from ..robustness.guard import budget_tick
 from ..utils.validation import (
     check_array,
     check_in_range,
@@ -89,6 +92,10 @@ class CAMI(MultiClusteringEstimator):
     log_likelihoods_ : [ll_1, ll_2]
     penalty_ : float — final overlap penalty value.
     objective_ : float — ll_1 + ll_2 − mu * penalty.
+    convergence_trace_ : list of ConvergenceEvent
+        Per-iteration combined objective of the winning restart.
+        Non-monotone by design: the gradient repulsion step can
+        overshoot, trading likelihood against the overlap penalty.
     """
 
     def __init__(self, n_clusters=2, mu=1.0, step=0.5, max_iter=100,
@@ -106,17 +113,23 @@ class CAMI(MultiClusteringEstimator):
         self.penalty_ = None
         self.objective_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X):
         X = check_array(X, min_samples=2)
         k = check_n_clusters(self.n_clusters, X.shape[0])
         check_in_range(self.mu, "mu", low=0.0)
         rng = check_random_state(self.random_state)
         best = None
+        best_trace = None
         for _ in range(max(1, int(self.n_init))):
-            result = self._run(X, k, rng)
+            with capture_convergence() as capture:
+                result = self._run(X, k, rng)
             if best is None or result["objective"] > best["objective"]:
                 best = result
+                best_trace = capture.events
+        record_convergence(self, best_trace)
         self.labelings_ = best["labelings"]
         self.mixtures_ = best["mixtures"]
         self.log_likelihoods_ = best["log_likelihoods"]
@@ -167,6 +180,7 @@ class CAMI(MultiClusteringEstimator):
             # with n; scale the penalty by n so mu trades them off on a
             # per-object basis (matching CAMI's formulation).
             obj = lls[0] + lls[1] - self.mu * X.shape[0] * penalty
+            budget_tick(objective=obj)
             if abs(obj - prev_obj) <= self.tol * max(abs(prev_obj), 1.0):
                 prev_obj = obj
                 break

@@ -22,6 +22,9 @@ from ..cluster.hierarchical import LinkageMatrix
 from ..core.base import AlternativeClusterer
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..exceptions import ValidationError
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
+from ..robustness.guard import budget_tick
 from ..utils.linalg import pairwise_distances
 from ..utils.validation import check_array, check_in_range, check_n_clusters
 
@@ -60,6 +63,11 @@ class COALA(AlternativeClusterer):
     labels_ : ndarray — the alternative clustering.
     n_quality_merges_, n_dissimilarity_merges_ : int
         How often each merge type fired (reported in experiment F2).
+    n_iter_ : int — merge steps performed.
+    convergence_trace_ : list of ConvergenceEvent
+        Per-merge chosen linkage distance. Non-monotone by design:
+        alternating between quality and dissimilarity merges mixes two
+        distance scales.
     """
 
     def __init__(self, n_clusters=2, w=1.0):
@@ -68,7 +76,10 @@ class COALA(AlternativeClusterer):
         self.labels_ = None
         self.n_quality_merges_ = None
         self.n_dissimilarity_merges_ = None
+        self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X, given):
         X = check_array(X, min_samples=2)
         n = X.shape[0]
@@ -95,28 +106,32 @@ class COALA(AlternativeClusterer):
         conflict = same_given.copy()
 
         q_merges = d_merges = 0
-        while len(lm.active) > k:
-            quality = lm.closest_pair()
-            if quality is None:
-                break
-            dissim = lm.closest_pair(blocked=conflict)
-            if dissim is None:
-                a, b, _ = quality
-                q_merges += 1
-            else:
-                dq, dd = quality[2], dissim[2]
-                if dq < self.w * dd:
-                    a, b, _ = quality
+        with capture_convergence() as capture:
+            while len(lm.active) > k:
+                quality = lm.closest_pair()
+                if quality is None:
+                    break
+                dissim = lm.closest_pair(blocked=conflict)
+                if dissim is None:
+                    a, b, dist = quality
                     q_merges += 1
                 else:
-                    a, b, _ = dissim
-                    d_merges += 1
-            survivor = lm.merge(a, b)
-            other = b if survivor == a else a
-            merged = conflict[survivor] | conflict[other]
-            conflict[survivor, :] = merged
-            conflict[:, survivor] = merged
+                    dq, dd = quality[2], dissim[2]
+                    if dq < self.w * dd:
+                        a, b, dist = quality
+                        q_merges += 1
+                    else:
+                        a, b, dist = dissim
+                        d_merges += 1
+                budget_tick(objective=float(dist))
+                survivor = lm.merge(a, b)
+                other = b if survivor == a else a
+                merged = conflict[survivor] | conflict[other]
+                conflict[survivor, :] = merged
+                conflict[:, survivor] = merged
         self.labels_ = lm.current_labels(n)
         self.n_quality_merges_ = q_merges
         self.n_dissimilarity_merges_ = d_merges
+        self.n_iter_ = q_merges + d_merges
+        record_convergence(self, capture.events)
         return self

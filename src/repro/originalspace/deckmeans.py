@@ -27,6 +27,9 @@ from ..cluster.kmeans import kmeans_plus_plus
 from ..core.base import MultiClusteringEstimator
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..exceptions import ValidationError
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
+from ..robustness.guard import budget_tick
 from ..utils.linalg import cdist_sq
 from ..utils.validation import (
     check_array,
@@ -81,6 +84,10 @@ class DecorrelatedKMeans(MultiClusteringEstimator):
     means_ : list of ndarray (k_t, d) — cluster means mu^t.
     objective_ : float — final value of G.
     n_iter_ : int
+    convergence_trace_ : list of ConvergenceEvent
+        Per-iteration G of the winning restart. Non-monotone by design:
+        the nearest-representative assignment step does not minimise the
+        coupled decorrelation penalty, so G can rise between rounds.
     """
 
     def __init__(self, n_clusters=2, n_clusterings=2, lam=1.0, max_iter=100,
@@ -97,6 +104,7 @@ class DecorrelatedKMeans(MultiClusteringEstimator):
         self.means_ = None
         self.objective_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
 
     def _ks(self, n):
         if np.isscalar(self.n_clusters):
@@ -152,12 +160,14 @@ class DecorrelatedKMeans(MultiClusteringEstimator):
                     A = size * np.eye(d) + float(self.lam) * M
                     reps[t][i] = np.linalg.solve(A, size * means[t][i])
             obj = self._objective(X, reps, labelings, means)
+            budget_tick(objective=obj)
             if prev - obj <= self.tol * max(abs(prev), 1.0):
                 prev = obj
                 break
             prev = obj
         return prev, labelings, reps, means, n_iter
 
+    @traced_fit
     def fit(self, X):
         X = check_array(X, min_samples=2)
         n, _ = X.shape
@@ -168,11 +178,15 @@ class DecorrelatedKMeans(MultiClusteringEstimator):
         ks = self._ks(n)
         rng = check_random_state(self.random_state)
         best = None
+        best_trace = None
         for _ in range(max(1, int(self.n_init))):
-            result = self._run(X, ks, rng)
+            with capture_convergence() as capture:
+                result = self._run(X, ks, rng)
             if best is None or result[0] < best[0]:
                 best = result
+                best_trace = capture.events
         obj, labelings, reps, means, n_iter = best
+        record_convergence(self, best_trace)
         self.labelings_ = [lab.astype(np.int64) for lab in labelings]
         self.representatives_ = reps
         self.means_ = means

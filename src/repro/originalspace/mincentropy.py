@@ -23,6 +23,9 @@ import numpy as np
 from ..core.base import AlternativeClusterer
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..exceptions import ValidationError
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
+from ..robustness.guard import budget_tick
 from ..utils.linalg import rbf_kernel
 from ..utils.validation import (
     check_array,
@@ -155,6 +158,10 @@ class MinCEntropy(AlternativeClusterer):
     objective_ : float — final ``O(C)`` (higher is better).
     quality_ : float — normalised kernel quality ``Q(C)/n``.
     penalty_ : float — summed MI against the given clusterings.
+    n_iter_ : int — local-search sweeps of the winning restart.
+    convergence_trace_ : list of ConvergenceEvent — per-sweep ``O(C)``
+        of the winning restart (nondecreasing: only improving moves are
+        applied).
     """
 
     def __init__(self, n_clusters=2, beta=2.0, gamma=None, max_sweeps=30,
@@ -169,7 +176,10 @@ class MinCEntropy(AlternativeClusterer):
         self.objective_ = None
         self.quality_ = None
         self.penalty_ = None
+        self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X, given):
         X = check_array(X, min_samples=2)
         n = X.shape[0]
@@ -189,37 +199,45 @@ class MinCEntropy(AlternativeClusterer):
         beta = float(self.beta)
 
         best = None
+        best_trace = None
         for _ in range(max(1, int(self.n_init))):
             labels = rng.integers(k, size=n).astype(np.int64)
             state = _State(K, labels, k, given_codes, given_sizes)
-            for _sweep in range(int(self.max_sweeps)):
-                improved = False
-                for i in rng.permutation(n):
-                    a = state.labels[i]
-                    if state.sizes[a] <= 1:
-                        continue  # keep clusters non-empty
-                    best_b, best_gain = a, 0.0
-                    for b in range(k):
-                        if b == a:
-                            continue
-                        gain = (
-                            state.move_delta_quality(i, a, b) / n
-                            - beta * state.move_delta_penalty(i, a, b)
-                        )
-                        if gain > best_gain + 1e-12:
-                            best_gain, best_b = gain, b
-                    if best_b != a:
-                        state.apply_move(i, a, best_b)
-                        improved = True
-                if not improved:
-                    break
+            n_sweeps = 0
+            with capture_convergence() as capture:
+                for n_sweeps in range(1, int(self.max_sweeps) + 1):
+                    improved = False
+                    for i in rng.permutation(n):
+                        a = state.labels[i]
+                        if state.sizes[a] <= 1:
+                            continue  # keep clusters non-empty
+                        best_b, best_gain = a, 0.0
+                        for b in range(k):
+                            if b == a:
+                                continue
+                            gain = (
+                                state.move_delta_quality(i, a, b) / n
+                                - beta * state.move_delta_penalty(i, a, b)
+                            )
+                            if gain > best_gain + 1e-12:
+                                best_gain, best_b = gain, b
+                        if best_b != a:
+                            state.apply_move(i, a, best_b)
+                            improved = True
+                    budget_tick(objective=state.quality() / n
+                                - beta * state.penalty())
+                    if not improved:
+                        break
             obj = state.quality() / n - beta * state.penalty()
             if best is None or obj > best[0]:
                 best = (obj, state.labels.copy(), state.quality() / n,
-                        state.penalty())
-        obj, labels, quality, penalty = best
+                        state.penalty(), n_sweeps)
+                best_trace = capture.events
+        obj, labels, quality, penalty, n_sweeps = best
         self.labels_ = labels.astype(np.int64)
         self.objective_ = float(obj)
         self.quality_ = float(quality)
         self.penalty_ = float(penalty)
+        self.n_iter_ = n_sweeps
+        record_convergence(self, best_trace)
         return self

@@ -54,6 +54,9 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..exceptions import BudgetExceededError, ValidationError
+from ..observability.logs import get_logger
+from ..observability.telemetry import emit_objective
+from ..observability.tracer import _ACTIVE_TRACER
 
 __all__ = [
     "RunBudget",
@@ -63,6 +66,8 @@ __all__ = [
     "active_budget",
     "budget_tick",
 ]
+
+logger = get_logger("repro.robustness")
 
 _ACTIVE_BUDGET: contextvars.ContextVar = contextvars.ContextVar(
     "repro_active_budget", default=None
@@ -74,16 +79,57 @@ def active_budget():
     return _ACTIVE_BUDGET.get()
 
 
-def budget_tick(n=1):
-    """Cooperative budget checkpoint for iterative optimisers.
+def _span_summary(span):
+    """(timings, telemetry) for a closed attempt span; (None, None) w/o one.
+
+    ``timings`` maps each direct-child stage name to inclusive seconds
+    (same-name children summed); ``telemetry`` holds iteration ticks,
+    descendant span count, elapsed seconds, and peak memory when the
+    tracer profiled it.
+    """
+    if span is None:
+        return None, None
+    timings = {}
+    for child in span.children:
+        if child.duration is not None:
+            timings[child.name] = timings.get(child.name, 0.0) + child.duration
+
+    def n_spans(s):
+        return 1 + sum(n_spans(c) for c in s.children)
+
+    telemetry = {
+        "ticks": span.total_ticks(),
+        "spans": n_spans(span) - 1,
+        "elapsed": span.duration,
+    }
+    if span.peak_bytes is not None:
+        telemetry["peak_kb"] = round(span.peak_bytes / 1024.0, 1)
+    return (timings or None), telemetry
+
+
+def budget_tick(n=1, objective=None):
+    """Cooperative budget/telemetry checkpoint for iterative optimisers.
 
     Library optimisation loops call this once per outer iteration.
     Raises :class:`~repro.exceptions.BudgetExceededError` when the
     enclosing :class:`RunGuard` budget is spent; no-op otherwise.
+
+    ``objective`` is the loop's current objective value. When given it
+    is forwarded to the observability layer
+    (:func:`repro.observability.emit_objective`), feeding the
+    ``convergence_trace_`` of the estimator being fitted — the same call
+    site serves budgets, convergence telemetry, and tracer iteration
+    counts. With everything disabled a tick costs three ``ContextVar``
+    reads.
     """
     budget = _ACTIVE_BUDGET.get()
     if budget is not None:
         budget.tick(n)
+    if objective is not None:
+        emit_objective(objective)
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is not None:
+        tracer.add_ticks(n)
 
 
 class RunBudget:
@@ -190,16 +236,33 @@ class RunFailure:
         return (f"{where}{self.error_type}: {self.message} "
                 f"(attempts={self.attempts}, elapsed={self.elapsed:.2f}s)")
 
+    def __repr__(self):
+        message = self.message
+        if len(message) > 60:
+            message = message[:57] + "..."
+        label = f"label={self.label!r}, " if self.label else ""
+        return (f"RunFailure({label}{self.error_type}: {message!r}, "
+                f"attempts={self.attempts}, elapsed={self.elapsed:.2f}s)")
+
 
 @dataclass
 class RunResult:
-    """Outcome of a guarded run: a value or a :class:`RunFailure`."""
+    """Outcome of a guarded run: a value or a :class:`RunFailure`.
+
+    ``timings`` and ``telemetry`` are populated when the guard ran under
+    a :class:`~repro.observability.Tracer` (see :class:`RunGuard`):
+    ``timings`` maps child-stage names to inclusive seconds, and
+    ``telemetry`` summarises iteration ticks / span counts / peak memory
+    of the run.
+    """
 
     status: str  # "ok" | "failed"
     value: Any = None
     failure: Optional[RunFailure] = None
     elapsed: float = 0.0
     attempts: int = 1
+    timings: Optional[dict] = None
+    telemetry: Optional[dict] = None
 
     @property
     def ok(self):
@@ -210,6 +273,19 @@ class RunResult:
         if self.ok:
             return self.value
         raise RuntimeError(f"guarded run failed: {self.failure}")
+
+    def __repr__(self):
+        if self.ok:
+            body = f"ok, value={type(self.value).__name__}"
+        else:
+            body = f"failed, {self.failure!r}"
+        extra = ""
+        if self.telemetry:
+            ticks = self.telemetry.get("ticks")
+            if ticks is not None:
+                extra = f", ticks={ticks}"
+        return (f"RunResult({body}, elapsed={self.elapsed:.2f}s, "
+                f"attempts={self.attempts}{extra})")
 
 
 class RunGuard:
@@ -235,6 +311,12 @@ class RunGuard:
     catch : tuple of exception types
         What to convert into failures. Defaults to ``(Exception,)`` —
         ``KeyboardInterrupt``/``SystemExit`` always propagate.
+    tracer : :class:`repro.observability.Tracer` or None
+        When given, every attempt runs inside a span named after
+        ``label`` (attempt number in the span attrs) and the returned
+        :class:`RunResult` carries per-stage ``timings`` and a
+        ``telemetry`` summary (iteration ticks, span count, peak
+        memory).
 
     Notes
     -----
@@ -245,7 +327,7 @@ class RunGuard:
     _NO_RETRY = (ValidationError, NotImplementedError)
 
     def __init__(self, max_seconds=None, max_ticks=None, max_retries=0,
-                 backoff=2.0, label="", catch=(Exception,)):
+                 backoff=2.0, label="", catch=(Exception,), tracer=None):
         if max_retries < 0:
             raise ValidationError(
                 f"max_retries must be >= 0, got {max_retries}"
@@ -258,6 +340,7 @@ class RunGuard:
         self.backoff = float(backoff)
         self.label = label
         self.catch = tuple(catch)
+        self.tracer = tracer
         self.result = None
         self._token = None
         self._entered_at = None
@@ -277,9 +360,17 @@ class RunGuard:
 
     def _execute(self, attempt_fn, *, context=None):
         """Run ``attempt_fn(attempt)`` under per-attempt budgets."""
+        tracer = self.tracer
+        if tracer is not None and _ACTIVE_TRACER.get() is not tracer:
+            with tracer:
+                return self._execute_attempts(attempt_fn, context=context)
+        return self._execute_attempts(attempt_fn, context=context)
+
+    def _execute_attempts(self, attempt_fn, *, context=None):
         start = time.perf_counter()
         last_exc = None
         attempts = 0
+        span = None
         for attempt in range(self.max_retries + 1):
             attempts = attempt + 1
             budget = self._attempt_budget(attempt)
@@ -287,15 +378,32 @@ class RunGuard:
             if budget is not None:
                 token = _ACTIVE_BUDGET.set(budget)
             try:
-                value = attempt_fn(attempt)
+                if self.tracer is not None:
+                    with self.tracer.span(self.label or "guarded_run",
+                                          attempt=attempt) as span:
+                        value = attempt_fn(attempt)
+                else:
+                    value = attempt_fn(attempt)
+                timings, telemetry = _span_summary(span)
                 return RunResult(
                     status="ok", value=value,
                     elapsed=time.perf_counter() - start, attempts=attempts,
+                    timings=timings, telemetry=telemetry,
                 )
             except self.catch as exc:
                 last_exc = exc
                 if isinstance(exc, self._NO_RETRY):
+                    logger.debug(
+                        "%s: %s is not retryable, giving up",
+                        self.label or "guarded run", type(exc).__name__,
+                    )
                     break
+                if attempt < self.max_retries:
+                    logger.debug(
+                        "%s: attempt %d/%d failed (%s: %s), retrying",
+                        self.label or "guarded run", attempts,
+                        self.max_retries + 1, type(exc).__name__, exc,
+                    )
             finally:
                 if token is not None:
                     _ACTIVE_BUDGET.reset(token)
@@ -304,8 +412,12 @@ class RunGuard:
             last_exc, label=self.label, elapsed=elapsed, attempts=attempts,
             context=context,
         )
+        logger.debug("%s: failed after %d attempt(s): %s",
+                     self.label or "guarded run", attempts, failure)
+        timings, telemetry = _span_summary(span)
         return RunResult(status="failed", failure=failure, elapsed=elapsed,
-                         attempts=attempts)
+                         attempts=attempts, timings=timings,
+                         telemetry=telemetry)
 
     def run(self, fn, *args, **kwargs):
         """Call ``fn(*args, **kwargs)`` guarded; return a :class:`RunResult`.

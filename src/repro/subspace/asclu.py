@@ -20,6 +20,8 @@ from ..core.base import ParamsMixin
 from ..core.subspace import SubspaceClustering
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..exceptions import ValidationError
+from ..observability.telemetry import record_convergence
+from ..observability.tracer import traced_fit
 from ..utils.validation import check_in_range
 
 __all__ = ["ASCLU", "already_clustered", "is_valid_alternative_cluster"]
@@ -69,6 +71,9 @@ class ASCLU(ParamsMixin):
     clusters_ : SubspaceClustering — valid alternative clustering Res.
     rejected_known_overlap_ : int — candidates dropped for covering the
         given knowledge under a similar concept.
+    n_iter_ : int — candidates the inner OSCLU greedy examined.
+    convergence_trace_ : list of ConvergenceEvent — the inner OSCLU's
+        running objective over the filtered candidates (nondecreasing).
     """
 
     def __init__(self, alpha=0.5, beta=0.5, local_interestingness=None,
@@ -79,7 +84,10 @@ class ASCLU(ParamsMixin):
         self.max_clusters = max_clusters
         self.clusters_ = None
         self.rejected_known_overlap_ = None
+        self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, candidates, known):
         check_in_range(self.alpha, "alpha", low=0.0, high=1.0,
                        inclusive_low=False)
@@ -109,10 +117,15 @@ class ASCLU(ParamsMixin):
         if valid:
             osclu.fit(SubspaceClustering(valid))
             result = osclu.clusters_
+            self.n_iter_ = osclu.n_iter_
+            trace = osclu.convergence_trace_
         else:
             result = SubspaceClustering([])
+            self.n_iter_ = 0
+            trace = []
         self.clusters_ = SubspaceClustering(list(result), name="ASCLU")
         self.rejected_known_overlap_ = rejected
+        record_convergence(self, trace)
         return self
 
     def fit_predict(self, candidates, known):

@@ -23,6 +23,9 @@ from ..core.base import ParamsMixin
 from ..core.subspace import SubspaceClustering
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..exceptions import ValidationError
+from ..observability.telemetry import capture_convergence, record_convergence
+from ..observability.tracer import traced_fit
+from ..robustness.guard import budget_tick
 from ..utils.validation import check_in_range
 
 __all__ = [
@@ -117,6 +120,10 @@ class OSCLU(ParamsMixin):
     ----------
     clusters_ : SubspaceClustering — the orthogonal clustering.
     objective_ : float — ``sum I_local`` over the selection.
+    n_iter_ : int — greedy candidates examined.
+    convergence_trace_ : list of ConvergenceEvent — running
+        ``sum I_local`` after each examined candidate (nondecreasing:
+        candidates are only ever added).
     """
 
     def __init__(self, alpha=0.5, beta=0.5, local_interestingness=None,
@@ -127,12 +134,15 @@ class OSCLU(ParamsMixin):
         self.max_clusters = max_clusters
         self.clusters_ = None
         self.objective_ = None
+        self.n_iter_ = None
+        self.convergence_trace_ = None
 
     def _ilocal(self, c):
         if self.local_interestingness is not None:
             return float(self.local_interestingness(c))
         return float(c.n_objects * c.dimensionality)
 
+    @traced_fit
     def fit(self, candidates):
         check_in_range(self.alpha, "alpha", low=0.0, high=1.0,
                        inclusive_low=False)
@@ -144,23 +154,34 @@ class OSCLU(ParamsMixin):
             raise ValidationError("no candidate clusters to select from")
         ranked = sorted(candidates, key=self._ilocal, reverse=True)
         selected = []
-        for c in ranked:
-            if self.max_clusters is not None and len(selected) >= self.max_clusters:
-                break
-            trial = selected + [c]
-            # Admitting c must keep every member orthogonal (slide 83's
-            # condition applies to the whole clustering, so adding a big
-            # cluster may invalidate an earlier small one).
-            ok = True
-            for member in trial:
-                rest = SubspaceClustering([o for o in trial if o != member])
-                if global_interestingness(member, rest, self.beta) < self.alpha:
-                    ok = False
+        examined = 0
+        running = 0.0
+        with capture_convergence() as capture:
+            for c in ranked:
+                if (self.max_clusters is not None
+                        and len(selected) >= self.max_clusters):
                     break
-            if ok:
-                selected = trial
+                examined += 1
+                trial = selected + [c]
+                # Admitting c must keep every member orthogonal (slide 83's
+                # condition applies to the whole clustering, so adding a big
+                # cluster may invalidate an earlier small one).
+                ok = True
+                for member in trial:
+                    rest = SubspaceClustering(
+                        [o for o in trial if o != member])
+                    if (global_interestingness(member, rest, self.beta)
+                            < self.alpha):
+                        ok = False
+                        break
+                if ok:
+                    selected = trial
+                    running += self._ilocal(c)
+                budget_tick(objective=running)
         self.clusters_ = SubspaceClustering(selected, name="OSCLU")
         self.objective_ = float(sum(self._ilocal(c) for c in selected))
+        self.n_iter_ = examined
+        record_convergence(self, capture.events)
         return self
 
     def fit_predict(self, candidates):

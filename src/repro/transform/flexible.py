@@ -22,6 +22,8 @@ from ..core.base import AlternativeClusterer, ParamsMixin
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..cluster.kmeans import KMeans
 from ..exceptions import ValidationError
+from ..observability.telemetry import record_convergence
+from ..observability.tracer import traced_fit
 from ..utils.validation import check_array, check_labels, check_random_state
 
 __all__ = ["FlexibleAlternativeTransform", "FlexibleAlternativeClustering"]
@@ -119,6 +121,10 @@ class FlexibleAlternativeClustering(AlternativeClusterer):
     Attributes
     ----------
     labels_, transform_, transformed_X_ : as in the Davidson & Qi class.
+    n_iter_ : int or None — forwarded from the embedded clusterer.
+    convergence_trace_ : list of ConvergenceEvent or None
+        Forwarded from the embedded clusterer's fit on the transformed
+        space (inertia trace for the default k-means).
     """
 
     def __init__(self, clusterer=None, reject_clusters=None, reg=1e-6,
@@ -130,7 +136,10 @@ class FlexibleAlternativeClustering(AlternativeClusterer):
         self.labels_ = None
         self.transform_ = None
         self.transformed_X_ = None
+        self.n_iter_ = None
+        self.convergence_trace_ = None
 
+    @traced_fit
     def fit(self, X, given):
         X = check_array(X, min_samples=2)
         given_list = self._given_labels(given)
@@ -152,4 +161,8 @@ class FlexibleAlternativeClustering(AlternativeClusterer):
         self.labels_ = np.asarray(clusterer.fit(Z).labels_)
         self.transform_ = transform
         self.transformed_X_ = Z
+        self.n_iter_ = getattr(clusterer, "n_iter_", None)
+        trace = getattr(clusterer, "convergence_trace_", None)
+        if trace is not None:
+            record_convergence(self, trace)
         return self

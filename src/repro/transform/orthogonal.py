@@ -25,6 +25,8 @@ from ..core.pipeline import IterativeAlternativePipeline
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..cluster.kmeans import KMeans
 from ..exceptions import ValidationError
+from ..observability.telemetry import record_convergence
+from ..observability.tracer import traced_fit
 from ..utils.linalg import orthogonal_complement_projector, orthonormal_basis
 from ..utils.validation import check_array, check_labels
 
@@ -195,6 +197,10 @@ class OrthogonalClustering(MultiClusteringEstimator):
     labelings_ : list of ndarray
     stopped_reason_ : str — "transformer" = residual space exhausted.
     n_iter_ : int — cluster/project rounds performed.
+    convergence_trace_ : list of ConvergenceEvent
+        Forwarded from the underlying pipeline: per-round maximum ARI
+        against earlier clusterings (non-monotone; see
+        :class:`~repro.core.pipeline.IterativeAlternativePipeline`).
     """
 
     def __init__(self, clusterer=None, n_clusters=2, max_clusterings=5,
@@ -209,8 +215,10 @@ class OrthogonalClustering(MultiClusteringEstimator):
         self.labelings_ = None
         self.stopped_reason_ = None
         self.n_iter_ = None
+        self.convergence_trace_ = None
         self.pipeline_ = None
 
+    @traced_fit
     def fit(self, X):
         clusterer = self.clusterer or KMeans(
             n_clusters=self.n_clusters, random_state=self.random_state
@@ -228,4 +236,5 @@ class OrthogonalClustering(MultiClusteringEstimator):
         self.stopped_reason_ = pipeline.stopped_reason_
         self.n_iter_ = pipeline.n_iter_
         self.pipeline_ = pipeline
+        record_convergence(self, pipeline.convergence_trace_)
         return self

@@ -13,7 +13,12 @@ The contract (see docs/robustness.md):
    integers, so every optimisation loop is bounded out of the box;
 4. a data matrix containing NaN is rejected with a library error
    (:class:`repro.exceptions.MultiClustError`), never a raw NumPy /
-   linear-algebra exception deep inside the optimiser.
+   linear-algebra exception deep inside the optimiser;
+5. (telemetry, see docs/observability.md) an estimator advertising
+   ``n_iter_`` must, after a clean fit, expose a ``convergence_trace_``
+   whose length equals ``n_iter_`` — one
+   :class:`~repro.observability.ConvergenceEvent` per executed outer
+   iteration, no more, no fewer.
 
 Exit status is the number of violations, so the script doubles as a CI
 gate (``tests/test_robustness.py`` runs it inside the tier-1 suite).
@@ -81,6 +86,55 @@ def nan_fit_args(cls):
     return args
 
 
+def clean_fit_args(cls):
+    """Arguments driving a small *clean* fit, or ``None`` when the
+    family takes no raw data matrix (candidates/labelings/known)."""
+    rng = np.random.default_rng(0)
+    X = np.concatenate([rng.normal(size=(20, 4)),
+                        rng.normal(size=(20, 4)) + 4.0])
+    first, rest = fit_family(cls)
+    if first == "X":
+        args = [X]
+    elif first == "views":
+        args = [[X, X.copy()]]
+    else:
+        return None
+    if rest and rest[0] in ("given", "labels"):
+        args.append(np.repeat([0, 1], 20))
+    elif rest and rest[0] == "known":
+        return None
+    return args
+
+
+def check_telemetry(name, cls):
+    """Contract item 5: ``len(convergence_trace_) == n_iter_``."""
+    inst = cls()
+    if not hasattr(inst, "n_iter_"):
+        return []
+    args = clean_fit_args(cls)
+    if args is None:
+        return []
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            inst.fit(*args)
+    except Exception as exc:  # noqa: BLE001
+        return [f"{name}: clean fit failed during the telemetry check "
+                f"({exc!r})"]
+    n_iter = inst.n_iter_
+    trace = getattr(inst, "convergence_trace_", None)
+    if n_iter is None:
+        return [f"{name}: n_iter_ still None after a clean fit"]
+    if trace is None:
+        return [f"{name}: advertises n_iter_ but convergence_trace_ is "
+                "None after a clean fit"]
+    if len(trace) != n_iter:
+        return [f"{name}: len(convergence_trace_) == {len(trace)} but "
+                f"n_iter_ == {n_iter} — must emit exactly one event per "
+                "executed iteration"]
+    return []
+
+
 def check_estimator(name, cls):
     """Return a list of violation strings for one estimator class."""
     from repro.exceptions import MultiClustError
@@ -140,6 +194,7 @@ def main(argv=None):
     for name, cls in iter_estimators():
         n_checked += 1
         violations.extend(check_estimator(name, cls))
+        violations.extend(check_telemetry(name, cls))
     for line in violations:
         print(f"VIOLATION: {line}")
     print(f"checked {n_checked} estimators, {len(violations)} violation(s)")

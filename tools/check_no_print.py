@@ -1,0 +1,75 @@
+"""Verify the library never prints: all diagnostics go through logging.
+
+Usage:  python tools/check_no_print.py
+
+Library code must report through the ``repro.*`` stdlib loggers
+(:mod:`repro.observability.logs`) or return renderable objects — a bare
+``print`` inside an estimator or the harness corrupts machine-read
+output (JSONL traces, report markdown) and cannot be silenced or
+redirected by the embedding application.
+
+The scan is token-based (:mod:`tokenize`), so ``print`` mentioned in
+docstrings, comments, or string literals does not count — only a
+``print`` NAME token in actual code does. The CLI front-ends are the
+one place printing *is* the job; they are allow-listed below.
+
+Exit status is the number of violations, so the script doubles as a CI
+gate (``tests/test_observability.py`` runs it inside the tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import sys
+import tokenize
+
+# Paths (relative to src/repro) whose job is writing to stdout.
+ALLOWED = frozenset({
+    "__main__.py",
+    "experiments/report.py",
+})
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def find_prints(source):
+    """Yield ``(line, column)`` of every ``print`` NAME token."""
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for tok in tokens:
+        if tok.type == tokenize.NAME and tok.string == "print":
+            yield tok.start
+
+
+def scan_file(path):
+    """Return violation strings for one file (empty when clean)."""
+    rel = path.relative_to(SRC).as_posix()
+    if rel in ALLOWED:
+        return []
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"{rel}: unreadable ({exc})"]
+    try:
+        return [f"{rel}:{line}:{col + 1}: print call in library code "
+                "(use repro.observability.get_logger instead)"
+                for line, col in find_prints(source)]
+    except tokenize.TokenizeError as exc:
+        return [f"{rel}: cannot tokenize ({exc})"]
+
+
+def main(argv=None):
+    """Scan ``src/repro``; print violations; return their count."""
+    del argv  # no options yet
+    violations = []
+    files = sorted(SRC.rglob("*.py"))
+    for path in files:
+        violations.extend(scan_file(path))
+    for line in violations:
+        print(f"VIOLATION: {line}")
+    print(f"checked {len(files)} files, {len(violations)} violation(s)")
+    return len(violations)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
