@@ -11,9 +11,20 @@ Usage::
 ``status`` and the sweep continues (``--keep-going``, default on), a
 per-experiment wall-clock budget can be set with ``--budget``, failed
 experiments can be retried with ``--max-retries``, and
-``--inject-fault ID`` forces an experiment to fail so the degradation
-path itself can be exercised. The exit code is 0 only when every
-requested experiment succeeded.
+``--inject-fault ID[:MODE]`` forces an experiment to fail (modes:
+``error`` — catchable exception, ``hang`` — spins without budget
+ticks, ``crash`` — SIGKILLs its own process) so every degradation path
+can be exercised. The exit code is 0 only when every requested
+experiment succeeded.
+
+Crash safety: ``run --isolate`` executes each experiment in a killable
+subprocess (a crashed worker becomes a structured failure),
+``--hard-timeout SECONDS`` kills a worker that exceeds the deadline —
+no cooperation needed, unlike ``--budget`` — and
+``--checkpoint DIR`` / ``--resume`` journal completed outcomes durably
+so an interrupted sweep restarts without recomputing finished
+experiments. Ctrl-C flushes the journal and the partial summary and
+exits with code 130.
 
 Observability: ``-v``/``-vv`` (or ``--log-level``) turn on progress
 logging, ``run --trace FILE`` exports the sweep's span tree as JSONL,
@@ -72,9 +83,31 @@ def _build_parser():
         help="extra attempts per failed experiment (budget grows per retry)",
     )
     run.add_argument(
-        "--inject-fault", action="append", default=[], metavar="ID",
+        "--inject-fault", action="append", default=[], metavar="ID[:MODE]",
         help="force this experiment to fail (repeatable; exercises the "
-             "fault-tolerance path)",
+             "fault-tolerance path); MODE is error (default), hang, or "
+             "crash — the hard modes need --isolate/--hard-timeout",
+    )
+    run.add_argument(
+        "--isolate", action="store_true",
+        help="run each experiment in a killable subprocess: crashes "
+             "(segfault, SIGKILL) become structured failures and the "
+             "sweep continues",
+    )
+    run.add_argument(
+        "--hard-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill an isolated worker exceeding this wall-clock deadline "
+             "(no cooperation needed, unlike --budget; implies --isolate)",
+    )
+    run.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="journal each completed experiment durably to DIR/journal.jsonl "
+             "(atomic write + fsync; survives crashes and Ctrl-C)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint: skip experiments already completed in the "
+             "journal and re-run only failed or missing ones",
     )
     run.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -88,9 +121,45 @@ def _build_parser():
     return parser
 
 
+def _suggest(key, all_experiments):
+    """A " -- did you mean X?" hint for an unknown experiment id."""
+    close = difflib.get_close_matches(key, all_experiments, n=1)
+    return f" -- did you mean {close[0]}?" if close else ""
+
+
+def _parse_inject_faults(specs, all_experiments):
+    """``--inject-fault ID[:MODE]`` specs as a ``{key: mode}`` dict.
+
+    Unknown ids and modes are hard errors (with the same "did you
+    mean" suggestion as the ``run`` id) — a drill that silently
+    injects nothing would report misleading success.
+    """
+    from .experiments.harness import INJECT_MODES
+
+    fail_modes = {}
+    for spec in specs:
+        key, _, mode = spec.partition(":")
+        key = key.upper()
+        mode = mode.lower() or "error"
+        if key not in all_experiments:
+            raise ValueError(
+                f"--inject-fault: unknown experiment "
+                f"{spec.partition(':')[0]!r}{_suggest(key, all_experiments)}; "
+                f"choose from {', '.join(all_experiments)}"
+            )
+        if mode not in INJECT_MODES:
+            raise ValueError(
+                f"--inject-fault: unknown mode {mode!r} in {spec!r}; "
+                f"choose from {', '.join(INJECT_MODES)}"
+            )
+        fail_modes[key] = mode
+    return fail_modes
+
+
 def _run_command(args, all_experiments):
     from .experiments import run_experiments, summarize_outcomes
     from .observability.tracer import Tracer
+    from .robustness.checkpoint import RunJournal
 
     if args.budget is not None and not args.budget > 0:
         print(f"--budget must be a positive number of seconds, "
@@ -100,6 +169,16 @@ def _run_command(args, all_experiments):
         print(f"--max-retries must be >= 0, got {args.max_retries}",
               file=sys.stderr)
         return 2
+    if args.hard_timeout is not None:
+        if not args.hard_timeout > 0:
+            print(f"--hard-timeout must be a positive number of seconds, "
+                  f"got {args.hard_timeout}", file=sys.stderr)
+            return 2
+        args.isolate = True  # a hard deadline is only enforceable by kill
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint DIR (nothing to resume from)",
+              file=sys.stderr)
+        return 2
 
     key = args.experiment.upper()
     if key == "ALL":
@@ -107,47 +186,89 @@ def _run_command(args, all_experiments):
     elif key in all_experiments:
         keys = [key]
     else:
-        close = difflib.get_close_matches(key, all_experiments, n=1)
-        hint = f" -- did you mean {close[0]}?" if close else ""
-        print(f"unknown experiment {args.experiment!r}{hint}; "
+        print(f"unknown experiment {args.experiment!r}"
+              f"{_suggest(key, all_experiments)}; "
               f"choose from {', '.join(all_experiments)} or 'all'",
               file=sys.stderr)
         return 2
 
+    try:
+        fail_modes = _parse_inject_faults(args.inject_fault, all_experiments)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    unmatched = set(fail_modes) - set(keys)
+    if unmatched:
+        print(f"warning: --inject-fault {', '.join(sorted(unmatched))} "
+              "matches no selected experiment", file=sys.stderr)
+    hard_modes = {k: m for k, m in fail_modes.items()
+                  if k in keys and m in ("hang", "crash")}
+    if hard_modes and not args.isolate:
+        print(f"--inject-fault modes "
+              f"{', '.join(f'{k}:{m}' for k, m in sorted(hard_modes.items()))} "
+              "defeat cooperative budgets; add --isolate (and --hard-timeout "
+              "for hangs) so the sweep can survive them", file=sys.stderr)
+        return 2
+
     def stream(outcome):
-        if outcome.ok:
+        if outcome.status == "skipped":
+            print(f"[{outcome.key} skipped -- already completed in the "
+                  f"journal ({outcome.elapsed:.2f}s in the prior run)]\n")
+        elif outcome.ok:
             print(outcome.table.render())
             extra = (f", peak {outcome.peak_kb:.0f} KiB"
                      if outcome.peak_kb is not None else "")
             print(f"[{outcome.key} completed in {outcome.elapsed:.2f}s "
                   f"({outcome.iterations} iterations{extra})]\n")
         else:
-            print(f"[{outcome.key} FAILED after {outcome.elapsed:.2f}s "
+            how = (f" [{outcome.failure.kind}]"
+                   if outcome.failure.kind != "error" else "")
+            print(f"[{outcome.key} FAILED{how} after {outcome.elapsed:.2f}s "
                   f"({outcome.attempts} attempt(s)): "
                   f"{outcome.failure.error_type}: {outcome.failure.message}]\n")
 
-    fail_keys = {k.upper() for k in args.inject_fault}
-    unmatched = fail_keys - set(keys)
-    if unmatched:
-        print(f"warning: --inject-fault {', '.join(sorted(unmatched))} "
-              "matches no selected experiment", file=sys.stderr)
+    journal = None
+    if args.checkpoint is not None:
+        journal = RunJournal(args.checkpoint, resume=args.resume)
     tracer = Tracer(profile_memory=args.profile)
-    outcomes = run_experiments(
-        {k: all_experiments[k] for k in keys},
-        keep_going=args.keep_going,
-        max_seconds=args.budget,
-        max_retries=args.max_retries,
-        fail_keys=fail_keys,
-        callback=stream,
-        tracer=tracer,
-    )
+    outcomes = []  # filled via callback so a Ctrl-C keeps partial results
+
+    def collect(outcome):
+        outcomes.append(outcome)
+        stream(outcome)
+
+    interrupted = False
+    try:
+        run_experiments(
+            {k: all_experiments[k] for k in keys},
+            keep_going=args.keep_going,
+            max_seconds=args.budget,
+            max_retries=args.max_retries,
+            fail_keys=fail_modes,
+            callback=collect,
+            tracer=tracer,
+            isolate=args.isolate,
+            hard_timeout=args.hard_timeout,
+            journal=journal,
+        )
+    except KeyboardInterrupt:
+        interrupted = True
+        print(f"\ninterrupted -- {len(outcomes)}/{len(keys)} experiment(s) "
+              "completed before Ctrl-C", file=sys.stderr)
+        if journal is not None:
+            print(f"journal {journal.path} is flushed; resume with "
+                  f"'--checkpoint {args.checkpoint} --resume'",
+                  file=sys.stderr)
     failed = [o for o in outcomes if not o.ok]
-    if len(outcomes) > 1 or failed:
-        print(summarize_outcomes(outcomes).render())
+    if len(outcomes) > 1 or failed or interrupted:
+        if outcomes:
+            print(summarize_outcomes(outcomes).render())
     if args.trace is not None:
         n = tracer.write_jsonl(args.trace)
         print(f"[wrote {n} spans to {args.trace}; render with "
               f"'python -m repro report {args.trace}']", file=sys.stderr)
+    if interrupted:
+        return 130
     if failed:
         print(f"\n{len(failed)}/{len(outcomes)} experiment(s) failed: "
               f"{', '.join(o.key for o in failed)}", file=sys.stderr)

@@ -28,6 +28,24 @@ class BudgetExceededError(MultiClustError):
     """
 
 
+class WorkerTimeoutError(MultiClustError):
+    """Raised (as a record) when an isolated worker exceeds its hard deadline.
+
+    Unlike :class:`BudgetExceededError` — which relies on the optimiser
+    cooperating via ``budget_tick`` — this marks a worker process that
+    had to be killed from the outside because it stopped responding
+    entirely (see :mod:`repro.robustness.workers`).
+    """
+
+
+class WorkerCrashError(MultiClustError):
+    """Raised (as a record) when an isolated worker process died.
+
+    Covers nonzero exits and signal deaths (segfault, SIGKILL) of the
+    subprocess running one experiment under ``--isolate``.
+    """
+
+
 class FaultInjectedError(MultiClustError):
     """Raised by the fault-injection harness to force a structured failure.
 

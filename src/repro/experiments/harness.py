@@ -9,6 +9,18 @@ tutorial's figures/tables can be regenerated with one command.
 budget/retry policy, failures become :class:`ExperimentOutcome` records
 with a ``status`` instead of aborting the sweep, and
 :func:`summarize_outcomes` renders the per-experiment status table.
+
+Two opt-in hardening layers (see ``docs/robustness.md``):
+
+* ``isolate=True`` runs each experiment in a killable subprocess with a
+  ``hard_timeout`` deadline — a hang that never reaches a
+  ``budget_tick``, or an outright crash (segfault, SIGKILL), becomes a
+  structured ``"timeout"``/``"crashed"`` failure and the sweep
+  continues;
+* ``journal=...`` checkpoints every completed outcome durably
+  (:class:`~repro.robustness.RunJournal`), so a killed sweep resumes
+  where it stopped: previously-succeeded keys are surfaced as status
+  ``"skipped"`` with their tables intact and are not recomputed.
 """
 
 from __future__ import annotations
@@ -18,15 +30,29 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..exceptions import FaultInjectedError, ValidationError
+from ..exceptions import (
+    FaultInjectedError,
+    ValidationError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
 from ..observability.logs import get_logger
 from ..observability.tracer import Tracer, current_tracer
+from ..robustness.checkpoint import RunJournal
 from ..robustness.guard import RunFailure, RunGuard
+from ..robustness.workers import run_in_worker
 
 __all__ = ["ExperimentOutcome", "ResultTable", "run_experiments",
            "summarize_outcomes", "timed"]
 
 logger = get_logger("experiments")
+
+#: Fault-injection modes accepted by ``run_experiments(fail_keys=...)``
+#: and the CLI's ``--inject-fault ID[:MODE]``. ``"error"`` raises a
+#: catchable exception; ``"hang"`` spins without budget ticks (only a
+#: hard timeout reaps it); ``"crash"`` SIGKILLs its own process (only
+#: isolation survives it).
+INJECT_MODES = ("error", "hang", "crash")
 
 
 class ResultTable:
@@ -64,6 +90,23 @@ class ResultTable:
             return f"{value:.3f}"
         return str(value)
 
+    def to_dict(self):
+        """JSON-serialisable dict (journal / worker-pipe schema)."""
+        return {"title": self.title, "columns": list(self.columns),
+                "rows": [dict(r) for r in self.rows]}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict` (row typo-checking re-applies)."""
+        if not isinstance(data, dict) or "columns" not in data:
+            raise ValidationError(
+                "ResultTable record must be a dict with a 'columns' key"
+            )
+        table = cls(data.get("title", ""), data["columns"])
+        for row in data.get("rows", []):
+            table.add(**row)
+        return table
+
     def render(self):
         """Fixed-width text table."""
         cells = [
@@ -95,8 +138,10 @@ def timed(fn, *args, **kwargs):
 class ExperimentOutcome:
     """Per-experiment record of a guarded sweep.
 
-    ``status`` is "ok" (``table`` holds the ResultTable) or "failed"
-    (``failure`` holds the structured :class:`RunFailure`).
+    ``status`` is "ok" (``table`` holds the ResultTable), "failed"
+    (``failure`` holds the structured :class:`RunFailure`), or
+    "skipped" (a resumed sweep found this key already completed in the
+    journal; ``table`` holds the prior run's ResultTable).
 
     ``iterations`` counts the cooperative optimiser ticks spent inside
     the experiment (every ``budget_tick`` across all nested fits);
@@ -117,12 +162,165 @@ class ExperimentOutcome:
 
     @property
     def ok(self):
-        return self.status == "ok"
+        """True for work that need not be redone ("ok" or "skipped")."""
+        return self.status in ("ok", "skipped")
+
+    def to_dict(self):
+        """JSON-serialisable dict; survives journal and worker pipe.
+
+        ``table`` is stored via :meth:`ResultTable.to_dict` (a non-table
+        value degrades to its ``repr``), ``failure`` via
+        :meth:`~repro.robustness.RunFailure.to_dict`.
+        """
+        if isinstance(self.table, ResultTable):
+            table = self.table.to_dict()
+        elif self.table is None:
+            table = None
+        else:
+            table = repr(self.table)
+        return {
+            "key": self.key,
+            "status": self.status,
+            "table": table,
+            "failure": None if self.failure is None
+            else self.failure.to_dict(),
+            "elapsed": self.elapsed,
+            "attempts": self.attempts,
+            "iterations": self.iterations,
+            "timings": self.timings,
+            "peak_kb": self.peak_kb,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        if not isinstance(data, dict) or "key" not in data:
+            raise ValidationError(
+                "ExperimentOutcome record must be a dict with a 'key'"
+            )
+        table = data.get("table")
+        if isinstance(table, dict):
+            table = ResultTable.from_dict(table)
+        failure = data.get("failure")
+        if failure is not None:
+            failure = RunFailure.from_dict(failure)
+        timings = data.get("timings")
+        return cls(
+            key=str(data["key"]),
+            status=str(data.get("status", "ok")),
+            table=table,
+            failure=failure,
+            elapsed=float(data.get("elapsed", 0.0)),
+            attempts=int(data.get("attempts", 1)),
+            iterations=int(data.get("iterations", 0)),
+            timings=None if timings is None else dict(timings),
+            peak_kb=data.get("peak_kb"),
+        )
+
+
+def _normalize_fail_keys(fail_keys):
+    """``fail_keys`` as a ``{key: mode}`` dict with validated modes."""
+    if isinstance(fail_keys, dict):
+        modes = {str(k): str(v) for k, v in fail_keys.items()}
+    else:
+        modes = {str(k): "error" for k in fail_keys}
+    for key, mode in modes.items():
+        if mode not in INJECT_MODES:
+            raise ValidationError(
+                f"unknown fault-injection mode {mode!r} for {key}; "
+                f"expected one of {INJECT_MODES}"
+            )
+    return modes
+
+
+def _make_injected(key, mode):
+    """An experiment body that fails in the requested way."""
+    from ..robustness import faults
+
+    def injected():
+        if mode == "hang":
+            faults.hang()
+        elif mode == "crash":
+            faults.hard_crash()
+        raise FaultInjectedError(
+            f"fault injected into experiment {key} (--inject-fault)"
+        )
+
+    return injected
+
+
+def _outcome_from_result(key, result):
+    """Fold a guard's :class:`RunResult` into an ExperimentOutcome."""
+    telemetry = result.telemetry or {}
+    return ExperimentOutcome(
+        key=key,
+        status=result.status,
+        table=result.value,
+        failure=result.failure,
+        elapsed=result.elapsed,
+        attempts=result.attempts,
+        iterations=telemetry.get("ticks", 0),
+        timings=result.timings,
+        peak_kb=telemetry.get("peak_kb"),
+    )
+
+
+class _WorkerTracer(Tracer):
+    """Tracer for isolated workers: iteration ticks double as heartbeats.
+
+    Every ``budget_tick`` inside the child both feeds the span tree
+    (so ``iterations``/``timings`` ship back with the outcome) and
+    refreshes the parent's liveness clock through the worker pipe.
+    """
+
+    def __init__(self, heartbeat, profile_memory=False):
+        super().__init__(profile_memory=profile_memory)
+        self._heartbeat = heartbeat
+
+    def add_ticks(self, n=1):
+        super().add_ticks(n)
+        self._heartbeat()
+
+
+def _run_isolated(key, run_fn, *, max_seconds, max_retries, hard_timeout,
+                  heartbeat_interval, start_method, profile_memory):
+    """One experiment in a killable subprocess; never raises for it.
+
+    The cooperative guard (budgets, retries) runs *inside* the child,
+    so soft failures come back as ordinary serialized outcomes; only a
+    worker the parent had to kill (timeout) or that died (crash) is
+    synthesized into a failure here.
+    """
+    def payload(heartbeat):
+        tracer = _WorkerTracer(heartbeat, profile_memory=profile_memory)
+        guard = RunGuard(max_seconds=max_seconds, max_retries=max_retries,
+                         label=key, tracer=tracer)
+        return _outcome_from_result(key, guard.run(run_fn)).to_dict()
+
+    worker = run_in_worker(payload, hard_timeout=hard_timeout,
+                           heartbeat_interval=heartbeat_interval,
+                           start_method=start_method, label=key)
+    if worker.completed:
+        return ExperimentOutcome.from_dict(worker.value)
+    if worker.status == "timeout":
+        error_type, kind = WorkerTimeoutError.__name__, "timeout"
+    else:
+        error_type, kind = WorkerCrashError.__name__, "crashed"
+    failure = RunFailure(
+        label=key, error_type=error_type, message=worker.describe(),
+        traceback="", elapsed=worker.elapsed, attempts=1, kind=kind,
+        context={"exitcode": worker.exitcode, "signal": worker.signal_name,
+                 "hard_timeout": hard_timeout, **worker.detail},
+    )
+    return ExperimentOutcome(key=key, status="failed", failure=failure,
+                             elapsed=worker.elapsed)
 
 
 def run_experiments(experiments, *, keep_going=True, max_seconds=None,
                     max_retries=0, fail_keys=(), callback=None,
-                    tracer=None, profile=False):
+                    tracer=None, profile=False, isolate=False,
+                    hard_timeout=None, journal=None,
+                    heartbeat_interval=1.0, start_method=None):
     """Run a mapping of ``{key: experiment_fn}`` fault-tolerantly.
 
     Parameters
@@ -138,10 +336,12 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
         optimiser iteration boundaries (see ``repro.robustness``).
     max_retries : int
         Extra attempts per experiment after a retryable failure.
-    fail_keys : collection of str
-        Fault injection: these experiments raise
-        :class:`FaultInjectedError` instead of running — exercises the
-        degradation path end to end without a genuinely broken build.
+    fail_keys : collection of str, or mapping of str -> mode
+        Fault injection. A plain collection injects a catchable
+        :class:`FaultInjectedError`; a mapping selects per-key modes
+        from :data:`INJECT_MODES` (``"error"``, ``"hang"``,
+        ``"crash"``) — the hard modes exercise the isolation path end
+        to end without a genuinely broken build.
     callback : callable or None
         Invoked with each :class:`ExperimentOutcome` as it completes
         (the CLI uses this for streaming output).
@@ -150,45 +350,91 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
         :class:`~repro.observability.Tracer` is created when None, so
         outcomes always carry iteration counts and per-stage timings;
         pass your own to keep the spans (e.g. for ``--trace FILE``).
+        Under ``isolate`` the child traces itself and ships the
+        summary back with the outcome, so parent-side spans cover only
+        the sweep skeleton.
     profile : bool
         When creating the internal tracer, capture tracemalloc peaks
         (ignored when ``tracer`` is given — configure it directly).
+    isolate : bool
+        Run each experiment in a ``multiprocessing`` subprocess. A
+        worker that dies (segfault, SIGKILL, nonzero exit) becomes a
+        structured ``"crashed"`` failure and the sweep continues.
+    hard_timeout : float or None
+        Hard per-experiment wall-clock deadline (seconds). Unlike
+        ``max_seconds`` it needs no cooperation: the worker is killed
+        outright and recorded as a ``"timeout"`` failure. Implies
+        nothing about ``max_seconds`` — use both (cooperative budget a
+        bit below the hard deadline) for defense in depth. Requires
+        ``isolate``.
+    journal : RunJournal, str, Path, or None
+        Crash-safe checkpoint store. Keys whose journaled outcome was
+        ``"ok"`` are not re-executed — they are surfaced as status
+        ``"skipped"`` with the prior table — and every fresh outcome
+        is recorded durably as soon as it completes, so a sweep killed
+        at any point resumes without recomputation. A path constructs
+        a resuming :class:`~repro.robustness.RunJournal`.
+    heartbeat_interval : float
+        Seconds between worker liveness messages (isolation only).
+    start_method : str or None
+        ``multiprocessing`` start method (isolation only; default
+        prefers ``fork`` so closures work as experiments).
 
     Returns
     -------
     list of ExperimentOutcome
     """
-    fail_keys = frozenset(fail_keys)
+    fail_modes = _normalize_fail_keys(fail_keys)
+    if hard_timeout is not None and not isolate:
+        raise ValidationError(
+            "hard_timeout requires isolate=True: a hard deadline can only "
+            "be enforced by killing a worker process"
+        )
+    if journal is not None and not isinstance(journal, RunJournal):
+        journal = RunJournal(journal)
     if tracer is None:
         tracer = Tracer(profile_memory=profile)
+    prior = journal.outcomes if journal is not None else {}
     outcomes = []
     with contextlib.ExitStack() as stack:
         if current_tracer() is not tracer:
             stack.enter_context(tracer)
-        for key, fn in experiments.items():
-            guard = RunGuard(max_seconds=max_seconds,
-                             max_retries=max_retries, label=key,
-                             tracer=tracer)
-            if key in fail_keys:
-                def fn(key=key):
-                    raise FaultInjectedError(
-                        f"fault injected into experiment {key} "
-                        "(--inject-fault)"
-                    )
-            result = guard.run(fn)
-            telemetry = result.telemetry or {}
-            outcome = ExperimentOutcome(
-                key=key,
-                status=result.status,
-                table=result.value,
-                failure=result.failure,
-                elapsed=result.elapsed,
-                attempts=result.attempts,
-                iterations=telemetry.get("ticks", 0),
-                timings=result.timings,
-                peak_kb=telemetry.get("peak_kb"),
-            )
+        for key, experiment_fn in experiments.items():
+            prior_outcome = prior.get(key)
+            if prior_outcome is not None and prior_outcome.status == "ok":
+                outcome = ExperimentOutcome(
+                    key=key, status="skipped", table=prior_outcome.table,
+                    elapsed=prior_outcome.elapsed,
+                    attempts=prior_outcome.attempts,
+                    iterations=prior_outcome.iterations,
+                    timings=prior_outcome.timings,
+                    peak_kb=prior_outcome.peak_kb,
+                )
+                outcomes.append(outcome)
+                logger.info("experiment %s: skipped (journaled ok in %s)",
+                            key, journal.path)
+                if callback is not None:
+                    callback(outcome)
+                continue
+            mode = fail_modes.get(key)
+            run_fn = (experiment_fn if mode is None
+                      else _make_injected(key, mode))
+            if isolate:
+                outcome = _run_isolated(
+                    key, run_fn, max_seconds=max_seconds,
+                    max_retries=max_retries, hard_timeout=hard_timeout,
+                    heartbeat_interval=heartbeat_interval,
+                    start_method=start_method,
+                    profile_memory=tracer.profile_memory,
+                )
+            else:
+                guard = RunGuard(max_seconds=max_seconds,
+                                 max_retries=max_retries, label=key,
+                                 tracer=tracer)
+                outcome = _outcome_from_result(key, guard.run(run_fn))
             outcomes.append(outcome)
+            if journal is not None:
+                journal.record(outcome)
             logger.info(
                 "experiment %s: %s in %.3fs (%d iterations, %d attempts)",
                 key, outcome.status, outcome.elapsed, outcome.iterations,
@@ -207,7 +453,10 @@ def summarize_outcomes(outcomes):
 
     Includes elapsed wall-clock, attempts, and cooperative iteration
     counts alongside the status so slow or retry-heavy experiments are
-    visible at a glance.
+    visible at a glance. A failure's ``kind`` is folded into the status
+    column (``failed/timeout``, ``failed/crashed``) so hard kills are
+    distinguishable from in-process errors; resumed keys show as
+    ``skipped``.
     """
     table = ResultTable(
         "run summary",
@@ -216,11 +465,14 @@ def summarize_outcomes(outcomes):
     )
     for outcome in outcomes:
         error = ""
+        status = outcome.status
         if outcome.failure is not None:
+            if outcome.failure.kind != "error":
+                status = f"{status}/{outcome.failure.kind}"
             error = f"{outcome.failure.error_type}: {outcome.failure.message}"
             if len(error) > 60:
                 error = error[:57] + "..."
-        table.add(experiment=outcome.key, status=outcome.status,
+        table.add(experiment=outcome.key, status=status,
                   seconds=outcome.elapsed, attempts=outcome.attempts,
                   iterations=outcome.iterations, error=error)
     return table

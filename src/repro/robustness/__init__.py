@@ -10,22 +10,35 @@ of raw tracebacks). :mod:`repro.robustness.faults` provides the fault
 injection used to prove every estimator fails structurally, never with
 an unhandled NumPy error.
 
+Two hard-enforcement modules complement the cooperative layer:
+:mod:`repro.robustness.workers` runs each experiment in a killable
+subprocess with a hard wall-clock deadline (covering hangs and crashes
+that never reach a ``budget_tick``), and
+:mod:`repro.robustness.checkpoint` journals completed outcomes with
+atomic writes so an interrupted sweep resumes without recomputation.
+
 See ``docs/robustness.md`` for the full guide.
 """
 
+from .checkpoint import RunJournal, load_journal_records
 from .faults import (
     DATA_FAULTS,
+    CrashingEstimator,
     FlakyEstimator,
+    HangingEstimator,
     StallingEstimator,
     adversarial_cluster_count,
     collapse_to_single_point,
     faulty_variants,
+    hang,
+    hard_crash,
     inject_constant_feature,
     inject_duplicate_rows,
     inject_inf_cells,
     inject_nan_cells,
 )
 from .guard import (
+    KNOWN_FAILURE_KINDS,
     RunBudget,
     RunFailure,
     RunGuard,
@@ -33,20 +46,30 @@ from .guard import (
     active_budget,
     budget_tick,
 )
+from .workers import WorkerResult, run_in_worker
 
 __all__ = [
+    "KNOWN_FAILURE_KINDS",
     "RunBudget",
     "RunFailure",
     "RunGuard",
     "RunResult",
+    "RunJournal",
+    "WorkerResult",
     "active_budget",
     "budget_tick",
+    "load_journal_records",
+    "run_in_worker",
     "DATA_FAULTS",
+    "CrashingEstimator",
     "FlakyEstimator",
+    "HangingEstimator",
     "StallingEstimator",
     "adversarial_cluster_count",
     "collapse_to_single_point",
     "faulty_variants",
+    "hang",
+    "hard_crash",
     "inject_constant_feature",
     "inject_duplicate_rows",
     "inject_inf_cells",

@@ -1,0 +1,167 @@
+"""Crash-safe run journal: checkpoint/resume for experiment sweeps.
+
+A :class:`RunJournal` persists every completed
+:class:`~repro.experiments.ExperimentOutcome` of a sweep as one JSON
+record per line. Durability over speed:
+
+* every :meth:`~RunJournal.record` rewrites the journal through a
+  temporary file, ``fsync``\\ s it, and atomically ``os.replace``\\ s it
+  over the previous version (plus a best-effort directory fsync), so a
+  crash — power loss, SIGKILL, OOM — at any instant leaves either the
+  old journal or the new one, never a half-written file;
+* loading tolerates a **truncated trailing line** anyway (a torn write
+  from an append-mode writer or an exotic filesystem): the partial
+  record is dropped with a warning and everything before it is kept.
+  Corruption *before* the last line is refused loudly — that is not a
+  torn write, and silently dropping completed work would cause the very
+  recomputation the journal exists to avoid.
+
+``run_experiments(..., journal=...)`` consults the journal before each
+experiment: a key whose prior outcome was ``"ok"`` is skipped (surfaced
+as status ``"skipped"``, table preserved) and only failed or missing
+keys execute. The CLI exposes this as ``run --checkpoint DIR`` /
+``--resume``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from ..exceptions import ValidationError
+from ..observability.logs import get_logger
+
+__all__ = ["RunJournal", "load_journal_records"]
+
+logger = get_logger("repro.robustness.checkpoint")
+
+#: Default journal filename inside a ``--checkpoint`` directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+def load_journal_records(path):
+    """Parse a JSONL journal, tolerating a truncated trailing line.
+
+    Returns a list of dicts. A final line that is not valid JSON (torn
+    write) is dropped with a warning; an invalid line anywhere else
+    raises :class:`~repro.exceptions.ValidationError` because it means
+    real corruption, not an interrupted append.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    records = []
+    for line_no, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if line_no == len(lines):
+                logger.warning(
+                    "%s:%d: dropping truncated trailing journal record "
+                    "(torn write recovered)", path, line_no,
+                )
+                break
+            raise ValidationError(
+                f"{path}:{line_no}: corrupt journal record ({exc}); "
+                "only the trailing line may be truncated"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ValidationError(
+                f"{path}:{line_no}: journal record must be a JSON object, "
+                f"got {type(record).__name__}"
+            )
+        records.append(record)
+    return records
+
+
+class RunJournal:
+    """Atomic, resumable journal of experiment outcomes.
+
+    Parameters
+    ----------
+    path : str or Path
+        The journal file. A directory is accepted too — the journal
+        becomes ``<dir>/journal.jsonl``. Missing parent directories are
+        created.
+    resume : bool
+        When true (default) an existing journal is loaded (with
+        torn-write recovery) and its outcomes are available via
+        :attr:`outcomes`; when false any existing journal is discarded
+        and the sweep starts clean.
+
+    Later records for the same experiment key supersede earlier ones,
+    so re-running a previously failed experiment overwrites its record.
+    """
+
+    def __init__(self, path, *, resume=True):
+        path = pathlib.Path(path)
+        if path.is_dir() or (not path.suffix and not path.exists()):
+            path = path / JOURNAL_NAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self._outcomes = {}
+        if resume and path.exists():
+            self._load()
+        elif not resume and path.exists():
+            path.unlink()
+            logger.info("discarded prior journal %s (fresh sweep)", path)
+
+    def _load(self):
+        from ..experiments.harness import ExperimentOutcome
+
+        for record in load_journal_records(self.path):
+            outcome = ExperimentOutcome.from_dict(record)
+            self._outcomes[outcome.key] = outcome
+        logger.info("resumed journal %s: %d prior outcome(s), %d ok",
+                    self.path, len(self._outcomes),
+                    len(self.completed_keys()))
+
+    # -- querying --------------------------------------------------------
+
+    @property
+    def outcomes(self):
+        """Mapping of experiment key -> last recorded outcome (a copy)."""
+        return dict(self._outcomes)
+
+    def completed_keys(self):
+        """Keys whose last recorded outcome succeeded (safe to skip)."""
+        return {key for key, outcome in self._outcomes.items()
+                if outcome.status == "ok"}
+
+    def __len__(self):
+        return len(self._outcomes)
+
+    def __contains__(self, key):
+        return key in self._outcomes
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, outcome):
+        """Persist one outcome durably (atomic rewrite + fsync)."""
+        self._outcomes[outcome.key] = outcome
+        self._flush()
+
+    def _flush(self):
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for outcome in self._outcomes.values():
+                fh.write(json.dumps(outcome.to_dict()) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        try:  # directory fsync is best-effort (not all platforms allow it)
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
+
+    def __repr__(self):
+        return (f"RunJournal({str(self.path)!r}, {len(self)} outcome(s), "
+                f"{len(self.completed_keys())} ok)")

@@ -13,6 +13,14 @@ Two families of faults:
   deterministically until its ``random_state`` has been bumped enough
   times (exercising the retry-with-reseed policy of
   :class:`~repro.robustness.RunGuard`).
+* **Hard faults** — failures that *defeat* the cooperative layer and
+  can only be handled by process isolation
+  (:mod:`repro.robustness.workers`): :func:`hang` spins without ever
+  calling ``budget_tick`` (no budget can interrupt it; only a hard
+  wall-clock kill can), :func:`hard_crash` dies by signal or bare
+  ``os._exit`` the way a segfault or the OOM killer would, skipping all
+  ``except`` blocks. :class:`HangingEstimator` and
+  :class:`CrashingEstimator` wrap them in the estimator contract.
 
 Every injector is deterministic given ``random_state`` so failures are
 reproducible.
@@ -20,6 +28,8 @@ reproducible.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 
 import numpy as np
@@ -37,9 +47,13 @@ __all__ = [
     "collapse_to_single_point",
     "adversarial_cluster_count",
     "faulty_variants",
+    "hang",
+    "hard_crash",
     "DATA_FAULTS",
     "StallingEstimator",
     "FlakyEstimator",
+    "HangingEstimator",
+    "CrashingEstimator",
 ]
 
 
@@ -146,6 +160,78 @@ class StallingEstimator(BaseClusterer):
         self.labels_ = np.zeros(X.shape[0], dtype=np.int64)
         self.n_iter_ = ticks
         return self
+
+
+def hang(seconds=300.0, poll_seconds=0.05):
+    """Spin for ``seconds`` WITHOUT ever calling ``budget_tick``.
+
+    This is the failure mode cooperative budgets cannot touch: a hang
+    inside a tight loop (or C extension) that never reaches an
+    iteration boundary. Under ``--isolate --hard-timeout`` the worker
+    running it is killed at the deadline and recorded as a
+    ``"timeout"`` failure; without isolation only Ctrl-C (the sleep is
+    interruptible) or the ``seconds`` safety valve ends it — after
+    which it raises so a drill can never be mistaken for success.
+    """
+    deadline = time.perf_counter() + float(seconds)
+    while time.perf_counter() < deadline:
+        time.sleep(float(poll_seconds))
+    raise FaultInjectedError(
+        f"hang injector expired after {seconds}s without being reaped "
+        "(expected a hard timeout to kill this process first)"
+    )
+
+
+def hard_crash(signum=signal.SIGKILL):
+    """Kill the current process the way a segfault would.
+
+    Sends ``signum`` to ``os.getpid()`` (default ``SIGKILL`` — cannot
+    be caught, blocked, or cleaned up after), falling back to a bare
+    ``os._exit(137)`` should the signal somehow not dispatch. No
+    ``except`` block, ``finally``, or atexit handler runs: the only
+    layer that can turn this into a structured failure is the parent of
+    an isolated worker.
+    """
+    os.kill(os.getpid(), signum)
+    os._exit(137)  # unreachable unless the signal was blocked
+
+
+class HangingEstimator(BaseClusterer):
+    """Simulated hard hang: ``fit`` never reaches a ``budget_tick``.
+
+    Unlike :class:`StallingEstimator` (which cooperates and is stopped
+    by a :class:`~repro.robustness.RunBudget`), this estimator models
+    the adversarial case — stuck inside an inner loop — and is only
+    recoverable by the hard-timeout kill of an isolated worker.
+    """
+
+    def __init__(self, hang_seconds=300.0, poll_seconds=0.05):
+        self.hang_seconds = hang_seconds
+        self.poll_seconds = poll_seconds
+        self.labels_ = None
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        hang(self.hang_seconds, self.poll_seconds)
+        return self  # unreachable: hang() raises at the safety valve
+
+
+class CrashingEstimator(BaseClusterer):
+    """Simulated hard crash: ``fit`` kills its own process.
+
+    Models a segfault / OOM-kill inside native code. Only meaningful
+    under process isolation, where the parent records a ``"crashed"``
+    failure; calling ``fit`` in-process terminates the interpreter.
+    """
+
+    def __init__(self, signum=signal.SIGKILL):
+        self.signum = signum
+        self.labels_ = None
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        hard_crash(self.signum)
+        return self  # unreachable
 
 
 class FlakyEstimator(BaseClusterer):

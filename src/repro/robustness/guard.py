@@ -59,6 +59,7 @@ from ..observability.telemetry import emit_objective
 from ..observability.tracer import _ACTIVE_TRACER
 
 __all__ = [
+    "KNOWN_FAILURE_KINDS",
     "RunBudget",
     "RunFailure",
     "RunResult",
@@ -66,6 +67,13 @@ __all__ = [
     "active_budget",
     "budget_tick",
 ]
+
+#: Every ``RunFailure.kind`` the run layer can produce. ``"error"`` is a
+#: Python exception caught in-process; ``"timeout"`` and ``"crashed"``
+#: are parent-side verdicts about a killed or dead worker process (see
+#: :mod:`repro.robustness.workers`). ``tools/check_outcome_schema.py``
+#: asserts each kind survives the journal round-trip and is rendered.
+KNOWN_FAILURE_KINDS = ("error", "timeout", "crashed")
 
 logger = get_logger("repro.robustness")
 
@@ -105,6 +113,21 @@ def _span_summary(span):
     if span.peak_bytes is not None:
         telemetry["peak_kb"] = round(span.peak_bytes / 1024.0, 1)
     return (timings or None), telemetry
+
+
+def _json_safe_context(obj):
+    """Coerce a failure context to JSON-serialisable values."""
+    if isinstance(obj, dict):
+        return {str(k): _json_safe_context(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe_context(v) for v in obj]
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    return repr(obj)
 
 
 def budget_tick(n=1, objective=None):
@@ -205,7 +228,13 @@ class RunBudget:
 
 @dataclass
 class RunFailure:
-    """Structured record of a failed (guarded) run."""
+    """Structured record of a failed (guarded) run.
+
+    ``kind`` classifies how the failure was observed: ``"error"`` for an
+    exception caught in-process, ``"timeout"`` for a worker killed at
+    its hard wall-clock deadline, ``"crashed"`` for a worker process
+    that died (nonzero exit or signal). See :data:`KNOWN_FAILURE_KINDS`.
+    """
 
     label: str
     error_type: str
@@ -214,6 +243,7 @@ class RunFailure:
     elapsed: float
     attempts: int
     context: dict = field(default_factory=dict)
+    kind: str = "error"
 
     @classmethod
     def from_exception(cls, exc, *, label="", elapsed=0.0, attempts=1,
@@ -231,9 +261,47 @@ class RunFailure:
             context=dict(context or {}),
         )
 
+    def to_dict(self):
+        """JSON-serialisable dict (journal / worker-pipe schema)."""
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "elapsed": self.elapsed,
+            "attempts": self.attempts,
+            "context": _json_safe_context(self.context),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"RunFailure record must be a dict, got {type(data).__name__}"
+            )
+        kind = str(data.get("kind", "error"))
+        if kind not in KNOWN_FAILURE_KINDS:
+            raise ValidationError(
+                f"unknown RunFailure kind {kind!r}; "
+                f"expected one of {KNOWN_FAILURE_KINDS}"
+            )
+        return cls(
+            label=str(data.get("label", "")),
+            error_type=str(data.get("error_type", "Exception")),
+            message=str(data.get("message", "")),
+            traceback=str(data.get("traceback", "")),
+            elapsed=float(data.get("elapsed", 0.0)),
+            attempts=int(data.get("attempts", 1)),
+            context=dict(data.get("context") or {}),
+            kind=kind,
+        )
+
     def __str__(self):
         where = f"[{self.label}] " if self.label else ""
-        return (f"{where}{self.error_type}: {self.message} "
+        how = f"{self.kind}: " if self.kind != "error" else ""
+        return (f"{where}{how}{self.error_type}: {self.message} "
                 f"(attempts={self.attempts}, elapsed={self.elapsed:.2f}s)")
 
     def __repr__(self):
@@ -241,7 +309,8 @@ class RunFailure:
         if len(message) > 60:
             message = message[:57] + "..."
         label = f"label={self.label!r}, " if self.label else ""
-        return (f"RunFailure({label}{self.error_type}: {message!r}, "
+        kind = f"kind={self.kind!r}, " if self.kind != "error" else ""
+        return (f"RunFailure({label}{kind}{self.error_type}: {message!r}, "
                 f"attempts={self.attempts}, elapsed={self.elapsed:.2f}s)")
 
 

@@ -1,0 +1,259 @@
+"""Process isolation with hard wall-clock timeouts for guarded runs.
+
+The cooperative budgets of :mod:`repro.robustness.guard` stop a runaway
+optimiser only at the next ``budget_tick`` — a hang inside a tight inner
+loop, a C-level deadlock, or a segfault defeats them. This module adds
+the *hard* enforcement layer: :func:`run_in_worker` executes a payload
+in a ``multiprocessing`` subprocess connected to the parent by a
+message pipe, and the parent
+
+* **kills** the worker once a hard wall-clock deadline passes
+  (``terminate`` then ``kill`` after a grace period) and reports
+  ``status="timeout"``;
+* **detects death** — nonzero exit code or signal (segfault, OOM-kill,
+  an injected ``SIGKILL``) — and reports ``status="crashed"`` with the
+  exit code / signal name;
+* otherwise returns the payload's JSON-safe result dict
+  (``status="completed"``).
+
+The payload receives a ``heartbeat`` callable; invoking it (the harness
+wires it into the tracer's iteration ticks) updates the parent's
+liveness clock, so a timeout verdict can report how long the worker had
+been silent before it was killed.
+
+The default start method is ``fork`` when the platform offers it, so
+closures and locally-defined experiments work; under ``spawn`` the
+payload must be picklable. Results cross the process boundary as plain
+dicts — see ``ExperimentOutcome.to_dict`` — never as pickled library
+objects, so a crashed worker can never poison the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal as _signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..exceptions import ValidationError
+from ..observability.logs import get_logger
+
+__all__ = ["WorkerResult", "run_in_worker"]
+
+logger = get_logger("repro.robustness.workers")
+
+#: Seconds granted between ``terminate`` (SIGTERM) and ``kill``
+#: (SIGKILL) when reaping a timed-out worker.
+_KILL_GRACE = 2.0
+
+#: Parent poll interval while waiting on the worker pipe.
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class WorkerResult:
+    """Parent-side verdict about one isolated worker run.
+
+    ``status`` is ``"completed"`` (``value`` holds the payload's result
+    dict), ``"timeout"`` (deadline passed; worker killed), or
+    ``"crashed"`` (worker died before producing a result). ``detail``
+    carries structured context for the non-completed cases — exit code,
+    signal name, or the error the worker managed to report before dying.
+    """
+
+    status: str
+    value: Any = None
+    elapsed: float = 0.0
+    exitcode: Optional[int] = None
+    signal_name: Optional[str] = None
+    last_heartbeat_age: Optional[float] = None
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def completed(self):
+        return self.status == "completed"
+
+    def describe(self):
+        """One-line human summary of a non-completed verdict."""
+        if self.status == "timeout":
+            silence = (f"; silent for {self.last_heartbeat_age:.1f}s "
+                       "before the kill"
+                       if self.last_heartbeat_age is not None else "")
+            return (f"worker exceeded its hard deadline after "
+                    f"{self.elapsed:.2f}s and was killed{silence}")
+        if self.status == "crashed":
+            how = (f"signal {self.signal_name}" if self.signal_name
+                   else f"exit code {self.exitcode}")
+            reported = self.detail.get("message")
+            extra = f" ({reported})" if reported else ""
+            return (f"worker died with {how} after "
+                    f"{self.elapsed:.2f}s{extra}")
+        return f"worker completed in {self.elapsed:.2f}s"
+
+
+def _signal_name(exitcode):
+    """Name of the signal behind a negative exit code, else ``None``."""
+    if exitcode is None or exitcode >= 0:
+        return None
+    try:
+        return _signal.Signals(-exitcode).name
+    except ValueError:
+        return f"signal {-exitcode}"
+
+
+def _child_main(conn, payload, heartbeat_interval):
+    """Worker entry point: run ``payload`` and ship the result back.
+
+    Any exception escaping the payload (the harness runs payloads under
+    a RunGuard, so this means broken worker plumbing, not a failed
+    experiment) is reported over the pipe before exiting nonzero.
+    """
+    last_sent = [0.0]
+
+    def heartbeat():
+        now = time.monotonic()
+        if now - last_sent[0] >= heartbeat_interval:
+            last_sent[0] = now
+            try:
+                conn.send(("heartbeat", now))
+            except (BrokenPipeError, OSError):
+                pass  # parent already gone; the run is moot anyway
+
+    try:
+        value = payload(heartbeat)
+        conn.send(("outcome", value))
+        exitcode = 0
+    except BaseException as exc:  # noqa: BLE001 - last-resort report
+        try:
+            conn.send(("error", {
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+            }))
+        except (BrokenPipeError, OSError):
+            pass
+        exitcode = 1
+    finally:
+        conn.close()
+    os._exit(exitcode)
+
+
+def _pick_context(start_method):
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
+def _reap(process):
+    """Terminate, then kill, then join a worker that must not survive."""
+    if not process.is_alive():
+        process.join()
+        return
+    process.terminate()
+    process.join(_KILL_GRACE)
+    if process.is_alive():
+        logger.warning("worker pid=%s ignored SIGTERM; sending SIGKILL",
+                       process.pid)
+        process.kill()
+        process.join()
+
+
+def run_in_worker(payload, *, hard_timeout=None, heartbeat_interval=1.0,
+                  start_method=None, label=""):
+    """Run ``payload(heartbeat)`` in a subprocess under a hard deadline.
+
+    Parameters
+    ----------
+    payload : callable
+        Takes one argument — a zero-arg ``heartbeat`` callable it may
+        invoke at progress points — and returns a JSON-serialisable
+        value (the harness sends ``ExperimentOutcome.to_dict()``).
+    hard_timeout : float or None
+        Wall-clock seconds before the worker is killed from the
+        outside. ``None`` waits indefinitely (crash detection only).
+    heartbeat_interval : float
+        Minimum seconds between heartbeat messages (rate limit applied
+        in the child; excess calls are free).
+    start_method : str or None
+        ``multiprocessing`` start method; default prefers ``fork``.
+    label : str
+        Identifies the worker in log messages.
+
+    Returns
+    -------
+    WorkerResult
+        Never raises for worker-side problems; ``KeyboardInterrupt`` in
+        the parent still propagates (after the worker is reaped).
+    """
+    if hard_timeout is not None:
+        hard_timeout = float(hard_timeout)
+        if not hard_timeout > 0:
+            raise ValidationError(
+                f"hard_timeout must be positive, got {hard_timeout}"
+            )
+    ctx = _pick_context(start_method)
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_child_main, args=(child_conn, payload, heartbeat_interval),
+        daemon=True, name=f"repro-worker-{label or 'anon'}",
+    )
+    start = time.monotonic()
+    process.start()
+    child_conn.close()
+    deadline = None if hard_timeout is None else start + hard_timeout
+    last_heartbeat = None
+    outcome = None
+    got_outcome = False
+    error_detail = {}
+    timed_out = False
+    try:
+        while True:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                timed_out = True
+                break
+            wait = _POLL_SECONDS
+            if deadline is not None:
+                wait = min(wait, max(deadline - now, 0.0))
+            if parent_conn.poll(wait):
+                try:
+                    tag, value = parent_conn.recv()
+                except (EOFError, OSError):
+                    break  # pipe closed with no outcome: child is dead/dying
+                if tag == "heartbeat":
+                    last_heartbeat = time.monotonic()
+                elif tag == "outcome":
+                    outcome = value
+                    got_outcome = True
+                    break
+                elif tag == "error":
+                    error_detail = dict(value)
+                    break
+            elif not process.is_alive() and not parent_conn.poll():
+                break  # died between polls and left nothing in the pipe
+    finally:
+        _reap(process)
+        parent_conn.close()
+    elapsed = time.monotonic() - start
+    heartbeat_age = (None if last_heartbeat is None
+                     else elapsed - (last_heartbeat - start))
+    if got_outcome:
+        return WorkerResult(status="completed", value=outcome,
+                            elapsed=elapsed)
+    if timed_out:
+        logger.warning("worker %s killed at hard deadline %.3gs",
+                       label or process.name, hard_timeout)
+        return WorkerResult(status="timeout", elapsed=elapsed,
+                            exitcode=process.exitcode,
+                            signal_name=_signal_name(process.exitcode),
+                            last_heartbeat_age=heartbeat_age)
+    exitcode = process.exitcode
+    logger.warning("worker %s crashed (exitcode=%s)",
+                   label or process.name, exitcode)
+    return WorkerResult(status="crashed", elapsed=elapsed,
+                        exitcode=exitcode,
+                        signal_name=_signal_name(exitcode),
+                        last_heartbeat_age=heartbeat_age,
+                        detail=error_detail)
