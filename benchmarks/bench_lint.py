@@ -1,0 +1,122 @@
+"""Measure the full-tree cost of the repro.lint static-analysis gate.
+
+Usage:  python benchmarks/bench_lint.py
+
+Times one complete lint of the library (discovery + parse + all rules
+over every file) and, for scale, the engine's two cost components in
+isolation: parse-only (rules disabled) and the single-rule RL003 run
+the ``check_no_print`` wrapper performs. Each configuration is timed as
+the *minimum* over ``--repeats`` rounds — the standard microbenchmark
+estimator for the noise-free cost — and the rounds interleave the
+configurations so cache warm-up hits them alike.
+
+Writes the committed ``BENCH_lint.json`` at the repo root. The budget
+is ~2 s for the full tree (``--budget``): the gate runs inside tier-1
+CI on every change, so it must stay cheap enough that nobody is
+tempted to skip it. Exit status 1 when over budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.lint import (  # noqa: E402
+    LintEngine,
+    all_rule_classes,
+    walk_source_tree,
+)
+
+OUTPUT = ROOT / "BENCH_lint.json"
+
+
+def _configurations():
+    """Name -> zero-arg engine factory for each timed configuration."""
+    return [
+        ("full", lambda: LintEngine()),
+        ("parse_only", lambda: LintEngine(rules=[])),
+        ("rl003_only", lambda: LintEngine(select=["RL003"])),
+    ]
+
+
+def _one_run_seconds(factory, files):
+    engine = factory()
+    start = time.perf_counter()
+    report = engine.lint_paths(files)
+    return time.perf_counter() - start, report
+
+
+def measure(repeats=5):
+    """Min-of-N timings for each configuration; returns the report dict."""
+    files = list(walk_source_tree())
+    configs = _configurations()
+    times = {name: [] for name, _ in configs}
+    reports = {}
+    for name, factory in configs:  # warm caches before timing anything
+        _one_run_seconds(factory, files)
+    for round_no in range(repeats):
+        order = configs[round_no % len(configs):] + \
+            configs[:round_no % len(configs)]
+        for name, factory in order:
+            seconds, report = _one_run_seconds(factory, files)
+            times[name].append(seconds)
+            reports[name] = report
+    full = reports["full"]
+    best = {name: min(vals) for name, vals in times.items()}
+    return {
+        "benchmark": "repro.lint full-tree gate",
+        "config": {
+            "repeats": int(repeats),
+            "timing": "min seconds per configuration, rounds interleaved",
+            "rules": [cls.id for cls in all_rule_classes()],
+        },
+        "tree": {
+            "files": full.files_checked,
+            "findings": len(full.findings),
+            "pragma_suppressed": full.suppressed_pragma,
+        },
+        "timings": {
+            "full_s": round(best["full"], 4),
+            "parse_only_s": round(best["parse_only"], 4),
+            "rl003_only_s": round(best["rl003_only"], 4),
+            "rules_overhead_s": round(best["full"] - best["parse_only"], 4),
+            "ms_per_file": round(1000.0 * best["full"]
+                                 / max(full.files_checked, 1), 3),
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--budget", type=float, default=2.0,
+                        help="max allowed full-tree seconds (default 2.0)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure without rewriting BENCH_lint.json")
+    args = parser.parse_args(argv)
+
+    report = measure(repeats=args.repeats)
+    full_s = report["timings"]["full_s"]
+    report["summary"] = {
+        "budget_s": args.budget,
+        "within_budget": full_s <= args.budget,
+    }
+    if not args.no_write:
+        OUTPUT.write_text(json.dumps(report, indent=2) + "\n",
+                          encoding="utf-8")
+        print(f"wrote {OUTPUT}")
+    print(f"full tree: {report['tree']['files']} files in {full_s:.3f}s "
+          f"({report['timings']['ms_per_file']:.2f} ms/file), "
+          f"budget {args.budget:.1f}s -> "
+          f"{'OK' if report['summary']['within_budget'] else 'OVER BUDGET'}")
+    return 0 if report["summary"]["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,9 @@ Subpackages
 ``repro.observability``
     Instrumentation layer: tracing spans, metrics registry, convergence
     telemetry, and logging (see ``docs/observability.md``).
+``repro.lint``
+    AST static-analysis gate enforcing the determinism/purity/contract
+    invariants (see ``docs/static-analysis.md``).
 """
 
 __version__ = "1.0.0"
@@ -42,6 +45,7 @@ from . import (  # noqa: F401
     core,
     data,
     io,
+    lint,
     metrics,
     observability,
     robustness,
@@ -60,6 +64,7 @@ __all__ = [
     "core",
     "data",
     "io",
+    "lint",
     "metrics",
     "observability",
     "robustness",

@@ -31,6 +31,10 @@ logging, ``run --trace FILE`` exports the sweep's span tree as JSONL,
 ``run --profile`` adds tracemalloc peaks to the spans, and
 ``report FILE`` renders a previously exported trace as a span tree
 plus a slowest-stages table.
+
+Static analysis: ``lint`` forwards to ``python -m repro.lint`` — the
+AST gate enforcing the determinism/purity/contract invariants
+(``docs/static-analysis.md``); run it before sending a PR.
 """
 
 from __future__ import annotations
@@ -65,6 +69,14 @@ def _build_parser():
         "trace", nargs="?", default=None, metavar="TRACE.jsonl",
         help="span JSONL from 'run --trace'; when given, render the span "
              "tree and slowest-stages table instead of EXPERIMENTS.md",
+    )
+    lint = sub.add_parser(
+        "lint", add_help=False,
+        help="run the static-analysis gate (see docs/static-analysis.md)",
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to 'python -m repro.lint'",
     )
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="experiment id, e.g. F9, T1, all")
@@ -304,6 +316,14 @@ def main(argv=None):
     from .core.taxonomy import render_table
     from .observability.logs import configure_logging, level_from_verbosity
 
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forward verbatim: argparse REMAINDER would not accept leading
+        # options ("repro lint --select RL003" must work).
+        from .lint.cli import main as lint_main
+
+        return lint_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     configure_logging(args.log_level if args.log_level is not None
                       else level_from_verbosity(args.verbose))
@@ -315,6 +335,10 @@ def main(argv=None):
     if args.command == "taxonomy":
         print(render_table())
         return 0
+    if args.command == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(args.lint_args)
     if args.command == "report":
         if args.trace is not None:
             return _report_trace(args.trace)

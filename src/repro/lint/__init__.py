@@ -1,0 +1,65 @@
+"""Static-analysis engine enforcing the library's invariants.
+
+The tutorial's value is that ~20 alternative-clustering algorithms are
+comparable under one roof; that only holds if every estimator obeys the
+same invariants — seeded RNG threading, pure-NumPy substrates, the
+``get_params``/fitted-attribute contract, logging-only output. This
+package checks those invariants *statically*: one shared AST parse per
+file, a registry of :class:`Rule` subclasses (``RL001``–``RL008``),
+inline ``# repro: noqa[RL0xx]`` pragmas and a committed baseline for
+grandfathered findings.
+
+Run it as ``python -m repro.lint`` (or ``python -m repro lint``); the
+rule catalog, suppression policy and JSON output schema are documented
+in ``docs/static-analysis.md``. The allow/deny lists shared with the
+``tools/`` scripts live in :mod:`repro.lint.walk`.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    BASELINE_VERSION,
+    FileLint,
+    Finding,
+    LintEngine,
+    LintReport,
+    PARSE_RULE_ID,
+    Rule,
+    all_rule_classes,
+    format_human,
+    format_json,
+    load_baseline,
+    register,
+    resolve_rules,
+    write_baseline,
+)
+from . import rules  # noqa: F401 - importing populates the registry
+from .walk import (
+    API_DOC_PACKAGES,
+    ESTIMATOR_PACKAGES,
+    PACKAGE_ROOT,
+    PRINT_ALLOWED,
+    walk_source_tree,
+)
+
+__all__ = [
+    "API_DOC_PACKAGES",
+    "BASELINE_VERSION",
+    "ESTIMATOR_PACKAGES",
+    "FileLint",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "PACKAGE_ROOT",
+    "PARSE_RULE_ID",
+    "PRINT_ALLOWED",
+    "Rule",
+    "all_rule_classes",
+    "format_human",
+    "format_json",
+    "load_baseline",
+    "register",
+    "resolve_rules",
+    "walk_source_tree",
+    "write_baseline",
+]

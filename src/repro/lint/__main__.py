@@ -1,0 +1,16 @@
+"""``python -m repro.lint`` entry point."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Output was piped into a pager/head that exited early; park
+        # stdout on devnull so interpreter shutdown does not re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

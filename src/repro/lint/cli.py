@@ -1,0 +1,125 @@
+"""Command-line front-end for the lint engine.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint                  # lint src/repro
+    PYTHONPATH=src python -m repro.lint --format json path/to/file.py
+    PYTHONPATH=src python -m repro.lint --baseline tools/lint_baseline.json
+    PYTHONPATH=src python -m repro.lint --select RL003,RL004
+    PYTHONPATH=src python -m repro lint ...              # same, subcommand
+
+Exit status: 0 — clean (all findings fixed, pragma-suppressed or
+baselined), 1 — unsuppressed findings, 2 — usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import (
+    LintEngine,
+    all_rule_classes,
+    format_human,
+    format_json,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def _rule_ids(value):
+    """``"RL001, rl002"`` -> ``["RL001", "RL002"]``."""
+    return [part.strip().upper() for part in value.split(",") if part.strip()]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST static-analysis gate enforcing the library's "
+                    "determinism, purity and contract invariants "
+                    "(see docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (json follows the documented schema)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RL0xx[,..]",
+        help="run only these rule ids (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="RL0xx[,..]",
+        help="skip these rule ids (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules():
+    for cls in all_rule_classes():
+        print(f"{cls.id}  {cls.title} [{cls.severity}]")
+        print(f"       {cls.rationale}")
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+
+    select = sum((_rule_ids(v) for v in args.select), []) \
+        if args.select else None
+    ignore = sum((_rule_ids(v) for v in args.ignore), []) \
+        if args.ignore else None
+    try:
+        engine = LintEngine(select=select, ignore=ignore)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline is not None and not args.update_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    if args.paths:
+        paths = args.paths
+    else:
+        from .walk import PACKAGE_ROOT
+
+        paths = [PACKAGE_ROOT]
+    report = engine.lint_paths(paths, baseline=baseline)
+
+    if args.update_baseline:
+        if args.baseline is None:
+            print("--update-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        count = write_baseline(args.baseline, report.findings)
+        print(f"wrote {count} finding(s) to {args.baseline}")
+        return 0
+
+    output = (format_json(report) if args.format == "json"
+              else format_human(report))
+    print(output)
+    return 0 if report.ok else 1

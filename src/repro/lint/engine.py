@@ -1,0 +1,465 @@
+"""AST lint engine: one parse per file, rule dispatch, pragmas, baselines.
+
+The engine parses each source file exactly once (``ast.parse`` plus one
+``tokenize`` pass for suppression pragmas) and dispatches every node to
+the rules that registered interest in its type, so adding a rule costs
+one method call per matching node, not another tree traversal. Three
+layers of noise control keep the gate usable as the tree grows:
+
+* **pragmas** — ``# repro: noqa[RL001,RL005] - justification`` on the
+  flagged line suppresses exactly those rule ids there (blanket
+  suppression is deliberately unsupported: every exemption names the
+  invariant it waives);
+* **baselines** — a committed JSON file of grandfathered findings
+  (matched by ``(path, rule, message)`` so unrelated edits do not churn
+  line numbers) lets a new rule land strict while old debt is paid off;
+* **selection** — ``--select``/``--ignore`` restrict the active rule
+  set for focused runs.
+
+Files that fail to parse or read are reported under the reserved id
+:data:`PARSE_RULE_ID` rather than crashing the sweep.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "BASELINE_VERSION",
+    "FileLint",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "PARSE_RULE_ID",
+    "Rule",
+    "all_rule_classes",
+    "format_human",
+    "format_json",
+    "load_baseline",
+    "register",
+    "resolve_rules",
+    "write_baseline",
+]
+
+#: Reserved id for "the file could not be parsed/read at all".
+PARSE_RULE_ID = "RL000"
+
+#: Schema version of both the baseline file and the JSON output.
+BASELINE_VERSION = 1
+
+_RULE_ID_RE = re.compile(r"^RL\d{3}$")
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def render(self):
+        """``path:line:col: RLxxx message`` (col is 1-based for humans)."""
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} {self.message}")
+
+    def to_dict(self):
+        """JSON-ready mapping (documented in docs/static-analysis.md)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @property
+    def baseline_key(self):
+        """Line-independent identity used for baseline matching."""
+        return (self.path, self.rule, self.message)
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    if not _RULE_ID_RE.match(cls.id) or cls.id == PARSE_RULE_ID:
+        raise ValueError(f"rule id {cls.id!r} must match RL0xx (not RL000)")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rule_classes():
+    """Registered rule classes, sorted by id."""
+    return [cls for _, cls in sorted(_REGISTRY.items())]
+
+
+def resolve_rules(select=None, ignore=None):
+    """Instantiate the active rule set from ``--select``/``--ignore`` ids.
+
+    Unknown ids raise :class:`ValueError` — a typo that silently
+    selected nothing would report a misleadingly clean tree.
+    """
+    known = set(_REGISTRY)
+    requested = set(select or ()) | set(ignore or ())
+    unknown = sorted(requested - known)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    active = set(known)
+    if select:
+        active &= set(select)
+    if ignore:
+        active -= set(ignore)
+    return [_REGISTRY[rule_id]() for rule_id in sorted(active)]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (``RL0xx``), ``title`` (short slug), a
+    ``rationale`` (one paragraph for ``--list-rules`` and the docs),
+    ``severity`` and ``node_types`` — the AST node classes the engine
+    dispatches to :meth:`visit`. The shared traversal means a rule never
+    walks the tree itself; it inspects the node it is handed (plus
+    ``ctx.ancestors`` for enclosing scopes) and yields findings.
+    """
+
+    id = PARSE_RULE_ID
+    title = ""
+    rationale = ""
+    severity = "error"
+    node_types = ()
+
+    def visit(self, node, ctx):
+        """Yield :class:`Finding` objects for one dispatched node."""
+        return ()
+
+    def finding(self, ctx, node, message):
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+class ModuleContext:
+    """Per-file state shared by all rules during the single traversal."""
+
+    #: Node types that start a new variable scope: loop-enclosure
+    #: queries stop at these.
+    _SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                    ast.ClassDef, ast.Module)
+
+    def __init__(self, path, text, tree):
+        self.path = path
+        self.text = text
+        self.tree = tree
+        #: Ancestor chain of the node currently being visited
+        #: (outermost first, excluding the node itself).
+        self.ancestors = []
+
+    def enclosing_loops(self):
+        """``for``/``while`` nodes around the current node, innermost
+        first, within the nearest enclosing function/class scope."""
+        loops = []
+        for node in reversed(self.ancestors):
+            if isinstance(node, self._SCOPE_TYPES):
+                break
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                loops.append(node)
+        return loops
+
+
+class _Dispatcher:
+    """Single traversal that feeds each node to interested rules."""
+
+    def __init__(self, rules, ctx, out):
+        self._by_type = {}
+        for rule in rules:
+            for node_type in rule.node_types:
+                self._by_type.setdefault(node_type, []).append(rule)
+        self._ctx = ctx
+        self._out = out
+
+    def run(self, tree):
+        self._visit(tree)
+
+    def _visit(self, node):
+        for rule in self._by_type.get(type(node), ()):
+            self._out.extend(rule.visit(node, self._ctx))
+        self._ctx.ancestors.append(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+        self._ctx.ancestors.pop()
+
+
+# ---------------------------------------------------------------------------
+# Suppression pragmas
+
+
+def _suppressions(text):
+    """Map ``line -> {rule ids}`` from ``# repro: noqa[...]`` pragmas.
+
+    Comments are found with :mod:`tokenize`, so the pragma syntax
+    appearing inside a string literal or docstring does not suppress
+    anything.
+    """
+    out = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            ids = {part.strip().upper()
+                   for part in match.group(1).split(",") if part.strip()}
+            out.setdefault(tok.start[0], set()).update(ids)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable files are reported as RL000 elsewhere
+    return out
+
+
+@dataclass
+class FileLint:
+    """Result of linting one file (or text snippet)."""
+
+    findings: list = field(default_factory=list)
+    suppressed: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+
+
+def load_baseline(path):
+    """Load a baseline file into a matchable counter.
+
+    Raises
+    ------
+    OSError
+        The file cannot be read.
+    ValueError
+        The file is not valid baseline JSON.
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path}: invalid JSON ({exc})") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"baseline {path}: expected an object with a "
+                         "'findings' list")
+    counter = Counter()
+    for entry in data["findings"]:
+        try:
+            counter[(entry["path"], entry["rule"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                f"baseline {path}: entry {entry!r} lacks path/rule/message"
+            ) from exc
+    return counter
+
+
+def write_baseline(path, findings):
+    """Write ``findings`` as a baseline file (sorted, deterministic)."""
+    entries = [
+        {"path": f.path, "rule": f.rule, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+# ---------------------------------------------------------------------------
+# Engine
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of a lint run over many files."""
+
+    findings: list = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_pragma: int = 0
+    suppressed_baseline: int = 0
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def counts(self):
+        """``{rule id: finding count}`` for the unsuppressed findings."""
+        return dict(sorted(Counter(f.rule for f in self.findings).items()))
+
+    def to_dict(self):
+        """The documented JSON output schema."""
+        return {
+            "version": BASELINE_VERSION,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": self.counts(),
+            "suppressed": {
+                "pragma": self.suppressed_pragma,
+                "baseline": self.suppressed_baseline,
+            },
+        }
+
+
+class LintEngine:
+    """Run a rule set over texts, files, or whole trees."""
+
+    def __init__(self, select=None, ignore=None, rules=None):
+        if rules is not None:
+            self.rules = list(rules)
+        else:
+            self.rules = resolve_rules(select=select, ignore=ignore)
+
+    # -- single text / file ------------------------------------------------
+
+    def lint_text(self, text, path="<snippet>"):
+        """Lint one source string; returns a :class:`FileLint`."""
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            finding = Finding(
+                path=path, line=exc.lineno or 1,
+                col=max((exc.offset or 1) - 1, 0), rule=PARSE_RULE_ID,
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+            )
+            return FileLint(findings=[finding])
+        ctx = ModuleContext(path, text, tree)
+        raw = []
+        _Dispatcher(self.rules, ctx, raw).run(tree)
+        pragmas = _suppressions(text)
+        result = FileLint()
+        for finding in sorted(raw):
+            if finding.rule in pragmas.get(finding.line, ()):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+        return result
+
+    def lint_file(self, path, display=None):
+        """Lint one file; unreadable files become RL000 findings."""
+        display = display or _display_path(path)
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            finding = Finding(
+                path=display, line=1, col=0, rule=PARSE_RULE_ID,
+                severity="error", message=f"file cannot be read: {exc}",
+            )
+            return FileLint(findings=[finding])
+        return self.lint_text(text, path=display)
+
+    # -- trees -------------------------------------------------------------
+
+    def lint_paths(self, paths, baseline=None):
+        """Lint files and/or directories; returns a :class:`LintReport`.
+
+        Parameters
+        ----------
+        paths : iterable of path-like
+            Files are linted directly; directories are expanded through
+            :func:`repro.lint.walk.walk_source_tree`.
+        baseline : Counter or None
+            Grandfathered findings (from :func:`load_baseline`); each
+            baseline entry absorbs at most one matching finding.
+        """
+        from .walk import walk_source_tree
+
+        files = []
+        seen = set()
+        for path in paths:
+            path = Path(path)
+            expanded = walk_source_tree(path) if path.is_dir() else [path]
+            for item in expanded:
+                resolved = Path(item).resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    files.append(item)
+        report = LintReport(files_checked=len(files))
+        findings = []
+        for item in files:
+            result = self.lint_file(item)
+            findings.extend(result.findings)
+            report.suppressed_pragma += result.suppressed
+        if baseline:
+            remaining = Counter(baseline)
+            for finding in findings:
+                if remaining[finding.baseline_key] > 0:
+                    remaining[finding.baseline_key] -= 1
+                    report.suppressed_baseline += 1
+                else:
+                    report.findings.append(finding)
+        else:
+            report.findings = findings
+        report.findings.sort()
+        return report
+
+
+def _display_path(path):
+    """Stable repo-relative display path (posix), falling back sanely."""
+    from .walk import REPO_ROOT
+
+    resolved = Path(path).resolve()
+    for anchor in (REPO_ROOT, Path.cwd()):
+        try:
+            return resolved.relative_to(anchor).as_posix()
+        except ValueError:
+            continue
+    return resolved.as_posix()
+
+
+# ---------------------------------------------------------------------------
+# Output formats
+
+
+def format_human(report):
+    """One line per finding plus a summary, ready to print."""
+    lines = [finding.render() for finding in report.findings]
+    suppressed = []
+    if report.suppressed_pragma:
+        suppressed.append(f"{report.suppressed_pragma} pragma-suppressed")
+    if report.suppressed_baseline:
+        suppressed.append(f"{report.suppressed_baseline} baselined")
+    tail = f" ({', '.join(suppressed)})" if suppressed else ""
+    lines.append(f"checked {report.files_checked} file(s): "
+                 f"{len(report.findings)} finding(s){tail}")
+    return "\n".join(lines)
+
+
+def format_json(report):
+    """The documented JSON schema, indented and newline-terminated."""
+    return json.dumps(report.to_dict(), indent=2)

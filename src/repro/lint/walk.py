@@ -1,0 +1,124 @@
+"""Shared source-tree discovery for the lint engine and ``tools/``.
+
+Every script that walks the library — the lint engine itself,
+``tools/check_no_print.py``, ``tools/check_estimator_contract.py``,
+``tools/gen_api_docs.py`` — historically re-implemented its own file or
+package discovery, each with a private allow/deny list. This module is
+the single home for that policy:
+
+* :func:`walk_source_tree` — deterministic (sorted) iteration over the
+  library's ``.py`` files, skipping caches, egg-info and VCS droppings;
+* :data:`PRINT_ALLOWED` — the CLI front-ends where printing *is* the
+  job (rule ``RL003`` and ``tools/check_no_print.py`` share it);
+* :data:`ESTIMATOR_PACKAGES` — the algorithm subpackages whose exports
+  form the estimator population (the runtime contract tool and the
+  static ``RL007`` rule agree on scope through it);
+* :data:`API_DOC_PACKAGES` — the public packages documented by
+  ``tools/gen_api_docs.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = [
+    "API_DOC_PACKAGES",
+    "ESTIMATOR_PACKAGES",
+    "PACKAGE_ROOT",
+    "PRINT_ALLOWED",
+    "REPO_ROOT",
+    "SRC_ROOT",
+    "walk_source_tree",
+]
+
+#: ``src/repro`` — the default tree the gate lints.
+PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``src`` — what callers put on ``sys.path``.
+SRC_ROOT = PACKAGE_ROOT.parent
+
+#: The repository checkout (only meaningful for the in-repo layout the
+#: ``tools/`` scripts run from; never used for resolution at runtime).
+REPO_ROOT = SRC_ROOT.parent
+
+#: Directory names never descended into.
+_DENY_DIR_NAMES = frozenset({
+    "__pycache__",
+    ".git",
+    ".hg",
+    ".mypy_cache",
+    ".pytest_cache",
+    "build",
+    "dist",
+    ".eggs",
+})
+
+#: Directory suffixes never descended into (setuptools metadata).
+_DENY_DIR_SUFFIXES = (".egg-info",)
+
+#: Module paths (posix suffixes under ``src``) whose job is writing to
+#: stdout: the CLI front-ends. Everything else must log.
+PRINT_ALLOWED = (
+    "repro/__main__.py",
+    "repro/experiments/report.py",
+    "repro/lint/cli.py",
+)
+
+#: The algorithm subpackages whose ``__all__`` exports define the
+#: estimator population checked by ``tools/check_estimator_contract.py``.
+ESTIMATOR_PACKAGES = (
+    "repro.cluster",
+    "repro.originalspace",
+    "repro.subspace",
+    "repro.transform",
+    "repro.multiview",
+)
+
+#: Public packages rendered into ``docs/api.md``.
+API_DOC_PACKAGES = (
+    "repro.core",
+    "repro.cluster",
+    "repro.metrics",
+    "repro.data",
+    "repro.originalspace",
+    "repro.transform",
+    "repro.subspace",
+    "repro.multiview",
+    "repro.experiments",
+    "repro.io",
+    "repro.utils",
+    "repro.lint",
+)
+
+
+def _denied(name):
+    """True when a directory component must not be descended into."""
+    return (name in _DENY_DIR_NAMES
+            or name.endswith(_DENY_DIR_SUFFIXES)
+            or (name.startswith(".") and name not in (".", "..")))
+
+
+def walk_source_tree(root=None):
+    """Yield the library's ``.py`` files under ``root``, sorted.
+
+    Parameters
+    ----------
+    root : path-like or None
+        Directory to walk (default: the ``repro`` package itself). A
+        file path is yielded as-is, so callers can pass either.
+
+    Yields
+    ------
+    pathlib.Path
+        Every ``.py`` file in deterministic (sorted) order, skipping
+        ``__pycache__``, ``*.egg-info``, VCS and build directories.
+    """
+    root = PACKAGE_ROOT if root is None else Path(root)
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if any(_denied(part) for part in rel.parts[:-1]):
+            continue
+        yield path

@@ -9,7 +9,9 @@ ARI/NMI (e.g. the subspace-clustering evaluation study, Müller et al.
 from __future__ import annotations
 
 import numpy as np
-from scipy.optimize import linear_sum_assignment
+from scipy.optimize import (  # repro: noqa[RL002] - Hungarian matching has no NumPy substrate
+    linear_sum_assignment,
+)
 
 from .contingency import contingency_matrix
 from ..exceptions import ValidationError

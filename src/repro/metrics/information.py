@@ -70,7 +70,7 @@ def normalized_mutual_information(labels_a, labels_b, *, average="arithmetic"):
     mi = mutual_information(labels_a, labels_b)
     ha = entropy_of_labels(labels_a)
     hb = entropy_of_labels(labels_b)
-    if ha == 0.0 and hb == 0.0:
+    if ha <= 0.0 and hb <= 0.0:
         return 1.0
     if average == "arithmetic":
         denom = 0.5 * (ha + hb)
@@ -82,7 +82,7 @@ def normalized_mutual_information(labels_a, labels_b, *, average="arithmetic"):
         denom = max(ha, hb)
     else:
         raise ValueError(f"unknown average {average!r}")
-    if denom == 0.0:
+    if denom <= 0.0:
         return 0.0
     return float(np.clip(mi / denom, 0.0, 1.0))
 

@@ -131,6 +131,6 @@ def dunn_index(X, labels):
         for cj in ids[i + 1:]:
             mj = lc == cj
             min_sep = min(min_sep, float(d[np.ix_(mi, mj)].min()))
-    if max_diam == 0.0:
+    if max_diam <= 0.0:
         return np.inf
     return float(min_sep / max_diam)

@@ -16,7 +16,9 @@ and user code share it.
 from __future__ import annotations
 
 import numpy as np
-from scipy.optimize import linear_sum_assignment
+from scipy.optimize import (  # repro: noqa[RL002] - Hungarian matching has no NumPy substrate
+    linear_sum_assignment,
+)
 
 from .partition import adjusted_rand_index
 from ..exceptions import ValidationError

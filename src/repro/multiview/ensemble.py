@@ -15,7 +15,9 @@ into one, maximising shared information:
 from __future__ import annotations
 
 import numpy as np
-from scipy.optimize import linear_sum_assignment
+from scipy.optimize import (  # repro: noqa[RL002] - Hungarian matching has no NumPy substrate
+    linear_sum_assignment,
+)
 
 from ..cluster.hierarchical import LinkageMatrix
 from ..core.base import ParamsMixin

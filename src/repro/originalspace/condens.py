@@ -18,7 +18,9 @@ semantics the ensemble consensus of the paper provides.
 from __future__ import annotations
 
 import numpy as np
-from scipy.optimize import linear_sum_assignment
+from scipy.optimize import (  # repro: noqa[RL002] - Hungarian matching has no NumPy substrate
+    linear_sum_assignment,
+)
 
 from ..cluster.kmeans import KMeans
 from ..core.base import AlternativeClusterer

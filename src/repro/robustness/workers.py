@@ -125,7 +125,7 @@ def _child_main(conn, payload, heartbeat_interval):
         value = payload(heartbeat)
         conn.send(("outcome", value))
         exitcode = 0
-    except BaseException as exc:  # noqa: BLE001 - last-resort report
+    except BaseException as exc:  # noqa: BLE001  # repro: noqa[RL004] - reports over the pipe, then exits nonzero
         try:
             conn.send(("error", {
                 "error_type": type(exc).__name__,

@@ -20,7 +20,7 @@ P3C works statistically, bottom-up from one-dimensional evidence:
 from __future__ import annotations
 
 import numpy as np
-from scipy import stats
+from scipy import stats  # repro: noqa[RL002] - Poisson/chi-square tails have no NumPy substrate
 
 from ..core.base import ParamsMixin
 from ..core.subspace import SubspaceCluster, SubspaceClustering

@@ -22,7 +22,7 @@ miner, CLIQUE by default — the tutorial notes the cluster definition
 from __future__ import annotations
 
 import numpy as np
-from scipy import stats
+from scipy import stats  # repro: noqa[RL002] - exact binomial tails have no NumPy substrate
 
 from ..core.base import ParamsMixin
 from ..core.subspace import SubspaceClustering

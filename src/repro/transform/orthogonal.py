@@ -97,7 +97,7 @@ class OrthogonalProjectionTransform(ParamsMixin):
         self.min_residual_energy = float(min_residual_energy)
         self.basis_ = None
         self.projector_ = None
-        self.should_stop_ = False
+        self.should_stop_ = None
 
     def fit(self, X, labels):
         X = check_array(X)

@@ -127,7 +127,7 @@ def check_random_state(seed):
     ``Generator`` (returned unchanged).
     """
     if seed is None:
-        return np.random.default_rng()
+        return np.random.default_rng()  # repro: noqa[RL001] - documented fresh-entropy path for seed=None
     if isinstance(seed, numbers.Integral):
         return np.random.default_rng(int(seed))
     if isinstance(seed, np.random.Generator):

@@ -1,0 +1,691 @@
+"""Static-analysis gate: the repro.lint engine, rules, and CLI.
+
+Four layers under test:
+
+* the engine — single-parse dispatch, pragma suppression via tokenize
+  (string literals must not suppress), baseline round-trips, RL000
+  parse/read failures, select/ignore resolution;
+* the rule pack — per-rule good/bad fixture snippets for RL001–RL008,
+  including the deliberate exemptions (declare-as-None in ``__init__``,
+  loop-variable-derived seeds, CLI print allow-list);
+* the CLI — exit codes 0/1/2, JSON output against the documented
+  schema, ``--update-baseline``, and the ``repro lint`` subcommand;
+* the tree itself — the tier-1 gate: the shipped source lints clean
+  against the committed (empty) baseline.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    BASELINE_VERSION,
+    PACKAGE_ROOT,
+    PARSE_RULE_ID,
+    LintEngine,
+    all_rule_classes,
+    format_human,
+    format_json,
+    load_baseline,
+    resolve_rules,
+    walk_source_tree,
+    write_baseline,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.walk import REPO_ROOT
+
+
+def findings_for(code, select=None, path="<snippet>"):
+    """Lint a dedented snippet and return its findings."""
+    engine = LintEngine(select=select)
+    return LintEngine.lint_text(engine, textwrap.dedent(code), path=path)
+
+
+def rule_ids(result):
+    return [f.rule for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# Engine mechanics
+
+
+class TestEngine:
+    def test_parse_error_becomes_rl000(self):
+        result = findings_for("def f(:\n")
+        assert rule_ids(result) == [PARSE_RULE_ID]
+        assert "does not parse" in result.findings[0].message
+
+    def test_unreadable_file_becomes_rl000(self, tmp_path):
+        engine = LintEngine()
+        result = engine.lint_file(tmp_path / "missing.py")
+        assert rule_ids(result) == [PARSE_RULE_ID]
+        assert "cannot be read" in result.findings[0].message
+
+    def test_findings_are_sorted_and_carry_locations(self):
+        result = findings_for(
+            """
+            import sklearn
+            print("late")
+            """
+        )
+        assert rule_ids(result) == ["RL002", "RL003"]
+        first = result.findings[0]
+        assert (first.path, first.line) == ("<snippet>", 2)
+        assert first.render().startswith("<snippet>:2:1: RL002")
+
+    def test_resolve_rules_select_and_ignore(self):
+        assert [r.id for r in resolve_rules()] == \
+            [cls.id for cls in all_rule_classes()]
+        assert [r.id for r in resolve_rules(select=["RL003"])] == ["RL003"]
+        survivors = [r.id for r in resolve_rules(ignore=["RL003"])]
+        assert "RL003" not in survivors and "RL001" in survivors
+
+    def test_resolve_rules_rejects_unknown_ids(self):
+        with pytest.raises(ValueError, match="RL999"):
+            resolve_rules(select=["RL999"])
+
+    def test_lint_paths_dedupes_repeated_files(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("print('x')\n", encoding="utf-8")
+        report = LintEngine(select=["RL003"]).lint_paths(
+            [target, target, tmp_path])
+        assert report.files_checked == 1
+        assert len(report.findings) == 1
+
+
+# ---------------------------------------------------------------------------
+# Suppression pragmas
+
+
+class TestPragmas:
+    def test_matching_id_suppresses(self):
+        result = findings_for(
+            "x = 1.0\nok = x == 1.0  # repro: noqa[RL005] - exact sentinel\n"
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_wrong_id_does_not_suppress(self):
+        result = findings_for(
+            "x = 1.0\nok = x == 1.0  # repro: noqa[RL003] - wrong rule\n"
+        )
+        assert rule_ids(result) == ["RL005"]
+
+    def test_comma_list_suppresses_each_named_rule(self):
+        result = findings_for(
+            "import sklearn  # repro: noqa[RL002, RL005] - fixture\n"
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_pragma_inside_string_literal_is_inert(self):
+        result = findings_for(
+            's = "# repro: noqa[RL005]"\nbad = 1.0 == 2.0\n'
+        )
+        assert rule_ids(result) == ["RL005"]
+
+    def test_blanket_suppression_is_not_a_thing(self):
+        result = findings_for(
+            "bad = 1.0 == 2.0  # repro: noqa[] - no ids given\n"
+        )
+        assert rule_ids(result) == ["RL005"]
+
+
+# ---------------------------------------------------------------------------
+# The rule pack
+
+
+class TestRL001SeededRng:
+    def test_global_rng_attribute_flagged(self):
+        result = findings_for("import numpy as np\nx = np.random.rand(3)\n")
+        assert rule_ids(result) == ["RL001"]
+
+    def test_seeded_generator_clean(self):
+        result = findings_for(
+            "import numpy as np\nrng = np.random.default_rng(0)\n"
+        )
+        assert result.findings == []
+
+    def test_unseeded_default_rng_flagged(self):
+        result = findings_for(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert rule_ids(result) == ["RL001"]
+        assert "nondeterministic" in result.findings[0].message
+
+    def test_import_of_global_helper_flagged(self):
+        result = findings_for("from numpy.random import rand\n")
+        assert rule_ids(result) == ["RL001"]
+        assert findings_for(
+            "from numpy.random import default_rng\n").findings == []
+
+    def test_constant_reseed_in_loop_flagged(self):
+        result = findings_for(
+            """
+            import numpy as np
+            for i in range(5):
+                rng = np.random.default_rng(42)
+            """
+        )
+        assert rule_ids(result) == ["RL001"]
+        assert "re-seeds" in result.findings[0].message
+
+    def test_loop_derived_seed_is_independent_streams(self):
+        result = findings_for(
+            """
+            import numpy as np
+            for i in range(5):
+                rng = np.random.default_rng(1000 + i)
+            """
+        )
+        assert result.findings == []
+
+    def test_seed_before_loop_clean(self):
+        result = findings_for(
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            for i in range(5):
+                x = rng.normal()
+            """
+        )
+        assert result.findings == []
+
+    def test_loop_in_enclosing_function_does_not_count(self):
+        # the def opens a new scope: the call is once-per-call, not
+        # once-per-iteration
+        result = findings_for(
+            """
+            import numpy as np
+            for i in range(5):
+                def make():
+                    return np.random.default_rng(7)
+            """
+        )
+        assert result.findings == []
+
+
+class TestRL002ForbiddenImports:
+    @pytest.mark.parametrize("code", [
+        "import sklearn\n",
+        "import sklearn.cluster\n",
+        "from sklearn.cluster import KMeans\n",
+        "from scipy import stats\n",
+        "import pandas as pd\n",
+    ])
+    def test_forbidden_import_flagged(self, code):
+        assert rule_ids(findings_for(code)) == ["RL002"]
+
+    @pytest.mark.parametrize("code", [
+        "import numpy as np\n",
+        "from . import utils\n",
+        "from .cluster import KMeans\n",
+        "import sklearnish_but_not\n",
+    ])
+    def test_benign_import_clean(self, code):
+        assert findings_for(code).findings == []
+
+
+class TestRL003NoPrint:
+    def test_print_call_flagged(self):
+        result = findings_for("def f():\n    print('hi')\n")
+        assert rule_ids(result) == ["RL003"]
+        # legacy (line, col) shape relied on by tools/check_no_print.py
+        assert (result.findings[0].line, result.findings[0].col) == (2, 4)
+
+    def test_docstring_mention_clean(self):
+        result = findings_for('def f():\n    """Never print here."""\n')
+        assert result.findings == []
+
+    def test_cli_front_end_is_allowed(self):
+        result = findings_for("print('usage: ...')\n",
+                              path="src/repro/__main__.py")
+        assert result.findings == []
+
+    def test_lookalike_path_is_not_allowed(self):
+        result = findings_for("print('x')\n",
+                              path="src/repro/not__main__.py")
+        assert rule_ids(result) == ["RL003"]
+
+
+class TestRL004SwallowedInterrupt:
+    def test_bare_except_flagged(self):
+        result = findings_for(
+            "try:\n    x = 1\nexcept:\n    pass\n"
+        )
+        assert rule_ids(result) == ["RL004"]
+
+    def test_base_exception_flagged_including_tuples(self):
+        code = ("try:\n    x = 1\n"
+                "except (ValueError, BaseException):\n    pass\n")
+        assert rule_ids(findings_for(code)) == ["RL004"]
+
+    def test_reraising_handler_exempt(self):
+        result = findings_for(
+            "try:\n    x = 1\nexcept BaseException:\n    raise\n"
+        )
+        assert result.findings == []
+
+    def test_except_exception_clean(self):
+        result = findings_for(
+            "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        )
+        assert result.findings == []
+
+
+class TestRL005FloatEquality:
+    @pytest.mark.parametrize("code", [
+        "ok = x == 1.0\n",
+        "ok = 0.5 != y\n",
+        "ok = x == -1.5\n",
+        "ok = a < b == 2.0\n",
+    ])
+    def test_float_literal_comparison_flagged(self, code):
+        assert rule_ids(findings_for("x = y = a = b = 0\n" + code)) == \
+            ["RL005"]
+
+    @pytest.mark.parametrize("code", [
+        "ok = x == 1\n",
+        "ok = x <= 1.0\n",
+        "ok = x == y\n",
+    ])
+    def test_tolerant_or_integer_comparison_clean(self, code):
+        assert findings_for("x = y = 0\n" + code).findings == []
+
+
+class TestRL006MutableDefault:
+    @pytest.mark.parametrize("code", [
+        "def f(a=[]):\n    pass\n",
+        "def f(a={}):\n    pass\n",
+        "def f(*, a=set()):\n    pass\n",
+        "def f(a=list()):\n    pass\n",
+        "g = lambda a=[]: a\n",
+    ])
+    def test_mutable_default_flagged(self, code):
+        assert rule_ids(findings_for(code)) == ["RL006"]
+
+    @pytest.mark.parametrize("code", [
+        "def f(a=None):\n    pass\n",
+        "def f(a=()):\n    pass\n",
+        "def f(a=0, b='x'):\n    pass\n",
+    ])
+    def test_immutable_default_clean(self, code):
+        assert findings_for(code).findings == []
+
+
+class TestRL007EstimatorContract:
+    def test_orphan_estimator_without_get_params_flagged(self):
+        result = findings_for(
+            """
+            class Lonely:
+                def fit(self, X):
+                    self.labels_ = X
+                    return self
+            """
+        )
+        assert rule_ids(result) == ["RL007"]
+        assert "get_params" in result.findings[0].message
+
+    def test_base_class_satisfies_get_params(self):
+        result = findings_for(
+            """
+            class Fine(ParamsMixin):
+                def fit(self, X):
+                    self.labels_ = X
+                    return self
+            """
+        )
+        assert result.findings == []
+
+    def test_fitted_attr_in_public_method_flagged(self):
+        result = findings_for(
+            """
+            class Sneaky(ParamsMixin):
+                def fit(self, X):
+                    return self
+
+                def predict(self, X):
+                    self.labels_ = X
+                    return self.labels_
+            """
+        )
+        assert rule_ids(result) == ["RL007"]
+        assert "assigned in predict" in result.findings[0].message
+
+    def test_declare_as_none_in_init_is_the_idiom(self):
+        result = findings_for(
+            """
+            class Fine(ParamsMixin):
+                def __init__(self):
+                    self.labels_ = None
+
+                def fit(self, X):
+                    self.labels_ = X
+                    return self
+            """
+        )
+        assert result.findings == []
+
+    def test_non_none_declaration_in_init_flagged(self):
+        result = findings_for(
+            """
+            class Eager(ParamsMixin):
+                def __init__(self):
+                    self.labels_ = []
+
+                def fit(self, X):
+                    return self
+            """
+        )
+        assert rule_ids(result) == ["RL007"]
+        assert "__init__" in result.findings[0].message
+
+    def test_private_helpers_and_dunders_exempt(self):
+        result = findings_for(
+            """
+            class Fine(ParamsMixin):
+                def fit(self, X):
+                    return self._solve(X)
+
+                def _solve(self, X):
+                    self.labels_ = X
+                    return self
+
+                def helper(self):
+                    self.__mangled__ = 1
+            """
+        )
+        assert result.findings == []
+
+    def test_non_data_fit_is_not_an_estimator(self):
+        # RunGuard.fit(self, estimator, ...) wraps estimators; the
+        # contract targets classes whose fit consumes data
+        result = findings_for(
+            """
+            class Guard:
+                def fit(self, estimator, X):
+                    self.outcome_ = estimator
+                    return self
+            """
+        )
+        assert result.findings == []
+
+
+class TestRL008DocstringSync:
+    def test_stale_parameter_flagged(self):
+        result = findings_for(
+            '''
+            def f(x):
+                """Do a thing.
+
+                Parameters
+                ----------
+                x : int
+                    Kept.
+                gamma : float
+                    Renamed away long ago.
+                """
+                return x
+            '''
+        )
+        assert rule_ids(result) == ["RL008"]
+        assert "'gamma'" in result.findings[0].message
+
+    def test_matching_docstring_clean(self):
+        result = findings_for(
+            '''
+            def f(x, y=0, *args, mode="a", **kwargs):
+                """Do a thing.
+
+                Parameters
+                ----------
+                x, y : int
+                    Comma form.
+                *args
+                    Extras.
+                mode : str
+                    Keyword-only.
+                **kwargs
+                    Passthrough.
+                """
+                return x
+            '''
+        )
+        assert result.findings == []
+
+    def test_subset_documentation_tolerated(self):
+        result = findings_for(
+            '''
+            def f(x, y):
+                """Parameters
+                ----------
+                x : int
+                    Only x is documented.
+                """
+                return x + y
+            '''
+        )
+        assert result.findings == []
+
+    def test_private_functions_exempt(self):
+        result = findings_for(
+            '''
+            def _helper(x):
+                """Parameters
+                ----------
+                ghost : int
+                    Whatever.
+                """
+                return x
+            '''
+        )
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+
+
+class TestBaseline:
+    def test_round_trip_absorbs_exactly_once(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("a = 1.0 == 2.0\nb = 1.0 == 2.0\n",
+                          encoding="utf-8")
+        engine = LintEngine(select=["RL005"])
+        first = engine.lint_paths([target])
+        assert len(first.findings) == 2
+
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, first.findings)
+        clean = engine.lint_paths([target],
+                                  baseline=load_baseline(baseline_file))
+        assert clean.ok
+        assert clean.suppressed_baseline == 2
+
+        # a third identical finding exceeds the grandfathered count
+        target.write_text("a = 1.0 == 2.0\n" * 3, encoding="utf-8")
+        third = engine.lint_paths([target],
+                                  baseline=load_baseline(baseline_file))
+        assert len(third.findings) == 1
+
+    def test_baseline_is_line_independent(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("bad = 1.0 == 2.0\n", encoding="utf-8")
+        engine = LintEngine(select=["RL005"])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file,
+                       engine.lint_paths([target]).findings)
+        # unrelated edit moves the finding two lines down
+        target.write_text("# moved\n# down\nbad = 1.0 == 2.0\n",
+                          encoding="utf-8")
+        assert engine.lint_paths(
+            [target], baseline=load_baseline(baseline_file)).ok
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ValueError, match="findings"):
+            load_baseline(bad)
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_baseline(bad)
+
+    def test_committed_baseline_is_empty(self):
+        committed = REPO_ROOT / "tools" / "lint_baseline.json"
+        data = json.loads(committed.read_text(encoding="utf-8"))
+        assert data == {"version": BASELINE_VERSION, "findings": []}
+
+
+# ---------------------------------------------------------------------------
+# Output formats
+
+
+class TestOutput:
+    def test_json_schema(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import sklearn\nx = 1.0 == 2.0\n",
+                          encoding="utf-8")
+        report = LintEngine().lint_paths([target])
+        data = json.loads(format_json(report))
+        assert set(data) == {"version", "files_checked", "findings",
+                             "counts", "suppressed"}
+        assert data["version"] == BASELINE_VERSION
+        assert data["files_checked"] == 1
+        assert data["counts"] == {"RL002": 1, "RL005": 1}
+        assert set(data["suppressed"]) == {"pragma", "baseline"}
+        for entry in data["findings"]:
+            assert set(entry) == {"path", "line", "col", "rule",
+                                  "severity", "message"}
+            assert isinstance(entry["line"], int)
+
+    def test_human_format_mentions_suppressions(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "x = 1.0 == 2.0  # repro: noqa[RL005] - fixture\n",
+            encoding="utf-8")
+        report = LintEngine().lint_paths([target])
+        text = format_human(report)
+        assert "checked 1 file(s): 0 finding(s)" in text
+        assert "1 pragma-suppressed" in text
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+
+
+class TestWalkSourceTree:
+    def test_default_walk_covers_the_package(self):
+        files = list(walk_source_tree())
+        names = {f.name for f in files}
+        assert "__init__.py" in names
+        assert files == sorted(files)
+        assert all(f.suffix == ".py" for f in files)
+
+    def test_denied_directories_are_pruned(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "good.py").write_text("x = 1\n",
+                                                  encoding="utf-8")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "bad.py").write_text(
+            "x = 1\n", encoding="utf-8")
+        (tmp_path / "pkg" / "thing.egg-info").mkdir()
+        (tmp_path / "pkg" / "thing.egg-info" / "bad2.py").write_text(
+            "x = 1\n", encoding="utf-8")
+        found = [f.name for f in walk_source_tree(tmp_path)]
+        assert found == ["good.py"]
+
+    def test_single_file_passthrough(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert list(walk_source_tree(target)) == [target]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(target)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import pandas\n", encoding="utf-8")
+        assert lint_main([str(target)]) == 1
+        assert "RL002" in capsys.readouterr().out
+
+    def test_unknown_rule_id_exits_two(self, capsys):
+        assert lint_main(["--select", "RL999"]) == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert lint_main(["--baseline", str(tmp_path / "nope.json"),
+                          str(target)]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_update_baseline_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import pandas\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(["--baseline", str(baseline),
+                          "--update-baseline", str(target)]) == 0
+        assert lint_main(["--baseline", str(baseline), str(target)]) == 0
+        capsys.readouterr()
+
+    def test_update_baseline_requires_baseline(self, capsys):
+        assert lint_main(["--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_select_restricts_the_rule_set(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import pandas\nx = 1.0 == 2.0\n",
+                          encoding="utf-8")
+        assert lint_main(["--select", "RL005", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RL005" in out and "RL002" not in out
+        assert lint_main(["--ignore", "RL002,RL005", str(target)]) == 0
+        capsys.readouterr()
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import pandas\n", encoding="utf-8")
+        assert lint_main(["--format", "json", str(target)]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"] == {"RL002": 1}
+
+    def test_list_rules_prints_catalog(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for cls in all_rule_classes():
+            assert cls.id in out
+
+    def test_repro_lint_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main as repro_main
+
+        target = tmp_path / "dirty.py"
+        target.write_text("import pandas\n", encoding="utf-8")
+        assert repro_main(["lint", "--select", "RL002", str(target)]) == 1
+        assert "RL002" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# The tier-1 gate: the shipped tree lints clean
+
+
+class TestTreeIsClean:
+    def test_package_lints_clean(self):
+        report = LintEngine().lint_paths([PACKAGE_ROOT])
+        assert report.files_checked > 80
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.ok, f"lint findings in shipped tree:\n{rendered}"
+
+    def test_cli_gate_with_committed_baseline(self, capsys):
+        baseline = REPO_ROOT / "tools" / "lint_baseline.json"
+        assert lint_main(["--baseline", str(baseline)]) == 0
+        capsys.readouterr()

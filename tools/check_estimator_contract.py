@@ -1,6 +1,6 @@
 """Verify the robustness contract of every public estimator.
 
-Usage:  PYTHONPATH=src python tools/check_estimator_contract.py
+Usage:  python tools/check_estimator_contract.py
 
 The contract (see docs/robustness.md):
 
@@ -22,26 +22,33 @@ The contract (see docs/robustness.md):
 
 Exit status is the number of violations, so the script doubles as a CI
 gate (``tests/test_robustness.py`` runs it inside the tier-1 suite).
+
+The *static* half of the contract (fitted attributes computed in fit
+only, get_params derivable) is lint rule ``RL007`` in ``repro.lint``;
+this tool keeps the runtime half, which needs real fits. Both agree on
+the estimator population through
+:data:`repro.lint.walk.ESTIMATOR_PACKAGES`.
 """
 
 from __future__ import annotations
 
 import inspect
+import pathlib
 import sys
 import warnings
 
 import numpy as np
 
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.lint import ESTIMATOR_PACKAGES  # noqa: E402
+
 BOUND_PARAMS = ("max_iter", "n_init", "max_sweeps", "max_clusterings",
                 "n_solutions")
 
-PACKAGES = [
-    "repro.cluster",
-    "repro.originalspace",
-    "repro.subspace",
-    "repro.transform",
-    "repro.multiview",
-]
+PACKAGES = list(ESTIMATOR_PACKAGES)
 
 
 def iter_estimators():

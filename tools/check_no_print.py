@@ -2,73 +2,45 @@
 
 Usage:  python tools/check_no_print.py
 
-Library code must report through the ``repro.*`` stdlib loggers
-(:mod:`repro.observability.logs`) or return renderable objects — a bare
-``print`` inside an estimator or the harness corrupts machine-read
-output (JSONL traces, report markdown) and cannot be silenced or
-redirected by the embedding application.
-
-The scan is token-based (:mod:`tokenize`), so ``print`` mentioned in
-docstrings, comments, or string literals does not count — only a
-``print`` NAME token in actual code does. The CLI front-ends are the
-one place printing *is* the job; they are allow-listed below.
-
-Exit status is the number of violations, so the script doubles as a CI
-gate (``tests/test_observability.py`` runs it inside the tier-1 suite).
+Thin wrapper over lint rule ``RL003`` (``repro.lint``): the scan,
+the docstring/comment exemption and the CLI allow-list all live in the
+engine now, so there is one traversal and one suppression story for
+every invariant. This script survives for its callers — same output
+shape, and the exit status is still the number of violations, so it
+doubles as a CI gate (``tests/test_observability.py`` runs it inside
+the tier-1 suite).
 """
 
 from __future__ import annotations
 
-import io
 import pathlib
 import sys
-import tokenize
 
-# Paths (relative to src/repro) whose job is writing to stdout.
-ALLOWED = frozenset({
-    "__main__.py",
-    "experiments/report.py",
-})
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
 
-SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+from repro.lint import LintEngine, walk_source_tree  # noqa: E402
 
 
 def find_prints(source):
-    """Yield ``(line, column)`` of every ``print`` NAME token."""
-    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-    for tok in tokens:
-        if tok.type == tokenize.NAME and tok.string == "print":
-            yield tok.start
-
-
-def scan_file(path):
-    """Return violation strings for one file (empty when clean)."""
-    rel = path.relative_to(SRC).as_posix()
-    if rel in ALLOWED:
-        return []
-    try:
-        source = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        return [f"{rel}: unreadable ({exc})"]
-    try:
-        return [f"{rel}:{line}:{col + 1}: print call in library code "
-                "(use repro.observability.get_logger instead)"
-                for line, col in find_prints(source)]
-    except tokenize.TokenizeError as exc:
-        return [f"{rel}: cannot tokenize ({exc})"]
+    """Yield ``(line, column)`` of every ``print`` reference in actual
+    code — docstrings, comments and string literals do not count."""
+    engine = LintEngine(select=["RL003"])
+    for finding in engine.lint_text(source, path="<snippet>").findings:
+        yield finding.line, finding.col
 
 
 def main(argv=None):
-    """Scan ``src/repro``; print violations; return their count."""
-    del argv  # no options yet
-    violations = []
-    files = sorted(SRC.rglob("*.py"))
-    for path in files:
-        violations.extend(scan_file(path))
-    for line in violations:
-        print(f"VIOLATION: {line}")
-    print(f"checked {len(files)} files, {len(violations)} violation(s)")
-    return len(violations)
+    """Scan the library; print violations; return their count."""
+    del argv  # no options; use 'python -m repro.lint' for the full gate
+    engine = LintEngine(select=["RL003"])
+    report = engine.lint_paths(walk_source_tree())
+    for finding in report.findings:
+        print(f"VIOLATION: {finding.render()}")
+    print(f"checked {report.files_checked} files, "
+          f"{len(report.findings)} violation(s)")
+    return len(report.findings)
 
 
 if __name__ == "__main__":

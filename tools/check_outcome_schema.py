@@ -1,6 +1,6 @@
 """Verify the outcome/journal schema contract of the run layer.
 
-Usage:  PYTHONPATH=src python tools/check_outcome_schema.py
+Usage:  python tools/check_outcome_schema.py
 
 The contract (see docs/robustness.md):
 
@@ -25,8 +25,13 @@ gate (``tests/test_crash_safety.py`` runs it inside the tier-1 suite).
 from __future__ import annotations
 
 import json
+import pathlib
 import sys
 import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
 
 #: kind -> (error_type, message) as produced by the injectors/harness.
 INJECTABLE_KINDS = {

@@ -1,27 +1,26 @@
 """Generate docs/api.md from the public API's docstrings.
 
 Usage:  python tools/gen_api_docs.py > docs/api.md
+
+The package inventory is shared with the other tools through
+:data:`repro.lint.walk.API_DOC_PACKAGES`, so adding a public package
+means editing one list.
 """
 
 from __future__ import annotations
 
 import importlib
 import inspect
+import pathlib
 import sys
 
-PACKAGES = [
-    "repro.core",
-    "repro.cluster",
-    "repro.metrics",
-    "repro.data",
-    "repro.originalspace",
-    "repro.transform",
-    "repro.subspace",
-    "repro.multiview",
-    "repro.experiments",
-    "repro.io",
-    "repro.utils",
-]
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.lint import API_DOC_PACKAGES  # noqa: E402
+
+PACKAGES = list(API_DOC_PACKAGES)
 
 
 def first_paragraph(doc):
