@@ -1,0 +1,151 @@
+"""Measure sweep scaling of the work-stealing pool vs the serial path.
+
+Usage:  python benchmarks/bench_sweep_scaling.py
+
+Runs a fixed grid of latency-bound experiments — each body sleeps a
+calibrated interval while emitting ``budget_tick`` heartbeats, the
+shape of an experiment dominated by waiting (I/O, a remote service, a
+GIL-released native call) rather than Python bytecode — through
+``run_experiments`` at ``--jobs 1``, ``2`` and ``4``. Latency-bound
+bodies make the measurement meaningful on any machine, including
+single-core CI boxes where CPU-bound work cannot speed up at all; the
+host's ``cpu_count`` is recorded in the artifact so the context is
+explicit.
+
+Each configuration is timed as the *minimum* over ``--repeats`` rounds
+(the standard noise-free-cost estimator). The pool must deliver at
+least ``--min-speedup`` (default 2.5x) at ``--jobs 4`` over the serial
+path — per-worker journaling, heartbeats, and process spawning are
+only acceptable if they cost a small fraction of the parallelism they
+buy. Writes the committed ``BENCH_sweep_scaling.json`` at the repo
+root; exit status 1 when under the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments.harness import ResultTable, run_experiments  # noqa: E402
+from repro.robustness import budget_tick, canonical_summary  # noqa: E402
+
+OUTPUT = ROOT / "BENCH_sweep_scaling.json"
+
+#: Experiments in the benchmark grid.
+GRID_SIZE = 8
+
+#: Cooperative slices per experiment body; a fixed count (not a
+#: wall-clock deadline) so the tick telemetry is identical at every
+#: jobs level and the equivalence check below stays byte-exact.
+TASK_TICKS = 50
+
+#: Seconds each slice sleeps: TASK_TICKS * TICK_SECONDS per body.
+TICK_SECONDS = 0.01
+
+TASK_SECONDS = TASK_TICKS * TICK_SECONDS
+
+
+def _make_experiment(key):
+    def body():
+        for _ in range(TASK_TICKS):
+            budget_tick()
+            time.sleep(TICK_SECONDS)
+        table = ResultTable(key, ["key"])
+        table.add(key=key)
+        return table
+    return body
+
+
+def _grid():
+    return {f"W{i}": _make_experiment(f"W{i}") for i in range(GRID_SIZE)}
+
+
+def _one_run(jobs):
+    grid = _grid()
+    start = time.perf_counter()
+    outcomes = run_experiments(grid, jobs=jobs, base_seed=0)
+    elapsed = time.perf_counter() - start
+    if not all(o.status == "ok" for o in outcomes):
+        raise RuntimeError(f"benchmark sweep failed at jobs={jobs}")
+    return elapsed, canonical_summary(outcomes)
+
+
+def measure(repeats=3, min_speedup=2.5):
+    """Min-of-N sweep timings per jobs level; returns the report dict."""
+    levels = (1, 2, 4)
+    times = {jobs: [] for jobs in levels}
+    summaries = {}
+    for round_no in range(repeats):
+        for jobs in levels:
+            seconds, summary = _one_run(jobs)
+            times[jobs].append(seconds)
+            summaries[jobs] = summary
+    equivalent = len(set(summaries.values())) == 1
+    best = {jobs: min(vals) for jobs, vals in times.items()}
+    speedup4 = best[1] / best[4]
+    return {
+        "benchmark": "parallel sweep scaling (run_experiments jobs=N)",
+        "config": {
+            "grid_size": GRID_SIZE,
+            "task_seconds": TASK_SECONDS,
+            "repeats": int(repeats),
+            "timing": "min seconds per jobs level, rounds interleaved",
+            "workload": "latency-bound bodies (sleep + budget_tick "
+                        "heartbeats), so scaling is measurable on "
+                        "single-core hosts too",
+            "cpu_count": os.cpu_count(),
+        },
+        "timings": {
+            "jobs1_s": round(best[1], 4),
+            "jobs2_s": round(best[2], 4),
+            "jobs4_s": round(best[4], 4),
+            "speedup_jobs2": round(best[1] / best[2], 2),
+            "speedup_jobs4": round(speedup4, 2),
+            "pool_overhead_jobs4_s": round(
+                best[4] - GRID_SIZE * TASK_SECONDS / 4, 4),
+        },
+        "summary": {
+            "min_speedup": float(min_speedup),
+            "within_floor": bool(speedup4 >= min_speedup),
+            "results_equivalent_across_jobs": bool(equivalent),
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=2.5,
+                        help="required jobs=4 speedup over jobs=1")
+    parser.add_argument("--output", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+
+    report = measure(repeats=args.repeats, min_speedup=args.min_speedup)
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    timings = report["timings"]
+    print(f"jobs=1: {timings['jobs1_s']:.3f}s   "
+          f"jobs=2: {timings['jobs2_s']:.3f}s "
+          f"({timings['speedup_jobs2']:.2f}x)   "
+          f"jobs=4: {timings['jobs4_s']:.3f}s "
+          f"({timings['speedup_jobs4']:.2f}x)")
+    print(f"results equivalent across jobs levels: "
+          f"{report['summary']['results_equivalent_across_jobs']}")
+    print(f"wrote {out}")
+    if not report["summary"]["within_floor"]:
+        print(f"FAIL: jobs=4 speedup {timings['speedup_jobs4']:.2f}x "
+              f"is under the {args.min_speedup}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,9 +13,10 @@ per-experiment wall-clock budget can be set with ``--budget``, failed
 experiments can be retried with ``--max-retries``, and
 ``--inject-fault ID[:MODE]`` forces an experiment to fail (modes:
 ``error`` — catchable exception, ``hang`` — spins without budget
-ticks, ``crash`` — SIGKILLs its own process) so every degradation path
-can be exercised. The exit code is 0 only when every requested
-experiment succeeded.
+ticks, ``crash`` — SIGKILLs its own process, ``oom`` — allocates until
+killed the way the OOM killer does) so every degradation path can be
+exercised. The exit code is 0 only when every requested experiment
+succeeded.
 
 Crash safety: ``run --isolate`` executes each experiment in a killable
 subprocess (a crashed worker becomes a structured failure),
@@ -25,6 +26,15 @@ no cooperation needed, unlike ``--budget`` — and
 so an interrupted sweep restarts without recomputing finished
 experiments. Ctrl-C flushes the journal and the partial summary and
 exits with code 130.
+
+Parallelism: ``run --jobs N`` executes the sweep on a work-stealing
+pool of N isolated worker processes (``--jobs 0`` = all cores) with
+the same guarantees as the serial path — per-key deterministic seeds
+make the parallel sweep equivalent to a serial one, per-worker journal
+shards keep ``--resume`` correct no matter which process died, and
+``--crash-retries N`` retries a worker-killing experiment on a fresh
+worker before quarantining it. Ctrl-C SIGTERMs every worker's process
+group: nothing outlives the CLI.
 
 Observability: ``-v``/``-vv`` (or ``--log-level``) turn on progress
 logging, ``run --trace FILE`` exports the sweep's span tree as JSONL,
@@ -97,8 +107,9 @@ def _build_parser():
     run.add_argument(
         "--inject-fault", action="append", default=[], metavar="ID[:MODE]",
         help="force this experiment to fail (repeatable; exercises the "
-             "fault-tolerance path); MODE is error (default), hang, or "
-             "crash — the hard modes need --isolate/--hard-timeout",
+             "fault-tolerance path); MODE is error (default), hang, "
+             "crash, or oom — the hard modes need --isolate or --jobs N "
+             "(and --hard-timeout for hangs)",
     )
     run.add_argument(
         "--isolate", action="store_true",
@@ -110,6 +121,17 @@ def _build_parser():
         "--hard-timeout", type=float, default=None, metavar="SECONDS",
         help="kill an isolated worker exceeding this wall-clock deadline "
              "(no cooperation needed, unlike --budget; implies --isolate)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default 1 = serial; 0 = all "
+             "cores); N > 1 runs the work-stealing pool, which always "
+             "isolates and keeps results identical to a serial run",
+    )
+    run.add_argument(
+        "--crash-retries", type=int, default=0, metavar="N",
+        help="with --jobs > 1: reschedule an experiment that crashed its "
+             "worker up to N times before quarantining it as failed/crashed",
     )
     run.add_argument(
         "--checkpoint", default=None, metavar="DIR",
@@ -181,12 +203,24 @@ def _run_command(args, all_experiments):
         print(f"--max-retries must be >= 0, got {args.max_retries}",
               file=sys.stderr)
         return 2
+    if args.jobs < 0:
+        print(f"--jobs must be >= 0 (0 = all cores), got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    if args.crash_retries < 0:
+        print(f"--crash-retries must be >= 0, got {args.crash_retries}",
+              file=sys.stderr)
+        return 2
+    from .robustness.pool import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
     if args.hard_timeout is not None:
         if not args.hard_timeout > 0:
             print(f"--hard-timeout must be a positive number of seconds, "
                   f"got {args.hard_timeout}", file=sys.stderr)
             return 2
-        args.isolate = True  # a hard deadline is only enforceable by kill
+        if jobs <= 1:
+            args.isolate = True  # a hard deadline needs a killable worker
     if args.resume and args.checkpoint is None:
         print("--resume requires --checkpoint DIR (nothing to resume from)",
               file=sys.stderr)
@@ -214,12 +248,13 @@ def _run_command(args, all_experiments):
         print(f"warning: --inject-fault {', '.join(sorted(unmatched))} "
               "matches no selected experiment", file=sys.stderr)
     hard_modes = {k: m for k, m in fail_modes.items()
-                  if k in keys and m in ("hang", "crash")}
-    if hard_modes and not args.isolate:
+                  if k in keys and m in ("hang", "crash", "oom")}
+    if hard_modes and not args.isolate and jobs <= 1:
         print(f"--inject-fault modes "
               f"{', '.join(f'{k}:{m}' for k, m in sorted(hard_modes.items()))} "
-              "defeat cooperative budgets; add --isolate (and --hard-timeout "
-              "for hangs) so the sweep can survive them", file=sys.stderr)
+              "defeat cooperative budgets; add --isolate or --jobs N (and "
+              "--hard-timeout for hangs) so the sweep can survive them",
+              file=sys.stderr)
         return 2
 
     def stream(outcome):
@@ -262,6 +297,8 @@ def _run_command(args, all_experiments):
             isolate=args.isolate,
             hard_timeout=args.hard_timeout,
             journal=journal,
+            jobs=jobs,
+            crash_retries=args.crash_retries,
         )
     except KeyboardInterrupt:
         interrupted = True

@@ -10,17 +10,23 @@ budget/retry policy, failures become :class:`ExperimentOutcome` records
 with a ``status`` instead of aborting the sweep, and
 :func:`summarize_outcomes` renders the per-experiment status table.
 
-Two opt-in hardening layers (see ``docs/robustness.md``):
+Three opt-in hardening layers (see ``docs/robustness.md``):
 
 * ``isolate=True`` runs each experiment in a killable subprocess with a
   ``hard_timeout`` deadline — a hang that never reaches a
-  ``budget_tick``, or an outright crash (segfault, SIGKILL), becomes a
-  structured ``"timeout"``/``"crashed"`` failure and the sweep
-  continues;
+  ``budget_tick``, or an outright crash (segfault, SIGKILL, OOM-kill),
+  becomes a structured ``"timeout"``/``"crashed"`` failure and the
+  sweep continues;
 * ``journal=...`` checkpoints every completed outcome durably
   (:class:`~repro.robustness.RunJournal`), so a killed sweep resumes
   where it stopped: previously-succeeded keys are surfaced as status
-  ``"skipped"`` with their tables intact and are not recomputed.
+  ``"skipped"`` with their tables intact and are not recomputed;
+* ``jobs=N`` (``0`` = all cores) runs the grid on the work-stealing
+  parallel pool of :mod:`repro.robustness.pool` — always isolated,
+  with crash quarantine (``crash_retries``), shared-memory data
+  passing (``shared_data``), and per-key deterministic seeds
+  (``base_seed``) so a parallel sweep is bit-identical to a serial
+  one and to any killed-and-resumed continuation.
 """
 
 from __future__ import annotations
@@ -30,17 +36,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..exceptions import (
-    FaultInjectedError,
-    ValidationError,
-    WorkerCrashError,
-    WorkerTimeoutError,
-)
+from ..exceptions import FaultInjectedError, ValidationError
 from ..observability.logs import get_logger
 from ..observability.tracer import Tracer, current_tracer
 from ..robustness.checkpoint import RunJournal
 from ..robustness.guard import RunFailure, RunGuard
-from ..robustness.workers import run_in_worker
+from ..robustness.pool import (
+    derive_seed,
+    install_experiment_context,
+    resolve_jobs,
+)
+from ..robustness.workers import failure_from_worker, run_in_worker
 
 __all__ = ["ExperimentOutcome", "ResultTable", "run_experiments",
            "summarize_outcomes", "timed"]
@@ -51,8 +57,10 @@ logger = get_logger("experiments")
 #: and the CLI's ``--inject-fault ID[:MODE]``. ``"error"`` raises a
 #: catchable exception; ``"hang"`` spins without budget ticks (only a
 #: hard timeout reaps it); ``"crash"`` SIGKILLs its own process (only
-#: isolation survives it).
-INJECT_MODES = ("error", "hang", "crash")
+#: isolation survives it); ``"oom"`` allocates until an address-space
+#: cap trips and then dies by SIGKILL, the way the kernel OOM killer
+#: ends a worker (surfaces as a ``"crashed"`` failure).
+INJECT_MODES = ("error", "hang", "crash", "oom")
 
 
 class ResultTable:
@@ -242,6 +250,8 @@ def _make_injected(key, mode):
             faults.hang()
         elif mode == "crash":
             faults.hard_crash()
+        elif mode == "oom":
+            faults.oom()
         raise FaultInjectedError(
             f"fault injected into experiment {key} (--inject-fault)"
         )
@@ -302,25 +312,87 @@ def _run_isolated(key, run_fn, *, max_seconds, max_retries, hard_timeout,
                            start_method=start_method, label=key)
     if worker.completed:
         return ExperimentOutcome.from_dict(worker.value)
-    if worker.status == "timeout":
-        error_type, kind = WorkerTimeoutError.__name__, "timeout"
-    else:
-        error_type, kind = WorkerCrashError.__name__, "crashed"
-    failure = RunFailure(
-        label=key, error_type=error_type, message=worker.describe(),
-        traceback="", elapsed=worker.elapsed, attempts=1, kind=kind,
-        context={"exitcode": worker.exitcode, "signal": worker.signal_name,
-                 "hard_timeout": hard_timeout, **worker.detail},
-    )
+    failure = failure_from_worker(key, worker, hard_timeout=hard_timeout)
     return ExperimentOutcome(key=key, status="failed", failure=failure,
                              elapsed=worker.elapsed)
+
+
+def _skipped_outcome(key, prior_outcome):
+    """Surface a journaled ``"ok"`` outcome as status ``"skipped"``."""
+    return ExperimentOutcome(
+        key=key, status="skipped", table=prior_outcome.table,
+        elapsed=prior_outcome.elapsed,
+        attempts=prior_outcome.attempts,
+        iterations=prior_outcome.iterations,
+        timings=prior_outcome.timings,
+        peak_kb=prior_outcome.peak_kb,
+    )
+
+
+def _readonly_arrays(shared_data):
+    """``{name: read-only view}``, matching what pool workers see."""
+    if not shared_data:
+        return None
+    import numpy as np
+
+    arrays = {}
+    for name, array in shared_data.items():
+        view = np.ascontiguousarray(array).view()
+        view.flags.writeable = False
+        arrays[name] = view
+    return arrays
+
+
+def _run_pooled(experiments, fail_modes, *, jobs, keep_going, max_seconds,
+                max_retries, hard_timeout, crash_retries, journal,
+                callback, shared_data, base_seed, heartbeat_interval,
+                start_method, profile_memory):
+    """The ``jobs > 1`` branch of :func:`run_experiments`.
+
+    Skip handling (journal resume) stays parent-side and streams first;
+    everything else — seeding, isolation, journaling — is delegated to
+    :func:`repro.robustness.pool.run_pool` on the remaining keys.
+    """
+    from ..robustness.pool import run_pool
+
+    prior = journal.outcomes if journal is not None else {}
+    skipped = {}
+    grid = {}
+    for key, experiment_fn in experiments.items():
+        prior_outcome = prior.get(key)
+        if prior_outcome is not None and prior_outcome.status == "ok":
+            outcome = _skipped_outcome(key, prior_outcome)
+            skipped[key] = outcome
+            logger.info("experiment %s: skipped (journaled ok in %s)",
+                        key, journal.path)
+            if callback is not None:
+                callback(outcome)
+            continue
+        mode = fail_modes.get(key)
+        grid[key] = (experiment_fn if mode is None
+                     else _make_injected(key, mode))
+    ran = {}
+    if grid:
+        ran = {outcome.key: outcome for outcome in run_pool(
+            grid, jobs=jobs, max_seconds=max_seconds,
+            max_retries=max_retries, hard_timeout=hard_timeout,
+            crash_retries=crash_retries, journal=journal,
+            callback=callback, shared_data=shared_data,
+            base_seed=base_seed, heartbeat_interval=heartbeat_interval,
+            start_method=start_method, profile_memory=profile_memory,
+            keep_going=keep_going,
+        )}
+    return [skipped[key] if key in skipped else ran[key]
+            for key in experiments if key in skipped or key in ran]
 
 
 def run_experiments(experiments, *, keep_going=True, max_seconds=None,
                     max_retries=0, fail_keys=(), callback=None,
                     tracer=None, profile=False, isolate=False,
                     hard_timeout=None, journal=None,
-                    heartbeat_interval=1.0, start_method=None):
+                    heartbeat_interval=1.0, start_method=None,
+                    jobs=1, crash_retries=0, shared_data=None,
+                    base_seed=0):
     """Run a mapping of ``{key: experiment_fn}`` fault-tolerantly.
 
     Parameters
@@ -375,25 +447,64 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
         at any point resumes without recomputation. A path constructs
         a resuming :class:`~repro.robustness.RunJournal`.
     heartbeat_interval : float
-        Seconds between worker liveness messages (isolation only).
+        Seconds between worker liveness messages (isolation/pool only).
     start_method : str or None
-        ``multiprocessing`` start method (isolation only; default
+        ``multiprocessing`` start method (isolation/pool only; default
         prefers ``fork`` so closures work as experiments).
+    jobs : int
+        Worker-process count. ``1`` (the default) runs the serial path
+        above; ``0`` or ``None`` means all cores; ``N > 1`` runs the
+        grid on the work-stealing pool of
+        :mod:`repro.robustness.pool`, which always isolates (so
+        ``hard_timeout`` needs no ``isolate=True`` there). Scheduling
+        never affects results: seeds derive from experiment keys, so
+        any ``jobs`` value yields an equivalent sweep.
+    crash_retries : int
+        Pool-only circuit breaker: a key that crashes its worker more
+        than this many times is quarantined as ``failed/crashed`` and
+        never rescheduled.
+    shared_data : mapping of str -> ndarray, or None
+        Arrays every experiment may read via
+        :func:`repro.robustness.shared_arrays`. Under the pool they
+        travel through ``multiprocessing.shared_memory`` once (one
+        physical copy for N workers); serially they are installed as
+        read-only views.
+    base_seed : int
+        Root of the per-key deterministic seeds exposed to experiment
+        bodies via :func:`repro.robustness.experiment_seed`
+        (``derive_seed(key, base_seed)``).
 
     Returns
     -------
     list of ExperimentOutcome
     """
     fail_modes = _normalize_fail_keys(fail_keys)
-    if hard_timeout is not None and not isolate:
+    jobs = resolve_jobs(jobs)
+    if crash_retries < 0:
         raise ValidationError(
-            "hard_timeout requires isolate=True: a hard deadline can only "
-            "be enforced by killing a worker process"
+            f"crash_retries must be >= 0, got {crash_retries}"
+        )
+    if hard_timeout is not None and not isolate and jobs <= 1:
+        raise ValidationError(
+            "hard_timeout requires isolate=True (or jobs > 1): a hard "
+            "deadline can only be enforced by killing a worker process"
         )
     if journal is not None and not isinstance(journal, RunJournal):
         journal = RunJournal(journal)
+    if jobs > 1:
+        return _run_pooled(
+            experiments, fail_modes, jobs=jobs, keep_going=keep_going,
+            max_seconds=max_seconds, max_retries=max_retries,
+            hard_timeout=hard_timeout, crash_retries=crash_retries,
+            journal=journal, callback=callback, shared_data=shared_data,
+            base_seed=base_seed, heartbeat_interval=heartbeat_interval,
+            start_method=start_method,
+            profile_memory=(tracer.profile_memory if tracer is not None
+                            else profile),
+        )
     if tracer is None:
         tracer = Tracer(profile_memory=profile)
+    arrays = _readonly_arrays(shared_data)
     prior = journal.outcomes if journal is not None else {}
     outcomes = []
     with contextlib.ExitStack() as stack:
@@ -402,14 +513,7 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
         for key, experiment_fn in experiments.items():
             prior_outcome = prior.get(key)
             if prior_outcome is not None and prior_outcome.status == "ok":
-                outcome = ExperimentOutcome(
-                    key=key, status="skipped", table=prior_outcome.table,
-                    elapsed=prior_outcome.elapsed,
-                    attempts=prior_outcome.attempts,
-                    iterations=prior_outcome.iterations,
-                    timings=prior_outcome.timings,
-                    peak_kb=prior_outcome.peak_kb,
-                )
+                outcome = _skipped_outcome(key, prior_outcome)
                 outcomes.append(outcome)
                 logger.info("experiment %s: skipped (journaled ok in %s)",
                             key, journal.path)
@@ -419,6 +523,9 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
             mode = fail_modes.get(key)
             run_fn = (experiment_fn if mode is None
                       else _make_injected(key, mode))
+            run_fn = install_experiment_context(
+                run_fn, derive_seed(key, base_seed), arrays
+            )
             if isolate:
                 outcome = _run_isolated(
                     key, run_fn, max_seconds=max_seconds,

@@ -13,7 +13,7 @@ import ast
 import re
 
 from .engine import Rule, register
-from .walk import PRINT_ALLOWED
+from .walk import POOL_ALLOWED, PRINT_ALLOWED
 
 __all__ = []  # rules are reached through the registry, not imports
 
@@ -478,3 +478,72 @@ class DocstringSignatureSync(Rule):
                     f"docstring documents parameter {name!r} but "
                     f"{node.name}'s signature has no such parameter",
                 )
+
+
+def _pool_allowed(path):
+    """True when ``path`` lives in the fault-contained run layer."""
+    posix = path.replace("\\", "/")
+    return any(posix.startswith(allowed) or ("/" + allowed) in posix
+               for allowed in POOL_ALLOWED)
+
+
+#: Names whose import from ``multiprocessing`` builds an ad-hoc pool.
+_POOL_NAMES = frozenset({"Pool", "ThreadPool", "pool", "dummy"})
+
+
+@register
+class NoAdHocProcessPool(Rule):
+    id = "RL009"
+    title = "no-adhoc-process-pool"
+    rationale = (
+        "Parallel execution must flow through run_experiments(jobs=...)"
+        " / repro.robustness.pool: a bare multiprocessing.Pool or "
+        "concurrent.futures executor has no process groups, heartbeat "
+        "deadlines, crash quarantine, or per-worker journal shards, so "
+        "a hang or crash inside it strands work (and orphans children) "
+        "that the fault-contained pool would recover."
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.Attribute)
+
+    def _ban(self, ctx, node, what):
+        return self.finding(
+            ctx, node,
+            f"{what} outside repro.robustness; use "
+            "run_experiments(jobs=...) or repro.robustness.run_pool so "
+            "isolation, quarantine, and journaling apply",
+        )
+
+    def visit(self, node, ctx):
+        if _pool_allowed(ctx.path):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "concurrent":
+                    yield self._ban(ctx, node,
+                                    f"import of {alias.name!r}")
+                elif (alias.name.startswith("multiprocessing.")
+                        and alias.name.split(".")[1] in ("pool", "dummy")):
+                    yield self._ban(ctx, node,
+                                    f"import of {alias.name!r}")
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                return
+            module = node.module or ""
+            top = module.split(".")[0]
+            if top == "concurrent":
+                yield self._ban(ctx, node,
+                                f"import from {module!r}")
+            elif top == "multiprocessing":
+                if module == "multiprocessing":
+                    banned = [a.name for a in node.names
+                              if a.name in _POOL_NAMES]
+                elif module.split(".")[1] in ("pool", "dummy"):
+                    banned = [a.name for a in node.names]
+                else:
+                    banned = []
+                for name in banned:
+                    yield self._ban(
+                        ctx, node, f"import of {name!r} from {module!r}"
+                    )
+        elif node.attr in ("Pool", "ThreadPool"):
+            yield self._ban(ctx, node, f"use of .{node.attr}")

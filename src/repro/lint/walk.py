@@ -10,6 +10,8 @@ the single home for that policy:
   library's ``.py`` files, skipping caches, egg-info and VCS droppings;
 * :data:`PRINT_ALLOWED` — the CLI front-ends where printing *is* the
   job (rule ``RL003`` and ``tools/check_no_print.py`` share it);
+* :data:`POOL_ALLOWED` — the fault-contained run layer, the only place
+  allowed to build process pools / executors directly (rule ``RL009``);
 * :data:`ESTIMATOR_PACKAGES` — the algorithm subpackages whose exports
   form the estimator population (the runtime contract tool and the
   static ``RL007`` rule agree on scope through it);
@@ -25,6 +27,7 @@ __all__ = [
     "API_DOC_PACKAGES",
     "ESTIMATOR_PACKAGES",
     "PACKAGE_ROOT",
+    "POOL_ALLOWED",
     "PRINT_ALLOWED",
     "REPO_ROOT",
     "SRC_ROOT",
@@ -62,6 +65,15 @@ PRINT_ALLOWED = (
     "repro/__main__.py",
     "repro/experiments/report.py",
     "repro/lint/cli.py",
+)
+
+#: Module-path prefixes (posix, under ``src``) allowed to build worker
+#: processes, pools, and executors directly: the fault-contained run
+#: layer. Everything else reaches parallelism through
+#: ``run_experiments(jobs=...)`` so process groups, hard deadlines,
+#: crash quarantine, and journal shards always apply (rule ``RL009``).
+POOL_ALLOWED = (
+    "repro/robustness/",
 )
 
 #: The algorithm subpackages whose ``__all__`` exports define the

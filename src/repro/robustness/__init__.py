@@ -10,17 +10,21 @@ of raw tracebacks). :mod:`repro.robustness.faults` provides the fault
 injection used to prove every estimator fails structurally, never with
 an unhandled NumPy error.
 
-Two hard-enforcement modules complement the cooperative layer:
+Three hard-enforcement modules complement the cooperative layer:
 :mod:`repro.robustness.workers` runs each experiment in a killable
-subprocess with a hard wall-clock deadline (covering hangs and crashes
-that never reach a ``budget_tick``), and
+subprocess (its own process group) with a hard wall-clock deadline
+(covering hangs and crashes that never reach a ``budget_tick``),
 :mod:`repro.robustness.checkpoint` journals completed outcomes with
-atomic writes so an interrupted sweep resumes without recomputation.
+atomic writes so an interrupted sweep resumes without recomputation,
+and :mod:`repro.robustness.pool` runs the whole grid concurrently on a
+work-stealing pool of such workers (``--jobs N``) with crash
+quarantine, shared-memory data passing, and per-key deterministic
+seeds so parallel == serial == resumed, bit for bit.
 
 See ``docs/robustness.md`` for the full guide.
 """
 
-from .checkpoint import RunJournal, load_journal_records
+from .checkpoint import RunJournal, canonical_summary, load_journal_records
 from .faults import (
     DATA_FAULTS,
     CrashingEstimator,
@@ -36,6 +40,7 @@ from .faults import (
     inject_duplicate_rows,
     inject_inf_cells,
     inject_nan_cells,
+    oom,
 )
 from .guard import (
     KNOWN_FAILURE_KINDS,
@@ -46,7 +51,21 @@ from .guard import (
     active_budget,
     budget_tick,
 )
-from .workers import WorkerResult, run_in_worker
+from .pool import (
+    SharedDataset,
+    derive_seed,
+    experiment_seed,
+    resolve_jobs,
+    run_pool,
+    shared_arrays,
+)
+from .workers import (
+    WorkerResult,
+    failure_from_worker,
+    reap_process,
+    run_in_worker,
+    worker_failure_record,
+)
 
 __all__ = [
     "KNOWN_FAILURE_KINDS",
@@ -55,11 +74,21 @@ __all__ = [
     "RunGuard",
     "RunResult",
     "RunJournal",
+    "SharedDataset",
     "WorkerResult",
     "active_budget",
     "budget_tick",
+    "canonical_summary",
+    "derive_seed",
+    "experiment_seed",
+    "failure_from_worker",
     "load_journal_records",
+    "reap_process",
+    "resolve_jobs",
     "run_in_worker",
+    "run_pool",
+    "shared_arrays",
+    "worker_failure_record",
     "DATA_FAULTS",
     "CrashingEstimator",
     "FlakyEstimator",
@@ -74,4 +103,5 @@ __all__ = [
     "inject_duplicate_rows",
     "inject_inf_cells",
     "inject_nan_cells",
+    "oom",
 ]

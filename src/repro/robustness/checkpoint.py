@@ -21,6 +21,15 @@ experiment: a key whose prior outcome was ``"ok"`` is skipped (surfaced
 as status ``"skipped"``, table preserved) and only failed or missing
 keys execute. The CLI exposes this as ``run --checkpoint DIR`` /
 ``--resume``.
+
+Parallel sweeps (:mod:`repro.robustness.pool`) add **per-worker
+shards**: worker ``i`` journals its own outcomes to
+``journal.worker-<i>.jsonl`` (same atomic discipline) *before*
+reporting them, and loading a journal transparently merges any shards
+next to it — an ``"ok"`` record always wins a conflict, so a resume is
+correct regardless of which process died mid-write or in which order
+workers finished. :meth:`RunJournal.consolidate` folds the shards back
+into the main journal at the end of a clean sweep.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ import pathlib
 from ..exceptions import ValidationError
 from ..observability.logs import get_logger
 
-__all__ = ["RunJournal", "load_journal_records"]
+__all__ = ["RunJournal", "canonical_summary", "load_journal_records"]
 
 logger = get_logger("repro.robustness.checkpoint")
 
@@ -78,6 +87,44 @@ def load_journal_records(path):
     return records
 
 
+#: Volatile (timing/host-dependent) fields excluded from the canonical
+#: summary at both the outcome and failure level.
+_VOLATILE_FIELDS = ("elapsed", "timings", "peak_kb")
+_VOLATILE_FAILURE_FIELDS = ("elapsed", "traceback", "message")
+
+
+def canonical_summary(records):
+    """Deterministic byte string summarising a sweep's results.
+
+    ``records`` is a list of outcome dicts (``ExperimentOutcome.
+    to_dict()``; outcome objects are accepted too). The summary is the
+    key-sorted JSON of every record with volatile fields (wall-clock
+    timings, tracebacks, human messages embedding durations) removed —
+    everything that *should* be identical between a serial sweep, a
+    parallel one, and a killed-and-resumed one: keys, statuses, result
+    tables, attempt and iteration counts, failure kinds and error
+    types. Two sweeps are equivalent iff their summaries are
+    byte-identical.
+    """
+    canonical = []
+    for record in records:
+        if hasattr(record, "to_dict"):
+            record = record.to_dict()
+        entry = {k: v for k, v in record.items()
+                 if k not in _VOLATILE_FIELDS}
+        if entry.get("status") == "skipped":
+            entry["status"] = "ok"  # a resumed key is the same result
+        failure = entry.get("failure")
+        if isinstance(failure, dict):
+            entry["failure"] = {
+                k: v for k, v in failure.items()
+                if k not in _VOLATILE_FAILURE_FIELDS and k != "context"
+            }
+        canonical.append(entry)
+    canonical.sort(key=lambda entry: str(entry.get("key", "")))
+    return json.dumps(canonical, sort_keys=True).encode("utf-8")
+
+
 class RunJournal:
     """Atomic, resumable journal of experiment outcomes.
 
@@ -104,21 +151,81 @@ class RunJournal:
         path.parent.mkdir(parents=True, exist_ok=True)
         self.path = path
         self._outcomes = {}
-        if resume and path.exists():
+        if resume:
             self._load()
-        elif not resume and path.exists():
-            path.unlink()
-            logger.info("discarded prior journal %s (fresh sweep)", path)
+        else:
+            discarded = [p for p in (path, *self.shard_paths())
+                         if p.exists()]
+            for stale in discarded:
+                stale.unlink()
+            if discarded:
+                logger.info("discarded prior journal %s (+%d shard(s); "
+                            "fresh sweep)", path, len(discarded) - 1)
+
+    # -- shards (parallel sweeps) ----------------------------------------
+
+    def shard_path(self, slot):
+        """Per-worker shard file for worker ``slot`` (same directory)."""
+        stem = self.path.name[:-len(self.path.suffix)] or self.path.name
+        return self.path.with_name(f"{stem}.worker-{int(slot)}{self.path.suffix}")
+
+    def shard_paths(self):
+        """Existing shard files next to this journal, sorted."""
+        stem = self.path.name[:-len(self.path.suffix)] or self.path.name
+        return sorted(self.path.parent.glob(
+            f"{stem}.worker-*{self.path.suffix}"
+        ))
+
+    def _merge(self, outcome):
+        """Adopt ``outcome`` unless a conflicting ``"ok"`` already won."""
+        prior = self._outcomes.get(outcome.key)
+        if prior is not None and prior.status == "ok" \
+                and outcome.status != "ok":
+            return
+        self._outcomes[outcome.key] = outcome
 
     def _load(self):
         from ..experiments.harness import ExperimentOutcome
 
-        for record in load_journal_records(self.path):
-            outcome = ExperimentOutcome.from_dict(record)
-            self._outcomes[outcome.key] = outcome
-        logger.info("resumed journal %s: %d prior outcome(s), %d ok",
-                    self.path, len(self._outcomes),
-                    len(self.completed_keys()))
+        if self.path.exists():
+            for record in load_journal_records(self.path):
+                outcome = ExperimentOutcome.from_dict(record)
+                self._outcomes[outcome.key] = outcome
+        shards = self.shard_paths()
+        for shard in shards:
+            for record in load_journal_records(shard):
+                self._merge(ExperimentOutcome.from_dict(record))
+        if self._outcomes or shards:
+            logger.info(
+                "resumed journal %s: %d prior outcome(s), %d ok "
+                "(%d shard(s) merged)", self.path, len(self._outcomes),
+                len(self.completed_keys()), len(shards),
+            )
+
+    def consolidate(self):
+        """Fold worker shards into the main journal, then remove them.
+
+        Called by the pool at the end of a clean sweep so the directory
+        is left with one canonical ``journal.jsonl``. Safe to call with
+        no shards present. Returns the number of shards consumed.
+        """
+        shards = self.shard_paths()
+        if not shards:
+            return 0
+        self._load_shards_only(shards)
+        self._flush()
+        for shard in shards:
+            shard.unlink()
+        logger.info("consolidated %d shard(s) into %s",
+                    len(shards), self.path)
+        return len(shards)
+
+    def _load_shards_only(self, shards):
+        from ..experiments.harness import ExperimentOutcome
+
+        for shard in shards:
+            for record in load_journal_records(shard):
+                self._merge(ExperimentOutcome.from_dict(record))
 
     # -- querying --------------------------------------------------------
 

@@ -49,6 +49,7 @@ __all__ = [
     "faulty_variants",
     "hang",
     "hard_crash",
+    "oom",
     "DATA_FAULTS",
     "StallingEstimator",
     "FlakyEstimator",
@@ -180,6 +181,57 @@ def hang(seconds=300.0, poll_seconds=0.05):
         f"hang injector expired after {seconds}s without being reaped "
         "(expected a hard timeout to kill this process first)"
     )
+
+
+def oom(limit_mb=256, chunk_mb=8):
+    """Allocate unboundedly until the process dies the way OOM kills do.
+
+    Simulates a worker eaten by the kernel's OOM killer — the fault
+    that defeats every ``except`` block and leaves no goodbye on the
+    pipe. To keep the drill from taking down the *host* (a real
+    unbounded allocation would swap-thrash the whole machine before the
+    kernel acts), the process first caps its own address space with
+    ``RLIMIT_AS`` at roughly ``limit_mb`` MiB above current usage, then
+    allocates and touches memory in ``chunk_mb`` chunks until the cap
+    trips, and finally delivers itself the same uncatchable ``SIGKILL``
+    the OOM killer sends. Platforms without :mod:`resource` skip the
+    allocation phase and go straight to the kill — the observable
+    failure (death by SIGKILL mid-allocation) is identical.
+    """
+    try:
+        import resource
+    except ImportError:
+        resource = None
+    blocks = []
+    if resource is not None:
+        try:
+            current = _current_vm_bytes()
+            cap = current + int(limit_mb) * 1024 * 1024
+            soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+            if hard != resource.RLIM_INFINITY:
+                cap = min(cap, hard)
+            resource.setrlimit(resource.RLIMIT_AS, (cap, hard))
+            chunk = int(chunk_mb) * 1024 * 1024
+            while True:
+                block = bytearray(chunk)
+                block[::4096] = b"x" * len(block[::4096])  # touch pages
+                blocks.append(block)
+        except MemoryError:
+            pass  # the cap tripped: now die the way the kernel would
+        except (OSError, ValueError):
+            pass  # rlimits unavailable; still exercise the kill signal
+    del blocks
+    hard_crash(signal.SIGKILL)
+
+
+def _current_vm_bytes():
+    """Current virtual-memory size (Linux ``/proc``; 0 elsewhere)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            pages = int(fh.read().split()[0])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError, AttributeError):
+        return 0
 
 
 def hard_crash(signum=signal.SIGKILL):

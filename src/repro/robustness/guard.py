@@ -70,9 +70,13 @@ __all__ = [
 
 #: Every ``RunFailure.kind`` the run layer can produce. ``"error"`` is a
 #: Python exception caught in-process; ``"timeout"`` and ``"crashed"``
-#: are parent-side verdicts about a killed or dead worker process (see
-#: :mod:`repro.robustness.workers`). ``tools/check_outcome_schema.py``
-#: asserts each kind survives the journal round-trip and is rendered.
+#: are parent-side verdicts about a killed or dead worker process —
+#: produced by both the serial isolation path
+#: (:mod:`repro.robustness.workers`) and the parallel pool
+#: (:mod:`repro.robustness.pool`), which additionally marks a
+#: repeatedly-crashing key with ``context["quarantined"]``.
+#: ``tools/check_outcome_schema.py`` asserts each kind survives the
+#: journal round-trip and is rendered.
 KNOWN_FAILURE_KINDS = ("error", "timeout", "crashed")
 
 logger = get_logger("repro.robustness")
@@ -301,8 +305,10 @@ class RunFailure:
     def __str__(self):
         where = f"[{self.label}] " if self.label else ""
         how = f"{self.kind}: " if self.kind != "error" else ""
+        mark = " [quarantined]" if self.context.get("quarantined") else ""
         return (f"{where}{how}{self.error_type}: {self.message} "
-                f"(attempts={self.attempts}, elapsed={self.elapsed:.2f}s)")
+                f"(attempts={self.attempts}, elapsed={self.elapsed:.2f}s)"
+                f"{mark}")
 
     def __repr__(self):
         message = self.message

@@ -1,0 +1,673 @@
+"""Fault-contained parallel sweep pool: work-stealing over the grid.
+
+:func:`run_pool` generalises the one-at-a-time isolation of
+:mod:`repro.robustness.workers` into a concurrent executor that runs a
+whole experiment grid across ``jobs`` worker subprocesses while keeping
+every guarantee the serial path has:
+
+* **work stealing** — workers pull the next pending experiment the
+  moment they go idle, so a slow key never stalls the rest of the grid
+  behind a static partition;
+* **fault containment** — each worker is a subprocess in its *own
+  process group* with a heartbeat pipe and a hard per-task wall-clock
+  deadline; the parent's monitor loop reaps hung workers
+  (SIGTERM → SIGKILL, the :mod:`~repro.robustness.workers` semantics),
+  respawns replacements, and keeps the sweep going;
+* **crash quarantine** — an experiment that kills its worker is retried
+  on a fresh worker at most ``crash_retries`` times; past that the key
+  is recorded as ``failed/crashed`` (context ``quarantined``) and never
+  rescheduled — a circuit breaker per key, not per run;
+* **shared-memory data passing** — :class:`SharedDataset` places the
+  sweep's arrays in ``multiprocessing.shared_memory`` once; workers
+  reconstruct read-only NumPy views instead of receiving N pickled
+  copies (:func:`shared_arrays` inside an experiment body);
+* **deterministic seeding** — :func:`derive_seed` hashes the
+  *experiment key* (never the scheduling slot or completion order) into
+  a seed installed for the experiment body (:func:`experiment_seed`),
+  so a parallel sweep is bit-identical to a serial one and to any
+  resumed continuation;
+* **order-independent resume** — each worker journals its own outcomes
+  durably (``journal.worker-<slot>.jsonl``, atomic write-then-replace)
+  *before* reporting them, and :class:`~repro.robustness.RunJournal`
+  merges the shards on load, so ``--resume`` is correct regardless of
+  which process died mid-write.
+
+Ctrl-C SIGTERMs every worker's process group, leaves the durable
+shards in place for resume, and propagates ``KeyboardInterrupt`` so
+the CLI exits 130.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as _mp_connection
+from typing import Any, Optional
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..observability.logs import get_logger
+from .checkpoint import RunJournal
+from .workers import (
+    reap_process,
+    worker_failure_record,
+    _own_process_group,
+    _pick_context,
+    _signal_name,
+)
+
+__all__ = [
+    "SharedDataset",
+    "derive_seed",
+    "experiment_seed",
+    "resolve_jobs",
+    "run_pool",
+    "shared_arrays",
+]
+
+logger = get_logger("repro.robustness.pool")
+
+#: Monitor-loop poll interval while waiting on worker pipes (seconds).
+_POLL_SECONDS = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Deterministic per-key seeds
+
+
+_CURRENT_SEED: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_experiment_seed", default=None
+)
+
+_SHARED_ARRAYS: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_shared_arrays", default=None
+)
+
+
+def derive_seed(key, base_seed=0):
+    """Deterministic 32-bit seed for one experiment key.
+
+    The seed is a function of ``(base_seed, key)`` only — never of the
+    scheduling slot, worker id, or completion order — so the same grid
+    produces the same seeds under ``jobs=1``, ``jobs=N``, and any
+    resumed continuation.
+    """
+    digest = hashlib.sha256(
+        f"{int(base_seed)}:{key}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def experiment_seed(default=None):
+    """The per-key seed installed for the currently running experiment.
+
+    Inside an experiment body executed by :func:`run_pool` (or the
+    serial ``run_experiments`` path) this returns
+    ``derive_seed(key, base_seed)`` for the experiment's own key;
+    outside a sweep it returns ``default``.
+    """
+    seed = _CURRENT_SEED.get()
+    return default if seed is None else seed
+
+
+def shared_arrays():
+    """The sweep's shared dataset as ``{name: read-only ndarray}``.
+
+    Populated by ``run_experiments(shared_data=...)`` — via
+    :class:`SharedDataset` under the pool, directly for serial sweeps —
+    and empty outside a sweep.
+    """
+    arrays = _SHARED_ARRAYS.get()
+    return {} if arrays is None else dict(arrays)
+
+
+def install_experiment_context(run_fn, seed, arrays):
+    """Wrap ``run_fn`` so it executes with seed/shared-data installed.
+
+    The wrapper sets the contextvars *at call time* (inside whatever
+    process ends up running the experiment), so it works identically
+    in-process, under ``fork``, and under ``spawn``.
+    """
+    def wrapped():
+        seed_token = _CURRENT_SEED.set(seed)
+        data_token = _SHARED_ARRAYS.set(arrays)
+        try:
+            return run_fn()
+        finally:
+            _CURRENT_SEED.reset(seed_token)
+            _SHARED_ARRAYS.reset(data_token)
+
+    return wrapped
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory dataset passing
+
+
+class SharedDataset:
+    """A named set of NumPy arrays placed in shared memory once.
+
+    The parent calls :meth:`create` before spawning workers; each
+    worker calls :meth:`attach` on the :meth:`descriptor` and gets
+    zero-copy **read-only** views, so N workers see one physical copy
+    of the dataset instead of N pickled ones.
+
+    The creator owns the segments: call :meth:`unlink` (or use the
+    instance as a context manager) when the sweep is done. Workers only
+    :meth:`close` their attachments.
+    """
+
+    def __init__(self, segments, views, owner):
+        self._segments = segments
+        self._views = views
+        self._owner = owner
+
+    @classmethod
+    def create(cls, arrays):
+        """Copy ``{name: array}`` into fresh shared-memory segments."""
+        from multiprocessing import shared_memory
+
+        segments, views = {}, {}
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1)
+                )
+                segments[name] = shm
+                view = np.ndarray(array.shape, dtype=array.dtype,
+                                  buffer=shm.buf)
+                view[...] = array
+                view.flags.writeable = False
+                views[name] = view
+        except BaseException:  # repro: noqa[RL004] - frees partially created segments, then re-raises
+            cls(segments, views, owner=True).unlink()
+            raise
+        return cls(segments, views, owner=True)
+
+    def descriptor(self):
+        """JSON-safe recipe workers use to :meth:`attach`."""
+        return {
+            name: {
+                "segment": shm.name,
+                "shape": list(self._views[name].shape),
+                "dtype": str(self._views[name].dtype),
+            }
+            for name, shm in self._segments.items()
+        }
+
+    @classmethod
+    def attach(cls, descriptor):
+        """Reconstruct read-only views from a :meth:`descriptor`."""
+        from multiprocessing import shared_memory
+
+        segments, views = {}, {}
+        for name, spec in descriptor.items():
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=spec["segment"], track=False
+                )
+            except TypeError:  # Python < 3.13: no track parameter
+                shm = shared_memory.SharedMemory(name=spec["segment"])
+            segments[name] = shm
+            view = np.ndarray(tuple(spec["shape"]),
+                              dtype=np.dtype(spec["dtype"]), buffer=shm.buf)
+            view.flags.writeable = False
+            views[name] = view
+        return cls(segments, views, owner=False)
+
+    def arrays(self):
+        """``{name: read-only ndarray}`` backed by the shared segments."""
+        return dict(self._views)
+
+    def close(self):
+        """Drop this process's mapping (the data stays for others)."""
+        self._views = {}
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except OSError:
+                pass
+
+    def unlink(self):
+        """Close and destroy the segments (creator only)."""
+        segments = dict(self._segments)
+        self.close()
+        self._segments = {}
+        if not self._owner:
+            return
+        for shm in segments.values():
+            try:
+                shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.unlink()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+
+
+def _pool_worker_main(conn, slot, experiments, config):
+    """Long-lived worker: pull tasks, journal durably, report back.
+
+    The worker places itself in its own process group (so the parent
+    can kill the whole tree, and a terminal Ctrl-C does not hit it
+    directly), attaches the shared dataset, and loops on the task pipe.
+    Every completed outcome is journaled to this worker's own shard
+    *before* it is reported, so a parent (or worker) death after the
+    journal write can never lose the result.
+    """
+    from ..experiments.harness import (
+        _outcome_from_result,
+        _WorkerTracer,
+    )
+    from .guard import RunGuard
+
+    _own_process_group()
+    shared = None
+    arrays = None
+    if config.get("shared_descriptor"):
+        shared = SharedDataset.attach(config["shared_descriptor"])
+        arrays = shared.arrays()
+    journal = None
+    if config.get("shard_path"):
+        journal = RunJournal(config["shard_path"])
+
+    last_sent = [0.0]
+    heartbeat_interval = config.get("heartbeat_interval", 1.0)
+
+    def heartbeat():
+        now = time.monotonic()
+        if now - last_sent[0] >= heartbeat_interval:
+            last_sent[0] = now
+            try:
+                conn.send(("heartbeat", now))
+            except (BrokenPipeError, OSError):
+                pass  # parent already gone; keep finishing the task
+
+    exitcode = 0
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent is gone: stop pulling work
+            if message[0] == "shutdown":
+                break
+            _, key, seed = message
+            run_fn = install_experiment_context(
+                experiments[key], seed, arrays
+            )
+            tracer = _WorkerTracer(
+                heartbeat, profile_memory=config.get("profile_memory", False)
+            )
+            guard = RunGuard(
+                max_seconds=config.get("max_seconds"),
+                max_retries=config.get("max_retries", 0),
+                label=key, tracer=tracer,
+            )
+            outcome = _outcome_from_result(key, guard.run(run_fn))
+            if journal is not None:
+                journal.record(outcome)  # durable before it is reported
+            try:
+                conn.send(("outcome", key, outcome.to_dict()))
+            except (BrokenPipeError, OSError):
+                break  # parent is gone; the shard already has the outcome
+    except BaseException as exc:  # repro: noqa[RL004] - reports broken plumbing, then exits nonzero
+        logger.warning("pool worker %d broke: %s: %s",
+                       slot, type(exc).__name__, exc)
+        exitcode = 1
+    finally:
+        if shared is not None:
+            shared.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+    os._exit(exitcode)
+
+
+# ---------------------------------------------------------------------------
+# Parent side: the monitor/scheduler loop
+
+
+@dataclass
+class _PoolWorker:
+    """Parent-side record of one live worker subprocess."""
+
+    slot: int
+    process: Any
+    conn: Any
+    task: Optional[str] = None
+    deadline: Optional[float] = None
+    assigned_at: Optional[float] = None
+    last_heartbeat: Optional[float] = None
+
+    @property
+    def idle(self):
+        return self.task is None
+
+
+def resolve_jobs(jobs):
+    """Normalise a ``jobs`` request: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return max(os.cpu_count() or 1, 1)
+    try:
+        jobs = int(jobs)
+    except (TypeError, ValueError):
+        raise ValidationError(f"jobs must be an integer >= 0, got {jobs!r}")
+    if jobs < 0:
+        raise ValidationError(f"jobs must be >= 0 (0 = all cores), "
+                              f"got {jobs}")
+    return jobs
+
+
+class _PoolRun:
+    """One grid execution: scheduling state plus the monitor loop."""
+
+    def __init__(self, experiments, *, jobs, max_seconds, max_retries,
+                 hard_timeout, crash_retries, journal, callback,
+                 shared_descriptor, base_seed, heartbeat_interval,
+                 start_method, profile_memory, keep_going):
+        self.experiments = dict(experiments)
+        self.jobs = jobs
+        self.config = {
+            "max_seconds": max_seconds,
+            "max_retries": max_retries,
+            "heartbeat_interval": heartbeat_interval,
+            "profile_memory": profile_memory,
+            "shared_descriptor": shared_descriptor,
+        }
+        self.hard_timeout = hard_timeout
+        self.crash_retries = int(crash_retries)
+        self.journal = journal
+        self.callback = callback
+        self.base_seed = base_seed
+        self.keep_going = keep_going
+        self.ctx = _pick_context(start_method)
+        self.pending = deque(self.experiments)
+        self.results = {}
+        self.crash_counts = {}
+        self.workers = {}
+        self._next_slot = 0
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spawn_worker(self):
+        slot = self._next_slot
+        self._next_slot += 1
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        config = dict(self.config)
+        if self.journal is not None:
+            config["shard_path"] = str(self.journal.shard_path(slot))
+        process = self.ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn, slot, self.experiments, config),
+            daemon=True, name=f"repro-pool-{slot}",
+        )
+        process.start()
+        child_conn.close()
+        try:  # close the startup race: the child does the same first thing
+            os.setpgid(process.pid, process.pid)
+        except (OSError, AttributeError):
+            pass
+        worker = _PoolWorker(slot=slot, process=process, conn=parent_conn)
+        self.workers[slot] = worker
+        logger.debug("spawned pool worker %d (pid %s)", slot, process.pid)
+        return worker
+
+    def _ensure_workers(self):
+        want = min(self.jobs, len(self.pending) + self._in_flight())
+        while len(self.workers) < want:
+            self._spawn_worker()
+
+    def _in_flight(self):
+        return sum(1 for w in self.workers.values() if not w.idle)
+
+    def _discard_worker(self, worker, *, kill):
+        self.workers.pop(worker.slot, None)
+        if kill:
+            reap_process(worker.process)
+        else:
+            worker.process.join()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    # -- outcome plumbing ------------------------------------------------
+
+    def _record(self, outcome, *, parent_journal):
+        """Register a finished key (and journal it when parent-owned)."""
+        self.results[outcome.key] = outcome
+        if parent_journal and self.journal is not None:
+            self.journal.record(outcome)
+        logger.info("experiment %s: %s in %.3fs (pool)",
+                    outcome.key, outcome.status, outcome.elapsed)
+        if self.callback is not None:
+            self.callback(outcome)
+        if not outcome.ok and not self.keep_going and self.pending:
+            logger.warning("stopping sweep dispatch after failure in %s",
+                           outcome.key)
+            self.pending.clear()
+
+    def _assign(self, worker):
+        key = self.pending.popleft()
+        worker.task = key
+        worker.assigned_at = time.monotonic()
+        worker.deadline = (None if self.hard_timeout is None
+                           else worker.assigned_at + self.hard_timeout)
+        worker.conn.send(("task", key, derive_seed(key, self.base_seed)))
+
+    def _handle_outcome(self, worker, key, payload):
+        from ..experiments.harness import ExperimentOutcome
+
+        outcome = ExperimentOutcome.from_dict(payload)
+        if key == worker.task:
+            worker.task = None
+            worker.deadline = None
+        # worker-journaled outcomes reach the main journal at consolidation
+        self._record(outcome, parent_journal=False)
+
+    def _handle_death(self, worker):
+        """A worker process died; classify, reschedule or quarantine."""
+        self._drain(worker)
+        key = worker.task
+        self._discard_worker(worker, kill=True)  # joins: exitcode is now set
+        exitcode = worker.process.exitcode
+        if key is None:
+            logger.warning("idle pool worker %d died (exitcode=%s)",
+                           worker.slot, exitcode)
+            return
+        crashes = self.crash_counts.get(key, 0) + 1
+        self.crash_counts[key] = crashes
+        if crashes <= self.crash_retries:
+            logger.warning(
+                "experiment %s crashed its worker (%d/%d); rescheduling",
+                key, crashes, self.crash_retries + 1,
+            )
+            self.pending.append(key)
+            return
+        failure = worker_failure_record(
+            key, status="crashed",
+            elapsed=time.monotonic() - worker.assigned_at,
+            exitcode=exitcode, signal_name=_signal_name(exitcode),
+            hard_timeout=self.hard_timeout,
+            extra_context={"crashes": crashes,
+                           "quarantined": self.crash_retries > 0},
+        )
+        from ..experiments.harness import ExperimentOutcome
+
+        self._record(
+            ExperimentOutcome(key=key, status="failed", failure=failure,
+                              elapsed=failure.elapsed),
+            parent_journal=True,
+        )
+
+    def _handle_timeout(self, worker):
+        key = worker.task
+        elapsed = time.monotonic() - worker.assigned_at
+        silence = (None if worker.last_heartbeat is None
+                   else time.monotonic() - worker.last_heartbeat)
+        logger.warning("experiment %s exceeded the hard deadline %.3gs; "
+                       "killing worker %d", key, self.hard_timeout,
+                       worker.slot)
+        self._discard_worker(worker, kill=True)
+        failure = worker_failure_record(
+            key, status="timeout", elapsed=elapsed,
+            exitcode=worker.process.exitcode,
+            signal_name=_signal_name(worker.process.exitcode),
+            hard_timeout=self.hard_timeout, heartbeat_age=silence,
+        )
+        from ..experiments.harness import ExperimentOutcome
+
+        self._record(
+            ExperimentOutcome(key=key, status="failed", failure=failure,
+                              elapsed=elapsed),
+            parent_journal=True,
+        )
+
+    def _drain(self, worker):
+        """Pull whatever the worker managed to send before dying."""
+        try:
+            while worker.conn.poll(0):
+                self._dispatch_message(worker, worker.conn.recv())
+        except (EOFError, OSError):
+            pass
+
+    def _dispatch_message(self, worker, message):
+        tag = message[0]
+        if tag == "heartbeat":
+            worker.last_heartbeat = time.monotonic()
+        elif tag == "outcome":
+            self._handle_outcome(worker, message[1], message[2])
+
+    # -- the monitor loop ------------------------------------------------
+
+    def run(self):
+        try:
+            self._loop()
+        except KeyboardInterrupt:
+            logger.warning("interrupt: SIGTERMing %d pool worker group(s)",
+                           len(self.workers))
+            self._shutdown(kill=True)
+            raise
+        except BaseException:
+            self._shutdown(kill=True)
+            raise
+        self._shutdown(kill=False)
+        if self.journal is not None:
+            self.journal.consolidate()
+        return [self.results[key] for key in self.experiments
+                if key in self.results]
+
+    def _loop(self):
+        while self.pending or self._in_flight():
+            self._ensure_workers()
+            for worker in list(self.workers.values()):
+                if worker.idle and self.pending:
+                    self._assign(worker)
+            timeout = _POLL_SECONDS
+            now = time.monotonic()
+            for worker in self.workers.values():
+                if worker.deadline is not None:
+                    timeout = min(timeout, max(worker.deadline - now, 0.0))
+            waitables = {}
+            for worker in self.workers.values():
+                waitables[worker.conn] = worker
+                waitables[worker.process.sentinel] = worker
+            if not waitables:
+                continue
+            ready = _mp_connection.wait(list(waitables), timeout=timeout)
+            dead = {}
+            for item in ready:
+                worker = waitables[item]
+                if item is worker.process.sentinel:
+                    dead[worker.slot] = worker
+                    continue
+                try:
+                    while worker.conn.poll(0):
+                        self._dispatch_message(worker, worker.conn.recv())
+                except (EOFError, OSError):
+                    dead[worker.slot] = worker
+            for worker in dead.values():
+                if worker.slot in self.workers:
+                    self._handle_death(worker)
+            now = time.monotonic()
+            for worker in list(self.workers.values()):
+                if worker.deadline is not None and now >= worker.deadline:
+                    self._handle_timeout(worker)
+
+    def _shutdown(self, *, kill):
+        for worker in list(self.workers.values()):
+            if not kill:
+                try:
+                    worker.conn.send(("shutdown",))
+                except (BrokenPipeError, OSError):
+                    kill = True
+            self._discard_worker(worker, kill=kill)
+
+
+def run_pool(experiments, *, jobs=None, max_seconds=None, max_retries=0,
+             hard_timeout=None, crash_retries=0, journal=None,
+             callback=None, shared_data=None, base_seed=0,
+             heartbeat_interval=1.0, start_method=None,
+             profile_memory=False, keep_going=True):
+    """Run an experiment grid on the fault-contained parallel pool.
+
+    Parameters mirror ``run_experiments``; the pool always isolates
+    (every experiment runs in a worker subprocess). ``jobs=None``/``0``
+    uses every core. ``crash_retries`` is the per-key circuit breaker:
+    a key that crashes its worker more than this many times is recorded
+    as ``failed/crashed`` and never rescheduled. ``shared_data`` is a
+    ``{name: ndarray}`` mapping placed in shared memory once and
+    exposed to experiment bodies via :func:`shared_arrays`.
+
+    Returns outcomes in grid order. ``KeyboardInterrupt`` kills every
+    worker process group, leaves the per-worker journal shards in place
+    for resume, and propagates.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs < 1:
+        raise ValidationError("the pool needs at least one worker")
+    if crash_retries < 0:
+        raise ValidationError(
+            f"crash_retries must be >= 0, got {crash_retries}"
+        )
+    if hard_timeout is not None and not float(hard_timeout) > 0:
+        raise ValidationError(
+            f"hard_timeout must be positive, got {hard_timeout}"
+        )
+    if journal is not None and not isinstance(journal, RunJournal):
+        journal = RunJournal(journal)
+    shared = None
+    descriptor = None
+    try:
+        if shared_data:
+            shared = SharedDataset.create(shared_data)
+            descriptor = shared.descriptor()
+        run = _PoolRun(
+            experiments, jobs=jobs, max_seconds=max_seconds,
+            max_retries=max_retries, hard_timeout=hard_timeout,
+            crash_retries=crash_retries, journal=journal,
+            callback=callback, shared_descriptor=descriptor,
+            base_seed=base_seed, heartbeat_interval=heartbeat_interval,
+            start_method=start_method, profile_memory=profile_memory,
+            keep_going=keep_going,
+        )
+        return run.run()
+    finally:
+        if shared is not None:
+            shared.unlink()

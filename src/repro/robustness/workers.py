@@ -21,6 +21,12 @@ wires it into the tracer's iteration ticks) updates the parent's
 liveness clock, so a timeout verdict can report how long the worker had
 been silent before it was killed.
 
+Every worker detaches into its **own process group** on startup, and
+reaping signals the group: grandchildren spawned by the payload die
+with the worker, and a terminal Ctrl-C (delivered to the foreground
+group) never reaches workers directly — the parent reaps them on its
+way out, so no subprocess outlives the CLI.
+
 The default start method is ``fork`` when the platform offers it, so
 closures and locally-defined experiments work; under ``spawn`` the
 payload must be picklable. Results cross the process boundary as plain
@@ -39,8 +45,10 @@ from typing import Any, Optional
 
 from ..exceptions import ValidationError
 from ..observability.logs import get_logger
+from .guard import RunFailure
 
-__all__ = ["WorkerResult", "run_in_worker"]
+__all__ = ["WorkerResult", "failure_from_worker", "reap_process",
+           "run_in_worker", "worker_failure_record"]
 
 logger = get_logger("repro.robustness.workers")
 
@@ -103,6 +111,20 @@ def _signal_name(exitcode):
         return f"signal {-exitcode}"
 
 
+def _own_process_group():
+    """Detach the current process into its own process group.
+
+    Workers call this first thing so (a) a terminal Ctrl-C — delivered
+    to the *foreground* group — never reaches them directly, and (b)
+    the parent can kill the worker *and every grandchild it spawned*
+    with one ``killpg``. No subprocess may outlive the CLI.
+    """
+    try:
+        os.setpgid(0, 0)
+    except (OSError, AttributeError):
+        pass  # already a group leader, or the platform has no setpgid
+
+
 def _child_main(conn, payload, heartbeat_interval):
     """Worker entry point: run ``payload`` and ship the result back.
 
@@ -110,6 +132,7 @@ def _child_main(conn, payload, heartbeat_interval):
     a RunGuard, so this means broken worker plumbing, not a failed
     experiment) is reported over the pipe before exiting nonzero.
     """
+    _own_process_group()
     last_sent = [0.0]
 
     def heartbeat():
@@ -146,18 +169,79 @@ def _pick_context(start_method):
     return multiprocessing.get_context(start_method)
 
 
-def _reap(process):
-    """Terminate, then kill, then join a worker that must not survive."""
+def _signal_group(pid, signum):
+    """Signal ``pid``'s process group, falling back to the pid alone."""
+    try:
+        os.killpg(pid, signum)
+        return
+    except (OSError, AttributeError, PermissionError):
+        pass
+    try:
+        os.kill(pid, signum)
+    except OSError:
+        pass  # already gone
+
+
+def reap_process(process):
+    """Terminate, then kill, then join a worker that must not survive.
+
+    Signals are sent to the worker's whole *process group* (workers
+    make themselves group leaders on startup), so grandchildren the
+    payload spawned die with it — nothing outlives the sweep.
+    """
     if not process.is_alive():
         process.join()
+        # the group may still hold orphaned grandchildren; finish them
+        _signal_group(process.pid, _signal.SIGKILL)
         return
-    process.terminate()
+    _signal_group(process.pid, _signal.SIGTERM)
     process.join(_KILL_GRACE)
     if process.is_alive():
         logger.warning("worker pid=%s ignored SIGTERM; sending SIGKILL",
                        process.pid)
-        process.kill()
+        _signal_group(process.pid, _signal.SIGKILL)
         process.join()
+    else:
+        # the group may still hold orphaned grandchildren; finish them
+        _signal_group(process.pid, _signal.SIGKILL)
+
+
+def worker_failure_record(label, *, status, elapsed, exitcode=None,
+                          signal_name=None, hard_timeout=None,
+                          heartbeat_age=None, extra_context=None):
+    """A structured :class:`RunFailure` for a killed or dead worker.
+
+    ``status`` is ``"timeout"`` (the parent enforced a hard deadline)
+    or ``"crashed"`` (the worker died on its own); both the serial
+    isolation path and the parallel pool synthesize their verdicts
+    through this single helper so the failure schema cannot drift
+    between the two executors.
+    """
+    from ..exceptions import WorkerCrashError, WorkerTimeoutError
+
+    verdict = WorkerResult(status=status, elapsed=elapsed,
+                           exitcode=exitcode, signal_name=signal_name,
+                           last_heartbeat_age=heartbeat_age)
+    error_type = (WorkerTimeoutError.__name__ if status == "timeout"
+                  else WorkerCrashError.__name__)
+    context = {"exitcode": exitcode, "signal": signal_name,
+               "hard_timeout": hard_timeout}
+    context.update(extra_context or {})
+    return RunFailure(
+        label=label, error_type=error_type, message=verdict.describe(),
+        traceback="", elapsed=elapsed, attempts=1, kind=status,
+        context=context,
+    )
+
+
+def failure_from_worker(label, worker, *, hard_timeout=None):
+    """:func:`worker_failure_record` from a :class:`WorkerResult`."""
+    return worker_failure_record(
+        label, status=worker.status, elapsed=worker.elapsed,
+        exitcode=worker.exitcode, signal_name=worker.signal_name,
+        hard_timeout=hard_timeout, heartbeat_age=worker.last_heartbeat_age,
+        extra_context=worker.detail,
+    )
 
 
 def run_in_worker(payload, *, hard_timeout=None, heartbeat_interval=1.0,
@@ -202,6 +286,10 @@ def run_in_worker(payload, *, hard_timeout=None, heartbeat_interval=1.0,
     start = time.monotonic()
     process.start()
     child_conn.close()
+    try:  # close the startup race: the child does the same first thing
+        os.setpgid(process.pid, process.pid)
+    except (OSError, AttributeError):
+        pass
     deadline = None if hard_timeout is None else start + hard_timeout
     last_heartbeat = None
     outcome = None
@@ -234,7 +322,7 @@ def run_in_worker(payload, *, hard_timeout=None, heartbeat_interval=1.0,
             elif not process.is_alive() and not parent_conn.poll():
                 break  # died between polls and left nothing in the pipe
     finally:
-        _reap(process)
+        reap_process(process)
         parent_conn.close()
     elapsed = time.monotonic() - start
     heartbeat_age = (None if last_heartbeat is None
