@@ -1,0 +1,232 @@
+"""Measure serving latency and throughput of the repro serve stack.
+
+Usage:  python benchmarks/bench_serve.py
+
+Spins up a real :class:`~repro.serve.ModelServer` on an ephemeral port
+and measures, over actual HTTP round-trips:
+
+* **cold** fits — distinct (params, seed) requests that each fit a
+  model end to end (submit, poll, fetch); p50/p99 of the full
+  request-to-model wall time;
+* **cached** hits — repeats of one request whose model is already
+  registered; the POST itself returns the ``done`` job, so one
+  round-trip covers fingerprinting, key lookup, and registry read;
+* **throughput** — jobs/sec with several client threads submitting
+  concurrently against the bounded queue (429s are retried, so the
+  number also exercises backpressure).
+
+The committed claim (``--min-speedup``, default 10): a cache hit is at
+least 10x faster than a cold fit at the median. The workload is sized
+so a cold fit does real optimisation work (k-means on an 800x10 matrix
+with ``n_init=80``) rather than measuring HTTP overhead twice.
+
+Writes the committed ``BENCH_serve.json`` at the repo root. Exit
+status 1 when the speedup claim does not hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.serve import (  # noqa: E402
+    JobScheduler,
+    ModelRegistry,
+    make_server,
+)
+
+OUTPUT = ROOT / "BENCH_serve.json"
+
+
+def _dataset(n_samples=800, n_features=10, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=6.0, size=(6, n_features))
+    X = np.concatenate([
+        rng.normal(size=(n_samples // 6, n_features)) + c for c in centers
+    ])
+    return X
+
+
+def _request(url, payload=None, timeout=120):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _submit_and_fetch(url, body, poll_interval=0.002):
+    """One full client interaction; returns (seconds, was_cached)."""
+    start = time.perf_counter()
+    status, resp = _request(f"{url}/jobs", body)
+    job = resp["job"]
+    while job["status"] not in ("done", "failed"):
+        time.sleep(poll_interval)
+        _, resp = _request(f"{url}/jobs/{job['id']}")
+        job = resp["job"]
+    if job["status"] != "done":
+        raise RuntimeError(f"benchmark job failed: {job.get('error')}")
+    _request(url + job["model_url"])
+    return time.perf_counter() - start, job["cached"]
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    return {
+        "p50_ms": round(1000 * statistics.median(ordered), 3),
+        "p99_ms": round(1000 * ordered[min(len(ordered) - 1,
+                                           int(0.99 * len(ordered)))], 3),
+        "mean_ms": round(1000 * statistics.fmean(ordered), 3),
+        "n": len(ordered),
+    }
+
+
+def _bench_cold(url, X, rounds):
+    """Distinct seeds -> every request fits a fresh model."""
+    times = []
+    for seed in range(rounds):
+        body = {"estimator": "KMeans", "dataset": X.tolist(),
+                "params": {"n_clusters": 6, "n_init": 80}, "seed": seed}
+        seconds, cached = _submit_and_fetch(url, body)
+        assert not cached, "cold request unexpectedly hit the cache"
+        times.append(seconds)
+    return times
+
+
+def _bench_cached(url, X, rounds):
+    """One already-fitted request repeated -> registry hits only."""
+    body = {"estimator": "KMeans", "dataset": X.tolist(),
+            "params": {"n_clusters": 6, "n_init": 80}, "seed": 0}
+    _submit_and_fetch(url, body)  # ensure the model is registered
+    times = []
+    for _ in range(rounds):
+        seconds, cached = _submit_and_fetch(url, body)
+        assert cached, "warm request unexpectedly missed the cache"
+        times.append(seconds)
+    return times
+
+
+def _bench_throughput(url, X, clients, per_client):
+    """Concurrent distinct submissions; 429s back off and retry."""
+    done = []
+    lock = threading.Lock()
+
+    def client(client_id):
+        for i in range(per_client):
+            body = {"estimator": "KMeans", "dataset": X.tolist(),
+                    "params": {"n_clusters": 6, "n_init": 80},
+                    "seed": 1000 + client_id * per_client + i}
+            while True:
+                try:
+                    seconds, _ = _submit_and_fetch(url, body)
+                except urllib.error.HTTPError as exc:
+                    if exc.code == 429:
+                        time.sleep(0.05)
+                        continue
+                    raise
+                break
+            with lock:
+                done.append(seconds)
+
+    threads = [threading.Thread(target=client, args=(c,))
+               for c in range(clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    return {
+        "clients": clients,
+        "jobs": len(done),
+        "seconds": round(elapsed, 4),
+        "jobs_per_sec": round(len(done) / elapsed, 3),
+        "latency": _percentiles(done),
+    }
+
+
+def measure(cold_rounds=12, cached_rounds=50, clients=4, per_client=3):
+    X = _dataset()
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp, max_entries=1024)
+        scheduler = JobScheduler(registry, jobs=1, queue_limit=8).start()
+        server = make_server("127.0.0.1", 0, scheduler=scheduler,
+                             model_registry=registry)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            cold = _bench_cold(server.url, X, cold_rounds)
+            cached = _bench_cached(server.url, X, cached_rounds)
+            throughput = _bench_throughput(server.url, X, clients,
+                                           per_client)
+        finally:
+            scheduler.shutdown(drain=False, timeout=30)
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=30)
+    cold_p = _percentiles(cold)
+    cached_p = _percentiles(cached)
+    return {
+        "benchmark": "repro serve HTTP latency and throughput",
+        "config": {
+            "workload": "KMeans n_clusters=6 n_init=80 on 798x10 blobs",
+            "transport": "real HTTP round-trips against an ephemeral "
+                         "ThreadingHTTPServer, jobs=1, queue_limit=8",
+            "cold_rounds": cold_rounds,
+            "cached_rounds": cached_rounds,
+        },
+        "cold": cold_p,
+        "cached": cached_p,
+        "throughput": throughput,
+        "cache_speedup": round(cold_p["p50_ms"] / cached_p["p50_ms"], 1),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cold-rounds", type=int, default=12)
+    parser.add_argument("--cached-rounds", type=int, default=50)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--per-client", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="required cold/cached p50 ratio (default 10)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure without rewriting BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    report = measure(cold_rounds=args.cold_rounds,
+                     cached_rounds=args.cached_rounds,
+                     clients=args.clients, per_client=args.per_client)
+    report["summary"] = {
+        "min_speedup": args.min_speedup,
+        "speedup_ok": report["cache_speedup"] >= args.min_speedup,
+    }
+    if not args.no_write:
+        OUTPUT.write_text(json.dumps(report, indent=2) + "\n",
+                          encoding="utf-8")
+        print(f"wrote {OUTPUT}")
+    print(f"cold p50 {report['cold']['p50_ms']:.1f}ms / "
+          f"cached p50 {report['cached']['p50_ms']:.1f}ms = "
+          f"{report['cache_speedup']:.1f}x speedup "
+          f"(need >= {args.min_speedup:.0f}x); "
+          f"throughput {report['throughput']['jobs_per_sec']:.2f} jobs/s "
+          f"with {report['throughput']['clients']} clients -> "
+          f"{'OK' if report['summary']['speedup_ok'] else 'BELOW CLAIM'}")
+    return 0 if report["summary"]["speedup_ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

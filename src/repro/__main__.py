@@ -45,6 +45,11 @@ plus a slowest-stages table.
 Static analysis: ``lint`` forwards to ``python -m repro.lint`` — the
 AST gate enforcing the determinism/purity/contract invariants
 (``docs/static-analysis.md``); run it before sending a PR.
+
+Serving: ``serve`` starts the JSON HTTP model server
+(``docs/serving.md``) — fit requests become jobs on the same
+fault-tolerant harness, fitted models are cached by dataset
+fingerprint, and SIGTERM drains queued jobs before exit.
 """
 
 from __future__ import annotations
@@ -87,6 +92,40 @@ def _build_parser():
     lint.add_argument(
         "lint_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to 'python -m repro.lint'",
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="start the JSON HTTP model server (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8799, metavar="PORT",
+        help="port to bind (default 8799; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fit parallelism: 1 = in-process under a RunGuard (default), "
+             "N > 1 = the work-stealing worker pool, 0 = all cores",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help="pending-job capacity; past it POST /jobs returns 429 "
+             "(default 32)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="model registry directory (default: ./repro-models)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, metavar="N",
+        help="max cached models before LRU eviction (default 256)",
+    )
+    serve.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="per-job cooperative wall-clock budget (as in 'run --budget')",
     )
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="experiment id, e.g. F9, T1, all")
@@ -325,6 +364,72 @@ def _run_command(args, all_experiments):
     return 0
 
 
+def _serve_command(args):
+    import signal
+
+    from .robustness.pool import resolve_jobs
+    from .serve import JobScheduler, ModelRegistry, make_server
+
+    if args.port < 0 or args.port > 65535:
+        print(f"--port must be in [0, 65535], got {args.port}",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 0:
+        print(f"--jobs must be >= 0 (0 = all cores), got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    if args.queue_limit < 1:
+        print(f"--queue-limit must be >= 1, got {args.queue_limit}",
+              file=sys.stderr)
+        return 2
+    if args.cache_size < 1:
+        print(f"--cache-size must be >= 1, got {args.cache_size}",
+              file=sys.stderr)
+        return 2
+    if args.budget is not None and not args.budget > 0:
+        print(f"--budget must be a positive number of seconds, "
+              f"got {args.budget}", file=sys.stderr)
+        return 2
+
+    cache_dir = args.cache_dir if args.cache_dir is not None \
+        else "repro-models"
+    registry = ModelRegistry(cache_dir, max_entries=args.cache_size)
+    scheduler = JobScheduler(
+        registry,
+        jobs=resolve_jobs(args.jobs),
+        queue_limit=args.queue_limit,
+        max_seconds=args.budget,
+    ).start()
+    try:
+        server = make_server(args.host, args.port, scheduler=scheduler,
+                             model_registry=registry)
+    except OSError as exc:
+        scheduler.shutdown(drain=False)
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+
+    def _graceful(signum, frame):
+        print(f"\n[signal {signum}: draining queued jobs, then stopping]",
+              file=sys.stderr)
+        server.drain_and_shutdown()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    print(f"repro serve listening on {server.url} "
+          f"(jobs={scheduler.jobs}, queue-limit={args.queue_limit}, "
+          f"cache-dir={cache_dir}, cache-size={args.cache_size})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\n[Ctrl-C: draining queued jobs, then stopping]",
+              file=sys.stderr)
+        server.drain_and_shutdown().join()
+        server.server_close()
+        return 130
+    server.server_close()
+    scheduler.shutdown(drain=True)
+    return 0
+
+
 def _report_trace(path):
     from .exceptions import ValidationError
     from .observability.tracer import (
@@ -376,6 +481,8 @@ def main(argv=None):
         from .lint.cli import main as lint_main
 
         return lint_main(args.lint_args)
+    if args.command == "serve":
+        return _serve_command(args)
     if args.command == "report":
         if args.trace is not None:
             return _report_trace(args.trace)

@@ -59,6 +59,30 @@ class ParamsMixin:
             setattr(self, name, value)
         return self
 
+    def to_dict(self):
+        """Serialise this estimator (params + fitted state) to a
+        strict-JSON-compatible dict; see :func:`repro.io.estimator_to_dict`.
+        """
+        from ..io import estimator_to_dict
+
+        return estimator_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild an estimator serialised by :meth:`to_dict`.
+
+        Called on a base or concrete class; the payload names the real
+        class, which must be ``cls`` or a subclass of it.
+        """
+        from ..io import estimator_from_dict
+
+        estimator = estimator_from_dict(payload)
+        if not isinstance(estimator, cls):
+            raise ValidationError(
+                f"payload decodes to {type(estimator).__name__}, "
+                f"not a {cls.__name__}")
+        return estimator
+
     def __repr__(self):
         params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
         return f"{type(self).__name__}({params})"

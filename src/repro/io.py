@@ -1,22 +1,41 @@
-"""Serialisation: results to/from JSON-compatible dicts and files.
+"""Serialisation: results and estimators to/from JSON-compatible dicts.
 
-Round-trips the library's three result currencies — label partitions
+Round-trips the library's result currencies — label partitions
 (:class:`~repro.core.Clustering`), subspace results
-(:class:`~repro.core.SubspaceClustering`), and experiment
-:class:`~repro.experiments.ResultTable` objects — so pipelines can
-persist intermediate solutions (e.g. mine once, run several selection
-models later).
+(:class:`~repro.core.SubspaceClustering`), experiment
+:class:`~repro.experiments.ResultTable` objects — and, since the
+serving layer landed, **fitted estimators**: :func:`estimator_to_dict` /
+:func:`estimator_from_dict` split an estimator into its constructor
+params and fitted (trailing-underscore) state, with every value routed
+through the tagged :func:`encode_value` / :func:`decode_value` codec.
+
+All emission is strict RFC 8259 JSON. ``json.dumps`` defaults to
+``allow_nan=True`` and writes bare ``NaN``/``Infinity`` tokens that
+strict parsers (browsers, most HTTP clients) reject; this module is the
+single place that policy is fixed:
+
+* standalone non-finite floats encode as ``{"__repro__": "float",
+  "value": "NaN" | "Infinity" | "-Infinity"}``;
+* non-finite entries inside float arrays encode as the bare token
+  *string* (the array dtype disambiguates on decode);
+* :func:`sanitize_json` / :func:`dumps` convert any stray ``nan`` to
+  ``null`` and infinities to token strings, then serialise with
+  ``allow_nan=False`` so a violation can never reach the wire.
 """
 
 from __future__ import annotations
 
+import importlib
 import json
+import math
+import types
 
 import numpy as np
 
 from .core.clustering import Clustering
 from .core.subspace import SubspaceCluster, SubspaceClustering
 from .exceptions import ValidationError
+from .observability.telemetry import ConvergenceEvent
 
 __all__ = [
     "clustering_to_dict",
@@ -24,13 +43,56 @@ __all__ = [
     "subspace_clustering_to_dict",
     "subspace_clustering_from_dict",
     "result_table_to_dict",
+    "encode_value",
+    "decode_value",
+    "estimator_to_dict",
+    "estimator_from_dict",
+    "sanitize_json",
+    "dumps",
     "save_json",
     "load_json",
 ]
 
 _KIND_CLUSTERING = "repro.Clustering"
 _KIND_SUBSPACE = "repro.SubspaceClustering"
+_KIND_SUBSPACE_CLUSTER = "repro.SubspaceCluster"
 _KIND_TABLE = "repro.ResultTable"
+_KIND_ESTIMATOR = "repro.Estimator"
+
+#: Schema version stamped into estimator payloads; bumped on any
+#: incompatible change so stale registry entries fail loudly.
+ESTIMATOR_FORMAT = 1
+
+#: Reserved key marking a tagged value in the :func:`encode_value` codec.
+_TAG = "__repro__"
+
+#: Token strings for non-finite floats (RFC JSON has no literal for them).
+_NONFINITE_TOKENS = {"NaN": math.nan, "Infinity": math.inf,
+                     "-Infinity": -math.inf}
+
+
+def _float_token(x):
+    """Token string for a non-finite float."""
+    if math.isnan(x):
+        return "NaN"
+    return "Infinity" if x > 0 else "-Infinity"
+
+
+def _encode_float(x):
+    """A float as itself, or a tagged token dict when non-finite."""
+    x = float(x)
+    if math.isfinite(x):
+        return x
+    return {_TAG: "float", "value": _float_token(x)}
+
+
+def _decode_float(value):
+    """Inverse of :func:`_encode_float` for already-untagged inputs."""
+    if isinstance(value, str):
+        if value not in _NONFINITE_TOKENS:
+            raise ValidationError(f"unknown float token {value!r}")
+        return _NONFINITE_TOKENS[value]
+    return float(value)
 
 
 def clustering_to_dict(clustering):
@@ -52,6 +114,29 @@ def clustering_from_dict(payload):
                       name=payload.get("name"))
 
 
+def _subspace_cluster_to_dict(cluster):
+    quality = cluster.quality
+    return {
+        "kind": _KIND_SUBSPACE_CLUSTER,
+        "objects": sorted(int(o) for o in cluster.objects),
+        "dims": sorted(int(d) for d in cluster.dims),
+        "quality": None if quality is None else _encode_quality(quality),
+    }
+
+
+def _encode_quality(quality):
+    quality = float(quality)
+    return quality if math.isfinite(quality) else _float_token(quality)
+
+
+def _subspace_cluster_from_dict(payload):
+    quality = payload.get("quality")
+    if quality is not None:
+        quality = _decode_float(quality)
+    return SubspaceCluster(payload["objects"], payload["dims"],
+                           quality=quality)
+
+
 def subspace_clustering_to_dict(result):
     """Serialise a :class:`SubspaceClustering`."""
     if not isinstance(result, SubspaceClustering):
@@ -59,14 +144,7 @@ def subspace_clustering_to_dict(result):
     return {
         "kind": _KIND_SUBSPACE,
         "name": result.name,
-        "clusters": [
-            {
-                "objects": sorted(int(o) for o in c.objects),
-                "dims": sorted(int(d) for d in c.dims),
-                "quality": c.quality,
-            }
-            for c in result
-        ],
+        "clusters": [_subspace_cluster_to_dict(c) for c in result],
     }
 
 
@@ -74,10 +152,7 @@ def subspace_clustering_from_dict(payload):
     """Inverse of :func:`subspace_clustering_to_dict`."""
     if payload.get("kind") != _KIND_SUBSPACE:
         raise ValidationError("payload is not a serialised SubspaceClustering")
-    clusters = [
-        SubspaceCluster(c["objects"], c["dims"], quality=c.get("quality"))
-        for c in payload["clusters"]
-    ]
+    clusters = [_subspace_cluster_from_dict(c) for c in payload["clusters"]]
     return SubspaceClustering(clusters, name=payload.get("name"))
 
 
@@ -92,6 +167,336 @@ def result_table_to_dict(table):
     }
 
 
+# ---------------------------------------------------------------------------
+# Tagged value codec
+# ---------------------------------------------------------------------------
+
+def _encode_ndarray(array):
+    kind = array.dtype.kind
+    flat = array.ravel(order="C").tolist()
+    if kind == "f":
+        data = [x if math.isfinite(x) else _float_token(x) for x in flat]
+    elif kind in "iub" or kind == "U":
+        data = flat
+    else:
+        raise ValidationError(
+            f"cannot serialise ndarray of dtype {array.dtype!s}")
+    return {
+        _TAG: "ndarray",
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": data,
+    }
+
+
+def _decode_ndarray(payload):
+    dtype = np.dtype(payload["dtype"])
+    data = payload["data"]
+    if dtype.kind == "f":
+        data = [_decode_float(x) if isinstance(x, str) else x for x in data]
+    array = np.asarray(data, dtype=dtype).reshape(tuple(payload["shape"]))
+    return array
+
+
+def _sort_key(encoded):
+    return json.dumps(encoded, sort_keys=True, allow_nan=False)
+
+
+def _is_repro_estimator(value):
+    module = getattr(type(value), "__module__", "") or ""
+    return (hasattr(value, "get_params")
+            and hasattr(value, "fit")
+            and (module == "repro" or module.startswith("repro.")))
+
+
+def encode_value(value):
+    """Encode an arbitrary library value into strict-JSON-safe form.
+
+    Supports the closed set of types observed in fitted estimator state:
+    JSON scalars, non-finite floats (tagged), numpy scalars and arrays,
+    tuples, sets, dicts with arbitrary hashable keys, convergence
+    events, :class:`Clustering` / :class:`SubspaceCluster` /
+    :class:`SubspaceClustering`, module-level ``repro.*`` functions, and
+    nested fitted ``repro`` estimators. Anything else raises
+    :class:`ValidationError`.
+    """
+    if value is None or isinstance(value, (bool, np.bool_)):
+        return None if value is None else bool(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return _encode_float(value)
+    if isinstance(value, np.ndarray):
+        return _encode_ndarray(value)
+    if isinstance(value, ConvergenceEvent):
+        return {
+            _TAG: "convergence_event",
+            "iteration": int(value.iteration),
+            "objective": _encode_float(value.objective),
+            "delta": _encode_float(value.delta),
+        }
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        items = sorted((encode_value(v) for v in value), key=_sort_key)
+        tag = "frozenset" if isinstance(value, frozenset) else "set"
+        return {_TAG: tag, "items": items}
+    if isinstance(value, dict):
+        return {
+            _TAG: "dict",
+            "items": [[encode_value(k), encode_value(v)]
+                      for k, v in value.items()],
+        }
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, Clustering):
+        return clustering_to_dict(value)
+    if isinstance(value, SubspaceCluster):
+        return _subspace_cluster_to_dict(value)
+    if isinstance(value, SubspaceClustering):
+        return subspace_clustering_to_dict(value)
+    if isinstance(value, types.FunctionType):
+        module = value.__module__ or ""
+        if not (module == "repro" or module.startswith("repro.")):
+            raise ValidationError(
+                f"can only serialise repro.* functions, got {module}."
+                f"{value.__qualname__}")
+        return {_TAG: "function", "module": module,
+                "qualname": value.__qualname__}
+    if _is_repro_estimator(value):
+        return estimator_to_dict(value)
+    cls = type(value)
+    module = cls.__module__ or ""
+    if ((module == "repro" or module.startswith("repro."))
+            and hasattr(value, "__dict__")):
+        # last resort for plain helper objects (e.g. a named threshold
+        # callable stored by a fitted estimator): class path + state
+        return {
+            _TAG: "object",
+            "module": module,
+            "qualname": cls.__qualname__,
+            "state": [[name, encode_value(v)]
+                      for name, v in vars(value).items()],
+        }
+    raise ValidationError(
+        f"don't know how to encode {cls.__name__!s} for JSON")
+
+
+_TAG_DECODERS = {}
+
+
+def _tag_decoder(name):
+    def deco(fn):
+        _TAG_DECODERS[name] = fn
+        return fn
+    return deco
+
+
+@_tag_decoder("float")
+def _dec_float(payload):
+    return _decode_float(payload["value"])
+
+
+@_tag_decoder("ndarray")
+def _dec_ndarray(payload):
+    return _decode_ndarray(payload)
+
+
+@_tag_decoder("tuple")
+def _dec_tuple(payload):
+    return tuple(decode_value(v) for v in payload["items"])
+
+
+@_tag_decoder("set")
+def _dec_set(payload):
+    return set(decode_value(v) for v in payload["items"])
+
+
+@_tag_decoder("frozenset")
+def _dec_frozenset(payload):
+    return frozenset(decode_value(v) for v in payload["items"])
+
+
+@_tag_decoder("dict")
+def _dec_dict(payload):
+    return {decode_value(k): decode_value(v) for k, v in payload["items"]}
+
+
+@_tag_decoder("convergence_event")
+def _dec_event(payload):
+    return ConvergenceEvent(iteration=int(payload["iteration"]),
+                            objective=decode_value(payload["objective"]),
+                            delta=decode_value(payload["delta"]))
+
+
+@_tag_decoder("function")
+def _dec_function(payload):
+    module_name = payload["module"]
+    obj = _import_repro_module(module_name)
+    for part in payload["qualname"].split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            raise ValidationError(
+                f"cannot resolve function {module_name}."
+                f"{payload['qualname']}")
+    if not callable(obj):
+        raise ValidationError(
+            f"{module_name}.{payload['qualname']} is not callable")
+    return obj
+
+
+@_tag_decoder("object")
+def _dec_object(payload):
+    obj = _import_repro_module(payload["module"])
+    for part in payload["qualname"].split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            raise ValidationError(
+                f"cannot resolve class {payload['module']}."
+                f"{payload['qualname']}")
+    if not isinstance(obj, type):
+        raise ValidationError(
+            f"{payload['module']}.{payload['qualname']} is not a class")
+    instance = obj.__new__(obj)
+    for name, value in payload["state"]:
+        setattr(instance, name, decode_value(value))
+    return instance
+
+
+_KIND_DECODERS = {
+    _KIND_CLUSTERING: clustering_from_dict,
+    _KIND_SUBSPACE_CLUSTER: _subspace_cluster_from_dict,
+    _KIND_SUBSPACE: subspace_clustering_from_dict,
+}
+
+
+def decode_value(payload):
+    """Inverse of :func:`encode_value`."""
+    if isinstance(payload, list):
+        return [decode_value(v) for v in payload]
+    if isinstance(payload, dict):
+        tag = payload.get(_TAG)
+        if tag is not None:
+            decoder = _TAG_DECODERS.get(tag)
+            if decoder is None:
+                raise ValidationError(f"unknown value tag {tag!r}")
+            return decoder(payload)
+        kind = payload.get("kind")
+        if kind == _KIND_ESTIMATOR:
+            return estimator_from_dict(payload)
+        decoder = _KIND_DECODERS.get(kind)
+        if decoder is None:
+            raise ValidationError(
+                f"untagged dict in encoded payload (kind={kind!r}); "
+                "plain dicts are encoded as tagged item lists")
+        return decoder(payload)
+    return payload
+
+
+def _import_repro_module(module_name):
+    """Import a module, refusing anything outside the library."""
+    if not (module_name == "repro" or module_name.startswith("repro.")):
+        raise ValidationError(
+            f"refusing to import {module_name!r}: estimator payloads may "
+            "only reference repro.* modules")
+    return importlib.import_module(module_name)
+
+
+# ---------------------------------------------------------------------------
+# Fitted-estimator round-trip
+# ---------------------------------------------------------------------------
+
+def estimator_to_dict(estimator):
+    """Serialise a (possibly fitted) estimator to a strict-JSON dict.
+
+    Splits the instance into constructor ``params`` (from
+    ``get_params()``) and everything else in ``vars()`` — the fitted
+    state, including private helper attributes — each value going
+    through :func:`encode_value`. The inverse is
+    :func:`estimator_from_dict`.
+    """
+    cls = type(estimator)
+    module = cls.__module__ or ""
+    if not (module == "repro" or module.startswith("repro.")):
+        raise ValidationError(
+            f"can only serialise repro.* estimators, got {module}."
+            f"{cls.__name__}")
+    if not hasattr(estimator, "get_params"):
+        raise ValidationError(
+            f"{cls.__name__} has no get_params; not a library estimator")
+    params = estimator.get_params()
+    fitted = {name: value for name, value in vars(estimator).items()
+              if name not in params}
+    return {
+        "kind": _KIND_ESTIMATOR,
+        "format": ESTIMATOR_FORMAT,
+        "module": module,
+        "class": cls.__name__,
+        "params": {name: encode_value(value)
+                   for name, value in sorted(params.items())},
+        "fitted": {name: encode_value(value)
+                   for name, value in fitted.items()},
+    }
+
+
+def estimator_from_dict(payload):
+    """Rebuild an estimator serialised by :func:`estimator_to_dict`.
+
+    The class is resolved by import path, restricted to ``repro.*``
+    modules; params go through the constructor (so validation applies),
+    fitted state is restored verbatim.
+    """
+    if payload.get("kind") != _KIND_ESTIMATOR:
+        raise ValidationError("payload is not a serialised estimator")
+    if payload.get("format") != ESTIMATOR_FORMAT:
+        raise ValidationError(
+            f"unsupported estimator payload format "
+            f"{payload.get('format')!r} (expected {ESTIMATOR_FORMAT})")
+    module = _import_repro_module(payload["module"])
+    cls = getattr(module, payload["class"], None)
+    if not isinstance(cls, type):
+        raise ValidationError(
+            f"{payload['module']}.{payload['class']} is not a class")
+    params = {name: decode_value(value)
+              for name, value in payload["params"].items()}
+    estimator = cls(**params)
+    for name, value in payload["fitted"].items():
+        setattr(estimator, name, decode_value(value))
+    return estimator
+
+
+# ---------------------------------------------------------------------------
+# Strict JSON emission
+# ---------------------------------------------------------------------------
+
+def sanitize_json(obj):
+    """Recursively replace non-finite floats in a JSON-ready structure.
+
+    ``nan`` becomes ``None`` (JSON ``null``); infinities become the
+    token strings ``"Infinity"`` / ``"-Infinity"``; tuples become lists.
+    Other values pass through untouched.
+    """
+    if isinstance(obj, float):
+        if math.isfinite(obj):
+            return obj
+        return None if math.isnan(obj) else _float_token(obj)
+    if isinstance(obj, dict):
+        return {k: sanitize_json(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize_json(v) for v in obj]
+    return obj
+
+
+def dumps(obj, **kwargs):
+    """Strict-RFC ``json.dumps``: sanitises non-finite floats first and
+    serialises with ``allow_nan=False`` so bare ``NaN`` tokens can never
+    be emitted."""
+    kwargs.setdefault("allow_nan", False)
+    return json.dumps(sanitize_json(obj), **kwargs)
+
+
 def _to_payload(obj):
     if isinstance(obj, Clustering):
         return clustering_to_dict(obj)
@@ -102,17 +507,22 @@ def _to_payload(obj):
         return result_table_to_dict(obj)
     if isinstance(obj, np.ndarray):
         return clustering_to_dict(obj)
+    if _is_repro_estimator(obj):
+        return estimator_to_dict(obj)
     raise ValidationError(
         f"don't know how to serialise {type(obj).__name__}; expected "
-        "Clustering, SubspaceClustering, label array, or ResultTable"
+        "Clustering, SubspaceClustering, label array, ResultTable, or "
+        "a library estimator"
     )
 
 
 def save_json(obj, path):
-    """Write a supported object to ``path`` as JSON; returns the path."""
+    """Write a supported object to ``path`` as strict JSON; returns the
+    path."""
     payload = _to_payload(obj)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write(dumps(payload, indent=2, sort_keys=True))
+        fh.write("\n")
     return path
 
 
@@ -125,6 +535,8 @@ def load_json(path):
         return clustering_from_dict(payload)
     if kind == _KIND_SUBSPACE:
         return subspace_clustering_from_dict(payload)
+    if kind == _KIND_ESTIMATOR:
+        return estimator_from_dict(payload)
     if kind == _KIND_TABLE:
         return payload
     raise ValidationError(f"unknown payload kind {kind!r}")

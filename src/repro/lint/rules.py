@@ -13,7 +13,7 @@ import ast
 import re
 
 from .engine import Rule, register
-from .walk import POOL_ALLOWED, PRINT_ALLOWED
+from .walk import POOL_ALLOWED, PRINT_ALLOWED, SERVE_ALLOWED
 
 __all__ = []  # rules are reached through the registry, not imports
 
@@ -547,3 +547,80 @@ class NoAdHocProcessPool(Rule):
                     )
         elif node.attr in ("Pool", "ThreadPool"):
             yield self._ban(ctx, node, f"use of .{node.attr}")
+
+
+def _serve_allowed(path):
+    """True when ``path`` lives in the serving front-end."""
+    posix = path.replace("\\", "/")
+    return any(posix.startswith(allowed) or ("/" + allowed) in posix
+               for allowed in SERVE_ALLOWED)
+
+
+#: Modules whose import means "I am building an HTTP server by hand".
+_SERVER_MODULES = frozenset({"http.server", "socketserver"})
+
+
+@register
+class NoAdHocHTTPServer(Rule):
+    id = "RL010"
+    title = "no-adhoc-http-server"
+    rationale = (
+        "HTTP serving must flow through repro.serve: a bare "
+        "http.server / socketserver endpoint has no bounded queue "
+        "(429 backpressure), RunGuard budgets, model-registry caching, "
+        "or request tracing. The same rule bans json.dumps/dump with "
+        "allow_nan=True anywhere — bare NaN/Infinity tokens are not "
+        "RFC JSON and break strict clients; non-finite floats must go "
+        "through repro.io.dumps, which encodes them as null/string "
+        "sentinels."
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def visit(self, node, ctx):
+        if isinstance(node, ast.Call):
+            yield from self._check_allow_nan(node, ctx)
+            return
+        if _serve_allowed(ctx.path):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if (alias.name in _SERVER_MODULES
+                        or alias.name.split(".")[0] == "socketserver"):
+                    yield self.finding(
+                        ctx, node,
+                        f"import of {alias.name!r} outside repro.serve; "
+                        "serve through repro.serve.make_server so "
+                        "backpressure, budgets, and caching apply",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                return
+            module = node.module or ""
+            if module in _SERVER_MODULES or module.split(".")[0] in (
+                    "socketserver",) or module.startswith("http.server"):
+                yield self.finding(
+                    ctx, node,
+                    f"import from {module!r} outside repro.serve; "
+                    "serve through repro.serve.make_server so "
+                    "backpressure, budgets, and caching apply",
+                )
+
+    def _check_allow_nan(self, node, ctx):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name not in ("dumps", "dump"):
+            return
+        for keyword in node.keywords:
+            if (keyword.arg == "allow_nan"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True):
+                yield self.finding(
+                    ctx, node,
+                    "json emission with allow_nan=True writes bare "
+                    "NaN/Infinity tokens (not RFC JSON); use "
+                    "repro.io.dumps, which sanitises non-finite floats",
+                )

@@ -12,6 +12,8 @@ the single home for that policy:
   job (rule ``RL003`` and ``tools/check_no_print.py`` share it);
 * :data:`POOL_ALLOWED` — the fault-contained run layer, the only place
   allowed to build process pools / executors directly (rule ``RL009``);
+* :data:`SERVE_ALLOWED` — the serving layer, the only place allowed to
+  build HTTP servers or emit non-RFC JSON knobs (rule ``RL010``);
 * :data:`ESTIMATOR_PACKAGES` — the algorithm subpackages whose exports
   form the estimator population (the runtime contract tool and the
   static ``RL007`` rule agree on scope through it);
@@ -30,6 +32,7 @@ __all__ = [
     "POOL_ALLOWED",
     "PRINT_ALLOWED",
     "REPO_ROOT",
+    "SERVE_ALLOWED",
     "SRC_ROOT",
     "walk_source_tree",
 ]
@@ -76,6 +79,16 @@ POOL_ALLOWED = (
     "repro/robustness/",
 )
 
+#: Module-path prefixes (posix, under ``src``) allowed to build HTTP
+#: servers (``http.server`` / ``socketserver``) directly: the serving
+#: front-end. Everything else goes through ``repro.serve`` so
+#: backpressure, tracing, and strict-JSON emission always apply (rule
+#: ``RL010``). The same rule bans ``allow_nan=True`` JSON emission
+#: everywhere — strict output policy lives in ``repro.io``.
+SERVE_ALLOWED = (
+    "repro/serve/",
+)
+
 #: The algorithm subpackages whose ``__all__`` exports define the
 #: estimator population checked by ``tools/check_estimator_contract.py``.
 ESTIMATOR_PACKAGES = (
@@ -100,6 +113,7 @@ API_DOC_PACKAGES = (
     "repro.io",
     "repro.utils",
     "repro.lint",
+    "repro.serve",
 )
 
 

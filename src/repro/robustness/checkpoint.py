@@ -122,7 +122,9 @@ def canonical_summary(records):
             }
         canonical.append(entry)
     canonical.sort(key=lambda entry: str(entry.get("key", "")))
-    return json.dumps(canonical, sort_keys=True).encode("utf-8")
+    from ..io import dumps  # lazy: io -> core -> pipeline -> robustness
+
+    return dumps(canonical, sort_keys=True).encode("utf-8")
 
 
 class RunJournal:
@@ -253,10 +255,12 @@ class RunJournal:
         self._flush()
 
     def _flush(self):
+        from ..io import dumps  # lazy: io -> core -> pipeline -> robustness
+
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             for outcome in self._outcomes.values():
-                fh.write(json.dumps(outcome.to_dict()) + "\n")
+                fh.write(dumps(outcome.to_dict()) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)

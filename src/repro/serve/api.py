@@ -1,0 +1,265 @@
+"""Stdlib JSON HTTP front-end for the serving layer.
+
+A :class:`http.server.ThreadingHTTPServer` (one thread per connection —
+request handling is I/O-light; fitting happens on the scheduler) with a
+deliberately small route table:
+
+=======  ==================  ==============================================
+method   path                behaviour
+=======  ==================  ==============================================
+POST     ``/jobs``           submit a fit request; ``202`` with a job
+                             record (``200`` when served from cache or
+                             coalesced onto an in-flight job), ``429`` +
+                             ``Retry-After`` when the queue is full
+GET      ``/jobs/<id>``      job status (``metrics``/``error``; ``done``
+                             jobs link their ``model_url``)
+GET      ``/models/<key>``   the cached model payload (fitted estimator
+                             dict under ``"model"``); ``404`` on a miss
+GET      ``/healthz``        liveness + queue stats
+GET      ``/stats``          metrics snapshot + scheduler stats
+GET      ``/``               service banner + route list
+=======  ==================  ==============================================
+
+All responses are strict RFC JSON (:func:`repro.io.dumps` — never a
+bare ``NaN``). Every request is traced through
+:mod:`repro.observability` (a span per request, latency histograms,
+per-status counters) and tagged with an ``X-Request-Id`` header.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..exceptions import MultiClustError, ValidationError
+from ..io import dumps, decode_value
+from ..observability.logs import get_logger
+from ..observability.registry import default_registry
+from ..observability.tracer import Tracer
+from .scheduler import QueueFullError
+
+__all__ = ["ModelServer", "make_server"]
+
+logger = get_logger("repro.serve.api")
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _HTTPError(MultiClustError):
+    """Internal: carries an HTTP status + message to the top of a route."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _decode_params(raw):
+    """Request ``params``: plain JSON values, with tagged payloads
+    (``{"__repro__": ...}`` / ``{"kind": ...}``) decoded so array-valued
+    params round-trip."""
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise _HTTPError(400, "params must be a JSON object")
+    params = {}
+    for name, value in raw.items():
+        if isinstance(value, dict) and ("__repro__" in value
+                                        or "kind" in value):
+            value = decode_value(value)
+        params[str(name)] = value
+    return params
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):
+        # BaseHTTPRequestHandler prints to stderr by default; route
+        # through the library's logging instead (rule RL003).
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _reply(self, status, payload, extra_headers=None):
+        body = dumps(payload, indent=None).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self._request_id)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        registry = default_registry()
+        registry.counter(f"serve.http.{status}").inc()
+
+    def _fail(self, status, message, extra_headers=None):
+        self._reply(status, {"error": message,
+                             "request_id": self._request_id},
+                    extra_headers=extra_headers)
+
+    def _read_json_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _HTTPError(400, "missing request body")
+        if length > _MAX_BODY_BYTES:
+            raise _HTTPError(413, "request body too large")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"invalid JSON body: {exc}") from exc
+
+    def _dispatch(self, method):
+        self._request_id = os.urandom(6).hex()
+        registry = default_registry()
+        # per-request tracer: Tracer's span stack is single-threaded,
+        # and each connection gets its own handler thread
+        tracer = Tracer()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        route = f"{method} {path}"
+        start = time.perf_counter()
+        try:
+            with tracer, tracer.span("request", method=method, path=path,
+                                     request_id=self._request_id):
+                self._route(method, path)
+        except _HTTPError as exc:
+            self._fail(exc.status, exc.message)
+        except QueueFullError as exc:
+            self._fail(429, str(exc), extra_headers={"Retry-After": "1"})
+        except ValidationError as exc:
+            self._fail(400, str(exc))
+        except BrokenPipeError:
+            logger.debug("client went away during %s", route)
+        except Exception:
+            logger.exception("unhandled error handling %s", route)
+            self._fail(500, "internal server error")
+        finally:
+            elapsed = time.perf_counter() - start
+            registry.histogram("serve.http.seconds").observe(elapsed)
+            logger.debug("request %s %s took %.6fs",
+                         self._request_id, route, elapsed)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self):
+        self._dispatch("GET")
+
+    def do_POST(self):
+        self._dispatch("POST")
+
+    def _route(self, method, path):
+        scheduler = self.server.scheduler
+        model_registry = self.server.model_registry
+        if method == "POST" and path == "/jobs":
+            return self._post_job(scheduler)
+        if method == "GET" and path.startswith("/jobs/"):
+            job = scheduler.get_job(path[len("/jobs/"):])
+            if job is None:
+                raise _HTTPError(404, "no such job")
+            return self._reply(200, {"job": job.to_dict()})
+        if method == "GET" and path.startswith("/models/"):
+            payload = model_registry.get(path[len("/models/"):])
+            if payload is None:
+                raise _HTTPError(404, "no such model")
+            return self._reply(200, payload)
+        if method == "GET" and path == "/healthz":
+            return self._reply(200, {"status": "ok",
+                                     **scheduler.stats()})
+        if method == "GET" and path == "/stats":
+            return self._reply(200, {
+                "scheduler": scheduler.stats(),
+                "metrics": default_registry().snapshot(),
+            })
+        if method == "GET" and path == "/":
+            return self._reply(200, {
+                "service": "repro serve",
+                "endpoints": ["POST /jobs", "GET /jobs/<id>",
+                              "GET /models/<key>", "GET /healthz",
+                              "GET /stats"],
+            })
+        raise _HTTPError(404 if method == "GET" else 405,
+                         f"no route for {method} {path}")
+
+    def _post_job(self, scheduler):
+        body = self._read_json_body()
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        estimator = body.get("estimator")
+        if not isinstance(estimator, str):
+            raise _HTTPError(400, "\"estimator\" (string) is required")
+        dataset = body.get("dataset")
+        if dataset is None:
+            raise _HTTPError(400, "\"dataset\" (2-d array) is required")
+        try:
+            X = np.asarray(dataset, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _HTTPError(400, f"dataset is not numeric: {exc}") from exc
+        if X.ndim != 2 or X.size == 0:
+            raise _HTTPError(400, "dataset must be a non-empty 2-d array")
+        given = body.get("given")
+        if given is not None:
+            given = np.asarray(given)
+            if given.ndim != 1 or given.shape[0] != X.shape[0]:
+                raise _HTTPError(
+                    400, "given must be a label vector with one entry "
+                         "per dataset row")
+        seed = body.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise _HTTPError(400, "seed must be an integer")
+        params = _decode_params(body.get("params"))
+        job = scheduler.submit(estimator, X, params=params, given=given,
+                               seed=seed)
+        status = 200 if (job.cached or job.coalesced) else 202
+        return self._reply(status, {"job": job.to_dict(),
+                                    "request_id": self._request_id})
+
+
+class ModelServer(ThreadingHTTPServer):
+    """The serving front-end: HTTP threads + scheduler + registry."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, scheduler, model_registry):
+        super().__init__(address, _ServeHandler)
+        self.scheduler = scheduler
+        self.model_registry = model_registry
+        self._shutdown_thread = None
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def drain_and_shutdown(self):
+        """Graceful stop: finish queued jobs, then stop serving.
+
+        Safe to call from a signal handler: the blocking work happens
+        on a helper thread so ``serve_forever`` can wind down.
+        """
+        if self._shutdown_thread is not None:
+            return self._shutdown_thread
+
+        def _stop():
+            logger.info("draining scheduler before shutdown")
+            self.scheduler.shutdown(drain=True)
+            self.shutdown()
+
+        self._shutdown_thread = threading.Thread(
+            target=_stop, name="repro-serve-shutdown", daemon=True)
+        self._shutdown_thread.start()
+        return self._shutdown_thread
+
+
+def make_server(host="127.0.0.1", port=0, *, scheduler, model_registry):
+    """Bind a :class:`ModelServer` (``port=0`` = ephemeral); the caller
+    starts it with ``serve_forever()``."""
+    return ModelServer((host, int(port)), scheduler, model_registry)

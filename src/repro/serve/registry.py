@@ -1,0 +1,222 @@
+"""Disk-backed model registry: fitted estimators keyed by request identity.
+
+A served model is identified by :func:`model_key` — the SHA-256 of the
+canonical JSON of ``(dataset fingerprint, estimator class, params,
+seed)`` — so two requests asking the same question about the same bytes
+share one cache entry, and *any* difference (one more sample, one
+changed param, another seed) yields a different key.
+
+The registry is deliberately *process-dumb*: one ``<key>.json`` file
+per model, written with the same write-then-:func:`os.replace` idiom as
+:class:`~repro.robustness.RunJournal`, so
+
+* concurrent writers of the same key race safely (the last atomic
+  replace wins; readers only ever see a complete file);
+* a writer killed mid-write leaves only a dot-prefixed temp file that
+  the next :class:`ModelRegistry` construction sweeps away;
+* pool workers and the HTTP front-end coordinate through the filesystem
+  alone — no shared in-process state is required for correctness.
+
+LRU accounting also lives in the filesystem: ``get`` bumps the file's
+mtime, and ``put`` evicts the oldest entries beyond ``max_entries``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pathlib
+import re
+import threading
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..io import dumps, encode_value
+from ..observability.logs import get_logger
+
+__all__ = ["ModelRegistry", "dataset_fingerprint", "model_key"]
+
+logger = get_logger("repro.serve.registry")
+
+_KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def _pid_alive(pid):
+    """True when ``pid`` is a running process we could signal."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def dataset_fingerprint(X, given=None):
+    """Content hash of a dataset (and optional given labels).
+
+    The fingerprint covers dtype-normalised bytes and shape, so any
+    change to a single value, the sample count, or the given knowledge
+    produces a different fingerprint — and therefore a different cache
+    identity.
+    """
+    X = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+    digest = hashlib.sha256()
+    digest.update(b"repro.dataset.v1:")
+    digest.update(repr(X.shape).encode("ascii"))
+    digest.update(X.tobytes())
+    if given is not None:
+        given = np.ascontiguousarray(np.asarray(given, dtype=np.int64))
+        digest.update(b":given:")
+        digest.update(repr(given.shape).encode("ascii"))
+        digest.update(given.tobytes())
+    return digest.hexdigest()
+
+
+def model_key(fingerprint, estimator, params, seed):
+    """Cache key for one (dataset, estimator, params, seed) request.
+
+    ``params`` go through :func:`repro.io.encode_value` and canonical
+    (sorted-key) JSON, so order-insensitive but value-sensitive.
+    """
+    identity = {
+        "fingerprint": str(fingerprint),
+        "estimator": str(estimator),
+        "params": {str(k): encode_value(v) for k, v in params.items()},
+        "seed": None if seed is None else int(seed),
+    }
+    blob = dumps(identity, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ModelRegistry:
+    """LRU cache of model payloads as atomic per-key JSON files.
+
+    Parameters
+    ----------
+    cache_dir : path-like — created if missing.
+    max_entries : int — cap on stored models; ``put`` evicts the
+        least-recently-used entries beyond it.
+    """
+
+    def __init__(self, cache_dir, max_entries=256):
+        if int(max_entries) < 1:
+            raise ValidationError("max_entries must be >= 1")
+        self.cache_dir = pathlib.Path(cache_dir)
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self):
+        """Remove temp files abandoned by dead writers.
+
+        A live writer's temp file (its pid, parsed from the suffix, is
+        still running) is left alone — it is about to be atomically
+        replaced into place.
+        """
+        for stale in self.cache_dir.glob(".*.tmp-*"):
+            try:
+                pid = int(stale.name.rpartition("-")[2])
+            except ValueError:
+                pid = None
+            if pid is not None and pid > 0 and _pid_alive(pid):
+                continue
+            with contextlib.suppress(OSError):
+                stale.unlink()
+                logger.info("removed stale temp file %s", stale.name)
+
+    def _path(self, key):
+        key = str(key)
+        if not _KEY_RE.match(key):
+            raise ValidationError(f"malformed model key {key!r}")
+        return self.cache_dir / f"{key}.json"
+
+    def put(self, key, payload):
+        """Durably store ``payload`` under ``key``; returns the key.
+
+        The write is atomic (temp file + fsync + ``os.replace``): a
+        concurrent reader sees either the old complete entry or the new
+        complete one, never a torn file, and a crash mid-write changes
+        nothing.
+        """
+        path = self._path(key)
+        blob = dumps(payload, sort_keys=True)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(blob)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._fsync_dir()
+        self._evict()
+        return key
+
+    def get(self, key, touch=True):
+        """The payload stored under ``key``, or ``None`` on a miss.
+
+        A hit bumps the entry's mtime (its LRU recency) unless
+        ``touch`` is false.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # unreachable via this class's atomic writes; an operator
+            # hand-editing the cache dir gets a miss, not a crash
+            logger.warning("unreadable registry entry %s; treating as miss",
+                           path.name)
+            return None
+        if touch:
+            with contextlib.suppress(OSError):
+                os.utime(path)
+        return payload
+
+    def __contains__(self, key):
+        return self._path(key).exists()
+
+    def __len__(self):
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def keys(self):
+        """Stored keys, most recently used first."""
+        entries = self._entries()
+        return [path.stem for _, path in sorted(entries, reverse=True)]
+
+    def _entries(self):
+        entries = []
+        for path in self.cache_dir.glob("*.json"):
+            with contextlib.suppress(OSError):
+                entries.append((path.stat().st_mtime, path))
+        return entries
+
+    def _evict(self):
+        with self._lock:
+            entries = self._entries()
+            excess = len(entries) - self.max_entries
+            if excess <= 0:
+                return
+            for _, path in sorted(entries)[:excess]:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    logger.info("evicted %s (LRU, cap %d)",
+                                path.name, self.max_entries)
+
+    def _fsync_dir(self):
+        try:  # directory fsync is best-effort (not all platforms allow it)
+            dir_fd = os.open(self.cache_dir, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)

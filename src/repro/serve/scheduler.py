@@ -1,0 +1,434 @@
+"""Job scheduling for the serving layer.
+
+:class:`JobScheduler` owns the bounded request queue and the dispatch
+loop that turns queued requests into ``run_experiments`` sweeps — the
+same fault-tolerant harness the CLI uses, so per-job cooperative
+budgets (:class:`~repro.robustness.RunGuard`), retries, and the
+``jobs=N`` work-stealing pool all apply to served traffic unchanged.
+
+Flow of one request:
+
+1. :meth:`JobScheduler.submit` computes the request's
+   :func:`~repro.serve.registry.model_key`. A registry hit returns a
+   ``done`` job immediately (no refit). A key already queued or running
+   coalesces onto the in-flight job. Otherwise the request joins the
+   pending queue — or :class:`QueueFullError` is raised when the queue
+   is at capacity, which the HTTP layer maps to ``429``.
+2. The dispatcher thread drains the pending queue in batches into
+   ``run_experiments({job_id: fit_closure}, jobs=..., max_seconds=...)``.
+3. Each fit closure writes its fitted model to the
+   :class:`~repro.serve.registry.ModelRegistry` *before* reporting
+   metrics (write-before-report, like journal shards), so a model is
+   durably cached by the time its job turns ``done``.
+"""
+
+from __future__ import annotations
+
+import collections
+import importlib
+import inspect
+import threading
+import time
+
+import numpy as np
+
+from ..exceptions import MultiClustError, ValidationError
+from ..lint.walk import ESTIMATOR_PACKAGES
+from ..observability.logs import get_logger
+from ..observability.registry import default_registry
+from .registry import ModelRegistry, dataset_fingerprint, model_key
+
+__all__ = ["Job", "JobScheduler", "QueueFullError", "servable_estimators"]
+
+logger = get_logger("repro.serve.scheduler")
+
+#: Completed jobs kept for status polling before the oldest are pruned.
+_MAX_FINISHED = 1024
+
+
+class QueueFullError(MultiClustError):
+    """Raised by :meth:`JobScheduler.submit` when the pending queue is
+    at capacity; the HTTP layer turns this into ``429 Too Many
+    Requests`` so overload sheds load instead of queueing unboundedly.
+    """
+
+
+def _fit_signature(cls):
+    """``(family, requires_given)`` for an estimator class."""
+    params = [p for p in inspect.signature(cls.fit).parameters
+              if p != "self"]
+    first = params[0] if params else "X"
+    requires_given = False
+    for name in params[1:]:
+        parameter = inspect.signature(cls.fit).parameters[name]
+        if (name in ("given", "labels")
+                and parameter.default is inspect.Parameter.empty):
+            requires_given = True
+    return first, requires_given
+
+
+def servable_estimators():
+    """Estimators reachable over the API: ``{class name: class}``.
+
+    Servable means "fits a single data matrix" (``fit(X, ...)``) —
+    candidate-set and labeling-ensemble estimators need richer inputs
+    than the dataset-matrix request schema carries.
+    """
+    table = {}
+    for pkg_name in ESTIMATOR_PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for name in pkg.__all__:
+            obj = getattr(pkg, name)
+            if not (inspect.isclass(obj) and hasattr(obj, "fit")
+                    and hasattr(obj, "get_params")):
+                continue
+            family, _ = _fit_signature(obj)
+            if family == "X":
+                table[name] = obj
+    return table
+
+
+class Job:
+    """One served fit request and its lifecycle state."""
+
+    def __init__(self, job_id, key, fingerprint, estimator, params, seed):
+        self.id = job_id
+        self.key = key
+        self.fingerprint = fingerprint
+        self.estimator = estimator
+        self.params = params
+        self.seed = seed
+        self.status = "queued"
+        self.submitted_at = time.time()
+        self.finished_at = None
+        self.cached = False
+        self.coalesced = False
+        self.metrics = {}
+        self.error = None
+        # per-job fit inputs; dropped once the job leaves the queue so
+        # finished jobs don't pin request-sized arrays in memory
+        self.X = None
+        self.given = None
+
+    def to_dict(self):
+        """JSON-safe status view served by ``GET /jobs/<id>``."""
+        payload = {
+            "id": self.id,
+            "status": self.status,
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "estimator": self.estimator,
+            "seed": self.seed,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "metrics": dict(self.metrics),
+        }
+        if self.error is not None:
+            payload["error"] = dict(self.error)
+        if self.status == "done":
+            payload["model_url"] = f"/models/{self.key}"
+        return payload
+
+
+def _make_fit_closure(cls, params, X, given, key, fingerprint, seed,
+                      cache_dir, max_entries):
+    """Build the zero-argument experiment body for one job.
+
+    Runs inside a RunGuard (and, with ``jobs>1``, inside a pool worker
+    process): fits, serialises, and durably registers the model before
+    returning a metrics table.
+    """
+
+    def fit_and_register():
+        from ..experiments.harness import ResultTable
+        from ..io import estimator_to_dict
+
+        estimator = cls(**params)
+        start = time.perf_counter()
+        if given is not None:
+            estimator.fit(X, given)
+        else:
+            estimator.fit(X)
+        fit_seconds = time.perf_counter() - start
+        payload = {
+            "key": key,
+            "fingerprint": fingerprint,
+            "estimator": cls.__name__,
+            "seed": seed,
+            "fit_seconds": fit_seconds,
+            "model": estimator_to_dict(estimator),
+        }
+        ModelRegistry(cache_dir, max_entries=max_entries).put(key, payload)
+        table = ResultTable(f"serve {key[:12]}",
+                            ["key", "fit_seconds", "n_iter"])
+        table.add(key=key, fit_seconds=round(fit_seconds, 6),
+                  n_iter=getattr(estimator, "n_iter_", None))
+        return table
+
+    return fit_and_register
+
+
+class JobScheduler:
+    """Bounded queue + dispatcher feeding ``run_experiments``.
+
+    Parameters
+    ----------
+    registry : ModelRegistry — the model cache jobs publish into.
+    jobs : int — parallelism handed to ``run_experiments`` (1 = fit in
+        the dispatcher thread under a RunGuard; N>1 = the work-stealing
+        pool with process isolation).
+    queue_limit : int — pending-queue capacity; beyond it ``submit``
+        raises :class:`QueueFullError`.
+    max_seconds : float or None — per-job cooperative budget.
+    max_retries : int — extra attempts per job on retryable failures.
+    """
+
+    def __init__(self, registry, jobs=1, queue_limit=32, max_seconds=None,
+                 max_retries=0):
+        if int(queue_limit) < 1:
+            raise ValidationError("queue_limit must be >= 1")
+        self.registry = registry
+        self.jobs = int(jobs)
+        self.queue_limit = int(queue_limit)
+        self.max_seconds = max_seconds
+        self.max_retries = int(max_retries)
+        self._estimators = servable_estimators()
+        self._metrics = default_registry()
+        self._cond = threading.Condition()
+        self._pending = collections.deque()
+        self._jobs = collections.OrderedDict()
+        self._inflight = {}
+        self._paused = False
+        self._stop = False
+        self._drain = True
+        self._counter = 0
+        self._thread = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        """Start the dispatcher thread; returns self."""
+        if self._thread is not None:
+            raise ValidationError("scheduler already started")
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-serve-dispatcher",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self, drain=True, timeout=None):
+        """Stop the dispatcher.
+
+        With ``drain`` (the default — what SIGTERM triggers), queued
+        jobs are still executed before the thread exits; without it,
+        still-queued jobs fail with a ``shutdown`` error.
+        """
+        with self._cond:
+            self._stop = True
+            self._drain = bool(drain)
+            if not drain:
+                while self._pending:
+                    job = self._pending.popleft()
+                    self._finish(job, "failed",
+                                 error={"kind": "shutdown",
+                                        "message": "scheduler stopped"})
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def pause(self):
+        """Hold dispatch (queued jobs stay queued); for tests and ops."""
+        with self._cond:
+            self._paused = True
+
+    def resume(self):
+        """Undo :meth:`pause`."""
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    # -- submission --------------------------------------------------------
+
+    def resolve_estimator(self, name):
+        """The servable estimator class for ``name`` (or raise)."""
+        cls = self._estimators.get(str(name))
+        if cls is None:
+            raise ValidationError(
+                f"unknown or unservable estimator {name!r}; servable: "
+                f"{sorted(self._estimators)}")
+        return cls
+
+    def submit(self, estimator, X, params=None, given=None, seed=None):
+        """Queue a fit request; returns its :class:`Job`.
+
+        Cache hits and in-flight duplicates return immediately-
+        resolved/coalesced jobs; a full queue raises
+        :class:`QueueFullError`.
+        """
+        cls = self.resolve_estimator(estimator)
+        params = dict(params or {})
+        unknown = set(params) - set(cls._param_names())
+        if unknown:
+            raise ValidationError(
+                f"invalid parameters for {cls.__name__}: {sorted(unknown)}")
+        _, requires_given = _fit_signature(cls)
+        if requires_given and given is None:
+            raise ValidationError(
+                f"{cls.__name__}.fit requires given labels; "
+                "pass \"given\" in the request")
+        X = np.asarray(X, dtype=np.float64)
+        if seed is not None and "random_state" in cls._param_names():
+            params.setdefault("random_state", int(seed))
+        fingerprint = dataset_fingerprint(X, given=given)
+        key = model_key(fingerprint, cls.__name__, params, seed)
+        with self._cond:
+            self._counter += 1
+            job = Job(f"job-{self._counter:08d}", key, fingerprint,
+                      cls.__name__, params, seed)
+            self._metrics.counter("serve.jobs.submitted").inc()
+            if self.registry.get(key, touch=True) is not None:
+                job.status = "done"
+                job.cached = True
+                job.finished_at = time.time()
+                self._metrics.counter("serve.cache.hits").inc()
+                self._remember(job)
+                return job
+            inflight = self._inflight.get(key)
+            if inflight is not None and inflight.status in ("queued",
+                                                            "running"):
+                inflight.coalesced = True
+                self._metrics.counter("serve.jobs.coalesced").inc()
+                return inflight
+            if self._stop:
+                raise QueueFullError("scheduler is shutting down")
+            if len(self._pending) >= self.queue_limit:
+                self._metrics.counter("serve.queue.rejected").inc()
+                raise QueueFullError(
+                    f"pending queue full ({self.queue_limit} jobs)")
+            job.X = X
+            job.given = None if given is None else np.asarray(given)
+            self._pending.append(job)
+            self._inflight[key] = job
+            self._remember(job)
+            self._metrics.counter("serve.cache.misses").inc()
+            self._metrics.gauge("serve.queue.depth").set(len(self._pending))
+            self._cond.notify_all()
+            return job
+
+    def get_job(self, job_id):
+        """The :class:`Job` for ``job_id``, or ``None``."""
+        with self._cond:
+            return self._jobs.get(str(job_id))
+
+    def stats(self):
+        """Queue/lifecycle counts for ``GET /healthz`` and ``/stats``."""
+        with self._cond:
+            counts = collections.Counter(j.status
+                                         for j in self._jobs.values())
+            return {
+                "queue_depth": len(self._pending),
+                "queue_limit": self.queue_limit,
+                "jobs": self.jobs,
+                "paused": self._paused,
+                "queued": counts.get("queued", 0),
+                "running": counts.get("running", 0),
+                "done": counts.get("done", 0),
+                "failed": counts.get("failed", 0),
+                "models_cached": len(self.registry),
+            }
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _remember(self, job):
+        self._jobs[job.id] = job
+        finished = [j for j in self._jobs.values()
+                    if j.status in ("done", "failed")]
+        for stale in finished[:max(0, len(finished) - _MAX_FINISHED)]:
+            self._jobs.pop(stale.id, None)
+
+    def _finish(self, job, status, metrics=None, error=None):
+        job.status = status
+        job.finished_at = time.time()
+        job.metrics.update(metrics or {})
+        job.error = error
+        job.X = None
+        job.given = None
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+
+    def _loop(self):
+        from ..experiments.harness import run_experiments
+
+        while True:
+            with self._cond:
+                while not self._stop and (self._paused or not self._pending):
+                    self._cond.wait()
+                if self._stop and (not self._drain or not self._pending):
+                    return
+                if self._paused and not self._stop:
+                    continue
+                batch = []
+                while self._pending:
+                    batch.append(self._pending.popleft())
+                self._metrics.gauge("serve.queue.depth").set(0)
+                for job in batch:
+                    job.status = "running"
+            experiments = {
+                job.id: _make_fit_closure(
+                    self.resolve_estimator(job.estimator), job.params,
+                    job.X, job.given, job.key, job.fingerprint, job.seed,
+                    self.registry.cache_dir, self.registry.max_entries)
+                for job in batch
+            }
+            by_id = {job.id: job for job in batch}
+            try:
+                run_experiments(
+                    experiments,
+                    keep_going=True,
+                    max_seconds=self.max_seconds,
+                    max_retries=self.max_retries,
+                    jobs=self.jobs,
+                    callback=lambda outcome: self._on_outcome(
+                        by_id.get(outcome.key), outcome),
+                )
+            except Exception:
+                logger.exception("dispatch batch failed")
+                with self._cond:
+                    for job in batch:
+                        if job.status == "running":
+                            self._finish(job, "failed",
+                                         error={"kind": "dispatch",
+                                                "message": "batch dispatch "
+                                                           "error"})
+
+    def _on_outcome(self, job, outcome):
+        if job is None:
+            return
+        with self._cond:
+            if outcome.ok:
+                metrics = {"seconds": outcome.elapsed,
+                           "attempts": outcome.attempts,
+                           "iterations": outcome.iterations}
+                rows = getattr(outcome.table, "rows", None)
+                if rows:
+                    metrics["fit_seconds"] = rows[0].get("fit_seconds")
+                    metrics["n_iter"] = rows[0].get("n_iter")
+                self._metrics.counter("serve.jobs.fitted").inc()
+                self._metrics.histogram("serve.fit.seconds").observe(
+                    float(outcome.elapsed or 0.0))
+                self._finish(job, "done", metrics=metrics)
+            else:
+                failure = outcome.failure
+                self._metrics.counter("serve.jobs.failed").inc()
+                self._finish(job, "failed",
+                             metrics={"seconds": outcome.elapsed,
+                                      "attempts": outcome.attempts},
+                             error={
+                                 "kind": getattr(failure, "kind", "error"),
+                                 "error_type": getattr(failure, "error_type",
+                                                       ""),
+                                 "message": getattr(failure, "message", ""),
+                             })
+            self._cond.notify_all()

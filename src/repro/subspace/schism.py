@@ -23,7 +23,7 @@ from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
 from ..exceptions import ValidationError
 from ..utils.validation import check_array, check_in_range
 
-__all__ = ["SCHISM", "schism_threshold"]
+__all__ = ["SCHISM", "SchismThreshold", "schism_threshold"]
 
 
 register(TaxonomyEntry(
@@ -69,6 +69,22 @@ def schism_threshold(dimensionality, n_samples, n_intervals, tau=0.05):
     return expected + slack
 
 
+class SchismThreshold:
+    """:func:`schism_threshold` with ``(n_samples, n_intervals, tau)``
+    bound — a named callable (not a closure) so a fitted SCHISM, which
+    hands it to its inner CLIQUE, stays serialisable and picklable.
+    """
+
+    def __init__(self, n_samples, n_intervals, tau):
+        self.n_samples = n_samples
+        self.n_intervals = n_intervals
+        self.tau = tau
+
+    def __call__(self, dimensionality):
+        return schism_threshold(dimensionality, self.n_samples,
+                                self.n_intervals, tau=self.tau)
+
+
 class SCHISM(ParamsMixin):
     """CLIQUE-style mining with the SCHISM threshold function.
 
@@ -99,10 +115,7 @@ class SCHISM(ParamsMixin):
     def fit(self, X):
         X = check_array(X)
         n = X.shape[0]
-
-        def threshold_fn(s):
-            return schism_threshold(s, n, self.n_intervals, tau=self.tau)
-
+        threshold_fn = SchismThreshold(n, self.n_intervals, self.tau)
         clique = CLIQUE(
             n_intervals=self.n_intervals,
             density_threshold=0.5,        # unused when threshold_fn given

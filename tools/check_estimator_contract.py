@@ -18,7 +18,13 @@ The contract (see docs/robustness.md):
    ``n_iter_`` must, after a clean fit, expose a ``convergence_trace_``
    whose length equals ``n_iter_`` — one
    :class:`~repro.observability.ConvergenceEvent` per executed outer
-   iteration, no more, no fewer.
+   iteration, no more, no fewer;
+6. (serialisation, see docs/serving.md) every estimator — across *all*
+   fit families, including candidate-set and labeling-ensemble ones —
+   must survive ``to_dict`` → strict-JSON text (no bare NaN/Infinity
+   tokens) → ``from_dict`` with every fitted array bit-identical and,
+   where ``predict`` exists, identical predictions from the rebuilt
+   estimator.
 
 Exit status is the number of violations, so the script doubles as a CI
 gate (``tests/test_robustness.py`` runs it inside the tier-1 suite).
@@ -113,6 +119,116 @@ def clean_fit_args(cls):
     return args
 
 
+def serialization_fit_args(cls):
+    """Arguments driving a small clean fit for the serialisation check.
+
+    Unlike :func:`clean_fit_args` this covers *every* family: subspace
+    candidate sets, labeling ensembles, known-clusters arguments, and
+    estimators that require non-negative data.
+    """
+    from repro.core.subspace import SubspaceCluster
+
+    rng = np.random.default_rng(0)
+    X = np.concatenate([rng.normal(size=(20, 4)),
+                        rng.normal(size=(20, 4)) + 4.0])
+    given = np.repeat([0, 1], 20)
+    candidates = [
+        SubspaceCluster(range(0, 14), (0, 1), quality=0.9),
+        SubspaceCluster(range(14, 28), (1, 2), quality=0.8),
+        SubspaceCluster(range(0, 10), (0, 1), quality=0.7),
+        SubspaceCluster(range(28, 40), (2, 3), quality=0.6),
+    ]
+    first, rest = fit_family(cls)
+    if cls.__name__ == "ConditionalInformationBottleneck":
+        return [np.abs(X) + 0.1, given]
+    if first == "X":
+        args = [X]
+    elif first == "views":
+        args = [[X, X.copy()]]
+    elif first == "candidates":
+        args = [candidates]
+        if rest and rest[0] == "known":
+            args.append([candidates[0]])
+        return args
+    elif first == "labelings":
+        return [[given.copy(), np.arange(40) % 3]]
+    else:
+        return None
+    if rest and rest[0] in ("given", "labels"):
+        args.append(given)
+    return args
+
+
+def check_serialization(name, cls):
+    """Contract item 6: fitted ``to_dict`` → strict JSON → ``from_dict``
+    → identical fitted state and predictions."""
+    import json
+
+    from repro.io import dumps
+
+    args = serialization_fit_args(cls)
+    if args is None:
+        return [f"{name}: no fit arguments for the serialisation check — "
+                "teach serialization_fit_args about this fit family"]
+    kwargs = {}
+    if "random_state" in cls().get_params():
+        kwargs["random_state"] = 0
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            inst = cls(**kwargs)
+            inst.fit(*args)
+    except Exception as exc:  # noqa: BLE001
+        return [f"{name}: clean fit failed during the serialisation "
+                f"check ({exc!r})"]
+    try:
+        payload = inst.to_dict()
+    except Exception as exc:  # noqa: BLE001
+        return [f"{name}: to_dict failed on a fitted instance ({exc!r})"]
+    try:
+        text = dumps(payload)
+    except (TypeError, ValueError) as exc:
+        return [f"{name}: to_dict payload is not strict-JSON "
+                f"serialisable ({exc!r})"]
+
+    def reject_constant(token):
+        raise ValueError(f"bare {token} token in serialised output")
+
+    try:
+        decoded = json.loads(text, parse_constant=reject_constant)
+    except ValueError as exc:
+        return [f"{name}: serialised text is not RFC JSON ({exc})"]
+    try:
+        rebuilt = cls.from_dict(decoded)
+    except Exception as exc:  # noqa: BLE001
+        return [f"{name}: from_dict failed on its own to_dict output "
+                f"({exc!r})"]
+    problems = []
+    for attr, value in vars(inst).items():
+        if not isinstance(value, np.ndarray):
+            continue
+        other = getattr(rebuilt, attr, None)
+        equal_nan = value.dtype.kind == "f"
+        if (not isinstance(other, np.ndarray)
+                or not np.array_equal(value, other, equal_nan=equal_nan)):
+            problems.append(f"{name}: fitted array {attr!r} does not "
+                            "survive the to_dict/from_dict round-trip")
+    if hasattr(inst, "predict") and isinstance(args[0], np.ndarray):
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                expected = np.asarray(inst.predict(args[0]))
+                got = np.asarray(rebuilt.predict(args[0]))
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{name}: predict failed after the "
+                            f"round-trip ({exc!r})")
+        else:
+            if not np.array_equal(expected, got):
+                problems.append(f"{name}: rebuilt estimator predicts "
+                                "differently from the fitted original")
+    return problems
+
+
 def check_telemetry(name, cls):
     """Contract item 5: ``len(convergence_trace_) == n_iter_``."""
     inst = cls()
@@ -202,6 +318,7 @@ def main(argv=None):
         n_checked += 1
         violations.extend(check_estimator(name, cls))
         violations.extend(check_telemetry(name, cls))
+        violations.extend(check_serialization(name, cls))
     for line in violations:
         print(f"VIOLATION: {line}")
     print(f"checked {n_checked} estimators, {len(violations)} violation(s)")

@@ -16,7 +16,11 @@ The contract (see docs/robustness.md):
    write/reload cycle, including recovery from a truncated trailing
    line (torn write);
 4. ``summarize_outcomes`` renders every kind distinguishably — a hard
-   kill must never be presented as a plain in-process error.
+   kill must never be presented as a plain in-process error;
+5. journal bytes are strict RFC JSON: an outcome whose table carries
+   NaN/Infinity values must journal without bare ``NaN``/``Infinity``
+   tokens (``json.dumps`` would emit them by default), and still
+   reload (see ``repro.io.dumps``).
 
 Exit status is the number of violations, so the script doubles as a CI
 gate (``tests/test_crash_safety.py`` runs it inside the tier-1 suite).
@@ -167,6 +171,41 @@ def check_journal_round_trip(outcomes):
     return problems
 
 
+def check_strict_journal_bytes():
+    """Contract item 5: journaled bytes parse as strict RFC JSON even
+    when a table carries non-finite floats."""
+    from repro.experiments.harness import ExperimentOutcome, ResultTable
+    from repro.robustness.checkpoint import RunJournal
+
+    table = ResultTable("nonfinite", ["metric", "value"])
+    table.add(metric="nan_score", value=float("nan"))
+    table.add(metric="pos_inf", value=float("inf"))
+    table.add(metric="neg_inf", value=float("-inf"))
+    outcome = ExperimentOutcome(key="NONFINITE", status="ok", table=table,
+                                elapsed=0.1)
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = RunJournal(tmp)
+        journal.record(outcome)
+        raw = journal.path.read_text(encoding="utf-8")
+
+        def reject_constant(token):
+            raise ValueError(f"bare {token} token")
+
+        for i, line in enumerate(raw.splitlines()):
+            try:
+                json.loads(line, parse_constant=reject_constant)
+            except ValueError as exc:
+                problems.append(
+                    f"journal line {i + 1} is not strict RFC JSON ({exc}): "
+                    f"{line[:80]}..."
+                )
+        reloaded = RunJournal(journal.path)
+        if "NONFINITE" not in reloaded:
+            problems.append("non-finite table outcome did not reload")
+    return problems
+
+
 def check_rendering(outcomes):
     """Contract item 4: every kind is visible in the summary table."""
     from repro.experiments.harness import summarize_outcomes
@@ -201,6 +240,7 @@ def main(argv=None):
     violations.extend(check_known_kinds())
     violations.extend(check_json_round_trip(outcomes))
     violations.extend(check_journal_round_trip(outcomes))
+    violations.extend(check_strict_journal_bytes())
     violations.extend(check_rendering(outcomes))
     for line in violations:
         print(f"VIOLATION: {line}")
