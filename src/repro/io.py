@@ -331,31 +331,43 @@ def _dec_event(payload):
                             delta=decode_value(payload["delta"]))
 
 
+def _resolve_repro_attr(module_name, qualname, what):
+    """Resolve ``module_name``.``qualname``, confined to the library.
+
+    Qualname traversal must never step through a module object —
+    otherwise ``repro.foo`` + ``os.system`` would walk from a repro
+    module into an imported stdlib module — and the resolved target's
+    own ``__module__`` must be ``repro.*`` (blocks names merely
+    *imported into* a repro module, e.g. ``from x import y``).
+    """
+    obj = _import_repro_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None or isinstance(obj, types.ModuleType):
+            raise ValidationError(
+                f"cannot resolve {what} {module_name}.{qualname}")
+    owner = getattr(obj, "__module__", "") or ""
+    if not (owner == "repro" or owner.startswith("repro.")):
+        raise ValidationError(
+            f"refusing to decode {what} {module_name}.{qualname}: "
+            f"it is defined in {owner or '<unknown>'!s}, not repro.*")
+    return obj
+
+
 @_tag_decoder("function")
 def _dec_function(payload):
-    module_name = payload["module"]
-    obj = _import_repro_module(module_name)
-    for part in payload["qualname"].split("."):
-        obj = getattr(obj, part, None)
-        if obj is None:
-            raise ValidationError(
-                f"cannot resolve function {module_name}."
-                f"{payload['qualname']}")
+    obj = _resolve_repro_attr(payload["module"], payload["qualname"],
+                              "function")
     if not callable(obj):
         raise ValidationError(
-            f"{module_name}.{payload['qualname']} is not callable")
+            f"{payload['module']}.{payload['qualname']} is not callable")
     return obj
 
 
 @_tag_decoder("object")
 def _dec_object(payload):
-    obj = _import_repro_module(payload["module"])
-    for part in payload["qualname"].split("."):
-        obj = getattr(obj, part, None)
-        if obj is None:
-            raise ValidationError(
-                f"cannot resolve class {payload['module']}."
-                f"{payload['qualname']}")
+    obj = _resolve_repro_attr(payload["module"], payload["qualname"],
+                              "class")
     if not isinstance(obj, type):
         raise ValidationError(
             f"{payload['module']}.{payload['qualname']} is not a class")
@@ -454,8 +466,8 @@ def estimator_from_dict(payload):
         raise ValidationError(
             f"unsupported estimator payload format "
             f"{payload.get('format')!r} (expected {ESTIMATOR_FORMAT})")
-    module = _import_repro_module(payload["module"])
-    cls = getattr(module, payload["class"], None)
+    cls = _resolve_repro_attr(payload["module"], payload["class"],
+                              "estimator class")
     if not isinstance(cls, type):
         raise ValidationError(
             f"{payload['module']}.{payload['class']} is not a class")

@@ -26,7 +26,8 @@ See ``docs/serving.md`` for the API reference and caching semantics.
 from __future__ import annotations
 
 from .api import ModelServer, make_server
-from .registry import ModelRegistry, dataset_fingerprint, model_key
+from .registry import (ModelRegistry, coerce_given_labels,
+                       dataset_fingerprint, model_key)
 from .scheduler import Job, JobScheduler, QueueFullError, servable_estimators
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "ModelRegistry",
     "ModelServer",
     "QueueFullError",
+    "coerce_given_labels",
     "dataset_fingerprint",
     "make_server",
     "model_key",

@@ -59,14 +59,39 @@ class _HTTPError(MultiClustError):
         self.message = message
 
 
+#: Tags a network client may use in ``params``. Data only: the
+#: ``function``/``object`` tags resolve import paths into live callables
+#: and instances, which must never be reachable from an untrusted HTTP
+#: body (even nested inside an allowed container tag).
+_DATA_TAGS = frozenset({"float", "ndarray", "tuple", "set", "frozenset",
+                        "dict"})
+
+
+def _reject_code_tags(value):
+    if isinstance(value, list):
+        for item in value:
+            _reject_code_tags(item)
+    elif isinstance(value, dict):
+        tag = value.get("__repro__")
+        if tag is not None and tag not in _DATA_TAGS:
+            raise _HTTPError(
+                400, f"tag {tag!r} is not allowed in request params; "
+                     f"allowed tags: {sorted(_DATA_TAGS)}")
+        for item in value.values():
+            _reject_code_tags(item)
+
+
 def _decode_params(raw):
-    """Request ``params``: plain JSON values, with tagged payloads
+    """Request ``params``: plain JSON values, with *data* tags
     (``{"__repro__": ...}`` / ``{"kind": ...}``) decoded so array-valued
-    params round-trip."""
+    params round-trip. Code tags (``function``/``object``) are rejected
+    anywhere in the structure — request params carry data, not import
+    paths."""
     if raw is None:
         return {}
     if not isinstance(raw, dict):
         raise _HTTPError(400, "params must be a JSON object")
+    _reject_code_tags(raw)
     params = {}
     for name, value in raw.items():
         if isinstance(value, dict) and ("__repro__" in value

@@ -37,7 +37,8 @@ from ..exceptions import ValidationError
 from ..io import dumps, encode_value
 from ..observability.logs import get_logger
 
-__all__ = ["ModelRegistry", "dataset_fingerprint", "model_key"]
+__all__ = ["ModelRegistry", "coerce_given_labels", "dataset_fingerprint",
+           "model_key"]
 
 logger = get_logger("repro.serve.registry")
 
@@ -55,13 +56,42 @@ def _pid_alive(pid):
     return True
 
 
+def coerce_given_labels(given):
+    """``given`` as a contiguous int64 label vector, or raise.
+
+    Label vectors are integral by definition; a lossy cast here would
+    let two *different* requests (e.g. ``[0.4, ...]`` vs ``[0.1, ...]``)
+    truncate to the same fingerprint and serve each other's cached
+    models. Callers must fit with exactly the array that was
+    fingerprinted, so both the scheduler and
+    :func:`dataset_fingerprint` go through this one coercion.
+    """
+    arr = np.asarray(given)
+    if arr.dtype.kind in "iub":
+        return np.ascontiguousarray(arr, dtype=np.int64)
+    try:
+        with np.errstate(invalid="ignore"):  # NaN cast is rejected below
+            as_int = arr.astype(np.int64)
+            lossless = bool(np.array_equal(as_int, arr))
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ValidationError(
+            f"given must be an integer label vector, got dtype "
+            f"{arr.dtype!s}") from exc
+    if not lossless:
+        raise ValidationError(
+            "given must be an integer label vector; got non-integral "
+            "values")
+    return np.ascontiguousarray(as_int)
+
+
 def dataset_fingerprint(X, given=None):
     """Content hash of a dataset (and optional given labels).
 
     The fingerprint covers dtype-normalised bytes and shape, so any
     change to a single value, the sample count, or the given knowledge
     produces a different fingerprint — and therefore a different cache
-    identity.
+    identity. ``given`` must be integral (see
+    :func:`coerce_given_labels`).
     """
     X = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
     digest = hashlib.sha256()
@@ -69,7 +99,7 @@ def dataset_fingerprint(X, given=None):
     digest.update(repr(X.shape).encode("ascii"))
     digest.update(X.tobytes())
     if given is not None:
-        given = np.ascontiguousarray(np.asarray(given, dtype=np.int64))
+        given = coerce_given_labels(given)
         digest.update(b":given:")
         digest.update(repr(given.shape).encode("ascii"))
         digest.update(given.tobytes())
@@ -178,6 +208,19 @@ class ModelRegistry:
             with contextlib.suppress(OSError):
                 os.utime(path)
         return payload
+
+    def touch(self, key):
+        """Bump ``key``'s LRU recency without reading it.
+
+        Returns True when the entry exists — a cheap existence probe
+        for cache-hit checks that must not pay a full payload load
+        (e.g. under the scheduler's condition lock).
+        """
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            return False
+        return True
 
     def __contains__(self, key):
         return self._path(key).exists()

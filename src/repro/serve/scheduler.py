@@ -36,7 +36,8 @@ from ..exceptions import MultiClustError, ValidationError
 from ..lint.walk import ESTIMATOR_PACKAGES
 from ..observability.logs import get_logger
 from ..observability.registry import default_registry
-from .registry import ModelRegistry, dataset_fingerprint, model_key
+from .registry import (ModelRegistry, coerce_given_labels,
+                       dataset_fingerprint, model_key)
 
 __all__ = ["Job", "JobScheduler", "QueueFullError", "servable_estimators"]
 
@@ -279,6 +280,11 @@ class JobScheduler:
                 f"{cls.__name__}.fit requires given labels; "
                 "pass \"given\" in the request")
         X = np.asarray(X, dtype=np.float64)
+        if given is not None:
+            # validated int64 coercion: the fit below must use exactly
+            # the bytes the fingerprint hashed, or two requests that
+            # truncate alike would share one cache entry
+            given = coerce_given_labels(given)
         if seed is not None and "random_state" in cls._param_names():
             params.setdefault("random_state", int(seed))
         fingerprint = dataset_fingerprint(X, given=given)
@@ -288,7 +294,7 @@ class JobScheduler:
             job = Job(f"job-{self._counter:08d}", key, fingerprint,
                       cls.__name__, params, seed)
             self._metrics.counter("serve.jobs.submitted").inc()
-            if self.registry.get(key, touch=True) is not None:
+            if self.registry.touch(key):
                 job.status = "done"
                 job.cached = True
                 job.finished_at = time.time()
@@ -308,7 +314,7 @@ class JobScheduler:
                 raise QueueFullError(
                     f"pending queue full ({self.queue_limit} jobs)")
             job.X = X
-            job.given = None if given is None else np.asarray(given)
+            job.given = given
             self._pending.append(job)
             self._inflight[key] = job
             self._remember(job)

@@ -153,6 +153,45 @@ class TestValueCodec:
         with pytest.raises(ValidationError):
             io.encode_value(json.loads)
 
+    @pytest.mark.parametrize("qualname", [
+        # traversal through a module imported by a repro module
+        "os.system",
+        "importlib.import_module",
+        "json.loads",
+        # non-module attribute imported into a repro module
+        "dumps",
+    ])
+    def test_decoder_confined_to_repro_definitions(self, qualname):
+        # the repro.*-only restriction must hold for where the target
+        # is *defined*, not just the import path it is reached through;
+        # decode_value runs on untrusted HTTP bodies (POST /jobs)
+        payload = {"__repro__": "function", "module": "repro.io",
+                   "qualname": qualname}
+        if qualname == "dumps":  # repro's own function: must still work
+            assert io.decode_value(payload) is io.dumps
+            return
+        with pytest.raises(ValidationError):
+            io.decode_value(payload)
+        with pytest.raises(ValidationError):
+            io.decode_value({"__repro__": "object", "module": "repro.io",
+                             "qualname": qualname, "state": []})
+
+    def test_object_decoder_rejects_foreign_classes(self):
+        # classes imported into repro modules (from x import Y) are
+        # reachable by plain getattr but defined elsewhere — refused
+        with pytest.raises(ValidationError):
+            io.decode_value({"__repro__": "object",
+                             "module": "repro.robustness.pool",
+                             "qualname": "deque", "state": []})
+
+    def test_estimator_payload_rejects_foreign_classes(self):
+        payload = {"kind": "repro.Estimator", "format": io.ESTIMATOR_FORMAT,
+                   "module": "repro.serve.api",
+                   "class": "ThreadingHTTPServer",
+                   "params": {}, "fitted": {}}
+        with pytest.raises(ValidationError):
+            io.estimator_from_dict(payload)
+
     def test_unknown_tag_rejected(self):
         with pytest.raises(ValidationError):
             io.decode_value({"__repro__": "no-such-tag"})

@@ -216,12 +216,38 @@ class TestValidation:
           "given": [0]}, "given"),
         ({"estimator": "COALA", "dataset": [[1.0], [2.0]]},
          "requires given"),
+        # given is a label vector: non-integral or non-numeric values
+        # must be a 400, not a silent int-truncation or a 500
+        ({"estimator": "COALA", "dataset": [[1.0], [2.0]],
+          "given": [0.4, 1.0]}, "integer label"),
+        ({"estimator": "COALA", "dataset": [[1.0], [2.0]],
+          "given": ["a", "b"]}, "integer label"),
     ])
     def test_bad_requests_are_400(self, served, body, needle):
         url, _, _ = served
         status, _, resp = _request(f"{url}/jobs", body)
         assert status == 400
         assert needle.lower() in resp["error"].lower()
+
+    @pytest.mark.parametrize("params", [
+        # code tags must never decode from an untrusted request body —
+        # neither at the top level nor nested inside an allowed tag
+        {"init": {"__repro__": "function", "module": "repro.io",
+                  "qualname": "os.system"}},
+        {"init": {"__repro__": "object", "module": "repro.io",
+                  "qualname": "dumps", "state": []}},
+        {"init": {"__repro__": "tuple", "items": [
+            {"__repro__": "function", "module": "repro.io",
+             "qualname": "dumps"}]}},
+    ])
+    def test_code_tags_in_params_are_400(self, served, params):
+        url, _, _ = served
+        status, _, resp = _request(
+            f"{url}/jobs", {"estimator": "KMeans",
+                            "dataset": [[0.0, 1.0], [1.0, 0.0]],
+                            "params": params})
+        assert status == 400
+        assert "not allowed" in resp["error"]
 
     def test_unknown_job_and_model_404(self, served):
         url, _, _ = served

@@ -17,7 +17,12 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.serve import ModelRegistry, dataset_fingerprint, model_key
+from repro.serve import (
+    ModelRegistry,
+    coerce_given_labels,
+    dataset_fingerprint,
+    model_key,
+)
 
 
 class TestFingerprint:
@@ -40,6 +45,30 @@ class TestFingerprint:
         X = np.arange(12).reshape(4, 3)
         assert dataset_fingerprint(X) == \
             dataset_fingerprint(X.astype(np.float64))
+
+    def test_integral_float_given_matches_int_given(self):
+        X = np.arange(12.0).reshape(4, 3)
+        assert dataset_fingerprint(X, given=[0.0, 0.0, 1.0, 1.0]) == \
+            dataset_fingerprint(X, given=[0, 0, 1, 1])
+
+    @pytest.mark.parametrize("given", [
+        [0.4, 0.4, 1.0, 1.0],   # would truncate to [0, 0, 1, 1]
+        ["a", "b", "c", "d"],   # non-numeric
+        [float("nan"), 0, 1, 1],
+    ])
+    def test_non_integral_given_rejected(self, given):
+        # silent truncation would alias distinct requests onto one
+        # cache key (fingerprint collision → wrong model served)
+        X = np.arange(12.0).reshape(4, 3)
+        with pytest.raises(ValidationError):
+            dataset_fingerprint(X, given=given)
+
+    def test_coerce_given_labels(self):
+        coerced = coerce_given_labels([0, 1, np.int32(2), True])
+        assert coerced.dtype == np.int64
+        assert coerced.tolist() == [0, 1, 2, 1]
+        with pytest.raises(ValidationError):
+            coerce_given_labels([0.5, 1.0])
 
 
 class TestModelKey:
@@ -76,6 +105,19 @@ class TestRegistryBasics:
 
     def test_miss_returns_none(self, tmp_path):
         assert ModelRegistry(tmp_path).get("ab12" * 8) is None
+
+    def test_touch_probes_and_bumps_without_reading(self, tmp_path):
+        # the scheduler's cache-hit check runs under its condition
+        # lock: it must not load the (potentially MBs) payload there
+        registry = ModelRegistry(tmp_path)
+        key = "ab12" * 8
+        assert registry.touch(key) is False
+        registry.put(key, {"model": {"x": 1}})
+        path = tmp_path / f"{key}.json"
+        old = path.stat().st_mtime - 10
+        os.utime(path, (old, old))
+        assert registry.touch(key) is True
+        assert path.stat().st_mtime > old  # LRU recency bumped
 
     @pytest.mark.parametrize("bad", ["", "UPPER", "../escape", "a/b",
                                      "x" * 100, "g" * 16])
