@@ -18,6 +18,13 @@ Modes are interleaved round-robin (one fit per mode per round) so cache
 warm-up and CPU-frequency drift hit all modes alike, and each mode's
 time is the *minimum* over ``--repeats`` rounds — the standard
 microbenchmark estimator for the noise-free cost.
+
+A second, ``cross_process`` section measures the distributed-tracing
+path: an untraced vs traced ``jobs=4`` pooled sweep (the traced run
+exports per-worker span shards and merges them back into one causal
+tree), plus the standalone cost of ``Tracer.merge_shards`` on
+synthetic four-shard input, so the shard-merge cost is visible
+separately from the sweep it rides on.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import json
 import pathlib
 import statistics
 import sys
+import tempfile
 import time
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -155,6 +163,104 @@ def _measure_algorithm(factory, X, repeats):
             est_box["est"], peaks)
 
 
+def _sweep_experiment():
+    """One pooled-sweep work item: a restart sweep of real KMeans fits,
+    sized like a small experiment (tens of ms) so the traced run's
+    fixed I/O cost is weighed against representative work."""
+    from repro.experiments.harness import ResultTable
+
+    X = _data(600)
+    table = ResultTable("bench", ["seed", "n_iter"])
+    for seed in range(5):
+        est = KMeans(n_clusters=4, random_state=seed)
+        est.fit(X)
+        table.add(seed=float(seed), n_iter=float(est.n_iter_))
+    return table
+
+
+def measure_cross_process(repeats=3, jobs=4, n_keys=8, shard_spans=2000):
+    """Traced vs untraced pooled sweep + standalone shard-merge cost."""
+    from repro.experiments.harness import run_experiments
+    from repro.observability import (
+        Tracer,
+        read_jsonl,
+        trace_shard_path,
+        write_records_jsonl,
+    )
+
+    grid = {f"K{i:02d}": _sweep_experiment for i in range(n_keys)}
+    run_experiments(dict(grid), jobs=jobs)  # warm the pool path
+
+    untraced, traced = [], []
+    span_count = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = pathlib.Path(tmp) / "trace.jsonl"
+        for round_no in range(repeats):
+            # alternate which mode goes first so neither systematically
+            # pays for its predecessor's page-cache state
+            modes = ["untraced", "traced"]
+            if round_no % 2:
+                modes.reverse()
+            for mode in modes:
+                start = time.perf_counter()
+                if mode == "untraced":
+                    run_experiments(dict(grid), jobs=jobs)
+                    untraced.append(time.perf_counter() - start)
+                else:
+                    tracer = Tracer()
+                    run_experiments(dict(grid), jobs=jobs, tracer=tracer,
+                                    trace_path=trace)
+                    tracer.write_jsonl(trace)
+                    traced.append(time.perf_counter() - start)
+                    span_count = len(read_jsonl(trace))
+
+        # standalone shard-merge cost on synthetic four-shard input
+        trace_id = "ab" * 16
+        shards = []
+        per_shard = shard_spans // 4
+        for slot in range(4):
+            records = []
+            parent = None
+            for i in range(per_shard):
+                span_id = f"{slot:02x}{i:014x}"
+                records.append({
+                    "name": f"fit-{slot}-{i}", "path": f"fit-{slot}-{i}",
+                    "depth": 0 if parent is None else 1,
+                    "start": i * 1e-3, "duration": 1e-3, "n_ticks": 1,
+                    "trace_id": trace_id, "span_id": span_id,
+                    "parent_id": parent, "worker": slot,
+                })
+                parent = span_id if i % 8 == 0 else parent
+            shard = trace_shard_path(pathlib.Path(tmp) / "m.jsonl", slot)
+            write_records_jsonl(shard, records)
+            shards.append(shard)
+        merge_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            merged = Tracer.merge_shards(shards)
+            merge_times.append(time.perf_counter() - start)
+        merge_s = min(merge_times)
+
+    best_untraced = min(untraced)
+    best_traced = min(traced)
+    return {
+        "config": {"jobs": int(jobs), "n_keys": int(n_keys),
+                   "repeats": int(repeats),
+                   "timing": "min sweep seconds, modes interleaved"},
+        "untraced_sweep_s": round(best_untraced, 6),
+        "traced_sweep_s": round(best_traced, 6),
+        "traced_overhead_pct": round(
+            100.0 * (best_traced - best_untraced) / best_untraced, 2),
+        "spans_exported": int(span_count),
+        "shard_merge": {
+            "shards": 4,
+            "records": len(merged),
+            "merge_s": round(merge_s, 6),
+            "records_per_s": round(len(merged) / merge_s, 1),
+        },
+    }
+
+
 def measure(repeats=5, n_samples=300):
     """Per-algorithm timings for all four modes; returns the report dict."""
     X = _data(n_samples)
@@ -199,15 +305,27 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=16)
     parser.add_argument("--n-samples", type=int, default=300)
+    parser.add_argument("--sweep-repeats", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument("--output", type=pathlib.Path, default=OUTPUT)
     args = parser.parse_args(argv)
     report = measure(repeats=args.repeats, n_samples=args.n_samples)
+    report["cross_process"] = measure_cross_process(
+        repeats=args.sweep_repeats, jobs=args.jobs)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     for name, entry in report["algorithms"].items():
         print(f"{name:>14}: off {entry['off_s'] * 1000:8.2f}ms "
               f"({entry['off_overhead_pct']:+5.2f}% vs stubbed), "
               f"traced {entry['traced_overhead_pct']:+5.2f}%, "
               f"peak {entry['peak_kb']}KB")
+    cross = report["cross_process"]
+    print(f"cross-process: jobs={cross['config']['jobs']} sweep "
+          f"untraced {cross['untraced_sweep_s'] * 1000:.1f}ms, traced "
+          f"{cross['traced_sweep_s'] * 1000:.1f}ms "
+          f"({cross['traced_overhead_pct']:+.2f}%), "
+          f"{cross['spans_exported']} spans; shard merge "
+          f"{cross['shard_merge']['records']} records in "
+          f"{cross['shard_merge']['merge_s'] * 1000:.1f}ms")
     summary = report["summary"]
     print(f"mean disabled-path overhead {summary['mean_off_overhead_pct']}% "
           f"(budget {summary['budget_pct']}%) -> "

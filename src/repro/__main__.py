@@ -338,6 +338,7 @@ def _run_command(args, all_experiments):
             journal=journal,
             jobs=jobs,
             crash_retries=args.crash_retries,
+            trace_path=args.trace,
         )
     except KeyboardInterrupt:
         interrupted = True

@@ -32,13 +32,19 @@ Three opt-in hardening layers (see ``docs/robustness.md``):
 from __future__ import annotations
 
 import contextlib
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..exceptions import FaultInjectedError, ValidationError
 from ..observability.logs import get_logger
-from ..observability.tracer import Tracer, current_tracer
+from ..observability.tracer import (
+    Tracer,
+    current_tracer,
+    read_jsonl,
+    trace_shard_paths,
+)
 from ..robustness.checkpoint import RunJournal
 from ..robustness.guard import RunFailure, RunGuard
 from ..robustness.pool import (
@@ -156,6 +162,13 @@ class ExperimentOutcome:
     ``timings`` maps each direct child span (estimator fits, traced
     substeps) to cumulative seconds; ``peak_kb`` is the tracemalloc
     peak when the sweep ran with ``profile=True``.
+
+    ``spans`` — present only for traced cross-process runs — holds the
+    worker-side span records (``Tracer.to_records()`` dicts carrying
+    ``trace_id``/``span_id``/``parent_id``) so the driver can merge
+    them into one causal tree. It rides the worker pipe but is
+    stripped from journal records (the trace shards are the durable
+    span store) and excluded from ``canonical_summary``.
     """
 
     key: str
@@ -167,6 +180,7 @@ class ExperimentOutcome:
     iterations: int = 0
     timings: Optional[dict] = field(default=None, repr=False)
     peak_kb: Optional[float] = None
+    spans: Optional[list] = field(default=None, repr=False)
 
     @property
     def ok(self):
@@ -186,7 +200,7 @@ class ExperimentOutcome:
             table = None
         else:
             table = repr(self.table)
-        return {
+        data = {
             "key": self.key,
             "status": self.status,
             "table": table,
@@ -198,6 +212,9 @@ class ExperimentOutcome:
             "timings": self.timings,
             "peak_kb": self.peak_kb,
         }
+        if self.spans is not None:  # only traced runs carry span records
+            data["spans"] = self.spans
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -223,6 +240,7 @@ class ExperimentOutcome:
             iterations=int(data.get("iterations", 0)),
             timings=None if timings is None else dict(timings),
             peak_kb=data.get("peak_kb"),
+            spans=data.get("spans"),
         )
 
 
@@ -283,8 +301,8 @@ class _WorkerTracer(Tracer):
     refreshes the parent's liveness clock through the worker pipe.
     """
 
-    def __init__(self, heartbeat, profile_memory=False):
-        super().__init__(profile_memory=profile_memory)
+    def __init__(self, heartbeat, profile_memory=False, **kwargs):
+        super().__init__(profile_memory=profile_memory, **kwargs)
         self._heartbeat = heartbeat
 
     def add_ticks(self, n=1):
@@ -293,19 +311,31 @@ class _WorkerTracer(Tracer):
 
 
 def _run_isolated(key, run_fn, *, max_seconds, max_retries, hard_timeout,
-                  heartbeat_interval, start_method, profile_memory):
+                  heartbeat_interval, start_method, profile_memory,
+                  trace_ctx=None):
     """One experiment in a killable subprocess; never raises for it.
 
     The cooperative guard (budgets, retries) runs *inside* the child,
     so soft failures come back as ordinary serialized outcomes; only a
     worker the parent had to kill (timeout) or that died (crash) is
-    synthesized into a failure here.
+    synthesized into a failure here. With a ``trace_ctx`` dict the
+    child's tracer joins that trace and its span records ship back on
+    ``outcome.spans``.
     """
     def payload(heartbeat):
-        tracer = _WorkerTracer(heartbeat, profile_memory=profile_memory)
+        trace_kwargs = {}
+        if trace_ctx is not None:
+            trace_kwargs = {"trace_id": trace_ctx.get("trace_id"),
+                            "parent_id": trace_ctx.get("span_id"),
+                            "tags": {"pid": os.getpid()}}
+        tracer = _WorkerTracer(heartbeat, profile_memory=profile_memory,
+                               **trace_kwargs)
         guard = RunGuard(max_seconds=max_seconds, max_retries=max_retries,
                          label=key, tracer=tracer)
-        return _outcome_from_result(key, guard.run(run_fn)).to_dict()
+        outcome = _outcome_from_result(key, guard.run(run_fn))
+        if trace_ctx is not None:
+            outcome.spans = tracer.to_records()
+        return outcome.to_dict()
 
     worker = run_in_worker(payload, hard_timeout=hard_timeout,
                            heartbeat_interval=heartbeat_interval,
@@ -346,12 +376,22 @@ def _readonly_arrays(shared_data):
 def _run_pooled(experiments, fail_modes, *, jobs, keep_going, max_seconds,
                 max_retries, hard_timeout, crash_retries, journal,
                 callback, shared_data, base_seed, heartbeat_interval,
-                start_method, profile_memory):
+                start_method, profile_memory, tracer, trace_path,
+                trace_contexts):
     """The ``jobs > 1`` branch of :func:`run_experiments`.
 
     Skip handling (journal resume) stays parent-side and streams first;
     everything else — seeding, isolation, journaling — is delegated to
     :func:`repro.robustness.pool.run_pool` on the remaining keys.
+
+    Tracing: with a ``tracer`` and ``trace_path`` the driver opens one
+    ``sweep`` span whose :class:`~repro.observability.TraceContext`
+    every worker joins, folds worker span records back in as outcomes
+    stream (so a Ctrl-C keeps what completed), and finally absorbs the
+    durable per-slot trace shards — merged by span id, so a span that
+    arrived both ways counts once — then removes them. On an
+    interrupt the shards stay on disk next to ``trace_path`` for
+    post-mortem merging via ``Tracer.merge_shards``.
     """
     from ..robustness.pool import run_pool
 
@@ -373,15 +413,40 @@ def _run_pooled(experiments, fail_modes, *, jobs, keep_going, max_seconds,
                      else _make_injected(key, mode))
     ran = {}
     if grid:
-        ran = {outcome.key: outcome for outcome in run_pool(
-            grid, jobs=jobs, max_seconds=max_seconds,
-            max_retries=max_retries, hard_timeout=hard_timeout,
-            crash_retries=crash_retries, journal=journal,
-            callback=callback, shared_data=shared_data,
-            base_seed=base_seed, heartbeat_interval=heartbeat_interval,
-            start_method=start_method, profile_memory=profile_memory,
-            keep_going=keep_going,
-        )}
+        sweep_trace = None
+        fold = callback
+        with contextlib.ExitStack() as stack:
+            if tracer is not None and trace_path is not None:
+                if current_tracer() is not tracer:
+                    stack.enter_context(tracer)
+                sweep_span = stack.enter_context(
+                    tracer.span("sweep", jobs=jobs, keys=len(grid)))
+                sweep_trace = {"trace_id": tracer.trace_id,
+                               "span_id": sweep_span.span_id}
+
+            if tracer is not None:
+                def fold(outcome):
+                    if outcome.spans:
+                        tracer.add_foreign_records(outcome.spans)
+                    if callback is not None:
+                        callback(outcome)
+
+            ran = {outcome.key: outcome for outcome in run_pool(
+                grid, jobs=jobs, max_seconds=max_seconds,
+                max_retries=max_retries, hard_timeout=hard_timeout,
+                crash_retries=crash_retries, journal=journal,
+                callback=fold, shared_data=shared_data,
+                base_seed=base_seed, heartbeat_interval=heartbeat_interval,
+                start_method=start_method, profile_memory=profile_memory,
+                keep_going=keep_going, trace=sweep_trace,
+                trace_path=trace_path, trace_contexts=trace_contexts,
+            )}
+        if tracer is not None and trace_path is not None:
+            # clean completion: absorb the durable shards (idempotent
+            # with the piped copies) and leave no worker files behind
+            for shard in trace_shard_paths(trace_path):
+                tracer.add_foreign_records(read_jsonl(shard, recover=True))
+                shard.unlink()
     return [skipped[key] if key in skipped else ran[key]
             for key in experiments if key in skipped or key in ran]
 
@@ -392,7 +457,7 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
                     hard_timeout=None, journal=None,
                     heartbeat_interval=1.0, start_method=None,
                     jobs=1, crash_retries=0, shared_data=None,
-                    base_seed=0):
+                    base_seed=0, trace_contexts=None, trace_path=None):
     """Run a mapping of ``{key: experiment_fn}`` fault-tolerantly.
 
     Parameters
@@ -473,6 +538,24 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
         Root of the per-key deterministic seeds exposed to experiment
         bodies via :func:`repro.robustness.experiment_seed`
         (``derive_seed(key, base_seed)``).
+    trace_contexts : mapping of str -> TraceContext/dict, or None
+        Per-key trace contexts for cross-process trace propagation: an
+        experiment with a context runs under a tracer that joins that
+        trace (its root spans parented under the context's span), and
+        its span records come back on ``outcome.spans`` — this is how
+        a served job's request trace reaches the fit that it
+        triggered, across the pool's process boundary.
+    trace_path : str, Path, or None
+        Destination the caller will export the sweep trace to. Under
+        ``jobs > 1`` this makes the flag truthful: the driver opens a
+        ``sweep`` span, every worker joins its context and maintains a
+        durable per-slot span shard next to ``trace_path``, and worker
+        spans are merged back into ``tracer`` (streamed with outcomes,
+        shards absorbed at the end — after an interrupt the shards
+        remain for ``Tracer.merge_shards``). Serially (with
+        ``isolate``) it threads the context into each child the same
+        way. Requires ``tracer`` for the merged spans to land
+        anywhere; the caller still writes the file.
 
     Returns
     -------
@@ -480,6 +563,10 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
     """
     fail_modes = _normalize_fail_keys(fail_keys)
     jobs = resolve_jobs(jobs)
+    trace_contexts = {
+        key: (ctx.to_dict() if hasattr(ctx, "to_dict") else dict(ctx))
+        for key, ctx in (trace_contexts or {}).items()
+    }
     if crash_retries < 0:
         raise ValidationError(
             f"crash_retries must be >= 0, got {crash_retries}"
@@ -501,6 +588,8 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
             start_method=start_method,
             profile_memory=(tracer.profile_memory if tracer is not None
                             else profile),
+            tracer=tracer, trace_path=trace_path,
+            trace_contexts=trace_contexts,
         )
     if tracer is None:
         tracer = Tracer(profile_memory=profile)
@@ -526,14 +615,36 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
             run_fn = install_experiment_context(
                 run_fn, derive_seed(key, base_seed), arrays
             )
+            ctx = trace_contexts.get(key)
             if isolate:
+                if ctx is None and trace_path is not None:
+                    # --trace with isolation: children join the sweep
+                    # tracer's trace so their spans merge back in
+                    ctx = {"trace_id": tracer.trace_id, "span_id": None}
                 outcome = _run_isolated(
                     key, run_fn, max_seconds=max_seconds,
                     max_retries=max_retries, hard_timeout=hard_timeout,
                     heartbeat_interval=heartbeat_interval,
                     start_method=start_method,
                     profile_memory=tracer.profile_memory,
+                    trace_ctx=ctx,
                 )
+                if outcome.spans:
+                    tracer.add_foreign_records(outcome.spans)
+            elif ctx is not None:
+                # join the caller's trace: a per-key tracer parented
+                # under the remote context (RunGuard activates it)
+                key_tracer = Tracer(
+                    profile_memory=tracer.profile_memory,
+                    trace_id=ctx.get("trace_id"),
+                    parent_id=ctx.get("span_id"),
+                )
+                guard = RunGuard(max_seconds=max_seconds,
+                                 max_retries=max_retries, label=key,
+                                 tracer=key_tracer)
+                outcome = _outcome_from_result(key, guard.run(run_fn))
+                outcome.spans = key_tracer.to_records()
+                tracer.add_foreign_records(outcome.spans)
             else:
                 guard = RunGuard(max_seconds=max_seconds,
                                  max_retries=max_retries, label=key,

@@ -23,11 +23,14 @@ measured overhead of the disabled fast path.
 from .logs import configure_logging, get_logger, level_from_verbosity
 from .registry import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     default_registry,
+    prometheus_name,
     record,
     reset_default_registry,
 )
@@ -41,24 +44,38 @@ from .telemetry import (
 )
 from .tracer import (
     Span,
+    TraceContext,
     Tracer,
+    current_trace_context,
     current_tracer,
+    merge_records,
+    new_trace_id,
     read_jsonl,
     render_records,
     render_stage_table,
     slowest_stages,
+    trace_shard_path,
+    trace_shard_paths,
     trace_span,
     traced_fit,
+    write_records_jsonl,
 )
 
 __all__ = [
     # tracer
     "Span",
+    "TraceContext",
     "Tracer",
     "current_tracer",
+    "current_trace_context",
+    "new_trace_id",
     "trace_span",
     "traced_fit",
     "read_jsonl",
+    "write_records_jsonl",
+    "merge_records",
+    "trace_shard_path",
+    "trace_shard_paths",
     "render_records",
     "render_stage_table",
     "slowest_stages",
@@ -68,6 +85,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "prometheus_name",
     "default_registry",
     "reset_default_registry",
     "record",

@@ -15,14 +15,24 @@ the :func:`record` helper or by grabbing a named instrument::
 Instruments are created on first use and a name is bound to one kind
 for the life of the registry — re-using ``fits_total`` as a gauge is a
 :class:`~repro.exceptions.ValidationError`, catching mix-ups early.
-Updates are O(1) dict operations; the registry is safe to leave enabled
-in production paths.
+
+The registry is thread-safe: one re-entrant lock per registry guards
+instrument creation and every update, so the serving layer can record
+from ``ThreadingHTTPServer`` threads and the dispatcher concurrently
+without losing increments. Cross-process aggregation goes through
+:meth:`MetricsRegistry.snapshot` on the worker side and
+:meth:`MetricsRegistry.merge` on the driver side (counters add, gauges
+take the incoming value, histograms add bucket-wise); and
+:meth:`MetricsRegistry.to_prometheus` renders everything in the
+Prometheus text exposition format v0.0.4 for ``GET /metrics``.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import re
+import threading
 
 from ..exceptions import ValidationError
 
@@ -32,6 +42,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "prometheus_name",
     "default_registry",
     "reset_default_registry",
     "record",
@@ -41,23 +54,38 @@ __all__ = [
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
                    1000.0)
 
+#: Bounds for histograms observing *seconds* of latency (HTTP requests,
+#: pool tasks): sub-millisecond cache hits through minute-long fits.
+LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   60.0, 300.0)
+
+#: ``Content-Type`` for :meth:`MetricsRegistry.to_prometheus` responses.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 class Counter:
     """Monotonically increasing value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self):
+    def __init__(self, lock=None):
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, n=1.0):
         n = float(n)
         if n < 0:
             raise ValidationError(f"counters only go up, got inc({n})")
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def snapshot(self):
-        return {"value": self.value}
+        with self._lock:
+            return {"value": self.value}
+
+    def _merge(self, data):
+        """Fold a worker-side snapshot in: counters add."""
+        self.inc(data["value"])
 
     def __repr__(self):
         return f"Counter(value={self.value:g})"
@@ -66,19 +94,27 @@ class Counter:
 class Gauge:
     """Last-written value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self):
+    def __init__(self, lock=None):
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value):
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, n=1.0):
-        self.value += float(n)
+        with self._lock:
+            self.value += float(n)
 
     def snapshot(self):
-        return {"value": self.value}
+        with self._lock:
+            return {"value": self.value}
+
+    def _merge(self, data):
+        """Fold a worker-side snapshot in: last write wins."""
+        self.set(data["value"])
 
     def __repr__(self):
         return f"Gauge(value={self.value:g})"
@@ -93,9 +129,10 @@ class Histogram:
     boundaries can be compared across instruments).
     """
 
-    __slots__ = ("buckets", "counts", "count", "total", "min", "max")
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max",
+                 "_lock")
 
-    def __init__(self, buckets=DEFAULT_BUCKETS):
+    def __init__(self, buckets=DEFAULT_BUCKETS, lock=None):
         bounds = tuple(float(b) for b in buckets)
         if not bounds or any(not math.isfinite(b) for b in bounds):
             raise ValidationError("histogram buckets must be finite and "
@@ -109,35 +146,73 @@ class Histogram:
         self.total = 0.0
         self.min = None
         self.max = None
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value):
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-        self.counts[-1] += 1  # +inf bucket counts everything
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+            self.counts[-1] += 1  # +inf bucket counts everything
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
     def snapshot(self):
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "buckets": {
-                **{f"le_{b:g}": c
-                   for b, c in zip(self.buckets, self.counts)},
-                "le_inf": self.counts[-1],
-            },
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.mean,
+                "min": self.min,
+                "max": self.max,
+                "bounds": list(self.buckets),
+                "buckets": {
+                    **{f"le_{b:g}": c
+                       for b, c in zip(self.buckets, self.counts)},
+                    "le_inf": self.counts[-1],
+                },
+            }
+
+    def _merge(self, data):
+        """Fold a worker-side snapshot in: bucket-wise addition.
+
+        The incoming snapshot must have been taken on a histogram with
+        the same bounds — summing counts across different bucket
+        layouts would silently misattribute observations.
+        """
+        bounds = data.get("bounds")
+        if bounds is not None and tuple(float(b) for b in bounds) \
+                != self.buckets:
+            raise ValidationError(
+                f"cannot merge histogram snapshots with bounds "
+                f"{tuple(bounds)} into buckets {self.buckets}")
+        incoming = data.get("buckets") or {}
+        try:
+            counts = [incoming[f"le_{b:g}"] for b in self.buckets]
+            counts.append(incoming["le_inf"])
+        except KeyError as exc:
+            raise ValidationError(
+                f"histogram snapshot is missing bucket {exc} for bounds "
+                f"{self.buckets}") from exc
+        with self._lock:
+            for i, c in enumerate(counts):
+                self.counts[i] += int(c)
+            self.count += int(data.get("count", 0))
+            self.total += float(data.get("sum", 0.0))
+            for name, pick in (("min", min), ("max", max)):
+                incoming_value = data.get(name)
+                if incoming_value is None:
+                    continue
+                mine = getattr(self, name)
+                setattr(self, name, incoming_value if mine is None
+                        else pick(mine, incoming_value))
 
     def __repr__(self):
         return (f"Histogram(count={self.count}, mean={self.mean:.3g}, "
@@ -147,27 +222,58 @@ class Histogram:
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
+def prometheus_name(name, kind="gauge"):
+    """Map an internal metric name to its Prometheus exposition name.
+
+    Dots (and anything else outside ``[a-zA-Z0-9_:]``) become
+    underscores, the library namespace prefix ``repro_`` is applied,
+    and counters get the conventional ``_total`` suffix:
+    ``serve.jobs.submitted`` → ``repro_serve_jobs_submitted_total``.
+    """
+    base = re.sub(r"[^a-zA-Z0-9_:]", "_", str(name))
+    if not base.startswith("repro_"):
+        base = f"repro_{base}"
+    if kind == "counter" and not base.endswith("_total"):
+        base += "_total"
+    return base
+
+
+def _prom_value(value):
+    """Prometheus sample value: integral floats render without ``.0``."""
+    value = float(value)
+    if math.isfinite(value) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
 class MetricsRegistry:
-    """Named instruments, created on first use, one kind per name."""
+    """Named instruments, created on first use, one kind per name.
+
+    All mutation — instrument creation and every update — happens under
+    one re-entrant lock shared with the instruments, so concurrent
+    threads never lose increments or race the create-on-first-use path.
+    """
 
     def __init__(self):
         self._instruments = {}
+        self._lock = threading.RLock()
 
     def _get(self, name, kind, **kwargs):
         if not isinstance(name, str) or not name:
             raise ValidationError(f"metric name must be a non-empty string, "
                                   f"got {name!r}")
-        existing = self._instruments.get(name)
-        if existing is not None:
-            if not isinstance(existing, _KINDS[kind]):
-                raise ValidationError(
-                    f"metric {name!r} is a "
-                    f"{type(existing).__name__.lower()}, not a {kind}"
-                )
-            return existing
-        instrument = _KINDS[kind](**kwargs)
-        self._instruments[name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, _KINDS[kind]):
+                    raise ValidationError(
+                        f"metric {name!r} is a "
+                        f"{type(existing).__name__.lower()}, not a {kind}"
+                    )
+                return existing
+            instrument = _KINDS[kind](lock=self._lock, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
 
     def counter(self, name):
         return self._get(name, "counter")
@@ -194,36 +300,104 @@ class MetricsRegistry:
 
     def snapshot(self):
         """All instruments as a nested, JSON-serialisable dict."""
-        return {
-            name: {"kind": type(inst).__name__.lower(), **inst.snapshot()}
-            for name, inst in sorted(self._instruments.items())
-        }
+        with self._lock:
+            return {
+                name: {"kind": type(inst).__name__.lower(),
+                       **inst.snapshot()}
+                for name, inst in sorted(self._instruments.items())
+            }
+
+    def merge(self, snapshot):
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process aggregation primitive: pool workers ship
+        their registry snapshot back with each outcome, and the driver
+        merges the final per-worker snapshots here. Counters add,
+        gauges take the incoming value, histograms add bucket-wise
+        (bounds must match). Instruments missing here are created; a
+        name bound to a different kind, or an unknown kind, raises.
+        """
+        if not isinstance(snapshot, dict):
+            raise ValidationError(
+                f"merge() expects a snapshot dict, got {snapshot!r}")
+        with self._lock:
+            for name, data in snapshot.items():
+                if not isinstance(data, dict):
+                    raise ValidationError(
+                        f"snapshot entry {name!r} is not a dict")
+                kind = data.get("kind")
+                if kind not in _KINDS:
+                    raise ValidationError(
+                        f"snapshot entry {name!r} has unknown kind "
+                        f"{kind!r}; choose from {sorted(_KINDS)}")
+                kwargs = {}
+                if kind == "histogram" and data.get("bounds") is not None:
+                    kwargs["buckets"] = data["bounds"]
+                self._get(name, kind, **kwargs)._merge(data)
+
+    def to_prometheus(self):
+        """Everything in Prometheus text exposition format v0.0.4.
+
+        One ``# TYPE`` block per instrument; names mapped through
+        :func:`prometheus_name`; histograms expose their cumulative
+        buckets as ``_bucket{le="..."}`` samples (``le="+Inf"`` last)
+        plus ``_sum`` and ``_count``. Serve it with
+        :data:`PROMETHEUS_CONTENT_TYPE`.
+        """
+        with self._lock:
+            items = [(name, type(inst).__name__.lower(), inst.snapshot())
+                     for name, inst in sorted(self._instruments.items())]
+        lines = []
+        for name, kind, snap in items:
+            pname = prometheus_name(name, kind)
+            lines.append(f"# HELP {pname} repro metric {name}")
+            lines.append(f"# TYPE {pname} {kind}")
+            if kind == "histogram":
+                counts = [snap["buckets"][f"le_{b:g}"]
+                          for b in snap["bounds"]]
+                for bound, count in zip(snap["bounds"], counts):
+                    lines.append(
+                        f'{pname}_bucket{{le="{bound:g}"}} '
+                        f'{_prom_value(count)}')
+                lines.append(f'{pname}_bucket{{le="+Inf"}} '
+                             f'{_prom_value(snap["buckets"]["le_inf"])}')
+                lines.append(f"{pname}_sum {_prom_value(snap['sum'])}")
+                lines.append(f"{pname}_count {_prom_value(snap['count'])}")
+            else:
+                lines.append(f"{pname} {_prom_value(snap['value'])}")
+        return "\n".join(lines) + "\n"
 
     def to_json(self, **kwargs):
         return json.dumps(self.snapshot(), **kwargs)
 
     def render(self):
         """Human-readable one-line-per-instrument dump."""
-        lines = []
-        for name, inst in sorted(self._instruments.items()):
-            if isinstance(inst, Histogram):
-                lines.append(
-                    f"{name}: histogram count={inst.count} "
-                    f"mean={inst.mean:.4g} min={inst.min} max={inst.max}"
-                )
-            else:
-                kind = type(inst).__name__.lower()
-                lines.append(f"{name}: {kind} {inst.value:g}")
+        with self._lock:
+            items = sorted(self._instruments.items())
+            lines = []
+            for name, inst in items:
+                if isinstance(inst, Histogram):
+                    lines.append(
+                        f"{name}: histogram count={inst.count} "
+                        f"mean={inst.mean:.4g} min={inst.min} "
+                        f"max={inst.max}"
+                    )
+                else:
+                    kind = type(inst).__name__.lower()
+                    lines.append(f"{name}: {kind} {inst.value:g}")
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
     def reset(self):
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
 
     def __len__(self):
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     def __contains__(self, name):
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
     def __repr__(self):
         return f"MetricsRegistry({len(self._instruments)} instruments)"
@@ -238,7 +412,9 @@ def default_registry():
 
 
 def reset_default_registry():
-    """Clear the default registry (tests / between sweeps)."""
+    """Clear the default registry (tests / between sweeps / freshly
+    forked pool workers, whose inherited parent counters would
+    double-count when their snapshot merges back)."""
     _DEFAULT_REGISTRY.reset()
 
 

@@ -89,7 +89,7 @@ def load_journal_records(path):
 
 #: Volatile (timing/host-dependent) fields excluded from the canonical
 #: summary at both the outcome and failure level.
-_VOLATILE_FIELDS = ("elapsed", "timings", "peak_kb")
+_VOLATILE_FIELDS = ("elapsed", "timings", "peak_kb", "spans")
 _VOLATILE_FAILURE_FIELDS = ("elapsed", "traceback", "message")
 
 
@@ -260,7 +260,10 @@ class RunJournal:
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             for outcome in self._outcomes.values():
-                fh.write(dumps(outcome.to_dict()) + "\n")
+                record = outcome.to_dict()
+                # span records live in the trace shards, not the journal
+                record.pop("spans", None)
+                fh.write(dumps(record) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)

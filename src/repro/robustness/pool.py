@@ -273,9 +273,18 @@ def _pool_worker_main(conn, slot, experiments, config):
         _outcome_from_result,
         _WorkerTracer,
     )
+    from ..observability.registry import (
+        default_registry,
+        reset_default_registry,
+    )
+    from ..observability.tracer import write_records_jsonl
     from .guard import RunGuard
 
     _own_process_group()
+    # under fork the worker inherits the parent registry's contents;
+    # start from zero so the snapshot shipped back with each outcome
+    # holds only this worker's work and merges without double counting
+    reset_default_registry()
     shared = None
     arrays = None
     if config.get("shared_descriptor"):
@@ -284,6 +293,9 @@ def _pool_worker_main(conn, slot, experiments, config):
     journal = None
     if config.get("shard_path"):
         journal = RunJournal(config["shard_path"])
+    sweep_trace = config.get("trace")
+    trace_shard = config.get("trace_shard_path")
+    shard_records = []
 
     last_sent = [0.0]
     heartbeat_interval = config.get("heartbeat_interval", 1.0)
@@ -306,12 +318,22 @@ def _pool_worker_main(conn, slot, experiments, config):
                 break  # parent is gone: stop pulling work
             if message[0] == "shutdown":
                 break
-            _, key, seed = message
+            _, key, seed, task_trace = (message if len(message) > 3
+                                        else (*message, None))
             run_fn = install_experiment_context(
                 experiments[key], seed, arrays
             )
+            trace = task_trace or sweep_trace
+            trace_kwargs = {}
+            if trace is not None:
+                trace_kwargs = {"trace_id": trace.get("trace_id"),
+                                "parent_id": trace.get("span_id"),
+                                "tags": {"worker": slot,
+                                         "pid": os.getpid()}}
             tracer = _WorkerTracer(
-                heartbeat, profile_memory=config.get("profile_memory", False)
+                heartbeat,
+                profile_memory=config.get("profile_memory", False),
+                **trace_kwargs,
             )
             guard = RunGuard(
                 max_seconds=config.get("max_seconds"),
@@ -319,10 +341,19 @@ def _pool_worker_main(conn, slot, experiments, config):
                 label=key, tracer=tracer,
             )
             outcome = _outcome_from_result(key, guard.run(run_fn))
+            if trace is not None:
+                outcome.spans = tracer.to_records()
+                if trace_shard is not None:
+                    # durable span shard, atomically rewritten after
+                    # every task: survives this worker (or the driver)
+                    # being SIGKILLed before the pipe delivery
+                    shard_records.extend(outcome.spans)
+                    write_records_jsonl(trace_shard, shard_records)
             if journal is not None:
                 journal.record(outcome)  # durable before it is reported
             try:
-                conn.send(("outcome", key, outcome.to_dict()))
+                conn.send(("outcome", key, outcome.to_dict(),
+                           default_registry().snapshot()))
             except (BrokenPipeError, OSError):
                 break  # parent is gone; the shard already has the outcome
     except BaseException as exc:  # repro: noqa[RL004] - reports broken plumbing, then exits nonzero
@@ -354,6 +385,7 @@ class _PoolWorker:
     deadline: Optional[float] = None
     assigned_at: Optional[float] = None
     last_heartbeat: Optional[float] = None
+    tasks_done: int = 0
 
     @property
     def idle(self):
@@ -380,7 +412,10 @@ class _PoolRun:
     def __init__(self, experiments, *, jobs, max_seconds, max_retries,
                  hard_timeout, crash_retries, journal, callback,
                  shared_descriptor, base_seed, heartbeat_interval,
-                 start_method, profile_memory, keep_going):
+                 start_method, profile_memory, keep_going,
+                 trace=None, trace_path=None, trace_contexts=None):
+        from ..observability.registry import default_registry
+
         self.experiments = dict(experiments)
         self.jobs = jobs
         self.config = {
@@ -389,6 +424,7 @@ class _PoolRun:
             "heartbeat_interval": heartbeat_interval,
             "profile_memory": profile_memory,
             "shared_descriptor": shared_descriptor,
+            "trace": trace,
         }
         self.hard_timeout = hard_timeout
         self.crash_retries = int(crash_retries)
@@ -396,22 +432,33 @@ class _PoolRun:
         self.callback = callback
         self.base_seed = base_seed
         self.keep_going = keep_going
+        self.trace_path = trace_path
+        self.trace_contexts = dict(trace_contexts or {})
         self.ctx = _pick_context(start_method)
         self.pending = deque(self.experiments)
         self.results = {}
         self.crash_counts = {}
         self.workers = {}
         self._next_slot = 0
+        self.metrics = default_registry()
+        #: last cumulative registry snapshot per worker slot; merged
+        #: into the driver registry once, when the run winds down
+        self.worker_snapshots = {}
 
     # -- worker lifecycle ------------------------------------------------
 
     def _spawn_worker(self):
+        from ..observability.tracer import trace_shard_path
+
         slot = self._next_slot
         self._next_slot += 1
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
         config = dict(self.config)
         if self.journal is not None:
             config["shard_path"] = str(self.journal.shard_path(slot))
+        if self.trace_path is not None:
+            config["trace_shard_path"] = str(
+                trace_shard_path(self.trace_path, slot))
         process = self.ctx.Process(
             target=_pool_worker_main,
             args=(child_conn, slot, self.experiments, config),
@@ -425,6 +472,8 @@ class _PoolRun:
             pass
         worker = _PoolWorker(slot=slot, process=process, conn=parent_conn)
         self.workers[slot] = worker
+        self.metrics.counter("pool.workers.spawned").inc()
+        self.metrics.gauge("pool.workers.alive").set(len(self.workers))
         logger.debug("spawned pool worker %d (pid %s)", slot, process.pid)
         return worker
 
@@ -469,15 +518,37 @@ class _PoolRun:
         worker.assigned_at = time.monotonic()
         worker.deadline = (None if self.hard_timeout is None
                            else worker.assigned_at + self.hard_timeout)
-        worker.conn.send(("task", key, derive_seed(key, self.base_seed)))
+        if worker.tasks_done:
+            # an idle worker pulling work beyond its first task is a
+            # steal in work-stealing terms: the grid was not statically
+            # partitioned, this worker outran its share
+            self.metrics.counter("pool.tasks.steals").inc()
+        worker.conn.send(("task", key, derive_seed(key, self.base_seed),
+                          self.trace_contexts.get(key)))
+        self._update_gauges()
 
-    def _handle_outcome(self, worker, key, payload):
+    def _update_gauges(self):
+        self.metrics.gauge("pool.queue.depth").set(len(self.pending))
+        self.metrics.gauge("pool.tasks.in_flight").set(self._in_flight())
+
+    def _handle_outcome(self, worker, key, payload, snapshot=None):
         from ..experiments.harness import ExperimentOutcome
+        from ..observability.registry import LATENCY_BUCKETS
 
         outcome = ExperimentOutcome.from_dict(payload)
+        if snapshot is not None:
+            # cumulative per-worker snapshot: keep only the latest and
+            # merge once at the end, never per message
+            self.worker_snapshots[worker.slot] = snapshot
+        worker.tasks_done += 1
         if key == worker.task:
+            if worker.assigned_at is not None:
+                self.metrics.histogram(
+                    "pool.task.seconds", buckets=LATENCY_BUCKETS
+                ).observe(time.monotonic() - worker.assigned_at)
             worker.task = None
             worker.deadline = None
+        self._update_gauges()
         # worker-journaled outcomes reach the main journal at consolidation
         self._record(outcome, parent_journal=False)
 
@@ -487,6 +558,8 @@ class _PoolRun:
         key = worker.task
         self._discard_worker(worker, kill=True)  # joins: exitcode is now set
         exitcode = worker.process.exitcode
+        self.metrics.counter("pool.workers.respawned").inc()
+        self.metrics.gauge("pool.workers.alive").set(len(self.workers))
         if key is None:
             logger.warning("idle pool worker %d died (exitcode=%s)",
                            worker.slot, exitcode)
@@ -525,6 +598,9 @@ class _PoolRun:
                        "killing worker %d", key, self.hard_timeout,
                        worker.slot)
         self._discard_worker(worker, kill=True)
+        self.metrics.counter("pool.tasks.timeouts").inc()
+        self.metrics.counter("pool.workers.respawned").inc()
+        self.metrics.gauge("pool.workers.alive").set(len(self.workers))
         failure = worker_failure_record(
             key, status="timeout", elapsed=elapsed,
             exitcode=worker.process.exitcode,
@@ -552,7 +628,8 @@ class _PoolRun:
         if tag == "heartbeat":
             worker.last_heartbeat = time.monotonic()
         elif tag == "outcome":
-            self._handle_outcome(worker, message[1], message[2])
+            self._handle_outcome(worker, message[1], message[2],
+                                 message[3] if len(message) > 3 else None)
 
     # -- the monitor loop ------------------------------------------------
 
@@ -567,7 +644,15 @@ class _PoolRun:
         except BaseException:
             self._shutdown(kill=True)
             raise
+        finally:
+            # fold the final cumulative per-worker metrics snapshots in
+            # (even on interrupt: completed work should stay counted)
+            for snapshot in self.worker_snapshots.values():
+                self.metrics.merge(snapshot)
+            self.worker_snapshots.clear()
+            self.metrics.gauge("pool.workers.alive").set(len(self.workers))
         self._shutdown(kill=False)
+        self.metrics.gauge("pool.workers.alive").set(len(self.workers))
         if self.journal is not None:
             self.journal.consolidate()
         return [self.results[key] for key in self.experiments
@@ -624,7 +709,8 @@ def run_pool(experiments, *, jobs=None, max_seconds=None, max_retries=0,
              hard_timeout=None, crash_retries=0, journal=None,
              callback=None, shared_data=None, base_seed=0,
              heartbeat_interval=1.0, start_method=None,
-             profile_memory=False, keep_going=True):
+             profile_memory=False, keep_going=True,
+             trace=None, trace_path=None, trace_contexts=None):
     """Run an experiment grid on the fault-contained parallel pool.
 
     Parameters mirror ``run_experiments``; the pool always isolates
@@ -634,6 +720,23 @@ def run_pool(experiments, *, jobs=None, max_seconds=None, max_retries=0,
     as ``failed/crashed`` and never rescheduled. ``shared_data`` is a
     ``{name: ndarray}`` mapping placed in shared memory once and
     exposed to experiment bodies via :func:`shared_arrays`.
+
+    Tracing: ``trace`` is a sweep-level trace-context dict
+    (``{"trace_id": ..., "span_id": ...}``) every task's worker tracer
+    joins; ``trace_contexts`` maps individual keys to their own
+    contexts (a served job's request trace), which win over the sweep
+    context. When either applies to a task, the worker ships its span
+    records back on the outcome (``outcome.spans``) — and, when
+    ``trace_path`` is set, also maintains a durable per-slot span shard
+    next to it (``<stem>.worker-<slot><suffix>``, atomic
+    write-then-replace like the journal shards) so spans survive a
+    SIGKILLed worker or driver. Workers additionally ship a
+    :class:`~repro.observability.MetricsRegistry` snapshot with every
+    outcome; the driver merges the final per-worker snapshots into its
+    default registry, and the monitor loop records pool-health metrics
+    (``pool.queue.depth``, ``pool.tasks.in_flight``,
+    ``pool.tasks.steals``, ``pool.workers.respawned``,
+    ``pool.task.seconds``, ...) as it schedules.
 
     Returns outcomes in grid order. ``KeyboardInterrupt`` kills every
     worker process group, leaves the per-worker journal shards in place
@@ -665,7 +768,8 @@ def run_pool(experiments, *, jobs=None, max_seconds=None, max_retries=0,
             callback=callback, shared_descriptor=descriptor,
             base_seed=base_seed, heartbeat_interval=heartbeat_interval,
             start_method=start_method, profile_memory=profile_memory,
-            keep_going=keep_going,
+            keep_going=keep_going, trace=trace, trace_path=trace_path,
+            trace_contexts=trace_contexts,
         )
         return run.run()
     finally:

@@ -15,6 +15,8 @@ GET      ``/jobs/<id>``      job status (``metrics``/``error``; ``done``
                              jobs link their ``model_url``)
 GET      ``/models/<key>``   the cached model payload (fitted estimator
                              dict under ``"model"``); ``404`` on a miss
+GET      ``/metrics``        Prometheus text exposition (v0.0.4) of the
+                             default :class:`MetricsRegistry`
 GET      ``/healthz``        liveness + queue stats
 GET      ``/stats``          metrics snapshot + scheduler stats
 GET      ``/``               service banner + route list
@@ -39,8 +41,12 @@ import numpy as np
 from ..exceptions import MultiClustError, ValidationError
 from ..io import dumps, decode_value
 from ..observability.logs import get_logger
-from ..observability.registry import default_registry
-from ..observability.tracer import Tracer
+from ..observability.registry import (
+    LATENCY_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    default_registry,
+)
+from ..observability.tracer import Tracer, current_trace_context
 from .scheduler import QueueFullError
 
 __all__ = ["ModelServer", "make_server"]
@@ -112,10 +118,9 @@ class _ServeHandler(BaseHTTPRequestHandler):
         # through the library's logging instead (rule RL003).
         logger.debug("%s %s", self.address_string(), format % args)
 
-    def _reply(self, status, payload, extra_headers=None):
-        body = dumps(payload, indent=None).encode("utf-8")
+    def _reply_bytes(self, status, body, content_type, extra_headers=None):
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Request-Id", self._request_id)
         for name, value in (extra_headers or {}).items():
@@ -124,6 +129,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         registry = default_registry()
         registry.counter(f"serve.http.{status}").inc()
+
+    def _reply(self, status, payload, extra_headers=None):
+        self._reply_bytes(status, dumps(payload, indent=None).encode("utf-8"),
+                          "application/json; charset=utf-8",
+                          extra_headers=extra_headers)
+
+    def _reply_text(self, status, text, content_type):
+        self._reply_bytes(status, text.encode("utf-8"), content_type)
 
     def _fail(self, status, message, extra_headers=None):
         self._reply(status, {"error": message,
@@ -144,6 +157,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method):
         self._request_id = os.urandom(6).hex()
+        self._trace_job_id = None
         registry = default_registry()
         # per-request tracer: Tracer's span stack is single-threaded,
         # and each connection gets its own handler thread
@@ -168,9 +182,17 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self._fail(500, "internal server error")
         finally:
             elapsed = time.perf_counter() - start
-            registry.histogram("serve.http.seconds").observe(elapsed)
+            registry.histogram("serve.http.seconds",
+                               buckets=LATENCY_BUCKETS).observe(elapsed)
             logger.debug("request %s %s took %.6fs",
                          self._request_id, route, elapsed)
+            if self._trace_job_id is not None:
+                # the request span just closed: hand its records to the
+                # job it enqueued, completing the request->scheduler->
+                # worker causal chain served by GET /jobs/<id>
+                self.server.scheduler.attach_trace(self._trace_job_id,
+                                                   tracer.to_records())
+                self._trace_job_id = None
 
     # -- routes ------------------------------------------------------------
 
@@ -195,6 +217,10 @@ class _ServeHandler(BaseHTTPRequestHandler):
             if payload is None:
                 raise _HTTPError(404, "no such model")
             return self._reply(200, payload)
+        if method == "GET" and path == "/metrics":
+            return self._reply_text(200,
+                                    default_registry().to_prometheus(),
+                                    PROMETHEUS_CONTENT_TYPE)
         if method == "GET" and path == "/healthz":
             return self._reply(200, {"status": "ok",
                                      **scheduler.stats()})
@@ -207,8 +233,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
             return self._reply(200, {
                 "service": "repro serve",
                 "endpoints": ["POST /jobs", "GET /jobs/<id>",
-                              "GET /models/<key>", "GET /healthz",
-                              "GET /stats"],
+                              "GET /models/<key>", "GET /metrics",
+                              "GET /healthz", "GET /stats"],
             })
         raise _HTTPError(404 if method == "GET" else 405,
                          f"no route for {method} {path}")
@@ -241,8 +267,13 @@ class _ServeHandler(BaseHTTPRequestHandler):
             raise _HTTPError(400, "seed must be an integer")
         params = _decode_params(body.get("params"))
         job = scheduler.submit(estimator, X, params=params, given=given,
-                               seed=seed)
+                               seed=seed, trace=current_trace_context())
         status = 200 if (job.cached or job.coalesced) else 202
+        if status == 202:
+            # fresh job: after the request span closes, _dispatch hands
+            # this request's span records to the job so GET /jobs/<id>
+            # can render the full request->scheduler->worker tree
+            self._trace_job_id = job.id
         return self._reply(status, {"job": job.to_dict(),
                                     "request_id": self._request_id})
 

@@ -35,7 +35,8 @@ import numpy as np
 from ..exceptions import MultiClustError, ValidationError
 from ..lint.walk import ESTIMATOR_PACKAGES
 from ..observability.logs import get_logger
-from ..observability.registry import default_registry
+from ..observability.registry import LATENCY_BUCKETS, default_registry
+from ..observability.tracer import Tracer, merge_records
 from .registry import (ModelRegistry, coerce_given_labels,
                        dataset_fingerprint, model_key)
 
@@ -106,6 +107,12 @@ class Job:
         self.coalesced = False
         self.metrics = {}
         self.error = None
+        # cross-process tracing: the submitting request's trace
+        # identity, and the span records accumulated for this job
+        # (request + scheduler + worker-fit spans)
+        self.trace_id = None
+        self.trace_parent = None
+        self.trace_records = []
         # per-job fit inputs; dropped once the job leaves the queue so
         # finished jobs don't pin request-sized arrays in memory
         self.X = None
@@ -130,6 +137,13 @@ class Job:
             payload["error"] = dict(self.error)
         if self.status == "done":
             payload["model_url"] = f"/models/{self.key}"
+        if self.trace_records:
+            # one merged causal tree: request -> scheduler -> worker
+            # fit spans, all sharing the request's trace_id
+            payload["trace"] = {
+                "trace_id": self.trace_id,
+                "records": merge_records([self.trace_records]),
+            }
         return payload
 
 
@@ -201,6 +215,9 @@ class JobScheduler:
         self._pending = collections.deque()
         self._jobs = collections.OrderedDict()
         self._inflight = {}
+        # job id -> (Tracer, open scheduler-span context manager);
+        # written and consumed by the dispatcher thread only
+        self._job_traces = {}
         self._paused = False
         self._stop = False
         self._drain = True
@@ -261,12 +278,17 @@ class JobScheduler:
                 f"{sorted(self._estimators)}")
         return cls
 
-    def submit(self, estimator, X, params=None, given=None, seed=None):
+    def submit(self, estimator, X, params=None, given=None, seed=None,
+               trace=None):
         """Queue a fit request; returns its :class:`Job`.
 
         Cache hits and in-flight duplicates return immediately-
         resolved/coalesced jobs; a full queue raises
-        :class:`QueueFullError`.
+        :class:`QueueFullError`. ``trace`` is the submitting request's
+        :class:`~repro.observability.TraceContext` (or its dict form):
+        the job's scheduler and worker-fit spans join that trace, so
+        ``GET /jobs/<id>`` can render one causal tree from the HTTP
+        request down to the fit iterations.
         """
         cls = self.resolve_estimator(estimator)
         params = dict(params or {})
@@ -293,6 +315,11 @@ class JobScheduler:
             self._counter += 1
             job = Job(f"job-{self._counter:08d}", key, fingerprint,
                       cls.__name__, params, seed)
+            if trace is not None:
+                ctx = (trace.to_dict() if hasattr(trace, "to_dict")
+                       else dict(trace))
+                job.trace_id = ctx.get("trace_id")
+                job.trace_parent = ctx.get("span_id")
             self._metrics.counter("serve.jobs.submitted").inc()
             if self.registry.touch(key):
                 job.status = "done"
@@ -327,6 +354,16 @@ class JobScheduler:
         """The :class:`Job` for ``job_id``, or ``None``."""
         with self._cond:
             return self._jobs.get(str(job_id))
+
+    def attach_trace(self, job_id, records):
+        """Prepend span records (the HTTP request's own spans) to a
+        job's trace; returns False when the job is unknown."""
+        with self._cond:
+            job = self._jobs.get(str(job_id))
+            if job is None:
+                return False
+            job.trace_records = list(records) + job.trace_records
+            return True
 
     def stats(self):
         """Queue/lifecycle counts for ``GET /healthz`` and ``/stats``."""
@@ -389,6 +426,22 @@ class JobScheduler:
                 for job in batch
             }
             by_id = {job.id: job for job in batch}
+            trace_contexts = {}
+            for job in batch:
+                if job.trace_id is None:
+                    continue
+                # a scheduler span per traced job, left open while the
+                # fit runs; the fit's worker tracer parents under it
+                tracer = Tracer(trace_id=job.trace_id,
+                                parent_id=job.trace_parent)
+                open_span = tracer.span(
+                    "scheduler", job=job.id,
+                    queue_seconds=round(
+                        max(time.time() - job.submitted_at, 0.0), 6))
+                span = open_span.__enter__()
+                self._job_traces[job.id] = (tracer, open_span)
+                trace_contexts[job.id] = {"trace_id": job.trace_id,
+                                          "span_id": span.span_id}
             try:
                 run_experiments(
                     experiments,
@@ -396,6 +449,7 @@ class JobScheduler:
                     max_seconds=self.max_seconds,
                     max_retries=self.max_retries,
                     jobs=self.jobs,
+                    trace_contexts=trace_contexts,
                     callback=lambda outcome: self._on_outcome(
                         by_id.get(outcome.key), outcome),
                 )
@@ -408,11 +462,26 @@ class JobScheduler:
                                          error={"kind": "dispatch",
                                                 "message": "batch dispatch "
                                                            "error"})
+            finally:
+                for job in batch:  # close spans of jobs that never
+                    entry = self._job_traces.pop(job.id, None)  # reported
+                    if entry is not None:
+                        entry[1].__exit__(None, None, None)
 
     def _on_outcome(self, job, outcome):
         if job is None:
             return
+        trace_records = []
+        entry = self._job_traces.pop(job.id, None)
+        if entry is not None:
+            tracer, open_span = entry
+            open_span.__exit__(None, None, None)
+            trace_records = tracer.to_records()
+        if outcome.spans:
+            trace_records = trace_records + list(outcome.spans)
         with self._cond:
+            if trace_records:
+                job.trace_records.extend(trace_records)
             if outcome.ok:
                 metrics = {"seconds": outcome.elapsed,
                            "attempts": outcome.attempts,
@@ -422,8 +491,9 @@ class JobScheduler:
                     metrics["fit_seconds"] = rows[0].get("fit_seconds")
                     metrics["n_iter"] = rows[0].get("n_iter")
                 self._metrics.counter("serve.jobs.fitted").inc()
-                self._metrics.histogram("serve.fit.seconds").observe(
-                    float(outcome.elapsed or 0.0))
+                self._metrics.histogram(
+                    "serve.fit.seconds", buckets=LATENCY_BUCKETS
+                ).observe(float(outcome.elapsed or 0.0))
                 self._finish(job, "done", metrics=metrics)
             else:
                 failure = outcome.failure
