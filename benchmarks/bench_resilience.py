@@ -1,0 +1,54 @@
+"""Run the chaos harness and commit its availability/recovery numbers.
+
+Usage:  python benchmarks/bench_resilience.py [--smoke] [--jobs N]
+
+Thin wrapper around ``repro chaos`` (:mod:`repro.robustness.chaos`)
+that writes the committed ``BENCH_resilience.json`` at the repo root:
+per-scenario availability %, p99 latency, and recovery seconds for the
+five injected faults (worker SIGKILL, cache corruption, disk-full
+degradation, overload shedding, whole-server kill + restart).
+
+Unlike the microbenchmarks this is a *system* benchmark — it boots
+real server subprocesses and injects real signals — so expect roughly
+a minute for the full run. Exit status 1 when any chaos invariant
+fails (a wrong result served, recovery over the bound, availability
+under the floor during overload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.robustness.chaos import (  # noqa: E402
+    render_report,
+    run_chaos,
+    write_report,
+)
+
+OUTPUT = ROOT / "BENCH_resilience.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast subset (worker-kill + corrupt-entry)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="pool size for each server under test")
+    parser.add_argument("--out", default=str(OUTPUT),
+                        help=f"report path (default {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report = run_chaos(smoke=args.smoke, jobs=args.jobs)
+    print(render_report(report))
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

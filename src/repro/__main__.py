@@ -127,6 +127,61 @@ def _build_parser():
         "--budget", type=float, default=None, metavar="SECONDS",
         help="per-job cooperative wall-clock budget (as in 'run --budget')",
     )
+    serve.add_argument(
+        "--max-deadline", type=float, default=300.0, metavar="SECONDS",
+        help="cap on client-requested deadline_ms (default 300s); a "
+             "request asking for more is clamped",
+    )
+    serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="cap on the cache dir's total size; a write past it is "
+             "treated as ENOSPC and the server degrades to in-memory "
+             "caching instead of failing (chaos testing / quota)",
+    )
+    serve.add_argument(
+        "--shed-target-wait", type=float, default=30.0, metavar="SECONDS",
+        help="adaptive load shedding: estimated queue wait (depth x "
+             "observed p95 task seconds / jobs) beyond which POST /jobs "
+             "answers 503 + Retry-After (default 30s)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive crash/timeout failures of one model key before "
+             "its circuit opens and further identical requests get 503 "
+             "(default 3)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="seconds an open circuit stays open before one trial "
+             "request is let through (default 30)",
+    )
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection drill against a real server "
+             "(see docs/robustness.md)",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="fast pre-PR gate: worker-kill + corrupt-entry only, one "
+             "shared server (about ten seconds)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="pool size for each server under test (default 2; must be "
+             ">= 2 so there is a worker to kill)",
+    )
+    chaos.add_argument(
+        "--scenario", action="append", default=[], metavar="NAME",
+        dest="scenarios",
+        help="run only this scenario (repeatable); choose from "
+             "worker-kill, corrupt-entry, disk-full, overload, "
+             "server-kill",
+    )
+    chaos.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON report to FILE "
+             "(e.g. BENCH_resilience.json)",
+    )
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="experiment id, e.g. F9, T1, all")
     run.add_argument(
@@ -369,7 +424,8 @@ def _serve_command(args):
     import signal
 
     from .robustness.pool import resolve_jobs
-    from .serve import JobScheduler, ModelRegistry, make_server
+    from .serve import (CircuitBreaker, JobScheduler, LoadShedder,
+                        ModelRegistry, make_server)
 
     if args.port < 0 or args.port > 65535:
         print(f"--port must be in [0, 65535], got {args.port}",
@@ -391,15 +447,32 @@ def _serve_command(args):
         print(f"--budget must be a positive number of seconds, "
               f"got {args.budget}", file=sys.stderr)
         return 2
+    if args.max_deadline is not None and not args.max_deadline > 0:
+        print(f"--max-deadline must be a positive number of seconds, "
+              f"got {args.max_deadline}", file=sys.stderr)
+        return 2
+    if args.cache_max_bytes is not None and args.cache_max_bytes < 1:
+        print(f"--cache-max-bytes must be >= 1, got {args.cache_max_bytes}",
+              file=sys.stderr)
+        return 2
+    if args.shed_target_wait is not None and not args.shed_target_wait > 0:
+        print(f"--shed-target-wait must be a positive number of seconds, "
+              f"got {args.shed_target_wait}", file=sys.stderr)
+        return 2
 
     cache_dir = args.cache_dir if args.cache_dir is not None \
         else "repro-models"
-    registry = ModelRegistry(cache_dir, max_entries=args.cache_size)
+    registry = ModelRegistry(cache_dir, max_entries=args.cache_size,
+                             max_bytes=args.cache_max_bytes)
     scheduler = JobScheduler(
         registry,
         jobs=resolve_jobs(args.jobs),
         queue_limit=args.queue_limit,
         max_seconds=args.budget,
+        max_deadline=args.max_deadline,
+        shedder=LoadShedder(target_wait=args.shed_target_wait),
+        breaker=CircuitBreaker(threshold=args.breaker_threshold,
+                               cooldown=args.breaker_cooldown),
     ).start()
     try:
         server = make_server(args.host, args.port, scheduler=scheduler,
@@ -429,6 +502,27 @@ def _serve_command(args):
     server.server_close()
     scheduler.shutdown(drain=True)
     return 0
+
+
+def _chaos_command(args):
+    from .exceptions import ValidationError
+    from .robustness.chaos import render_report, run_chaos, write_report
+
+    if args.smoke and args.scenarios:
+        print("--smoke and --scenario are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    try:
+        report = run_chaos(smoke=args.smoke, jobs=args.jobs,
+                           scenarios=args.scenarios or None)
+    except ValidationError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(report))
+    if args.out is not None:
+        write_report(report, args.out)
+        print(f"report written to {args.out}")
+    return 0 if report["passed"] else 1
 
 
 def _report_trace(path):
@@ -484,6 +578,8 @@ def main(argv=None):
         return lint_main(args.lint_args)
     if args.command == "serve":
         return _serve_command(args)
+    if args.command == "chaos":
+        return _chaos_command(args)
     if args.command == "report":
         if args.trace is not None:
             return _report_trace(args.trace)

@@ -46,6 +46,17 @@ class WorkerCrashError(MultiClustError):
     """
 
 
+class IntegrityError(MultiClustError):
+    """Raised (or recorded) when stored bytes fail their content checksum.
+
+    Serving-layer storage — :class:`repro.serve.ModelRegistry` entries
+    and :class:`repro.robustness.RunJournal` lines — carries an in-band
+    sha256 over the canonical payload bytes. A mismatch means silent
+    corruption (bit rot, torn write that still parses, hand editing):
+    the entry is quarantined and recomputed, never served.
+    """
+
+
 class FaultInjectedError(MultiClustError):
     """Raised by the fault-injection harness to force a structured failure.
 

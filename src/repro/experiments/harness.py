@@ -347,6 +347,25 @@ def _run_isolated(key, run_fn, *, max_seconds, max_retries, hard_timeout,
                              elapsed=worker.elapsed)
 
 
+def _min_limit(*limits):
+    """Tightest of several optional wall-clock limits (None = unbounded)."""
+    bounded = [limit for limit in limits if limit is not None]
+    return min(bounded) if bounded else None
+
+
+def _expired_outcome(key):
+    """A ``failed/timeout`` outcome for a key whose deadline passed
+    before it ran (context ``deadline_expired``)."""
+    from ..robustness.workers import worker_failure_record
+
+    failure = worker_failure_record(
+        key, status="timeout", elapsed=0.0,
+        extra_context={"deadline_expired": True, "queued_only": True},
+    )
+    return ExperimentOutcome(key=key, status="failed", failure=failure,
+                             elapsed=0.0)
+
+
 def _skipped_outcome(key, prior_outcome):
     """Surface a journaled ``"ok"`` outcome as status ``"skipped"``."""
     return ExperimentOutcome(
@@ -377,7 +396,7 @@ def _run_pooled(experiments, fail_modes, *, jobs, keep_going, max_seconds,
                 max_retries, hard_timeout, crash_retries, journal,
                 callback, shared_data, base_seed, heartbeat_interval,
                 start_method, profile_memory, tracer, trace_path,
-                trace_contexts):
+                trace_contexts, deadlines=None):
     """The ``jobs > 1`` branch of :func:`run_experiments`.
 
     Skip handling (journal resume) stays parent-side and streams first;
@@ -440,6 +459,8 @@ def _run_pooled(experiments, fail_modes, *, jobs, keep_going, max_seconds,
                 start_method=start_method, profile_memory=profile_memory,
                 keep_going=keep_going, trace=sweep_trace,
                 trace_path=trace_path, trace_contexts=trace_contexts,
+                deadlines={key: value for key, value
+                           in (deadlines or {}).items() if key in grid},
             )}
         if tracer is not None and trace_path is not None:
             # clean completion: absorb the durable shards (idempotent
@@ -457,7 +478,8 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
                     hard_timeout=None, journal=None,
                     heartbeat_interval=1.0, start_method=None,
                     jobs=1, crash_retries=0, shared_data=None,
-                    base_seed=0, trace_contexts=None, trace_path=None):
+                    base_seed=0, trace_contexts=None, trace_path=None,
+                    deadlines=None):
     """Run a mapping of ``{key: experiment_fn}`` fault-tolerantly.
 
     Parameters
@@ -545,6 +567,16 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
         its span records come back on ``outcome.spans`` — this is how
         a served job's request trace reaches the fit that it
         triggered, across the pool's process boundary.
+    deadlines : mapping of str -> float, or None
+        Per-key wall-clock deadlines in *remaining seconds from this
+        call*. Queue/wait time counts: a key still pending when its
+        deadline passes fails as ``timeout`` (context
+        ``deadline_expired``) without running. A running key is bounded
+        by the tighter of its deadline and ``max_seconds`` /
+        ``hard_timeout``: cooperatively on the serial path, and by the
+        pool's hard worker-kill under ``jobs > 1`` (plus the
+        cooperative budget shipped with the task). This is how a served
+        request's ``deadline_ms`` reaches the fit that it triggered.
     trace_path : str, Path, or None
         Destination the caller will export the sweep trace to. Under
         ``jobs > 1`` this makes the flag truthful: the driver opens a
@@ -567,6 +599,13 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
         key: (ctx.to_dict() if hasattr(ctx, "to_dict") else dict(ctx))
         for key, ctx in (trace_contexts or {}).items()
     }
+    deadlines = {key: float(value)
+                 for key, value in (deadlines or {}).items()
+                 if value is not None}
+    for key, value in deadlines.items():
+        if not value > 0:
+            raise ValidationError(
+                f"deadline for {key!r} must be positive, got {value}")
     if crash_retries < 0:
         raise ValidationError(
             f"crash_retries must be >= 0, got {crash_retries}"
@@ -589,12 +628,17 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
             profile_memory=(tracer.profile_memory if tracer is not None
                             else profile),
             tracer=tracer, trace_path=trace_path,
-            trace_contexts=trace_contexts,
+            trace_contexts=trace_contexts, deadlines=deadlines,
         )
     if tracer is None:
         tracer = Tracer(profile_memory=profile)
     arrays = _readonly_arrays(shared_data)
     prior = journal.outcomes if journal is not None else {}
+    # serial deadlines pin to the clock now: time spent on earlier keys
+    # in the loop counts against later keys' deadlines, matching the
+    # queue-time semantics of the pool path
+    deadline_at = {key: time.monotonic() + value
+                   for key, value in deadlines.items()}
     outcomes = []
     with contextlib.ExitStack() as stack:
         if current_tracer() is not tracer:
@@ -615,6 +659,22 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
             run_fn = install_experiment_context(
                 run_fn, derive_seed(key, base_seed), arrays
             )
+            remaining = None
+            if key in deadline_at:
+                remaining = deadline_at[key] - time.monotonic()
+                if remaining <= 0:
+                    # expired before its turn came: fail without running
+                    outcome = _expired_outcome(key)
+                    outcomes.append(outcome)
+                    if journal is not None:
+                        journal.record(outcome)
+                    logger.warning("experiment %s: deadline expired "
+                                   "before it ran", key)
+                    if callback is not None:
+                        callback(outcome)
+                    continue
+            key_max_seconds = _min_limit(max_seconds, remaining)
+            key_hard_timeout = _min_limit(hard_timeout, remaining)
             ctx = trace_contexts.get(key)
             if isolate:
                 if ctx is None and trace_path is not None:
@@ -622,8 +682,8 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
                     # tracer's trace so their spans merge back in
                     ctx = {"trace_id": tracer.trace_id, "span_id": None}
                 outcome = _run_isolated(
-                    key, run_fn, max_seconds=max_seconds,
-                    max_retries=max_retries, hard_timeout=hard_timeout,
+                    key, run_fn, max_seconds=key_max_seconds,
+                    max_retries=max_retries, hard_timeout=key_hard_timeout,
                     heartbeat_interval=heartbeat_interval,
                     start_method=start_method,
                     profile_memory=tracer.profile_memory,
@@ -639,14 +699,14 @@ def run_experiments(experiments, *, keep_going=True, max_seconds=None,
                     trace_id=ctx.get("trace_id"),
                     parent_id=ctx.get("span_id"),
                 )
-                guard = RunGuard(max_seconds=max_seconds,
+                guard = RunGuard(max_seconds=key_max_seconds,
                                  max_retries=max_retries, label=key,
                                  tracer=key_tracer)
                 outcome = _outcome_from_result(key, guard.run(run_fn))
                 outcome.spans = key_tracer.to_records()
                 tracer.add_foreign_records(outcome.spans)
             else:
-                guard = RunGuard(max_seconds=max_seconds,
+                guard = RunGuard(max_seconds=key_max_seconds,
                                  max_retries=max_retries, label=key,
                                  tracer=tracer)
                 outcome = _outcome_from_result(key, guard.run(run_fn))

@@ -25,6 +25,7 @@ single place that policy is fixed:
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import json
 import math
@@ -49,6 +50,7 @@ __all__ = [
     "estimator_from_dict",
     "sanitize_json",
     "dumps",
+    "payload_checksum",
     "save_json",
     "load_json",
 ]
@@ -507,6 +509,19 @@ def dumps(obj, **kwargs):
     be emitted."""
     kwargs.setdefault("allow_nan", False)
     return json.dumps(sanitize_json(obj), **kwargs)
+
+
+def payload_checksum(payload):
+    """sha256 hex over a payload's canonical (sorted-key strict-JSON)
+    bytes.
+
+    The in-band integrity checksum stored with every
+    :class:`repro.serve.ModelRegistry` entry and
+    :class:`repro.robustness.RunJournal` line; loads recompute it and
+    quarantine anything that does not match (see ``docs/robustness.md``).
+    """
+    blob = dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
 
 
 def _to_payload(obj):

@@ -164,6 +164,28 @@ class Histogram:
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q):
+        """Estimated ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        The estimate is the upper bound of the first cumulative bucket
+        containing the target rank — conservative (rounds up to a
+        bucket boundary), which is the right bias for the load shedder
+        sizing ``Retry-After`` from p95 service time. Observations in
+        the ``+inf`` tail report the largest observed value. ``None``
+        with no observations.
+        """
+        q = float(q)
+        if not 0.0 < q <= 1.0:
+            raise ValidationError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            if not self.count:
+                return None
+            rank = q * self.count
+            for bound, cumulative in zip(self.buckets, self.counts):
+                if cumulative >= rank:
+                    return bound
+            return self.max
+
     def snapshot(self):
         with self._lock:
             return {

@@ -34,6 +34,7 @@ into the main journal at the end of a clean sweep.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
@@ -49,6 +50,38 @@ logger = get_logger("repro.robustness.checkpoint")
 JOURNAL_NAME = "journal.jsonl"
 
 
+def _quarantine_journal_line(path, line_no, line, reason):
+    """Preserve a checksum-failed journal line for the operator.
+
+    The bad line moves to ``<dir>/quarantine/`` next to a structured
+    ``IntegrityError`` record (mirroring the model-registry quarantine)
+    and is dropped from the load. Best-effort: a quarantine that cannot
+    be written still drops the corrupt record from the results.
+    """
+    from ..observability.registry import record as record_metric
+
+    record_metric("robustness.journal.integrity_quarantined")
+    logger.error("%s:%d: journal record failed its checksum (%s); "
+                 "quarantining the line", path, line_no, reason)
+    try:
+        qdir = pathlib.Path(path).parent / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        name = f"{pathlib.Path(path).name}.line-{line_no}"
+        (qdir / name).write_text(line + "\n", encoding="utf-8")
+        error_record = {
+            "error": "IntegrityError",
+            "file": str(path),
+            "line": line_no,
+            "reason": reason,
+        }
+        (qdir / f"{name}.error.json").write_text(
+            json.dumps(error_record, sort_keys=True) + "\n",
+            encoding="utf-8")
+    except OSError as exc:
+        logger.error("could not quarantine %s:%d: %s (record dropped "
+                     "anyway)", path, line_no, exc)
+
+
 def load_journal_records(path):
     """Parse a JSONL journal, tolerating a truncated trailing line.
 
@@ -56,6 +89,14 @@ def load_journal_records(path):
     write) is dropped with a warning; an invalid line anywhere else
     raises :class:`~repro.exceptions.ValidationError` because it means
     real corruption, not an interrupted append.
+
+    Records carrying an in-band ``"sha256"`` (written by every
+    :class:`RunJournal` flush) are verified against the checksum of the
+    rest of the record; a *parseable* record whose bytes no longer match
+    — bit rot or hand editing rather than a torn write — is quarantined
+    (see :func:`_quarantine_journal_line`) and dropped, so silently
+    corrupted results are recomputed instead of trusted. Checksum-less
+    records (older journals, hand-written fixtures) load as before.
     """
     with open(path, "r", encoding="utf-8") as fh:
         lines = fh.read().splitlines()
@@ -83,6 +124,17 @@ def load_journal_records(path):
                 f"{path}:{line_no}: journal record must be a JSON object, "
                 f"got {type(record).__name__}"
             )
+        expected = record.pop("sha256", None)
+        if expected is not None:
+            from ..io import payload_checksum  # lazy: io imports core
+
+            actual = payload_checksum(record)
+            if actual != expected:
+                _quarantine_journal_line(
+                    path, line_no, line,
+                    f"checksum mismatch (stored {str(expected)[:16]}..., "
+                    f"computed {actual[:16]}...)")
+                continue
         records.append(record)
     return records
 
@@ -153,6 +205,7 @@ class RunJournal:
         path.parent.mkdir(parents=True, exist_ok=True)
         self.path = path
         self._outcomes = {}
+        self._degraded = False
         if resume:
             self._load()
         else:
@@ -250,30 +303,62 @@ class RunJournal:
     # -- recording -------------------------------------------------------
 
     def record(self, outcome):
-        """Persist one outcome durably (atomic rewrite + fsync)."""
+        """Persist one outcome durably (atomic rewrite + fsync).
+
+        A failing disk (ENOSPC, EIO) does not fail the sweep: the
+        journal drops to in-memory-only *degraded* mode — outcomes stay
+        queryable, a metric and log fire, and every subsequent flush
+        retries the disk so a recovered filesystem heals the journal
+        with the full outcome set (nothing recorded while degraded is
+        lost, because flushes always rewrite the whole journal).
+        """
         self._outcomes[outcome.key] = outcome
         self._flush()
 
+    @property
+    def degraded(self):
+        """True while the last flush failed and outcomes are held only
+        in memory."""
+        return self._degraded
+
     def _flush(self):
-        from ..io import dumps  # lazy: io -> core -> pipeline -> robustness
+        from ..io import dumps, payload_checksum  # lazy: io -> core ->
+        from ..observability.registry import record  # pipeline -> robustness
 
         tmp = self.path.with_name(self.path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            for outcome in self._outcomes.values():
-                record = outcome.to_dict()
-                # span records live in the trace shards, not the journal
-                record.pop("spans", None)
-                fh.write(dumps(record) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for outcome in self._outcomes.values():
+                    rec = outcome.to_dict()
+                    # span records live in the trace shards, not the journal
+                    rec.pop("spans", None)
+                    rec["sha256"] = payload_checksum(rec)
+                    fh.write(dumps(rec) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            record("robustness.journal.write_errors")
+            record("robustness.journal.degraded", 1, kind="gauge")
+            log = logger.error if not self._degraded else logger.warning
+            log("journal flush to %s failed (%s); outcomes held in "
+                "memory until the disk recovers", self.path, exc)
+            self._degraded = True
+            with contextlib.suppress(OSError):  # repro: noqa[RL011] - temp cleanup on a failing disk is best-effort
+                tmp.unlink()
+            return
+        if self._degraded:
+            self._degraded = False
+            record("robustness.journal.degraded", 0, kind="gauge")
+            logger.info("journal %s healed; full outcome set rewritten",
+                        self.path)
         try:  # directory fsync is best-effort (not all platforms allow it)
             dir_fd = os.open(self.path.parent, os.O_RDONLY)
             try:
                 os.fsync(dir_fd)
             finally:
                 os.close(dir_fd)
-        except OSError:
+        except OSError:  # repro: noqa[RL011] - durability of the rename is already fsynced via the file
             pass
 
     def __repr__(self):

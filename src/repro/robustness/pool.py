@@ -231,7 +231,7 @@ class SharedDataset:
         for shm in self._segments.values():
             try:
                 shm.close()
-            except OSError:
+            except OSError: # repro: noqa[RL011] - shm close on teardown; the segment is unlinked separately
                 pass
 
     def unlink(self):
@@ -244,7 +244,7 @@ class SharedDataset:
         for shm in segments.values():
             try:
                 shm.unlink()
-            except (OSError, FileNotFoundError):
+            except (OSError, FileNotFoundError): # repro: noqa[RL011] - another process already unlinked the segment
                 pass
 
     def __enter__(self):
@@ -306,7 +306,7 @@ def _pool_worker_main(conn, slot, experiments, config):
             last_sent[0] = now
             try:
                 conn.send(("heartbeat", now))
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError): # repro: noqa[RL011] - parent already gone; keep finishing the task
                 pass  # parent already gone; keep finishing the task
 
     exitcode = 0
@@ -318,8 +318,9 @@ def _pool_worker_main(conn, slot, experiments, config):
                 break  # parent is gone: stop pulling work
             if message[0] == "shutdown":
                 break
-            _, key, seed, task_trace = (message if len(message) > 3
-                                        else (*message, None))
+            _, key, seed, task_trace, *rest = (message if len(message) > 3
+                                               else (*message, None))
+            task_budget = rest[0] if rest else None
             run_fn = install_experiment_context(
                 experiments[key], seed, arrays
             )
@@ -335,8 +336,16 @@ def _pool_worker_main(conn, slot, experiments, config):
                 profile_memory=config.get("profile_memory", False),
                 **trace_kwargs,
             )
+            max_seconds = config.get("max_seconds")
+            if task_budget is not None:
+                # per-task deadline budget: the cooperative bound is
+                # the tighter of the sweep budget and the remaining
+                # request deadline (the parent still hard-kills us if
+                # neither is honored)
+                max_seconds = (task_budget if max_seconds is None
+                               else min(max_seconds, task_budget))
             guard = RunGuard(
-                max_seconds=config.get("max_seconds"),
+                max_seconds=max_seconds,
                 max_retries=config.get("max_retries", 0),
                 label=key, tracer=tracer,
             )
@@ -365,7 +374,7 @@ def _pool_worker_main(conn, slot, experiments, config):
             shared.close()
         try:
             conn.close()
-        except OSError:
+        except OSError: # repro: noqa[RL011] - pipe close right before os._exit; nothing to report to
             pass
     os._exit(exitcode)
 
@@ -383,6 +392,7 @@ class _PoolWorker:
     conn: Any
     task: Optional[str] = None
     deadline: Optional[float] = None
+    task_limit: Optional[float] = None
     assigned_at: Optional[float] = None
     last_heartbeat: Optional[float] = None
     tasks_done: int = 0
@@ -413,7 +423,8 @@ class _PoolRun:
                  hard_timeout, crash_retries, journal, callback,
                  shared_descriptor, base_seed, heartbeat_interval,
                  start_method, profile_memory, keep_going,
-                 trace=None, trace_path=None, trace_contexts=None):
+                 trace=None, trace_path=None, trace_contexts=None,
+                 deadlines=None):
         from ..observability.registry import default_registry
 
         self.experiments = dict(experiments)
@@ -427,6 +438,10 @@ class _PoolRun:
             "trace": trace,
         }
         self.hard_timeout = hard_timeout
+        #: key -> absolute monotonic deadline; a key past its deadline
+        #: is killed like a hard_timeout (or failed outright while
+        #: still pending), whichever bound is tighter
+        self.deadlines = dict(deadlines or {})
         self.crash_retries = int(crash_retries)
         self.journal = journal
         self.callback = callback
@@ -468,7 +483,7 @@ class _PoolRun:
         child_conn.close()
         try:  # close the startup race: the child does the same first thing
             os.setpgid(process.pid, process.pid)
-        except (OSError, AttributeError):
+        except (OSError, AttributeError): # repro: noqa[RL011] - setpgid race with the child; it sets its own group first thing
             pass
         worker = _PoolWorker(slot=slot, process=process, conn=parent_conn)
         self.workers[slot] = worker
@@ -493,7 +508,7 @@ class _PoolRun:
             worker.process.join()
         try:
             worker.conn.close()
-        except OSError:
+        except OSError: # repro: noqa[RL011] - reaping a dead worker; its pipe may already be closed
             pass
 
     # -- outcome plumbing ------------------------------------------------
@@ -514,18 +529,53 @@ class _PoolRun:
 
     def _assign(self, worker):
         key = self.pending.popleft()
+        now = time.monotonic()
+        key_deadline = self.deadlines.get(key)
+        if key_deadline is not None and now >= key_deadline:
+            # the deadline expired while the key sat in the queue: fail
+            # it without burning a worker on work nobody is waiting for
+            self._record_expired(key, key_deadline)
+            self._update_gauges()
+            return
         worker.task = key
-        worker.assigned_at = time.monotonic()
-        worker.deadline = (None if self.hard_timeout is None
-                           else worker.assigned_at + self.hard_timeout)
+        worker.assigned_at = now
+        limits = [limit for limit in
+                  (self.hard_timeout,
+                   None if key_deadline is None else key_deadline - now)
+                  if limit is not None]
+        worker.task_limit = min(limits) if limits else None
+        worker.deadline = (None if worker.task_limit is None
+                           else now + worker.task_limit)
         if worker.tasks_done:
             # an idle worker pulling work beyond its first task is a
             # steal in work-stealing terms: the grid was not statically
             # partitioned, this worker outran its share
             self.metrics.counter("pool.tasks.steals").inc()
+        # the remaining deadline budget also travels to the worker as a
+        # cooperative bound, so a budget-aware fit stops on its own a
+        # little before the parent would have to kill it
+        budget = (None if key_deadline is None
+                  else max(key_deadline - now, 0.0))
         worker.conn.send(("task", key, derive_seed(key, self.base_seed),
-                          self.trace_contexts.get(key)))
+                          self.trace_contexts.get(key), budget))
         self._update_gauges()
+
+    def _record_expired(self, key, key_deadline):
+        from ..experiments.harness import ExperimentOutcome
+
+        logger.warning("experiment %s: deadline expired %.3gs ago while "
+                       "queued; not running it", key,
+                       time.monotonic() - key_deadline)
+        self.metrics.counter("pool.tasks.expired").inc()
+        failure = worker_failure_record(
+            key, status="timeout", elapsed=0.0,
+            extra_context={"deadline_expired": True, "queued_only": True},
+        )
+        self._record(
+            ExperimentOutcome(key=key, status="failed", failure=failure,
+                              elapsed=0.0),
+            parent_journal=True,
+        )
 
     def _update_gauges(self):
         self.metrics.gauge("pool.queue.depth").set(len(self.pending))
@@ -548,6 +598,7 @@ class _PoolRun:
                 ).observe(time.monotonic() - worker.assigned_at)
             worker.task = None
             worker.deadline = None
+            worker.task_limit = None
         self._update_gauges()
         # worker-journaled outcomes reach the main journal at consolidation
         self._record(outcome, parent_journal=False)
@@ -591,21 +642,28 @@ class _PoolRun:
 
     def _handle_timeout(self, worker):
         key = worker.task
+        limit = (self.hard_timeout if worker.task_limit is None
+                 else worker.task_limit)
         elapsed = time.monotonic() - worker.assigned_at
         silence = (None if worker.last_heartbeat is None
                    else time.monotonic() - worker.last_heartbeat)
         logger.warning("experiment %s exceeded the hard deadline %.3gs; "
-                       "killing worker %d", key, self.hard_timeout,
+                       "killing worker %d", key, limit,
                        worker.slot)
         self._discard_worker(worker, kill=True)
         self.metrics.counter("pool.tasks.timeouts").inc()
         self.metrics.counter("pool.workers.respawned").inc()
         self.metrics.gauge("pool.workers.alive").set(len(self.workers))
+        key_deadline = self.deadlines.get(key)
+        extra = ({"deadline_expired": True}
+                 if key_deadline is not None
+                 and time.monotonic() >= key_deadline else None)
         failure = worker_failure_record(
             key, status="timeout", elapsed=elapsed,
             exitcode=worker.process.exitcode,
             signal_name=_signal_name(worker.process.exitcode),
-            hard_timeout=self.hard_timeout, heartbeat_age=silence,
+            hard_timeout=limit, heartbeat_age=silence,
+            extra_context=extra,
         )
         from ..experiments.harness import ExperimentOutcome
 
@@ -620,7 +678,7 @@ class _PoolRun:
         try:
             while worker.conn.poll(0):
                 self._dispatch_message(worker, worker.conn.recv())
-        except (EOFError, OSError):
+        except (EOFError, OSError): # repro: noqa[RL011] - draining a dead worker's pipe; EOF is the expected end
             pass
 
     def _dispatch_message(self, worker, message):
@@ -710,7 +768,8 @@ def run_pool(experiments, *, jobs=None, max_seconds=None, max_retries=0,
              callback=None, shared_data=None, base_seed=0,
              heartbeat_interval=1.0, start_method=None,
              profile_memory=False, keep_going=True,
-             trace=None, trace_path=None, trace_contexts=None):
+             trace=None, trace_path=None, trace_contexts=None,
+             deadlines=None):
     """Run an experiment grid on the fault-contained parallel pool.
 
     Parameters mirror ``run_experiments``; the pool always isolates
@@ -755,6 +814,18 @@ def run_pool(experiments, *, jobs=None, max_seconds=None, max_retries=0,
         )
     if journal is not None and not isinstance(journal, RunJournal):
         journal = RunJournal(journal)
+    # per-key deadlines arrive as *remaining seconds*; pin them to the
+    # monotonic clock now so time spent queued behind other keys (or
+    # behind worker respawns) still counts against each deadline
+    start = time.monotonic()
+    abs_deadlines = {}
+    for key, remaining in (deadlines or {}).items():
+        if remaining is None:
+            continue
+        if not float(remaining) > 0:
+            raise ValidationError(
+                f"deadline for {key!r} must be positive, got {remaining}")
+        abs_deadlines[key] = start + float(remaining)
     shared = None
     descriptor = None
     try:
@@ -769,7 +840,7 @@ def run_pool(experiments, *, jobs=None, max_seconds=None, max_retries=0,
             base_seed=base_seed, heartbeat_interval=heartbeat_interval,
             start_method=start_method, profile_memory=profile_memory,
             keep_going=keep_going, trace=trace, trace_path=trace_path,
-            trace_contexts=trace_contexts,
+            trace_contexts=trace_contexts, deadlines=abs_deadlines,
         )
         return run.run()
     finally:

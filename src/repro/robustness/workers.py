@@ -121,7 +121,7 @@ def _own_process_group():
     """
     try:
         os.setpgid(0, 0)
-    except (OSError, AttributeError):
+    except (OSError, AttributeError): # repro: noqa[RL011] - already a group leader, or no setpgid on this platform
         pass  # already a group leader, or the platform has no setpgid
 
 
@@ -141,7 +141,7 @@ def _child_main(conn, payload, heartbeat_interval):
             last_sent[0] = now
             try:
                 conn.send(("heartbeat", now))
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError): # repro: noqa[RL011] - parent already gone; the run is moot anyway
                 pass  # parent already gone; the run is moot anyway
 
     try:
@@ -154,7 +154,7 @@ def _child_main(conn, payload, heartbeat_interval):
                 "error_type": type(exc).__name__,
                 "message": str(exc),
             }))
-        except (BrokenPipeError, OSError):
+        except (BrokenPipeError, OSError): # repro: noqa[RL011] - parent already gone; exit code still says nonzero
             pass
         exitcode = 1
     finally:
@@ -174,11 +174,11 @@ def _signal_group(pid, signum):
     try:
         os.killpg(pid, signum)
         return
-    except (OSError, AttributeError, PermissionError):
+    except (OSError, AttributeError, PermissionError): # repro: noqa[RL011] - no process group to kill; fall through to kill()
         pass
     try:
         os.kill(pid, signum)
-    except OSError:
+    except OSError: # repro: noqa[RL011] - already gone
         pass  # already gone
 
 
@@ -288,7 +288,7 @@ def run_in_worker(payload, *, hard_timeout=None, heartbeat_interval=1.0,
     child_conn.close()
     try:  # close the startup race: the child does the same first thing
         os.setpgid(process.pid, process.pid)
-    except (OSError, AttributeError):
+    except (OSError, AttributeError): # repro: noqa[RL011] - setpgid race with the child; it sets its own group first thing
         pass
     deadline = None if hard_timeout is None else start + hard_timeout
     last_heartbeat = None

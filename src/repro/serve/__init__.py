@@ -14,7 +14,11 @@ turns the fault-tolerant experiment harness into that service:
   work-stealing pool);
 * :mod:`~repro.serve.api` — the stdlib ``ThreadingHTTPServer`` JSON
   front-end (the only place in the tree allowed to import
-  ``http.server``; rule ``RL010``).
+  ``http.server``; rule ``RL010``);
+* :mod:`~repro.serve.shedding` — adaptive :class:`LoadShedder` and
+  per-model-key :class:`CircuitBreaker` consulted at submit;
+* :mod:`~repro.serve.client` — minimal stdlib :class:`ServeClient`
+  with jittered exponential backoff that honors ``Retry-After``.
 
 Start one from the command line::
 
@@ -26,16 +30,24 @@ See ``docs/serving.md`` for the API reference and caching semantics.
 from __future__ import annotations
 
 from .api import ModelServer, make_server
+from .client import ServeClient, ServerError
 from .registry import (ModelRegistry, coerce_given_labels,
                        dataset_fingerprint, model_key)
 from .scheduler import Job, JobScheduler, QueueFullError, servable_estimators
+from .shedding import CircuitBreaker, CircuitOpenError, LoadShedder, ShedError
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Job",
     "JobScheduler",
+    "LoadShedder",
     "ModelRegistry",
     "ModelServer",
     "QueueFullError",
+    "ServeClient",
+    "ServerError",
+    "ShedError",
     "coerce_given_labels",
     "dataset_fingerprint",
     "make_server",

@@ -48,6 +48,7 @@ from ..observability.registry import (
 )
 from ..observability.tracer import Tracer, current_trace_context
 from .scheduler import QueueFullError
+from .shedding import CircuitOpenError, ShedError
 
 __all__ = ["ModelServer", "make_server"]
 
@@ -143,6 +144,30 @@ class _ServeHandler(BaseHTTPRequestHandler):
                              "request_id": self._request_id},
                     extra_headers=extra_headers)
 
+    def _retry_after_hint(self):
+        """Retry-After for queue-full 429s: sized from observed service
+        time when a shedder is configured, 1 second otherwise."""
+        scheduler = self.server.scheduler
+        if scheduler.shedder is None:
+            return 1
+        return scheduler.shedder.retry_after_hint(
+            scheduler.stats()["queue_depth"], scheduler.jobs)
+
+    def send_error(self, code, message=None, explain=None):
+        """Stdlib error path (bad request line, unsupported method,
+        handler-level failures): reply in the same strict-JSON shape as
+        every other route instead of the default HTML error page."""
+        default_registry().counter("serve.http.errors").inc()
+        if not hasattr(self, "_request_id"):
+            self._request_id = os.urandom(6).hex()
+        try:
+            self._fail(int(code), str(message or explain
+                                      or "request failed"))
+        except Exception:
+            # a connection already torn down mid-handshake cannot take
+            # a reply; nothing to serve it to
+            logger.debug("could not send JSON error reply", exc_info=True)
+
     def _read_json_body(self):
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -171,14 +196,19 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 self._route(method, path)
         except _HTTPError as exc:
             self._fail(exc.status, exc.message)
+        except (ShedError, CircuitOpenError) as exc:
+            self._fail(503, str(exc), extra_headers={
+                "Retry-After": str(exc.retry_after)})
         except QueueFullError as exc:
-            self._fail(429, str(exc), extra_headers={"Retry-After": "1"})
+            self._fail(429, str(exc), extra_headers={
+                "Retry-After": str(self._retry_after_hint())})
         except ValidationError as exc:
             self._fail(400, str(exc))
         except BrokenPipeError:
             logger.debug("client went away during %s", route)
         except Exception:
             logger.exception("unhandled error handling %s", route)
+            registry.counter("serve.http.errors").inc()
             self._fail(500, "internal server error")
         finally:
             elapsed = time.perf_counter() - start
@@ -211,7 +241,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
             job = scheduler.get_job(path[len("/jobs/"):])
             if job is None:
                 raise _HTTPError(404, "no such job")
-            return self._reply(200, {"job": job.to_dict()})
+            status = 200
+            if (job.status == "failed" and job.error is not None
+                    and job.error.get("kind") == "deadline"):
+                # the job's own deadline_ms expired: gateway-timeout
+                # semantics, with the job record (partial trace
+                # included) as the body
+                status = 504
+            return self._reply(status, {"job": job.to_dict()})
         if method == "GET" and path.startswith("/models/"):
             payload = model_registry.get(path[len("/models/"):])
             if payload is None:
@@ -265,9 +302,18 @@ class _ServeHandler(BaseHTTPRequestHandler):
         seed = body.get("seed")
         if seed is not None and not isinstance(seed, int):
             raise _HTTPError(400, "seed must be an integer")
+        deadline_ms = body.get("deadline_ms")
+        if deadline_ms is not None:
+            if (isinstance(deadline_ms, bool)
+                    or not isinstance(deadline_ms, (int, float))
+                    or not deadline_ms > 0):
+                raise _HTTPError(
+                    400, "deadline_ms must be a positive number")
         params = _decode_params(body.get("params"))
         job = scheduler.submit(estimator, X, params=params, given=given,
-                               seed=seed, trace=current_trace_context())
+                               seed=seed, trace=current_trace_context(),
+                               deadline=(None if deadline_ms is None
+                                         else deadline_ms / 1000.0))
         status = 200 if (job.cached or job.coalesced) else 202
         if status == 202:
             # fresh job: after the request span closes, _dispatch hands

@@ -1,0 +1,247 @@
+"""Minimal stdlib client for the ``repro serve`` JSON API.
+
+:class:`ServeClient` wraps ``urllib.request`` with the retry behaviour
+the serving layer's overload protection expects from a well-behaved
+caller:
+
+* ``429`` (queue full) and ``503`` (shed / circuit open) responses are
+  retried after honoring the server's ``Retry-After`` header — the
+  server computes it from the observed backlog, so it is the actual
+  time the backlog needs, not a guess;
+* connection errors (refused, reset) are retried with jittered
+  exponential backoff, which lets a client ride through a server
+  restart — the chaos harness leans on this;
+* every other non-2xx answer raises :class:`ServerError` immediately
+  with the decoded strict-JSON error body attached.
+
+Jitter comes from a seedable ``random.Random`` so tests and the chaos
+harness stay reproducible. The client is deliberately tiny: no
+connection pooling, no threads — one blocking call per request.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+
+from ..exceptions import MultiClustError
+from ..io import dumps
+from ..observability.logs import get_logger
+
+__all__ = ["ServeClient", "ServerError"]
+
+logger = get_logger("repro.serve.client")
+
+#: statuses the server uses to say "back off and come back": queue
+#: full (429), shed or circuit-open (503).
+RETRYABLE_STATUSES = (429, 503)
+
+
+class ServerError(MultiClustError):
+    """A non-2xx reply that was not retried away.
+
+    Attributes
+    ----------
+    status : int or None
+        HTTP status of the final reply; ``None`` when the request never
+        reached the server (connection errors after all retries).
+    body : dict or None
+        Decoded JSON error body when the server sent one.
+    """
+
+    def __init__(self, message, status=None, body=None):
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Blocking JSON client for one ``repro serve`` endpoint.
+
+    Parameters
+    ----------
+    base_url : str
+        Server root, e.g. ``http://127.0.0.1:8799``.
+    timeout : float
+        Per-request socket timeout (seconds).
+    retries : int
+        Retry budget per logical request for retryable failures
+        (429/503 replies and connection errors).
+    backoff : float
+        Base of the exponential backoff (seconds); attempt ``n`` waits
+        about ``backoff * 2**n``, jittered to 50-100% of that value.
+    max_backoff : float
+        Cap on a single computed wait. A server-sent ``Retry-After``
+        is honored as-is (it reflects the real backlog) with a small
+        additive jitter so synchronized clients do not stampede back.
+    seed : int or None
+        Seed for the jitter RNG; fix it for reproducible traffic.
+    """
+
+    def __init__(self, base_url, *, timeout=30.0, retries=5, backoff=0.25,
+                 max_backoff=10.0, seed=None):
+        self.base_url = str(base_url).rstrip("/")
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        self._rng = random.Random(seed)
+
+    # -- transport ---------------------------------------------------------
+
+    def _sleep_for(self, attempt, retry_after=None):
+        """Seconds to wait before retry ``attempt`` (0-based)."""
+        if retry_after is not None:
+            # trust the server's estimate; jitter only to de-synchronize
+            return max(float(retry_after), 0.0) + self._rng.uniform(
+                0.0, self.backoff)
+        ceiling = min(self.backoff * (2 ** attempt), self.max_backoff)
+        return ceiling * self._rng.uniform(0.5, 1.0)
+
+    @staticmethod
+    def _decode(raw):
+        if not raw:
+            return None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+    def request(self, method, path, payload=None):
+        """One logical request with retries; returns ``(status, body)``.
+
+        ``body`` is the decoded JSON object (or ``None`` for an empty /
+        non-JSON reply). Raises :class:`ServerError` for a non-2xx
+        final answer. 404 is returned, not raised, so callers can treat
+        "not there yet" as data; every other 4xx/5xx raises.
+        """
+        url = f"{self.base_url}/{str(path).lstrip('/')}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = dumps(payload, indent=None).encode("utf-8")
+            headers["Content-Type"] = "application/json; charset=utf-8"
+        last_error = None
+        for attempt in range(self.retries + 1):
+            req = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+            try:
+                with urllib.request.urlopen(req,
+                                            timeout=self.timeout) as resp:
+                    return resp.status, self._decode(resp.read())
+            except urllib.error.HTTPError as exc:
+                body = self._decode(exc.read())
+                if exc.code in (404, 504):
+                    # "not found" and "deadline expired" are answers,
+                    # not transport failures; the body is the payload
+                    return exc.code, body
+                if exc.code in RETRYABLE_STATUSES and attempt < self.retries:
+                    retry_after = exc.headers.get("Retry-After")
+                    wait = self._sleep_for(attempt, retry_after)
+                    logger.debug("%s %s got %d, retrying in %.2fs",
+                                 method, path, exc.code, wait)
+                    time.sleep(wait)
+                    last_error = exc
+                    continue
+                message = (body or {}).get("error") if isinstance(
+                    body, dict) else None
+                raise ServerError(
+                    message or f"{method} {path} failed with {exc.code}",
+                    status=exc.code, body=body) from exc
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError) as exc:
+                if attempt < self.retries:
+                    wait = self._sleep_for(attempt)
+                    logger.debug("%s %s connection error (%s), retrying "
+                                 "in %.2fs", method, path, exc, wait)
+                    time.sleep(wait)
+                    last_error = exc
+                    continue
+                raise ServerError(
+                    f"{method} {path} unreachable after "
+                    f"{self.retries + 1} attempts: {exc}") from exc
+        raise ServerError(  # pragma: no cover - loop always returns/raises
+            f"{method} {path} exhausted retries: {last_error}")
+
+    # -- API helpers -------------------------------------------------------
+
+    def submit(self, estimator, dataset, *, params=None, given=None,
+               seed=None, deadline_ms=None):
+        """POST /jobs; returns the job dict (queued, cached, or
+        coalesced)."""
+        body = {"estimator": estimator, "dataset": dataset}
+        if params:
+            body["params"] = params
+        if given is not None:
+            body["given"] = given
+        if seed is not None:
+            body["seed"] = seed
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        _, reply = self.request("POST", "/jobs", payload=body)
+        return reply["job"]
+
+    def get_job(self, job_id):
+        """GET /jobs/<id>; returns ``(status, job_dict_or_None)``.
+
+        A deadline-expired job comes back as ``(504, job)`` with the
+        failure record and partial trace in the job dict.
+        """
+        status, reply = self.request("GET", f"/jobs/{job_id}")
+        if not isinstance(reply, dict) or "job" not in reply:
+            return status, None
+        return status, reply["job"]
+
+    def wait(self, job_id, *, timeout=120.0, poll=0.1):
+        """Poll until the job settles; returns ``(status, job)``.
+
+        Raises :class:`ServerError` when the job is still running at
+        ``timeout`` — the job itself is left alone server-side.
+        """
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            status, job = self.get_job(job_id)
+            if job is None:
+                raise ServerError(f"job {job_id} disappeared",
+                                  status=status)
+            if job.get("status") in ("done", "failed"):
+                return status, job
+            if time.monotonic() >= deadline:
+                raise ServerError(
+                    f"job {job_id} still {job.get('status')} after "
+                    f"{timeout:.1f}s", status=status, body={"job": job})
+            time.sleep(poll)
+
+    def get_model(self, key):
+        """GET /models/<key>; the payload dict, or ``None`` on 404."""
+        status, reply = self.request("GET", f"/models/{key}")
+        return None if status == 404 else reply
+
+    def fit(self, estimator, dataset, *, params=None, given=None,
+            seed=None, deadline_ms=None, timeout=120.0, poll=0.1):
+        """Submit and wait; returns ``(job, model_payload_or_None)``.
+
+        The model payload is ``None`` when the fit failed or its
+        deadline expired (the job dict says which).
+        """
+        job = self.submit(estimator, dataset, params=params, given=given,
+                          seed=seed, deadline_ms=deadline_ms)
+        if job.get("status") not in ("done", "failed"):
+            _, job = self.wait(job["id"], timeout=timeout, poll=poll)
+        model = None
+        if job.get("status") == "done":
+            model = self.get_model(job["key"])
+        return job, model
+
+    def healthz(self):
+        """GET /healthz readiness document."""
+        _, reply = self.request("GET", "/healthz")
+        return reply
+
+    def stats(self):
+        """GET /stats (scheduler + metrics snapshot)."""
+        _, reply = self.request("GET", "/stats")
+        return reply

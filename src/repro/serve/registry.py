@@ -19,30 +19,60 @@ per model, written with the same write-then-:func:`os.replace` idiom as
 
 LRU accounting also lives in the filesystem: ``get`` bumps the file's
 mtime, and ``put`` evicts the oldest entries beyond ``max_entries``.
+
+Two self-healing layers sit on top (see ``docs/robustness.md``):
+
+* **integrity** — every entry is stored as ``{"payload": ...,
+  "sha256": <hex over the canonical payload bytes>}``; every load
+  verifies. An entry that fails to parse or to verify is *quarantined*
+  (moved to ``<cache>/quarantine/`` next to a structured
+  ``IntegrityError`` record) and reported as a miss, so a bit-flipped
+  cache entry costs a refit, never a wrong answer;
+* **degraded in-memory mode** — an ``OSError`` during a cache write
+  (ENOSPC, EIO, or the optional ``max_bytes`` size cap) switches the
+  cache directory into in-memory-only mode: the payload lands in a
+  process-local overlay, a metric/log fires, and the service keeps
+  answering. The next successful disk write heals the mode and flushes
+  the overlay back to disk.
 """
 
 from __future__ import annotations
 
 import contextlib
+import errno
 import hashlib
 import json
 import os
 import pathlib
 import re
 import threading
+import time
 
 import numpy as np
 
 from ..exceptions import ValidationError
-from ..io import dumps, encode_value
+from ..io import dumps, encode_value, payload_checksum
 from ..observability.logs import get_logger
+from ..observability.registry import record
 
 __all__ = ["ModelRegistry", "coerce_given_labels", "dataset_fingerprint",
-           "model_key"]
+           "model_key", "payload_checksum"]
 
 logger = get_logger("repro.serve.registry")
 
 _KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+#: Subdirectory (inside a cache dir) holding quarantined entries and
+#: their structured ``IntegrityError`` records.
+QUARANTINE_DIR = "quarantine"
+
+#: Process-local overlay for cache dirs whose disk writes failed:
+#: ``{(cache_dir, key): payload}``. Shared by every ModelRegistry
+#: instance in the process (fit closures construct transient
+#: instances), guarded by :data:`_MEMORY_LOCK`.
+_MEMORY = {}
+_DEGRADED_DIRS = set()
+_MEMORY_LOCK = threading.Lock()
 
 
 def _pid_alive(pid):
@@ -130,16 +160,39 @@ class ModelRegistry:
     cache_dir : path-like — created if missing.
     max_entries : int — cap on stored models; ``put`` evicts the
         least-recently-used entries beyond it.
+    max_bytes : int or None — optional cap on the cache directory's
+        total size. A write that would exceed it fails with ``ENOSPC``
+        exactly like a full disk — and therefore degrades to in-memory
+        mode instead of crashing the service (the chaos harness uses
+        this to rehearse disk-full without filling a real disk).
     """
 
-    def __init__(self, cache_dir, max_entries=256):
+    def __init__(self, cache_dir, max_entries=256, max_bytes=None):
         if int(max_entries) < 1:
             raise ValidationError("max_entries must be >= 1")
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise ValidationError("max_bytes must be >= 1 when set")
         self.cache_dir = pathlib.Path(cache_dir)
         self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._lock = threading.Lock()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._sweep_stale_tmp()
+
+    @property
+    def _dir_key(self):
+        return str(self.cache_dir.resolve())
+
+    @property
+    def degraded(self):
+        """True while this cache directory is in in-memory-only mode."""
+        with _MEMORY_LOCK:
+            return self._dir_key in _DEGRADED_DIRS
+
+    def memory_entries(self):
+        """Number of payloads held only in the in-memory overlay."""
+        with _MEMORY_LOCK:
+            return sum(1 for d, _ in _MEMORY if d == self._dir_key)
 
     def _sweep_stale_tmp(self):
         """Remove temp files abandoned by dead writers.
@@ -155,7 +208,7 @@ class ModelRegistry:
                 pid = None
             if pid is not None and pid > 0 and _pid_alive(pid):
                 continue
-            with contextlib.suppress(OSError):
+            with contextlib.suppress(OSError):  # repro: noqa[RL011] - stale tmp sweep is advisory hygiene, never correctness
                 stale.unlink()
                 logger.info("removed stale temp file %s", stale.name)
 
@@ -165,49 +218,233 @@ class ModelRegistry:
             raise ValidationError(f"malformed model key {key!r}")
         return self.cache_dir / f"{key}.json"
 
-    def put(self, key, payload):
-        """Durably store ``payload`` under ``key``; returns the key.
+    def _dir_usage_bytes(self):
+        """Total size of everything in the cache dir (quarantine too —
+        disk full is disk full, whatever the bytes are)."""
+        total = 0
+        for path in self.cache_dir.rglob("*"):
+            with contextlib.suppress(OSError):  # repro: noqa[RL011] - racing unlink/evict: a vanished file contributes 0
+                if path.is_file():
+                    total += path.stat().st_size
+        return total
 
-        The write is atomic (temp file + fsync + ``os.replace``): a
-        concurrent reader sees either the old complete entry or the new
-        complete one, never a torn file, and a crash mid-write changes
-        nothing.
+    def put(self, key, payload):
+        """Store ``payload`` under ``key`` durably — or in memory.
+
+        The disk write is atomic (temp file + fsync + ``os.replace``):
+        a concurrent reader sees either the old complete entry or the
+        new complete one, never a torn file, and a crash mid-write
+        changes nothing. The entry is written with its in-band
+        ``sha256`` so every future load can verify it.
+
+        An ``OSError`` during the write — real ENOSPC/EIO, or the
+        simulated ENOSPC of an exceeded ``max_bytes`` cap — does not
+        propagate: the payload lands in the process-local in-memory
+        overlay, the directory enters *degraded* mode
+        (``serve.cache.degraded`` gauge, ``serve.cache.write_errors``
+        counter), and the service keeps running. The next successful
+        disk write heals the mode and flushes the overlay.
         """
         path = self._path(key)
-        blob = dumps(payload, sort_keys=True)
+        blob = dumps({"payload": payload,
+                      "sha256": payload_checksum(payload)},
+                     sort_keys=True)
         tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(blob)
-            fh.write("\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        try:
+            if self.max_bytes is not None:
+                needed = self._dir_usage_bytes() + len(blob) + 1
+                if needed > self.max_bytes:
+                    raise OSError(
+                        errno.ENOSPC,
+                        f"cache size cap exceeded ({needed} > "
+                        f"{self.max_bytes} bytes)", str(path))
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            self._enter_degraded(key, payload, exc)
+            with contextlib.suppress(OSError):  # repro: noqa[RL011] - temp file cleanup on a failing disk is best-effort
+                tmp.unlink()
+            return key
         self._fsync_dir()
+        self._heal_degraded()
         self._evict()
         return key
+
+    def _enter_degraded(self, key, payload, exc):
+        """Adopt ``payload`` into the in-memory overlay after a failed
+        disk write; flips the directory into degraded mode."""
+        with _MEMORY_LOCK:
+            fresh = self._dir_key not in _DEGRADED_DIRS
+            _DEGRADED_DIRS.add(self._dir_key)
+            _MEMORY[(self._dir_key, str(key))] = payload
+        record("serve.cache.write_errors")
+        record("serve.cache.degraded", 1, kind="gauge")
+        log = logger.error if fresh else logger.warning
+        log("cache write for %s failed (%s); serving from memory only "
+            "until the disk recovers", key, exc)
+
+    def _heal_degraded(self):
+        """After a successful disk write: leave degraded mode and try
+        to flush the in-memory overlay back to disk."""
+        with _MEMORY_LOCK:
+            if self._dir_key not in _DEGRADED_DIRS:
+                return
+            _DEGRADED_DIRS.discard(self._dir_key)
+            held = [(k[1], v) for k, v in _MEMORY.items()
+                    if k[0] == self._dir_key]
+            for key, _ in held:
+                _MEMORY.pop((self._dir_key, key), None)
+        record("serve.cache.degraded", 0, kind="gauge")
+        logger.info("cache dir %s healed; flushing %d in-memory "
+                    "entr(y/ies) to disk", self.cache_dir, len(held))
+        for key, payload in held:
+            self.put(key, payload)
+
+    def heal(self):
+        """Opportunistically try to leave degraded mode.
+
+        ``put`` heals on its own next success, but a registry whose
+        fits run in pool workers may never ``put`` in this process
+        again — the scheduler calls this after a worker's successful
+        disk write to flush the parent's overlay. Returns True when
+        the directory is healthy afterwards.
+        """
+        with _MEMORY_LOCK:
+            if self._dir_key not in _DEGRADED_DIRS:
+                return True
+            held = next(((k[1], v) for k, v in _MEMORY.items()
+                         if k[0] == self._dir_key), None)
+        if held is not None:
+            # a successful re-put flushes the whole overlay and clears
+            # the flag; a failing one re-enters degraded mode quietly
+            self.put(*held)
+            return not self.degraded
+        probe = self.cache_dir / f".heal-probe-{os.getpid()}.tmp"
+        try:
+            with open(probe, "w", encoding="utf-8") as fh:
+                fh.write("ok")
+                fh.flush()
+                os.fsync(fh.fileno())
+            probe.unlink()
+        except OSError as exc:
+            logger.warning("cache dir %s still degraded: %s",
+                           self.cache_dir, exc)
+            return False
+        self._heal_degraded()
+        return True
+
+    def _memory_get(self, key):
+        with _MEMORY_LOCK:
+            return _MEMORY.get((self._dir_key, str(key)))
+
+    def quarantine_dir(self):
+        """The quarantine directory (created on first use)."""
+        return self.cache_dir / QUARANTINE_DIR
+
+    def quarantined(self):
+        """Structured ``IntegrityError`` records of quarantined entries."""
+        records = []
+        for path in sorted(self.quarantine_dir().glob("*.error.json")):
+            with contextlib.suppress(OSError, json.JSONDecodeError):  # repro: noqa[RL011] - a half-written error record is itself corrupt; skip it
+                records.append(
+                    json.loads(path.read_text(encoding="utf-8")))
+        return records
+
+    def _quarantine(self, path, reason):
+        """Move a corrupt entry out of the serving path, loudly.
+
+        The entry file is atomically renamed into ``quarantine/`` and a
+        structured ``IntegrityError`` record is written next to it, so
+        operators can inspect the corrupt bytes while the service
+        transparently refits. Never raises — a quarantine that fails
+        (e.g. the same disk is dying) still results in a miss.
+        """
+        qdir = self.quarantine_dir()
+        record("serve.cache.integrity_quarantined")
+        logger.error("integrity failure on %s (%s); quarantining",
+                     path.name, reason)
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            error_record = {
+                "error": "IntegrityError",
+                "key": path.stem,
+                "file": path.name,
+                "reason": reason,
+                "quarantined_at": time.time(),
+            }
+            error_path = qdir / f"{path.stem}.error.json"
+            error_path.write_text(dumps(error_record, sort_keys=True) + "\n",
+                                  encoding="utf-8")
+        except OSError as exc:
+            logger.error("could not quarantine %s: %s (entry removed from "
+                         "serving path anyway)", path.name, exc)
+            with contextlib.suppress(OSError):  # repro: noqa[RL011] - last resort: a corrupt entry must not stay servable
+                path.unlink()
+
+    def _load_verified(self, path):
+        """Parse + checksum-verify one entry file; quarantines on any
+        failure and returns ``None`` (a miss)."""
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            self._quarantine(path, f"unparseable entry: {exc}")
+            return None
+        if (not isinstance(doc, dict) or "payload" not in doc
+                or "sha256" not in doc):
+            self._quarantine(path, "missing integrity envelope "
+                                   "(payload/sha256)")
+            return None
+        payload = doc["payload"]
+        expected = doc["sha256"]
+        actual = payload_checksum(payload)
+        if actual != expected:
+            self._quarantine(
+                path, f"checksum mismatch (stored {str(expected)[:16]}..., "
+                      f"computed {actual[:16]}...)")
+            return None
+        return payload
 
     def get(self, key, touch=True):
         """The payload stored under ``key``, or ``None`` on a miss.
 
-        A hit bumps the entry's mtime (its LRU recency) unless
-        ``touch`` is false.
+        Every load verifies the entry's in-band checksum; a corrupt
+        entry is quarantined and reported as a miss so the caller
+        refits. A hit bumps the entry's mtime (its LRU recency) unless
+        ``touch`` is false. Entries held only in the degraded-mode
+        memory overlay are served from there.
         """
         path = self._path(key)
-        try:
-            with open(path, encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except FileNotFoundError:
-            return None
-        except json.JSONDecodeError:
-            # unreachable via this class's atomic writes; an operator
-            # hand-editing the cache dir gets a miss, not a crash
-            logger.warning("unreadable registry entry %s; treating as miss",
-                           path.name)
-            return None
+        payload = self._load_verified(path)
+        if payload is None:
+            return self._memory_get(key)
         if touch:
-            with contextlib.suppress(OSError):
+            with contextlib.suppress(OSError):  # repro: noqa[RL011] - LRU recency is advisory; a failed utime must not fail the read
                 os.utime(path)
         return payload
+
+    def verify(self, key):
+        """True when ``key`` has a checksum-valid entry (disk or
+        memory overlay); quarantines a corrupt one as a side effect.
+
+        This is the cache-hit probe the scheduler uses: unlike
+        :meth:`touch` it reads and verifies the bytes, so a corrupt
+        entry turns into a refit at submit time instead of a 404 at
+        model-fetch time. A verified disk hit bumps LRU recency.
+        """
+        path = self._path(key)
+        if self._load_verified(path) is not None:
+            with contextlib.suppress(OSError):  # repro: noqa[RL011] - LRU recency is advisory; a failed utime must not fail the probe
+                os.utime(path)
+            return True
+        return self._memory_get(key) is not None
 
     def touch(self, key):
         """Bump ``key``'s LRU recency without reading it.
@@ -236,7 +473,7 @@ class ModelRegistry:
     def _entries(self):
         entries = []
         for path in self.cache_dir.glob("*.json"):
-            with contextlib.suppress(OSError):
+            with contextlib.suppress(OSError):  # repro: noqa[RL011] - racing unlink/evict: a vanished entry is simply not listed
                 entries.append((path.stat().st_mtime, path))
         return entries
 
@@ -247,7 +484,7 @@ class ModelRegistry:
             if excess <= 0:
                 return
             for _, path in sorted(entries)[:excess]:
-                with contextlib.suppress(OSError):
+                with contextlib.suppress(OSError):  # repro: noqa[RL011] - eviction is advisory; a failed unlink retries next put
                     path.unlink()
                     logger.info("evicted %s (LRU, cap %d)",
                                 path.name, self.max_entries)
@@ -255,11 +492,11 @@ class ModelRegistry:
     def _fsync_dir(self):
         try:  # directory fsync is best-effort (not all platforms allow it)
             dir_fd = os.open(self.cache_dir, os.O_RDONLY)
-        except OSError:
+        except OSError: # repro: noqa[RL011] - not all platforms allow opening a directory
             return
         try:
             os.fsync(dir_fd)
-        except OSError:
+        except OSError: # repro: noqa[RL011] - directory fsync is best-effort by design (entry file is fsynced)
             pass
         finally:
             os.close(dir_fd)

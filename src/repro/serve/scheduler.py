@@ -103,6 +103,9 @@ class Job:
         self.status = "queued"
         self.submitted_at = time.time()
         self.finished_at = None
+        #: absolute epoch deadline (``submit``'s ``deadline`` seconds
+        #: from submission, post-clamp); None = no deadline
+        self.deadline_at = None
         self.cached = False
         self.coalesced = False
         self.metrics = {}
@@ -131,6 +134,7 @@ class Job:
             "coalesced": self.coalesced,
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
+            "deadline_at": self.deadline_at,
             "metrics": dict(self.metrics),
         }
         if self.error is not None:
@@ -147,13 +151,35 @@ class Job:
         return payload
 
 
+def _deadline_blame(job, failure):
+    """True when a job's failure is attributable to *its own* deadline.
+
+    A timeout-kill or cooperative budget stop on a job whose
+    ``deadline_at`` has passed (or whose failure is explicitly tagged
+    ``deadline_expired`` by the harness) is the client's deadline at
+    work; anything else is a server-side failure and keeps its kind.
+    """
+    if job.deadline_at is None:
+        return False
+    context = getattr(failure, "context", None) or {}
+    if context.get("deadline_expired"):
+        return True
+    if time.time() < job.deadline_at:
+        return False
+    return (getattr(failure, "kind", "") == "timeout"
+            or getattr(failure, "error_type", "") == "BudgetExceededError")
+
+
 def _make_fit_closure(cls, params, X, given, key, fingerprint, seed,
-                      cache_dir, max_entries):
+                      cache_dir, max_entries, max_bytes=None):
     """Build the zero-argument experiment body for one job.
 
     Runs inside a RunGuard (and, with ``jobs>1``, inside a pool worker
     process): fits, serialises, and durably registers the model before
-    returning a metrics table.
+    returning a metrics table. If the registry write degraded to
+    memory (full/failing disk), the payload travels back in the result
+    row (``model_payload``) — a pool worker's in-memory overlay dies
+    with the worker, so the parent must adopt the model itself.
     """
 
     def fit_and_register():
@@ -175,11 +201,15 @@ def _make_fit_closure(cls, params, X, given, key, fingerprint, seed,
             "fit_seconds": fit_seconds,
             "model": estimator_to_dict(estimator),
         }
-        ModelRegistry(cache_dir, max_entries=max_entries).put(key, payload)
+        registry = ModelRegistry(cache_dir, max_entries=max_entries,
+                                 max_bytes=max_bytes)
+        registry.put(key, payload)
         table = ResultTable(f"serve {key[:12]}",
-                            ["key", "fit_seconds", "n_iter"])
+                            ["key", "fit_seconds", "n_iter",
+                             "model_payload"])
         table.add(key=key, fit_seconds=round(fit_seconds, 6),
-                  n_iter=getattr(estimator, "n_iter_", None))
+                  n_iter=getattr(estimator, "n_iter_", None),
+                  model_payload=(payload if registry.degraded else None))
         return table
 
     return fit_and_register
@@ -198,17 +228,32 @@ class JobScheduler:
         raises :class:`QueueFullError`.
     max_seconds : float or None — per-job cooperative budget.
     max_retries : int — extra attempts per job on retryable failures.
+    max_deadline : float or None — cap (seconds) on client-requested
+        per-job deadlines; a request asking for more is clamped, so a
+        client cannot hold a worker longer than the operator allows.
+    shedder : LoadShedder or None — adaptive admission control;
+        ``None`` keeps only the fixed ``queue_limit`` 429.
+    breaker : CircuitBreaker or None — per-model-key circuit breaker
+        over crash/timeout refit failures.
     """
 
     def __init__(self, registry, jobs=1, queue_limit=32, max_seconds=None,
-                 max_retries=0):
+                 max_retries=0, max_deadline=None, shedder=None,
+                 breaker=None):
         if int(queue_limit) < 1:
             raise ValidationError("queue_limit must be >= 1")
+        if max_deadline is not None and not float(max_deadline) > 0:
+            raise ValidationError(
+                f"max_deadline must be positive, got {max_deadline}")
         self.registry = registry
         self.jobs = int(jobs)
         self.queue_limit = int(queue_limit)
         self.max_seconds = max_seconds
         self.max_retries = int(max_retries)
+        self.max_deadline = (None if max_deadline is None
+                             else float(max_deadline))
+        self.shedder = shedder
+        self.breaker = breaker
         self._estimators = servable_estimators()
         self._metrics = default_registry()
         self._cond = threading.Condition()
@@ -279,7 +324,7 @@ class JobScheduler:
         return cls
 
     def submit(self, estimator, X, params=None, given=None, seed=None,
-               trace=None):
+               trace=None, deadline=None):
         """Queue a fit request; returns its :class:`Job`.
 
         Cache hits and in-flight duplicates return immediately-
@@ -288,9 +333,20 @@ class JobScheduler:
         :class:`~repro.observability.TraceContext` (or its dict form):
         the job's scheduler and worker-fit spans join that trace, so
         ``GET /jobs/<id>`` can render one causal tree from the HTTP
-        request down to the fit iterations.
+        request down to the fit iterations. ``deadline`` (seconds from
+        now, clamped to ``max_deadline``) bounds the job's total
+        wall-clock including queue time; a job that misses it fails
+        with error kind ``"deadline"`` (HTTP ``504``), its worker
+        reaped like a ``hard_timeout`` kill.
         """
         cls = self.resolve_estimator(estimator)
+        if deadline is not None:
+            deadline = float(deadline)
+            if not deadline > 0:
+                raise ValidationError(
+                    f"deadline must be positive, got {deadline}")
+            if self.max_deadline is not None:
+                deadline = min(deadline, self.max_deadline)
         params = dict(params or {})
         unknown = set(params) - set(cls._param_names())
         if unknown:
@@ -311,17 +367,24 @@ class JobScheduler:
             params.setdefault("random_state", int(seed))
         fingerprint = dataset_fingerprint(X, given=given)
         key = model_key(fingerprint, cls.__name__, params, seed)
+        # Checksum-verifying cache probe, deliberately *outside* the
+        # condition lock (it reads the payload bytes). A corrupt entry
+        # is quarantined right here, so the request falls through to a
+        # refit instead of 404ing later at GET /models/<key>.
+        cache_hit = self.registry.verify(key)
         with self._cond:
             self._counter += 1
             job = Job(f"job-{self._counter:08d}", key, fingerprint,
                       cls.__name__, params, seed)
+            if deadline is not None:
+                job.deadline_at = time.time() + deadline
             if trace is not None:
                 ctx = (trace.to_dict() if hasattr(trace, "to_dict")
                        else dict(trace))
                 job.trace_id = ctx.get("trace_id")
                 job.trace_parent = ctx.get("span_id")
             self._metrics.counter("serve.jobs.submitted").inc()
-            if self.registry.touch(key):
+            if cache_hit:
                 job.status = "done"
                 job.cached = True
                 job.finished_at = time.time()
@@ -336,6 +399,13 @@ class JobScheduler:
                 return inflight
             if self._stop:
                 raise QueueFullError("scheduler is shutting down")
+            if self.breaker is not None:
+                # a refit is about to be queued: a key that keeps
+                # crashing workers is refused at the front door
+                # (cache hits and coalesces above never reach here)
+                self.breaker.check(key)
+            if self.shedder is not None:
+                self.shedder.check(len(self._pending), self.jobs)
             if len(self._pending) >= self.queue_limit:
                 self._metrics.counter("serve.queue.rejected").inc()
                 raise QueueFullError(
@@ -370,7 +440,7 @@ class JobScheduler:
         with self._cond:
             counts = collections.Counter(j.status
                                          for j in self._jobs.values())
-            return {
+            stats = {
                 "queue_depth": len(self._pending),
                 "queue_limit": self.queue_limit,
                 "jobs": self.jobs,
@@ -381,6 +451,16 @@ class JobScheduler:
                 "failed": counts.get("failed", 0),
                 "models_cached": len(self.registry),
             }
+            depth = stats["queue_depth"]
+        # readiness extras (no I/O beyond a dir listing; computed
+        # outside the condition lock)
+        stats["cache_mode"] = ("degraded-memory" if self.registry.degraded
+                               else "disk")
+        if self.shedder is not None:
+            stats["shedder"] = self.shedder.state(depth, self.jobs)
+        if self.breaker is not None:
+            stats["breaker_open_keys"] = self.breaker.open_keys()
+        return stats
 
     # -- dispatch ----------------------------------------------------------
 
@@ -413,8 +493,22 @@ class JobScheduler:
                 if self._paused and not self._stop:
                     continue
                 batch = []
+                now = time.time()
                 while self._pending:
-                    batch.append(self._pending.popleft())
+                    job = self._pending.popleft()
+                    if (job.deadline_at is not None
+                            and now >= job.deadline_at):
+                        # expired while queued: 504 without burning a
+                        # worker on work nobody is waiting for
+                        self._metrics.counter(
+                            "serve.jobs.deadline_expired").inc()
+                        self._finish(job, "failed", error={
+                            "kind": "deadline",
+                            "error_type": "WorkerTimeoutError",
+                            "message": "deadline expired while queued",
+                        })
+                        continue
+                    batch.append(job)
                 self._metrics.gauge("serve.queue.depth").set(0)
                 for job in batch:
                     job.status = "running"
@@ -422,7 +516,8 @@ class JobScheduler:
                 job.id: _make_fit_closure(
                     self.resolve_estimator(job.estimator), job.params,
                     job.X, job.given, job.key, job.fingerprint, job.seed,
-                    self.registry.cache_dir, self.registry.max_entries)
+                    self.registry.cache_dir, self.registry.max_entries,
+                    self.registry.max_bytes)
                 for job in batch
             }
             by_id = {job.id: job for job in batch}
@@ -442,6 +537,10 @@ class JobScheduler:
                 self._job_traces[job.id] = (tracer, open_span)
                 trace_contexts[job.id] = {"trace_id": job.trace_id,
                                           "span_id": span.span_id}
+            deadlines = {
+                job.id: max(job.deadline_at - time.time(), 1e-3)
+                for job in batch if job.deadline_at is not None
+            }
             try:
                 run_experiments(
                     experiments,
@@ -450,6 +549,7 @@ class JobScheduler:
                     max_retries=self.max_retries,
                     jobs=self.jobs,
                     trace_contexts=trace_contexts,
+                    deadlines=deadlines,
                     callback=lambda outcome: self._on_outcome(
                         by_id.get(outcome.key), outcome),
                 )
@@ -479,6 +579,19 @@ class JobScheduler:
             trace_records = tracer.to_records()
         if outcome.spans:
             trace_records = trace_records + list(outcome.spans)
+        if outcome.ok:
+            rows = getattr(outcome.table, "rows", None)
+            stranded = rows[0].get("model_payload") if rows else None
+            if stranded is not None:
+                # the worker's registry write degraded to its (now
+                # dead) process memory; adopt the model here — outside
+                # the condition lock, it is a disk write — so
+                # GET /models/<key> can still serve it
+                self.registry.put(job.key, stranded)
+            elif self.registry.degraded:
+                # the worker wrote its entry to disk fine, so the disk
+                # has recovered: flush this process's overlay back out
+                self.registry.heal()
         with self._cond:
             if trace_records:
                 job.trace_records.extend(trace_records)
@@ -494,15 +607,30 @@ class JobScheduler:
                 self._metrics.histogram(
                     "serve.fit.seconds", buckets=LATENCY_BUCKETS
                 ).observe(float(outcome.elapsed or 0.0))
+                if self.breaker is not None:
+                    self.breaker.record_success(job.key)
                 self._finish(job, "done", metrics=metrics)
             else:
                 failure = outcome.failure
+                kind = getattr(failure, "kind", "error")
+                if _deadline_blame(job, failure):
+                    # the request's own deadline (not the server's
+                    # budget) killed the fit: surface as "deadline" so
+                    # the HTTP layer answers 504, not 500
+                    kind = "deadline"
+                    self._metrics.counter(
+                        "serve.jobs.deadline_expired").inc()
+                elif (self.breaker is not None
+                      and kind in ("crashed", "timeout")):
+                    # a fit that took a worker down (not one the client
+                    # gave up on) counts toward opening the circuit
+                    self.breaker.record_failure(job.key)
                 self._metrics.counter("serve.jobs.failed").inc()
                 self._finish(job, "failed",
                              metrics={"seconds": outcome.elapsed,
                                       "attempts": outcome.attempts},
                              error={
-                                 "kind": getattr(failure, "kind", "error"),
+                                 "kind": kind,
                                  "error_type": getattr(failure, "error_type",
                                                        ""),
                                  "message": getattr(failure, "message", ""),

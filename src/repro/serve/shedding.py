@@ -1,0 +1,238 @@
+"""Adaptive overload protection for the serving layer.
+
+Two cooperating mechanisms, both consulted by
+:meth:`~repro.serve.JobScheduler.submit` on the cache-miss path:
+
+* :class:`LoadShedder` — watches queue depth and the observed p95 task
+  time (``pool.task.seconds``, falling back to ``serve.fit.seconds``)
+  from the default :class:`~repro.observability.MetricsRegistry` and
+  sheds a request whose *estimated wait* — ``(depth + 1) x p95 /
+  jobs`` — exceeds the operator's target. Unlike the fixed
+  ``queue_limit`` (a memory bound, still enforced as ``429``), the
+  shedder answers the latency question: "will this request wait longer
+  than anyone should?". Shed requests get ``503`` with a
+  ``Retry-After`` computed from the same estimate, so well-behaved
+  clients (:mod:`repro.serve.client`) back off for about as long as the
+  backlog actually needs.
+* :class:`CircuitBreaker` — a per-model-key breaker mirroring the
+  pool's per-key crash quarantine: a key whose fits keep crashing or
+  timing out stops being accepted at the front door for a cooldown,
+  so one poison request cannot repeatedly take a pool worker down.
+  After the cooldown one trial request is let through (half-open); a
+  success closes the circuit, another crash re-opens it.
+
+Neither mechanism touches disk or blocks; both are safe to call under
+the scheduler's condition lock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+from ..exceptions import MultiClustError, ValidationError
+from ..observability.logs import get_logger
+from ..observability.registry import default_registry
+
+__all__ = ["CircuitBreaker", "CircuitOpenError", "LoadShedder",
+           "ShedError"]
+
+logger = get_logger("repro.serve.shedding")
+
+
+class ShedError(MultiClustError):
+    """Raised by :meth:`LoadShedder.check` when a request should be
+    shed; carries the computed ``Retry-After`` (seconds). The HTTP
+    layer answers ``503``."""
+
+    def __init__(self, message, retry_after):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(MultiClustError):
+    """Raised at submit when the request's model key has an open
+    circuit; carries the remaining cooldown as ``Retry-After``. The
+    HTTP layer answers ``503``."""
+
+    def __init__(self, message, retry_after):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class LoadShedder:
+    """Latency-targeted admission control for the job queue.
+
+    Parameters
+    ----------
+    target_wait : float or None
+        Estimated queue wait (seconds) beyond which new work is shed.
+        ``None`` disables shedding entirely.
+    quantile : float
+        Service-time quantile used for the estimate (default p95 —
+        conservative on purpose: shedding late means queued clients
+        time out instead).
+    """
+
+    #: Histograms consulted for observed service time, first hit wins:
+    #: the pool's per-task timing under ``jobs > 1``, the scheduler's
+    #: fit timing when fits run in-process.
+    SERVICE_HISTOGRAMS = ("pool.task.seconds", "serve.fit.seconds")
+
+    def __init__(self, target_wait=30.0, quantile=0.95):
+        if target_wait is not None and not float(target_wait) > 0:
+            raise ValidationError(
+                f"target_wait must be positive or None, got {target_wait}")
+        self.target_wait = (None if target_wait is None
+                            else float(target_wait))
+        self.quantile = float(quantile)
+
+    def service_p(self):
+        """Observed service-time quantile (seconds), or ``None`` before
+        any fit has completed."""
+        registry = default_registry()
+        # membership via snapshot, not histogram(): asking for a
+        # histogram creates it, and it would be created with the wrong
+        # buckets for whoever observes into it later
+        snapshot = registry.snapshot()
+        for name in self.SERVICE_HISTOGRAMS:
+            if snapshot.get(name, {}).get("kind") == "histogram":
+                value = registry.histogram(name).quantile(self.quantile)
+                if value:
+                    return value
+        return None
+
+    def estimated_wait(self, queue_depth, jobs):
+        """Expected queue wait for one more request, or ``None`` while
+        there is no service-time observation yet."""
+        p = self.service_p()
+        if p is None:
+            return None
+        return (int(queue_depth) + 1) * p / max(int(jobs), 1)
+
+    def state(self, queue_depth, jobs):
+        """Readiness view for ``GET /healthz``."""
+        wait = self.estimated_wait(queue_depth, jobs)
+        return {
+            "target_wait": self.target_wait,
+            "service_p95": self.service_p(),
+            "estimated_wait": wait,
+            "shedding": (self.target_wait is not None and wait is not None
+                         and wait > self.target_wait),
+        }
+
+    def check(self, queue_depth, jobs):
+        """Admit or shed one request; raises :class:`ShedError` to shed.
+
+        ``Retry-After`` is the estimated time for the backlog to drain
+        back under the target — how long the client should actually
+        wait, not a constant.
+        """
+        if self.target_wait is None:
+            return
+        wait = self.estimated_wait(queue_depth, jobs)
+        if wait is None or wait <= self.target_wait:
+            return
+        retry_after = max(int(math.ceil(wait - self.target_wait)), 1)
+        default_registry().counter("serve.jobs.shed").inc()
+        logger.warning(
+            "shedding request: estimated wait %.1fs over target %.1fs "
+            "(queue depth %d, retry after %ds)",
+            wait, self.target_wait, queue_depth, retry_after)
+        raise ShedError(
+            f"service overloaded: estimated wait {wait:.1f}s exceeds "
+            f"the {self.target_wait:.1f}s target; retry later",
+            retry_after)
+
+    def retry_after_hint(self, queue_depth, jobs):
+        """Retry-After (seconds) for queue-full 429s: one queue drain
+        at observed service time; 1 when nothing has been observed."""
+        wait = self.estimated_wait(queue_depth, jobs)
+        return 1 if wait is None else max(int(math.ceil(wait)), 1)
+
+
+class CircuitBreaker:
+    """Per-model-key circuit breaker over refit failures.
+
+    ``threshold`` consecutive hard failures (worker crash or timeout)
+    of one key open its circuit: further submissions of that exact key
+    are refused with :class:`CircuitOpenError` until ``cooldown``
+    elapses, after which one trial request is admitted (half-open). A
+    success closes the circuit; a failure re-opens it for another
+    cooldown. Keys are model keys, so only byte-identical requests
+    share a circuit — mirroring the pool's per-key crash quarantine at
+    the front door instead of inside the sweep.
+    """
+
+    def __init__(self, threshold=3, cooldown=30.0):
+        if int(threshold) < 1:
+            raise ValidationError(
+                f"threshold must be >= 1, got {threshold}")
+        if not float(cooldown) > 0:
+            raise ValidationError(
+                f"cooldown must be positive, got {cooldown}")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._lock = threading.Lock()
+        self._failures = {}    # key -> consecutive hard-failure count
+        self._opened_at = {}   # key -> monotonic time the circuit opened
+
+    def _remaining(self, key, now):
+        opened = self._opened_at.get(key)
+        if opened is None:
+            return 0.0
+        return max(self.cooldown - (now - opened), 0.0)
+
+    def allow(self, key):
+        """True when ``key`` may be submitted (closed or half-open)."""
+        with self._lock:
+            return self._remaining(str(key), time.monotonic()) <= 0.0
+
+    def check(self, key):
+        """Raise :class:`CircuitOpenError` when ``key``'s circuit is
+        open; otherwise a no-op."""
+        key = str(key)
+        with self._lock:
+            remaining = self._remaining(key, time.monotonic())
+            failures = self._failures.get(key, 0)
+        if remaining > 0.0:
+            default_registry().counter("serve.breaker.rejected").inc()
+            raise CircuitOpenError(
+                f"circuit open for model key {key[:12]}...: "
+                f"{failures} consecutive hard failures; "
+                f"retry in {remaining:.0f}s",
+                max(int(math.ceil(remaining)), 1))
+
+    def record_failure(self, key):
+        """Count a hard failure; opens the circuit at the threshold."""
+        key = str(key)
+        with self._lock:
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count >= self.threshold:
+                first = key not in self._opened_at
+                self._opened_at[key] = time.monotonic()
+                default_registry().counter("serve.breaker.opened").inc()
+                log = logger.error if first else logger.warning
+                log("circuit %s for model key %s...: %d consecutive "
+                    "hard failures (cooldown %.0fs)",
+                    "opened" if first else "re-opened", key[:12], count,
+                    self.cooldown)
+
+    def record_success(self, key):
+        """A successful fit closes the key's circuit and resets it."""
+        key = str(key)
+        with self._lock:
+            self._failures.pop(key, None)
+            if self._opened_at.pop(key, None) is not None:
+                logger.info("circuit closed for model key %s... after a "
+                            "successful fit", key[:12])
+
+    def open_keys(self):
+        """Model keys whose circuits are currently open (cooldown not
+        yet elapsed)."""
+        now = time.monotonic()
+        with self._lock:
+            return sorted(key for key in self._opened_at
+                          if self._remaining(key, now) > 0.0)
