@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import difflib
+import os
 import sys
 
 
@@ -92,6 +93,15 @@ def _build_parser():
     lint.add_argument(
         "lint_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to 'python -m repro.lint'",
+    )
+    check = sub.add_parser(
+        "check",
+        help="run every static gate (lint + the tools/ checks) with one "
+             "pass/fail summary table",
+    )
+    check.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the lint gate's incremental cache for this run",
     )
     serve = sub.add_parser(
         "serve",
@@ -548,6 +558,87 @@ def _report_trace(path):
     return 0
 
 
+#: The standalone gates consolidated under ``repro check`` (each keeps
+#: its own entry point; the subcommand just runs them in sequence).
+_CHECK_TOOLS = (
+    "check_no_print.py",
+    "check_outcome_schema.py",
+    "check_trace_schema.py",
+    "check_estimator_contract.py",
+)
+
+
+def _check_command(args):
+    """Run lint plus every ``tools/check_*.py`` gate; print a summary.
+
+    The lint gate runs in-process (with the committed baseline and the
+    incremental cache); the tools run as subprocesses because each is
+    its own entry point with a violation-count exit status. Exit 0 only
+    when every gate passes.
+    """
+    import subprocess
+    import time as _time
+
+    from .lint.cache import LintCache
+    from .lint.engine import LintEngine, format_human, load_baseline
+    from .lint.walk import PACKAGE_ROOT, REPO_ROOT, SRC_ROOT
+
+    rows = []  # (gate, status, seconds, detail)
+
+    started = _time.monotonic()
+    baseline = None
+    baseline_path = REPO_ROOT / "tools" / "lint_baseline.json"
+    if baseline_path.is_file():
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"warning: ignoring unreadable baseline: {exc}",
+                  file=sys.stderr)
+    cache = None if args.no_cache else \
+        LintCache(REPO_ROOT / ".lint_cache.json")
+    report = LintEngine().lint_paths([PACKAGE_ROOT], baseline=baseline,
+                                     cache=cache)
+    if not report.ok:
+        print(format_human(report))
+    rows.append(("repro lint", report.ok, _time.monotonic() - started,
+                 f"{len(report.findings)} finding(s) over "
+                 f"{report.files_checked} file(s)"))
+
+    env = dict(os.environ)
+    src = str(SRC_ROOT)
+    env["PYTHONPATH"] = (src if not env.get("PYTHONPATH")
+                         else src + os.pathsep + env["PYTHONPATH"])
+    for tool in _CHECK_TOOLS:
+        path = REPO_ROOT / "tools" / tool
+        name = f"tools/{tool}"
+        if not path.is_file():
+            rows.append((name, None, 0.0, "not found - skipped"))
+            continue
+        started = _time.monotonic()
+        proc = subprocess.run(
+            [sys.executable, str(path)], cwd=str(REPO_ROOT), env=env,
+            capture_output=True, text=True, timeout=600,
+        )
+        elapsed = _time.monotonic() - started
+        output = (proc.stdout or "") + (proc.stderr or "")
+        tail = [line for line in output.splitlines() if line.strip()]
+        detail = tail[-1] if tail else ""
+        if proc.returncode != 0 and output:
+            print(output, end="" if output.endswith("\n") else "\n")
+        rows.append((name, proc.returncode == 0, elapsed, detail))
+
+    width = max(len(name) for name, _, _, _ in rows)
+    print(f"{'gate':<{width}}  status  time    detail")
+    for name, ok, elapsed, detail in rows:
+        status = "SKIP" if ok is None else ("PASS" if ok else "FAIL")
+        print(f"{name:<{width}}  {status:<6}  {elapsed:5.1f}s  {detail}")
+    failed = sum(1 for _, ok, _, _ in rows if ok is False)
+    print(f"{len(rows)} gate(s): "
+          f"{sum(1 for _, ok, _, _ in rows if ok)} passed, {failed} failed, "
+          f"{sum(1 for _, ok, _, _ in rows if ok is None)} skipped")
+    return 0 if failed == 0 else 1
+
+
 def main(argv=None):
     from .experiments import ALL_EXPERIMENTS
     from .core.taxonomy import render_table
@@ -576,6 +667,8 @@ def main(argv=None):
         from .lint.cli import main as lint_main
 
         return lint_main(args.lint_args)
+    if args.command == "check":
+        return _check_command(args)
     if args.command == "serve":
         return _serve_command(args)
     if args.command == "chaos":

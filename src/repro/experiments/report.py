@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["CLAIMS", "CROSS_CLAIMS", "ABLATION_CLAIMS", "generate_report"]
+__all__ = ["CLAIMS", "generate_report"]
 
 # (paper claim, measured outcome) per experiment id.
 CLAIMS = {

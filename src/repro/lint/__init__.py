@@ -4,10 +4,17 @@ The tutorial's value is that ~20 alternative-clustering algorithms are
 comparable under one roof; that only holds if every estimator obeys the
 same invariants — seeded RNG threading, pure-NumPy substrates, the
 ``get_params``/fitted-attribute contract, logging-only output. This
-package checks those invariants *statically*: one shared AST parse per
-file, a registry of :class:`Rule` subclasses (``RL001``–``RL008``),
-inline ``# repro: noqa[RL0xx]`` pragmas and a committed baseline for
-grandfathered findings.
+package checks those invariants *statically*, in two passes: pass 1
+parses each file once and runs the per-file rules
+(``RL001``–``RL011``); pass 2 assembles per-file facts into a
+whole-program index (module/import graph, docs corpus) and runs the
+cross-module rules (``RL012``–``RL018``) — fork-safety, lock
+discipline, resource lifecycle, metric-name consistency, the exception
+taxonomy, dead exports, dead pragmas. Pass-1 results are memoised in
+an incremental cache keyed by content sha and rule-catalog hash, so a
+warm whole-tree lint skips parsing entirely. Suppression is explicit:
+inline ``# repro: noqa[RL0xx]`` pragmas (dead ones are themselves
+findings) and a committed baseline for grandfathered findings.
 
 Run it as ``python -m repro.lint`` (or ``python -m repro lint``); the
 rule catalog, suppression policy and JSON output schema are documented
@@ -17,8 +24,10 @@ in ``docs/static-analysis.md``. The allow/deny lists shared with the
 
 from __future__ import annotations
 
+from .cache import CACHE_VERSION, LintCache, rule_catalog_hash
 from .engine import (
     BASELINE_VERSION,
+    DEAD_PRAGMA_RULE_ID,
     FileLint,
     Finding,
     LintEngine,
@@ -26,6 +35,7 @@ from .engine import (
     PARSE_RULE_ID,
     Rule,
     all_rule_classes,
+    format_github,
     format_human,
     format_json,
     load_baseline,
@@ -33,6 +43,7 @@ from .engine import (
     resolve_rules,
     write_baseline,
 )
+from .index import ModuleRecord, ProgramIndex, module_name_for_path
 from . import rules  # noqa: F401 - importing populates the registry
 from .walk import (
     API_DOC_PACKAGES,
@@ -45,21 +56,29 @@ from .walk import (
 __all__ = [
     "API_DOC_PACKAGES",
     "BASELINE_VERSION",
+    "CACHE_VERSION",
+    "DEAD_PRAGMA_RULE_ID",
     "ESTIMATOR_PACKAGES",
     "FileLint",
     "Finding",
+    "LintCache",
     "LintEngine",
     "LintReport",
+    "ModuleRecord",
     "PACKAGE_ROOT",
     "PARSE_RULE_ID",
     "PRINT_ALLOWED",
+    "ProgramIndex",
     "Rule",
     "all_rule_classes",
+    "format_github",
     "format_human",
     "format_json",
     "load_baseline",
+    "module_name_for_path",
     "register",
     "resolve_rules",
+    "rule_catalog_hash",
     "walk_source_tree",
     "write_baseline",
 ]

@@ -1,0 +1,17 @@
+"""The rule packs: importing this package populates the rule registry.
+
+``perfile`` holds the single-file rules (RL001–RL011): one AST node at
+a time, judged during the engine's shared pass-1 traversal. ``program``
+holds the whole-program rules (RL012–RL018): per-file fact collection
+in pass 1, cross-module judgment against the
+:class:`~repro.lint.index.ProgramIndex` in pass 2. ``common`` is the
+small shared AST toolkit. Rationale per rule id lives in
+docs/static-analysis.md.
+"""
+
+from __future__ import annotations
+
+from . import perfile  # noqa: F401 - importing registers RL001–RL011
+from . import program  # noqa: F401 - importing registers RL012–RL018
+
+__all__ = []  # rules are reached through the registry, not imports

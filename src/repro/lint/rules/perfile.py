@@ -12,8 +12,11 @@ from __future__ import annotations
 import ast
 import re
 
-from .engine import Rule, register
-from .walk import POOL_ALLOWED, PRINT_ALLOWED, SERVE_ALLOWED
+from ..engine import Rule, register
+from ..walk import POOL_ALLOWED, PRINT_ALLOWED, SERVE_ALLOWED
+from .common import exception_names as _exception_names
+from .common import names_in as _names_in
+from .common import terminal_name as _terminal_name
 
 __all__ = []  # rules are reached through the registry, not imports
 
@@ -65,15 +68,6 @@ _DATA_FIRST_PARAMS = frozenset({
 })
 
 
-def _terminal_name(func):
-    """Rightmost name of a call target: ``a.b.c(...)`` -> ``"c"``."""
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    if isinstance(func, ast.Name):
-        return func.id
-    return None
-
-
 def _is_np_random_attr(node):
     """True for ``np.random.<attr>`` / ``numpy.random.<attr>``."""
     value = node.value
@@ -81,11 +75,6 @@ def _is_np_random_attr(node):
             and value.attr == "random"
             and isinstance(value.value, ast.Name)
             and value.value.id in _NUMPY_ALIASES)
-
-
-def _names_in(node):
-    """Every ``Name`` identifier appearing inside ``node``."""
-    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
 
 
 @register
@@ -657,19 +646,6 @@ def _swallows_silently(body):
             continue
         return False
     return True
-
-
-def _exception_names(type_node):
-    """Exception class names in an ``except`` clause (tuple or single)."""
-    if type_node is None:
-        return frozenset()
-    names = set()
-    for child in ast.walk(type_node):
-        if isinstance(child, ast.Name):
-            names.add(child.id)
-        elif isinstance(child, ast.Attribute):
-            names.add(child.attr)
-    return frozenset(names)
 
 
 def _calls_file_io(body):

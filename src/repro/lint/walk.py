@@ -18,7 +18,15 @@ the single home for that policy:
   form the estimator population (the runtime contract tool and the
   static ``RL007`` rule agree on scope through it);
 * :data:`API_DOC_PACKAGES` — the public packages documented by
-  ``tools/gen_api_docs.py``.
+  ``tools/gen_api_docs.py``;
+* :data:`FORK_ENTRY_POINTS` — the functions that run first inside a
+  freshly forked pool worker; rule ``RL012`` checks their import-time
+  closure for inherited concurrency state;
+* :data:`THREAD_SHARED` — the packages whose objects are touched from
+  multiple threads at once; rule ``RL013`` enforces lock discipline
+  there;
+* :func:`documentation_corpus` — the hand-written markdown rule
+  ``RL017`` accepts as usage evidence for a public export.
 """
 
 from __future__ import annotations
@@ -28,12 +36,15 @@ from pathlib import Path
 __all__ = [
     "API_DOC_PACKAGES",
     "ESTIMATOR_PACKAGES",
+    "FORK_ENTRY_POINTS",
     "PACKAGE_ROOT",
     "POOL_ALLOWED",
     "PRINT_ALLOWED",
     "REPO_ROOT",
     "SERVE_ALLOWED",
-    "SRC_ROOT",
+    "THREAD_SHARED",
+    "documentation_corpus",
+    "evidence_corpus",
     "walk_source_tree",
 ]
 
@@ -99,6 +110,27 @@ ESTIMATOR_PACKAGES = (
     "repro.multiview",
 )
 
+#: ``(module, function)`` pairs that run first inside a freshly forked
+#: pool worker. Rule ``RL012`` requires their modules' import-time
+#: closure to create no threads/locks/servers at module level (those
+#: would be forked mid-state) and the functions themselves to reset the
+#: fork-inherited metrics registry before doing any work.
+FORK_ENTRY_POINTS = (
+    ("repro.robustness.pool", "_pool_worker_main"),
+    ("repro.robustness.workers", "_child_main"),
+)
+
+#: Dotted-module prefixes whose objects are reached from multiple
+#: threads at once (the serve layer's worker/reaper/HTTP threads, the
+#: observability registry shared with them). Rule ``RL013`` enforces
+#: lock discipline on classes defined here: an attribute mutated under
+#: ``with self.<lock>`` anywhere must be mutated under it everywhere
+#: (``__init__`` excepted — no other thread can hold a reference yet).
+THREAD_SHARED = (
+    "repro.serve.",
+    "repro.observability.",
+)
+
 #: Public packages rendered into ``docs/api.md``.
 API_DOC_PACKAGES = (
     "repro.core",
@@ -115,6 +147,69 @@ API_DOC_PACKAGES = (
     "repro.lint",
     "repro.serve",
 )
+
+
+#: Hand-written markdown accepted as usage evidence by ``RL017``. The
+#: generated ``docs/api.md`` is deliberately excluded — it is rendered
+#: *from* ``__all__``, so counting it would make every export
+#: "documented" by construction.
+_DOCS_EXCLUDE = frozenset({"api.md"})
+
+_docs_corpus_memo = {}
+
+
+def documentation_corpus(repo_root=None):
+    """Concatenated hand-written markdown for export-usage evidence.
+
+    Reads the repo-level ``*.md`` files plus ``docs/*.md`` (minus the
+    generated ``api.md``). Memoised per root — the lint engine may
+    build several program indexes per process (tests, ``repro check``).
+    """
+    root = Path(repo_root) if repo_root is not None else REPO_ROOT
+    if root in _docs_corpus_memo:
+        return _docs_corpus_memo[root]
+    chunks = []
+    candidates = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    for path in candidates:
+        if path.name in _DOCS_EXCLUDE:
+            continue
+        try:
+            chunks.append(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError):  # repro: noqa[RL011] - evidence is advisory; an unreadable doc must not fail the lint run
+            continue
+    corpus = "\n".join(chunks)
+    _docs_corpus_memo[root] = corpus
+    return corpus
+
+
+_evidence_corpus_memo = {}
+
+
+def evidence_corpus(repo_root=None):
+    """Everything ``RL017`` accepts as evidence that an export is alive.
+
+    The hand-written docs (:func:`documentation_corpus`) plus the
+    source of the repo's consumers outside the linted package — tests,
+    tools, benchmarks — because an export a test imports or a tool
+    enumerates is API in active use even when no library module
+    references it.
+    """
+    root = Path(repo_root) if repo_root is not None else REPO_ROOT
+    if root in _evidence_corpus_memo:
+        return _evidence_corpus_memo[root]
+    chunks = [documentation_corpus(root)]
+    for consumer in ("tests", "tools", "benchmarks"):
+        directory = root / consumer
+        if not directory.is_dir():
+            continue
+        for path in walk_source_tree(directory):
+            try:
+                chunks.append(path.read_text(encoding="utf-8"))
+            except (OSError, UnicodeDecodeError):  # repro: noqa[RL011] - evidence is advisory; an unreadable consumer must not fail the lint run
+                continue
+    corpus = "\n".join(chunks)
+    _evidence_corpus_memo[root] = corpus
+    return corpus
 
 
 def _denied(name):

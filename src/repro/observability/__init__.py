@@ -20,6 +20,7 @@ See ``docs/observability.md`` for the full guide, including the
 measured overhead of the disabled fast path.
 """
 
+from .catalog import METRIC_FAMILIES, METRICS
 from .logs import configure_logging, get_logger, level_from_verbosity
 from .registry import (
     DEFAULT_BUCKETS,
@@ -83,6 +84,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "METRICS",
+    "METRIC_FAMILIES",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS",

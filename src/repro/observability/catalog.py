@@ -1,0 +1,77 @@
+"""The canonical metric-name catalog: every name the library records.
+
+One flat registry of every metric the library emits, so the name a
+dashboard scrapes, the name a test asserts on, and the name the code
+records are provably the same string. Lint rule ``RL015`` enforces the
+contract statically: every literal ``record()`` / ``counter()`` /
+``gauge()`` / ``histogram()`` name in the tree must appear in
+:data:`METRICS` (or extend a :data:`METRIC_FAMILIES` prefix), every
+catalog entry must actually be recorded somewhere, and the
+``prometheus_name`` exposition mapping must stay collision-free over
+the whole catalog.
+
+Adding a metric is therefore a two-line change — the call site and the
+catalog row — and renaming one is impossible to do halfway.
+
+The dynamic families cover per-key fan-outs whose tails are only known
+at runtime (per-estimator fit counters, per-status HTTP counters); the
+leading constant fragment of the f-string must match a family key
+exactly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRIC_FAMILIES", "METRICS"]
+
+#: ``{metric name: (kind, what it measures)}`` — the single source of
+#: truth for every literal metric name recorded in the tree.
+METRICS = {
+    # fitting telemetry (repro.observability.telemetry)
+    "fits_total": ("counter", "completed estimator fits, all estimators"),
+    "fit_iterations": ("histogram", "iteration events per completed fit"),
+    # fault-contained pool (repro.robustness.pool)
+    "pool.queue.depth": ("gauge", "tasks waiting for a worker"),
+    "pool.task.seconds": ("histogram", "wall-clock seconds per pool task"),
+    "pool.tasks.expired": ("counter", "tasks dropped after exhausting retries"),
+    "pool.tasks.in_flight": ("gauge", "tasks currently assigned to workers"),
+    "pool.tasks.steals": ("counter", "tasks reassigned from a dead worker"),
+    "pool.tasks.timeouts": ("counter", "tasks killed at the hard deadline"),
+    "pool.workers.alive": ("gauge", "live worker processes"),
+    "pool.workers.respawned": ("counter", "workers replaced after death"),
+    "pool.workers.spawned": ("counter", "workers started, lifetime total"),
+    # crash-safe journal (repro.robustness.checkpoint)
+    "robustness.journal.degraded": ("gauge", "1 while journal writes fail"),
+    "robustness.journal.integrity_quarantined":
+        ("counter", "journal records quarantined by checksum mismatch"),
+    "robustness.journal.write_errors": ("counter", "failed journal appends"),
+    # serving layer (repro.serve)
+    "serve.breaker.opened": ("counter", "circuit-breaker open transitions"),
+    "serve.breaker.rejected": ("counter", "requests refused by open breaker"),
+    "serve.cache.degraded": ("gauge", "1 while the model cache is read-only"),
+    "serve.cache.hits": ("counter", "fitted models served from the registry"),
+    "serve.cache.integrity_quarantined":
+        ("counter", "cached models quarantined by checksum mismatch"),
+    "serve.cache.misses": ("counter", "fit requests not already cached"),
+    "serve.cache.write_errors": ("counter", "failed model-cache writes"),
+    "serve.fit.seconds": ("histogram", "wall-clock seconds per served fit"),
+    "serve.http.errors": ("counter", "HTTP requests answered with an error"),
+    "serve.http.seconds": ("histogram", "wall-clock seconds per HTTP request"),
+    "serve.jobs.coalesced": ("counter", "submissions merged into an "
+                                        "identical in-flight job"),
+    "serve.jobs.deadline_expired": ("counter", "jobs dropped at their "
+                                               "client deadline"),
+    "serve.jobs.failed": ("counter", "jobs whose guarded fit failed"),
+    "serve.jobs.fitted": ("counter", "jobs whose guarded fit succeeded"),
+    "serve.jobs.shed": ("counter", "jobs rejected by load shedding"),
+    "serve.jobs.submitted": ("counter", "jobs accepted into the queue"),
+    "serve.queue.depth": ("gauge", "jobs waiting in the scheduler queue"),
+    "serve.queue.rejected": ("counter", "jobs refused by the bounded queue"),
+}
+
+#: Dynamic name families: ``{constant f-string prefix: (kind, note)}``.
+#: The runtime tail is unbounded (estimator names, HTTP statuses), so
+#: the catalog pins the prefix instead of enumerating members.
+METRIC_FAMILIES = {
+    "fits_total.": ("counter", "per-estimator completed fits"),
+    "serve.http.": ("counter", "per-status HTTP responses"),
+}

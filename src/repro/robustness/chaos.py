@@ -456,7 +456,8 @@ def _scenario_corrupt_entry(workdir, *, jobs, smoke, server=None):
             raise ValidationError("could not seed the cache entry")
         key = seeded["key"]
         entry = os.path.join(server.cache_dir, f"{key}.json")
-        blob = bytearray(open(entry, "rb").read())
+        with open(entry, "rb") as fh:
+            blob = bytearray(fh.read())
         flip = len(blob) // 2
         blob[flip] ^= 0xFF
         with open(entry, "wb") as fh:

@@ -53,7 +53,7 @@ import traceback as _tb
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..exceptions import BudgetExceededError, ValidationError
+from ..exceptions import BudgetExceededError, MultiClustError, ValidationError
 from ..observability.logs import get_logger
 from ..observability.telemetry import emit_objective
 from ..observability.tracer import _ACTIVE_TRACER
@@ -347,7 +347,7 @@ class RunResult:
         """Return the value, re-raising a library error on failure."""
         if self.ok:
             return self.value
-        raise RuntimeError(f"guarded run failed: {self.failure}")
+        raise MultiClustError(f"guarded run failed: {self.failure}")
 
     def __repr__(self):
         if self.ok:

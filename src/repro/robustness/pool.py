@@ -185,7 +185,7 @@ class SharedDataset:
                 view[...] = array
                 view.flags.writeable = False
                 views[name] = view
-        except BaseException:  # repro: noqa[RL004] - frees partially created segments, then re-raises
+        except BaseException:  # re-raised below, so interrupts pass through
             cls(segments, views, owner=True).unlink()
             raise
         return cls(segments, views, owner=True)

@@ -132,7 +132,13 @@ def _child_main(conn, payload, heartbeat_interval):
     a RunGuard, so this means broken worker plumbing, not a failed
     experiment) is reported over the pipe before exiting nonzero.
     """
+    from ..observability.registry import reset_default_registry
+
     _own_process_group()
+    # under fork the child inherits the parent registry's contents;
+    # start from zero so metrics recorded during this payload count
+    # only the child's own activity when merged back
+    reset_default_registry()
     last_sent = [0.0]
 
     def heartbeat():

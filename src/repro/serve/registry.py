@@ -254,7 +254,7 @@ class ModelRegistry:
             if self.max_bytes is not None:
                 needed = self._dir_usage_bytes() + len(blob) + 1
                 if needed > self.max_bytes:
-                    raise OSError(
+                    raise OSError(  # repro: noqa[RL016] - simulated ENOSPC: the cap must trip the same degraded path a real full disk does
                         errno.ENOSPC,
                         f"cache size cap exceeded ({needed} > "
                         f"{self.max_bytes} bytes)", str(path))

@@ -472,14 +472,18 @@ class JobScheduler:
             self._jobs.pop(stale.id, None)
 
     def _finish(self, job, status, metrics=None, error=None):
-        job.status = status
-        job.finished_at = time.time()
-        job.metrics.update(metrics or {})
-        job.error = error
-        job.X = None
-        job.given = None
-        if self._inflight.get(job.key) is job:
-            del self._inflight[job.key]
+        # every caller already holds the condition (it is reentrant);
+        # taking it here too makes the _inflight mutation safe even
+        # from a future lock-free call site
+        with self._cond:
+            job.status = status
+            job.finished_at = time.time()
+            job.metrics.update(metrics or {})
+            job.error = error
+            job.X = None
+            job.given = None
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
 
     def _loop(self):
         from ..experiments.harness import run_experiments

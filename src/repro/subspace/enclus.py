@@ -20,6 +20,7 @@ from .grid import GridDiscretization
 from .lattice import apriori_candidates
 from ..core.base import ParamsMixin
 from ..core.taxonomy import Processing, SearchSpace, TaxonomyEntry, register
+from ..exceptions import NotFittedError
 from ..metrics.information import entropy_of_distribution
 from ..utils.validation import check_array, check_in_range
 
@@ -134,7 +135,7 @@ class EnclusSubspaceSearch(ParamsMixin):
         from ..cluster.kmeans import KMeans
 
         if self.subspaces_ is None:
-            raise RuntimeError("call fit first")
+            raise NotFittedError("call fit first")
         X = check_array(X)
         chosen = self.subspaces_ if top is None else self.subspaces_[:top]
         out = []

@@ -131,6 +131,27 @@ def test_worker_rejects_nonpositive_timeout():
         run_in_worker(lambda heartbeat: None, hard_timeout=0.0)
 
 
+def test_worker_starts_with_a_fresh_metrics_registry():
+    # regression: the forked child used to inherit the parent
+    # registry's contents, so merging per-worker snapshots back
+    # double-counted everything recorded before the fork
+    from repro.observability import (
+        default_registry,
+        record,
+        reset_default_registry,
+    )
+
+    reset_default_registry()
+    record("fits_total")
+    try:
+        result = run_in_worker(
+            lambda heartbeat: default_registry().snapshot())
+        assert result.completed
+        assert "fits_total" not in result.value
+    finally:
+        reset_default_registry()
+
+
 # ---------------------------------------------------------------------------
 # serialization round-trips (worker pipe + journal schema)
 

@@ -1,37 +1,52 @@
 """Static-analysis gate: the repro.lint engine, rules, and CLI.
 
-Four layers under test:
+Six layers under test:
 
 * the engine — single-parse dispatch, pragma suppression via tokenize
   (string literals must not suppress), baseline round-trips, RL000
   parse/read failures, select/ignore resolution;
-* the rule pack — per-rule good/bad fixture snippets for RL001–RL008,
+* the per-file rule pack — good/bad fixture snippets for RL001–RL011,
   including the deliberate exemptions (declare-as-None in ``__init__``,
   loop-variable-derived seeds, CLI print allow-list);
-* the CLI — exit codes 0/1/2, JSON output against the documented
-  schema, ``--update-baseline``, and the ``repro lint`` subcommand;
+* the whole-program pass — fixture *trees* exercising the cross-module
+  rules RL012–RL017 (fork safety, lock discipline, resource lifecycle,
+  metric-name consistency, the exception taxonomy, dead exports), plus
+  dead-pragma detection (RL018) and baseline pruning;
+* the incremental cache — hit/miss accounting, edit/rename/delete
+  invalidation, catalog-hash bumps, corrupt-entry tolerance, and
+  atomic concurrent saves;
+* the CLI — exit codes 0/1/2, JSON/github output, ``--update-baseline``,
+  the ``repro lint`` subcommand, and the consolidated ``repro check``;
 * the tree itself — the tier-1 gate: the shipped source lints clean
   against the committed (empty) baseline.
 """
 
 import json
 import textwrap
+import threading
 
 import pytest
 
 from repro.lint import (
     BASELINE_VERSION,
+    DEAD_PRAGMA_RULE_ID,
     PACKAGE_ROOT,
     PARSE_RULE_ID,
+    Finding,
+    LintCache,
     LintEngine,
     all_rule_classes,
+    format_github,
     format_human,
     format_json,
     load_baseline,
+    module_name_for_path,
     resolve_rules,
+    rule_catalog_hash,
     walk_source_tree,
     write_baseline,
 )
+from repro.lint.engine import prune_baseline
 from repro.lint.cli import main as lint_main
 from repro.lint.walk import REPO_ROOT
 
@@ -44,6 +59,26 @@ def findings_for(code, select=None, path="<snippet>"):
 
 def rule_ids(result):
     return [f.rule for f in result.findings]
+
+
+def write_tree(root, files):
+    """Materialise ``{relative path: source}`` under ``root``."""
+    for rel, code in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(code), encoding="utf-8")
+    return root
+
+
+def tree_report(root, files, select=None, docs_corpus="", cache=None):
+    """Whole-program lint over a fixture tree (both engine passes).
+
+    ``docs_corpus=""`` by default so RL017 sees only the evidence the
+    fixture itself provides, never the real repo's docs and tests.
+    """
+    write_tree(root, files)
+    return LintEngine(select=select).lint_paths(
+        [root], cache=cache, docs_corpus=docs_corpus)
 
 
 # ---------------------------------------------------------------------------
@@ -672,6 +707,790 @@ class TestCli:
         target.write_text("import pandas\n", encoding="utf-8")
         assert repro_main(["lint", "--select", "RL002", str(target)]) == 1
         assert "RL002" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# The whole-program pass: module naming
+
+
+class TestModuleNaming:
+    def test_module_names_climb_package_chain(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/robustness/__init__.py": "",
+            "repro/robustness/workers.py": "x = 1\n",
+        })
+        name, is_package = module_name_for_path(
+            tmp_path / "repro" / "robustness" / "workers.py")
+        assert (name, is_package) == ("repro.robustness.workers", False)
+        name, is_package = module_name_for_path(
+            tmp_path / "repro" / "robustness" / "__init__.py")
+        assert (name, is_package) == ("repro.robustness", True)
+
+    def test_bare_file_outside_packages_keeps_its_stem(self, tmp_path):
+        (tmp_path / "loner.py").write_text("x = 1\n", encoding="utf-8")
+        assert module_name_for_path(tmp_path / "loner.py") == \
+            ("loner", False)
+
+
+# ---------------------------------------------------------------------------
+# RL012 — fork safety
+
+
+def _entry_tree(workers_body, extra=None):
+    files = {
+        "repro/__init__.py": "",
+        "repro/robustness/__init__.py": "",
+        "repro/robustness/workers.py": workers_body,
+        "repro/robustness/pool.py": """
+            def _pool_worker_main(queue):
+                from ..observability import reset_default_registry
+                reset_default_registry()
+            """,
+    }
+    files.update(extra or {})
+    return files
+
+
+class TestRL012ForkSafety:
+    def test_entry_point_without_registry_reset_flagged(self, tmp_path):
+        report = tree_report(tmp_path, _entry_tree(
+            """
+            def _child_main(conn):
+                conn.send("ready")
+            """
+        ), select=["RL012"])
+        assert rule_ids(report) == ["RL012"]
+        assert "reset_default_registry" in report.findings[0].message
+        assert report.findings[0].path.endswith("workers.py")
+
+    def test_entry_point_with_reset_is_clean(self, tmp_path):
+        report = tree_report(tmp_path, _entry_tree(
+            """
+            def _child_main(conn):
+                from ..observability import reset_default_registry
+                reset_default_registry()
+                conn.send("ready")
+            """
+        ), select=["RL012"])
+        assert report.findings == []
+
+    def test_renamed_entry_point_flagged(self, tmp_path):
+        report = tree_report(tmp_path, _entry_tree(
+            """
+            def child_main_v2(conn):
+                pass
+            """
+        ), select=["RL012"])
+        assert rule_ids(report) == ["RL012"]
+        assert "FORK_ENTRY_POINTS" in report.findings[0].message
+
+    def test_module_level_lock_on_import_closure_flagged(self, tmp_path):
+        report = tree_report(tmp_path, _entry_tree(
+            """
+            from repro.robustness import shared
+
+            def _child_main(conn):
+                from ..observability import reset_default_registry
+                reset_default_registry()
+            """,
+            extra={
+                "repro/robustness/shared.py": """
+                    import threading
+                    GLOBAL_LOCK = threading.Lock()
+                    """,
+            },
+        ), select=["RL012"])
+        assert rule_ids(report) == ["RL012"]
+        assert report.findings[0].path.endswith("shared.py")
+        assert "forked mid-state" in report.findings[0].message
+
+    def test_function_local_thread_off_closure_is_exempt(self, tmp_path):
+        # a Thread created lazily inside a function, and a module-level
+        # lock in a module the fork entry points never import, are fine
+        report = tree_report(tmp_path, _entry_tree(
+            """
+            import threading
+
+            def _child_main(conn):
+                from ..observability import reset_default_registry
+                reset_default_registry()
+                threading.Thread(target=conn.send).start()
+            """,
+            extra={
+                "repro/unrelated.py": """
+                    import threading
+                    UNRELATED_LOCK = threading.Lock()
+                    """,
+            },
+        ), select=["RL012"])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL013 — lock discipline
+
+
+def _serve_class(body):
+    return {
+        "repro/__init__.py": "",
+        "repro/serve/__init__.py": "",
+        "repro/serve/state.py": body,
+    }
+
+
+class TestRL013LockDiscipline:
+    BAD = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._items[key] = value
+
+            def clear(self):
+                self._items = {}
+        """
+
+    def test_lock_free_mutation_of_guarded_attr_flagged(self, tmp_path):
+        report = tree_report(tmp_path, _serve_class(self.BAD),
+                             select=["RL013"])
+        assert rule_ids(report) == ["RL013"]
+        finding = report.findings[0]
+        assert "Store._items" in finding.message
+        assert "clear()" in finding.message
+
+    def test_same_class_outside_thread_shared_layers_is_exempt(
+            self, tmp_path):
+        # the rule only patrols the serve/observability layers: the
+        # identical class in a single-threaded package is fine
+        files = {
+            "repro/__init__.py": "",
+            "repro/cluster/__init__.py": "",
+            "repro/cluster/state.py": self.BAD,
+        }
+        report = tree_report(tmp_path, files, select=["RL013"])
+        assert report.findings == []
+
+    def test_init_and_manual_acquire_are_exempt(self, tmp_path):
+        report = tree_report(tmp_path, _serve_class("""
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def replace(self, items):
+                    self._lock.acquire()
+                    try:
+                        self._items = items
+                    finally:
+                        self._lock.release()
+            """), select=["RL013"])
+        assert report.findings == []
+
+    def test_unshared_attr_needs_no_lock(self, tmp_path):
+        # an attribute never mutated under the lock was never declared
+        # thread-shared; mutating it lock-free is not a violation
+        report = tree_report(tmp_path, _serve_class("""
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+                    self._label = ""
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def rename(self, label):
+                    self._label = label
+            """), select=["RL013"])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL014 — resource lifecycle
+
+
+class TestRL014ResourceLifecycle:
+    def test_dropped_open_result_flagged(self):
+        # the exact shape of the chaos-harness defect this rule caught:
+        # open(...).read() leaks the fd on the spot
+        result = findings_for(
+            "def snapshot(path):\n"
+            "    return bytearray(open(path, 'rb').read())\n",
+            select=["RL014"])
+        assert rule_ids(result) == ["RL014"]
+        assert "dropped without close/unlink" in result.findings[0].message
+
+    def test_bound_but_never_released_flagged(self):
+        result = findings_for(
+            """
+            def leak(path):
+                fh = open(path)
+                size = 0
+                return size
+            """, select=["RL014"])
+        assert rule_ids(result) == ["RL014"]
+        assert "'fh'" in result.findings[0].message
+
+    @pytest.mark.parametrize("code", [
+        # with block
+        "def a(p):\n    with open(p) as fh:\n        return fh.read()\n",
+        # explicit close
+        "def b(p):\n    fh = open(p)\n    fh.close()\n",
+        # ownership handed to a callee
+        "def c(p, closing):\n    return closing(open(p))\n",
+        # ownership returned to the caller
+        "def d(p):\n    fh = open(p)\n    return fh\n",
+        # stored on self: escapes the scope
+        "class K:\n    def e(self, p):\n        fh = open(p)\n"
+        "        self.fh = fh\n",
+    ])
+    def test_released_or_escaping_resources_are_exempt(self, code):
+        assert findings_for(code, select=["RL014"]).findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL015 — metric-name consistency
+
+
+def _metrics_tree(user_body, catalog_body=None):
+    return {
+        "catalog.py": catalog_body or """
+            METRICS = {
+                "fits_total": ("counter", "completed fits"),
+                "queue_depth": ("gauge", "jobs waiting"),
+            }
+            METRIC_FAMILIES = {
+                "serve.http.": ("counter", "per-route requests"),
+            }
+            """,
+        "user.py": user_body,
+    }
+
+
+class TestRL015MetricNames:
+    def test_consistent_sites_are_clean(self, tmp_path):
+        report = tree_report(tmp_path, _metrics_tree("""
+            def handle(record, route):
+                record("fits_total")
+                record("queue_depth", 3, kind="gauge")
+                record(f"serve.http.{route}")
+            """), select=["RL015"])
+        assert report.findings == []
+
+    def test_undeclared_name_flagged(self, tmp_path):
+        report = tree_report(tmp_path, _metrics_tree("""
+            def handle(record, route):
+                record("fits_total")
+                record("queue_depth")
+                record(f"serve.http.{route}")
+                record("mystery_metric")
+            """), select=["RL015"])
+        assert rule_ids(report) == ["RL015"]
+        assert "'mystery_metric'" in report.findings[0].message
+
+    def test_unmatched_dynamic_prefix_flagged(self, tmp_path):
+        report = tree_report(tmp_path, _metrics_tree("""
+            def handle(record, route):
+                record("fits_total")
+                record("queue_depth")
+                record(f"adhoc.{route}")
+            """), select=["RL015"])
+        assert rule_ids(report) == ["RL015"]
+        assert "METRIC_FAMILIES" in report.findings[0].message
+
+    def test_unrecorded_catalog_entry_flagged(self, tmp_path):
+        report = tree_report(tmp_path, _metrics_tree("""
+            def handle(record):
+                record("fits_total")
+            """), select=["RL015"])
+        assert rule_ids(report) == ["RL015"]
+        finding = report.findings[0]
+        assert "'queue_depth'" in finding.message
+        assert finding.path.endswith("catalog.py")
+
+    def test_prometheus_collision_flagged(self, tmp_path):
+        report = tree_report(tmp_path, _metrics_tree(
+            """
+            def handle(record):
+                record("pool.jobs")
+                record("pool_jobs")
+            """,
+            catalog_body="""
+                METRICS = {
+                    "pool.jobs": ("counter", "dotted"),
+                    "pool_jobs": ("counter", "undotted twin"),
+                }
+                METRIC_FAMILIES = {}
+                """,
+        ), select=["RL015"])
+        assert rule_ids(report) == ["RL015"]
+        assert "collision-free" in report.findings[0].message
+
+    def test_tree_without_a_catalog_is_silent(self, tmp_path):
+        report = tree_report(tmp_path, {
+            "user.py": "def f(record):\n    record('anything_goes')\n",
+        }, select=["RL015"])
+        assert report.findings == []
+
+    def test_lint_prometheus_mirror_matches_runtime(self):
+        # RL015 re-implements the exposition transform so linting never
+        # imports the target tree; the two must agree on every cataloged
+        # name (and on the awkward shapes: sanitisation, prefixing,
+        # counter suffixing)
+        from repro.lint.rules.program import _prometheus_name
+        from repro.observability import METRICS, prometheus_name
+
+        for name, (kind, _) in METRICS.items():
+            assert _prometheus_name(name, kind) == \
+                prometheus_name(name, kind=kind)
+        for name, kind in [("serve.http.ready", "counter"),
+                           ("repro_already_prefixed", "gauge"),
+                           ("weird-chars %", "counter"),
+                           ("ends_total", "counter")]:
+            assert _prometheus_name(name, kind) == \
+                prometheus_name(name, kind=kind)
+
+
+# ---------------------------------------------------------------------------
+# RL016 — exception taxonomy
+
+
+class TestRL016ExceptionTaxonomy:
+    def test_banned_raise_flagged(self, tmp_path):
+        report = tree_report(tmp_path, {
+            "a.py": "def f():\n    raise RuntimeError('boom')\n",
+        }, select=["RL016"])
+        assert rule_ids(report) == ["RL016"]
+        assert "MultiClustError" in report.findings[0].message
+
+    def test_unknown_type_outside_taxonomy_flagged(self, tmp_path):
+        report = tree_report(tmp_path, {
+            "a.py": "def f():\n    raise MysteryError('boom')\n",
+        }, select=["RL016"])
+        assert rule_ids(report) == ["RL016"]
+        assert "outside the exception taxonomy" in \
+            report.findings[0].message
+
+    def test_tree_defined_class_is_known_cross_module(self, tmp_path):
+        # the class definition lives in a different module than the
+        # raise: only the whole-program view can connect the two
+        report = tree_report(tmp_path, {
+            "errors.py": "class MinerError(Exception):\n    pass\n",
+            "a.py": ("from errors import MinerError\n\n"
+                     "def f():\n    raise MinerError('boom')\n"),
+        }, select=["RL016"])
+        assert report.findings == []
+
+    def test_validation_seams_and_warnings_are_exempt(self, tmp_path):
+        report = tree_report(tmp_path, {
+            "a.py": """
+                def f(x):
+                    if x < 0:
+                        raise ValueError("negative")
+                    if not isinstance(x, int):
+                        raise TypeError("not an int")
+                    raise ConvergenceWarning("slow")
+                """,
+        }, select=["RL016"])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL017 — dead exports
+
+
+class TestRL017DeadExports:
+    def test_unreferenced_export_flagged(self, tmp_path):
+        report = tree_report(tmp_path, {
+            "a.py": '__all__ = ["used", "dead"]\nused = 1\ndead = 2\n',
+            "b.py": "from a import used\n",
+        }, select=["RL017"])
+        assert rule_ids(report) == ["RL017"]
+        assert "'dead'" in report.findings[0].message
+
+    def test_documented_export_is_evidence(self, tmp_path):
+        report = tree_report(tmp_path, {
+            "a.py": '__all__ = ["dead"]\ndead = 2\n',
+        }, select=["RL017"], docs_corpus="``dead`` is part of the API.")
+        assert report.findings == []
+
+    def test_attribute_reference_is_evidence(self, tmp_path):
+        report = tree_report(tmp_path, {
+            "a.py": '__all__ = ["helper"]\nhelper = 2\n',
+            "b.py": "import a\nx = a.helper\n",
+        }, select=["RL017"])
+        assert report.findings == []
+
+    def test_estimator_packages_are_exempt(self, tmp_path):
+        # their __all__ is enumerated at runtime (servable_estimators,
+        # the contract checker), so every entry is used by construction
+        report = tree_report(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/cluster/__init__.py":
+                '__all__ = ["NobodyImportsMe"]\nNobodyImportsMe = 1\n',
+        }, select=["RL017"])
+        assert report.findings == []
+
+    def test_dunder_exports_are_skipped(self, tmp_path):
+        report = tree_report(tmp_path, {
+            "a.py": '__all__ = ["__version__"]\n__version__ = "1.0"\n',
+        }, select=["RL017"])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL018 — dead pragmas
+
+
+class TestRL018DeadPragmas:
+    def lint(self, tmp_path, code, select=None):
+        target = tmp_path / "mod.py"
+        target.write_text(textwrap.dedent(code), encoding="utf-8")
+        return LintEngine(select=select).lint_paths([target],
+                                                    docs_corpus="")
+
+    def test_pragma_that_suppresses_nothing_flagged(self, tmp_path):
+        report = self.lint(
+            tmp_path, "x = 1  # repro: noqa[RL005] - long since fixed\n")
+        assert rule_ids(report) == [DEAD_PRAGMA_RULE_ID]
+        assert "suppresses nothing" in report.findings[0].message
+
+    def test_live_pragma_is_not_dead(self, tmp_path):
+        report = self.lint(
+            tmp_path, "x = 1.0 == 2.0  # repro: noqa[RL005] - fixture\n")
+        assert report.findings == []
+        assert report.suppressed_pragma == 1
+
+    def test_unknown_rule_id_is_always_dead(self, tmp_path):
+        report = self.lint(
+            tmp_path, "x = 1.0 == 2.0  # repro: noqa[RL505] - typo\n")
+        ids = rule_ids(report)
+        # the typo'd pragma is dead AND the finding it meant to cover
+        # survives
+        assert DEAD_PRAGMA_RULE_ID in ids and "RL005" in ids
+        assert "unknown rule id" in \
+            [f for f in report.findings
+             if f.rule == DEAD_PRAGMA_RULE_ID][0].message
+
+    def test_dead_pragma_finding_is_itself_suppressible(self, tmp_path):
+        report = self.lint(
+            tmp_path,
+            "x = 1  # repro: noqa[RL005, RL018] - grandfathered\n")
+        assert report.findings == []
+
+    def test_select_runs_do_not_judge_inactive_pragmas(self, tmp_path):
+        # under --select RL003 the engine cannot tell whether an RL005
+        # pragma is live, so it must not call it dead
+        report = self.lint(
+            tmp_path, "x = 1.0 == 2.0  # repro: noqa[RL005] - fixture\n",
+            select=["RL003"])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Baseline pruning
+
+
+class TestBaselinePruning:
+    def test_deleted_file_entries_are_pruned(self, tmp_path):
+        keep = tmp_path / "keep.py"
+        gone = tmp_path / "gone.py"
+        keep.write_text("import pandas\n", encoding="utf-8")
+        gone.write_text("import pandas\n", encoding="utf-8")
+        engine = LintEngine(select=["RL002"])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file,
+                       engine.lint_paths([keep, gone]).findings)
+
+        gone.unlink()
+        report = engine.lint_paths([keep])
+        merged = prune_baseline(load_baseline(baseline_file),
+                                report.linted_paths, report.findings)
+        paths = {f.path for f in merged}
+        assert any(p.endswith("keep.py") for p in paths)
+        assert not any(p.endswith("gone.py") for p in paths)
+
+    def test_unlinted_but_existing_entries_survive(self, tmp_path):
+        # updating from a partial path set must not erase the rest of
+        # the baseline
+        a = tmp_path / "a.py"
+        b = tmp_path / "b.py"
+        a.write_text("import pandas\n", encoding="utf-8")
+        b.write_text("import pandas\n", encoding="utf-8")
+        engine = LintEngine(select=["RL002"])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, engine.lint_paths([a, b]).findings)
+
+        report = engine.lint_paths([a])  # b not linted this run
+        merged = prune_baseline(load_baseline(baseline_file),
+                                report.linted_paths, report.findings)
+        assert any(f.path.endswith("b.py") for f in merged)
+
+    def test_fixed_findings_drop_out_of_linted_files(self, tmp_path):
+        a = tmp_path / "a.py"
+        a.write_text("import pandas\n", encoding="utf-8")
+        engine = LintEngine(select=["RL002"])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, engine.lint_paths([a]).findings)
+
+        a.write_text("x = 1\n", encoding="utf-8")  # violation fixed
+        report = engine.lint_paths([a])
+        merged = prune_baseline(load_baseline(baseline_file),
+                                report.linted_paths, report.findings)
+        assert merged == []
+
+    def test_cli_update_baseline_prunes_deleted_files(self, tmp_path,
+                                                      capsys):
+        keep = tmp_path / "keep.py"
+        gone = tmp_path / "gone.py"
+        keep.write_text("import pandas\n", encoding="utf-8")
+        gone.write_text("import pandas\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(["--no-cache", "--baseline", str(baseline),
+                          "--update-baseline", str(tmp_path)]) == 0
+        entries = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(entries["findings"]) == 2
+
+        gone.unlink()
+        assert lint_main(["--no-cache", "--baseline", str(baseline),
+                          "--update-baseline", str(tmp_path)]) == 0
+        entries = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(entries["findings"]) == 1
+        assert entries["findings"][0]["path"].endswith("keep.py")
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# The incremental cache
+
+
+class TestIncrementalCache:
+    def lint(self, paths, cache, select=None):
+        return LintEngine(select=select).lint_paths(
+            paths, cache=cache, docs_corpus="")
+
+    def test_warm_run_hits_and_findings_match(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import pandas\n", encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+
+        cold = self.lint([target], LintCache(cache_file))
+        warm_cache = LintCache(cache_file)
+        warm = self.lint([target], warm_cache)
+        assert warm_cache.hits == 1 and warm_cache.misses == 0
+        assert [f.to_dict() for f in warm.findings] == \
+            [f.to_dict() for f in cold.findings]
+
+    def test_edit_invalidates_exactly_the_edited_file(self, tmp_path):
+        a = tmp_path / "a.py"
+        b = tmp_path / "b.py"
+        a.write_text("import pandas\n", encoding="utf-8")
+        b.write_text("x = 1\n", encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+        self.lint([a, b], LintCache(cache_file))
+
+        a.write_text("x = 2\n", encoding="utf-8")
+        warm_cache = LintCache(cache_file)
+        report = self.lint([a, b], warm_cache)
+        assert warm_cache.hits == 1 and warm_cache.misses == 1
+        assert report.findings == []  # the edit removed the violation
+
+    def test_rename_invalidates_and_save_prunes_the_old_path(
+            self, tmp_path):
+        old = tmp_path / "old.py"
+        old.write_text("x = 1\n", encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+        self.lint([old], LintCache(cache_file))
+
+        new = tmp_path / "new.py"
+        old.rename(new)
+        warm_cache = LintCache(cache_file)
+        self.lint([new], warm_cache)
+        assert warm_cache.misses == 1  # entries are keyed per path
+        files = json.loads(cache_file.read_text(encoding="utf-8"))["files"]
+        assert not any(path.endswith("old.py") for path in files)
+        assert any(path.endswith("new.py") for path in files)
+
+    def test_save_prunes_entries_for_deleted_files(self, tmp_path):
+        keep = tmp_path / "keep.py"
+        gone = tmp_path / "gone.py"
+        keep.write_text("x = 1\n", encoding="utf-8")
+        gone.write_text("x = 1\n", encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+        self.lint([keep, gone], LintCache(cache_file))
+
+        gone.unlink()
+        self.lint([keep], LintCache(cache_file))
+        files = json.loads(cache_file.read_text(encoding="utf-8"))["files"]
+        assert not any(path.endswith("gone.py") for path in files)
+
+    def test_catalog_hash_bump_discards_every_entry(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+        self.lint([target], LintCache(cache_file))
+
+        bumped = LintCache(cache_file, catalog_hash="rules-changed")
+        self.lint([target], bumped)
+        assert bumped.hits == 0 and bumped.misses == 1
+
+    def test_select_run_cannot_poison_a_full_run(self, tmp_path):
+        # entries record the active rule set: a --select RL003 entry
+        # must not satisfy a full-engine lookup for the same sha
+        target = tmp_path / "mod.py"
+        target.write_text("import pandas\n", encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+        self.lint([target], LintCache(cache_file), select=["RL003"])
+
+        report = self.lint([target], LintCache(cache_file))
+        assert rule_ids(report) == ["RL002"]
+
+    def test_corrupt_cache_file_is_ignored_not_fatal(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import pandas\n", encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json", encoding="utf-8")
+        cache = LintCache(cache_file)
+        report = self.lint([target], cache)
+        assert rule_ids(report) == ["RL002"]
+        # and the run repaired the file in passing
+        assert json.loads(cache_file.read_text(encoding="utf-8"))[
+            "version"] == 1
+
+    def test_one_corrupt_entry_is_skipped_not_fatal(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import pandas\n", encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+        self.lint([target], LintCache(cache_file))
+
+        data = json.loads(cache_file.read_text(encoding="utf-8"))
+        display = next(iter(data["files"]))
+        sha = data["files"][display]["sha"]
+        data["files"][display] = {"sha": sha, "findings": "garbage"}
+        cache_file.write_text(json.dumps(data), encoding="utf-8")
+
+        cache = LintCache(cache_file)
+        report = self.lint([target], cache)
+        assert cache.misses == 1  # shape check rejected the entry
+        assert rule_ids(report) == ["RL002"]
+
+    def test_concurrent_saves_leave_valid_json(self, tmp_path):
+        # writes go through a pid/thread-distinct temp name + replace;
+        # racing runs may drop each other's entries (last writer wins)
+        # but must never tear the file into invalid JSON
+        targets = []
+        for i in range(4):
+            target = tmp_path / f"mod{i}.py"
+            target.write_text(f"x = {i}\n", encoding="utf-8")
+            targets.append(target)
+        cache_file = tmp_path / "cache.json"
+
+        errors = []
+
+        def run(target):
+            try:
+                self.lint([target], LintCache(cache_file))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(t,))
+                   for t in targets]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        data = json.loads(cache_file.read_text(encoding="utf-8"))
+        assert data["version"] == 1 and isinstance(data["files"], dict)
+
+    def test_rule_catalog_hash_is_stable_within_a_process(self):
+        assert rule_catalog_hash() == rule_catalog_hash()
+        assert len(rule_catalog_hash()) == 64
+
+
+# ---------------------------------------------------------------------------
+# GitHub annotation output
+
+
+class TestGithubFormat:
+    def test_render_github_shape(self):
+        finding = Finding(path="src/x.py", line=3, col=4, rule="RL005",
+                          severity="error", message="float equality")
+        assert finding.render_github() == \
+            "::error file=src/x.py,line=3,col=5,title=RL005::float equality"
+
+    def test_render_github_escapes_message_metacharacters(self):
+        finding = Finding(path="src/x.py", line=1, col=0, rule="RL000",
+                          severity="error",
+                          message="100% broken\nsecond line")
+        rendered = finding.render_github()
+        assert "100%25 broken%0Asecond line" in rendered
+        assert "\n" not in rendered
+
+    def test_cli_github_format(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import pandas\n", encoding="utf-8")
+        assert lint_main(["--no-cache", "--format", "github",
+                          str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "line=1" in out and "title=RL002" in out
+
+    def test_clean_github_run_emits_no_annotations(self, tmp_path,
+                                                   capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert lint_main(["--no-cache", "--format", "github",
+                          str(target)]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# The consolidated `repro check` gate
+
+
+class TestReproCheck:
+    def test_check_runs_lint_and_tools_with_summary(self, monkeypatch,
+                                                    capsys):
+        from repro import __main__ as repro_main
+
+        # one fast representative tool keeps the test cheap; the full
+        # four-tool sweep is exercised by CI calling `repro check` itself
+        monkeypatch.setattr(repro_main, "_CHECK_TOOLS",
+                            ("check_no_print.py",))
+        code = repro_main.main(["check", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "repro lint" in out
+        assert "tools/check_no_print.py" in out
+        assert "PASS" in out
+        assert "gate(s):" in out
+        assert code == 0
+
+    def test_check_skips_missing_tools_and_still_passes(self, monkeypatch,
+                                                        capsys):
+        from repro import __main__ as repro_main
+
+        monkeypatch.setattr(repro_main, "_CHECK_TOOLS",
+                            ("check_does_not_exist.py",))
+        code = repro_main.main(["check", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "SKIP" in out and "1 skipped" in out
+        assert code == 0
 
 
 # ---------------------------------------------------------------------------

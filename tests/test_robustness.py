@@ -136,7 +136,9 @@ def test_retries_exhausted_produce_failure():
     assert not result.ok
     assert result.attempts == 2
     assert result.failure.error_type == "FaultInjectedError"
-    with pytest.raises(RuntimeError):
+    # unwrap raises a library type, not RuntimeError, so callers can
+    # filter guarded-run failures with one except MultiClustError
+    with pytest.raises(MultiClustError):
         result.unwrap()
 
 

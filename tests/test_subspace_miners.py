@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.data import make_subspace_data, make_uniform
-from repro.exceptions import ValidationError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.metrics import pair_f1_subspace
 from repro.subspace import (
     CLIQUE,
@@ -291,6 +291,13 @@ class TestENCLUS:
         loose = EnclusSubspaceSearch(n_intervals=6, omega=10.0,
                                      epsilon=0.0, max_dim=2).fit(X)
         assert len(tight.subspaces_) <= len(loose.subspaces_)
+
+    def test_cluster_subspaces_before_fit_raises_library_type(self):
+        # regression: this used to raise a bare RuntimeError, which
+        # escapes the `except MultiClustError` filter callers use
+        with pytest.raises(NotFittedError):
+            EnclusSubspaceSearch().cluster_subspaces(
+                np.zeros((10, 3)), n_clusters=2)
 
     def test_cluster_subspaces_returns_labelings(self, planted_subspaces):
         X, _ = planted_subspaces
